@@ -1,0 +1,172 @@
+// Ablation studies for the design choices called out in DESIGN.md:
+//   1. threshold sensitivity (the Fig. 3 threshold, swept 0.1..0.9);
+//   2. axis ablation (zero one axis weight at a time, renormalised);
+//   3. child accumulation: best-match (ours) vs the paper-literal
+//      pseudo-code accumulation;
+//   4. thesaurus: the full linguistic resource vs pure string matching.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/qmatch.h"
+#include "datagen/corpus.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace {
+
+using namespace qmatch;
+
+struct TaskData {
+  std::string name;
+  xsd::Schema source;
+  xsd::Schema target;
+  eval::GoldStandard gold;
+};
+
+std::vector<TaskData> LoadTasks() {
+  std::vector<TaskData> tasks;
+  for (const datagen::MatchTask& task : datagen::Tasks()) {
+    if (task.name == "Protein") continue;
+    tasks.push_back({task.name, task.source(), task.target(), task.gold()});
+  }
+  return tasks;
+}
+
+double MeanOverall(const core::QMatch& matcher,
+                   const std::vector<TaskData>& tasks) {
+  double sum = 0.0;
+  for (const TaskData& task : tasks) {
+    sum += eval::Evaluate(matcher.Match(task.source, task.target), task.gold)
+               .overall;
+  }
+  return sum / static_cast<double>(tasks.size());
+}
+
+double MeanF1(const core::QMatch& matcher, const std::vector<TaskData>& tasks) {
+  double sum = 0.0;
+  for (const TaskData& task : tasks) {
+    sum += eval::Evaluate(matcher.Match(task.source, task.target), task.gold).f1;
+  }
+  return sum / static_cast<double>(tasks.size());
+}
+
+}  // namespace
+
+int main() {
+  std::vector<TaskData> tasks = LoadTasks();
+
+  std::printf("== Ablation 1: threshold sensitivity (hybrid) ==\n\n");
+  {
+    eval::TextTable table({"threshold", "mean overall", "mean f1"});
+    for (double threshold = 0.1; threshold <= 0.91; threshold += 0.1) {
+      core::QMatchConfig config;
+      config.threshold = threshold;
+      core::QMatch matcher(config);
+      table.AddRow({eval::Num(threshold, 1),
+                    eval::Num(MeanOverall(matcher, tasks)),
+                    eval::Num(MeanF1(matcher, tasks))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf("== Ablation 2: drop one axis (weights renormalised) ==\n\n");
+  {
+    struct Variant {
+      const char* name;
+      qom::Weights weights;
+    };
+    const Variant variants[] = {
+        {"paper weights", qom::kPaperWeights},
+        {"no label", qom::Weights{0.0, 0.2, 0.1, 0.4}.Normalized()},
+        {"no properties", qom::Weights{0.3, 0.0, 0.1, 0.4}.Normalized()},
+        {"no level", qom::Weights{0.3, 0.2, 0.0, 0.4}.Normalized()},
+        {"no children", qom::Weights{0.3, 0.2, 0.1, 0.0}.Normalized()},
+        {"uniform", qom::kUniformWeights},
+    };
+    eval::TextTable table({"variant", "WL", "WP", "WH", "WC", "mean overall",
+                           "mean f1"});
+    for (const Variant& variant : variants) {
+      core::QMatchConfig config;
+      config.weights = variant.weights;
+      core::QMatch matcher(config);
+      table.AddRow({variant.name, eval::Num(variant.weights.label, 2),
+                    eval::Num(variant.weights.properties, 2),
+                    eval::Num(variant.weights.level, 2),
+                    eval::Num(variant.weights.children, 2),
+                    eval::Num(MeanOverall(matcher, tasks)),
+                    eval::Num(MeanF1(matcher, tasks))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf("== Ablation 3: children accumulation mode ==\n\n");
+  {
+    eval::TextTable table({"mode", "mean overall", "mean f1"});
+    for (auto mode : {core::QMatchConfig::ChildAccumulation::kBestMatch,
+                      core::QMatchConfig::ChildAccumulation::kPaperLiteral}) {
+      core::QMatchConfig config;
+      config.child_accumulation = mode;
+      core::QMatch matcher(config);
+      const char* name =
+          mode == core::QMatchConfig::ChildAccumulation::kBestMatch
+              ? "best-match (Eq. 3-4)"
+              : "paper-literal (Fig. 3 pseudo-code)";
+      table.AddRow({name, eval::Num(MeanOverall(matcher, tasks)),
+                    eval::Num(MeanF1(matcher, tasks))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf("== Ablation 4: level-axis mode ==\n\n");
+  {
+    eval::TextTable table({"mode", "mean overall", "mean f1"});
+    for (auto mode : {core::QMatchConfig::LevelMode::kBinary,
+                      core::QMatchConfig::LevelMode::kGraded}) {
+      core::QMatchConfig config;
+      config.level_mode = mode;
+      core::QMatch matcher(config);
+      const char* name = mode == core::QMatchConfig::LevelMode::kBinary
+                             ? "binary (paper Section 3)"
+                             : "graded 1/(1+|gap|)";
+      table.AddRow({name, eval::Num(MeanOverall(matcher, tasks)),
+                    eval::Num(MeanF1(matcher, tasks))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf("== Ablation 5: mapping-extraction strategy ==\n\n");
+  {
+    eval::TextTable table({"strategy", "mean overall", "mean f1"});
+    for (auto strategy : {match::AssignmentStrategy::kBestPerSource,
+                          match::AssignmentStrategy::kGreedyGlobal,
+                          match::AssignmentStrategy::kStableMarriage}) {
+      core::QMatchConfig config;
+      config.assignment = strategy;
+      core::QMatch matcher(config);
+      table.AddRow({std::string(match::AssignmentStrategyName(strategy)),
+                    eval::Num(MeanOverall(matcher, tasks)),
+                    eval::Num(MeanF1(matcher, tasks))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+
+  std::printf("== Ablation 6: linguistic resource ==\n\n");
+  {
+    eval::TextTable table({"resource", "mean overall", "mean f1"});
+    {
+      core::QMatch with_thesaurus;  // default thesaurus
+      table.AddRow({"default thesaurus",
+                    eval::Num(MeanOverall(with_thesaurus, tasks)),
+                    eval::Num(MeanF1(with_thesaurus, tasks))});
+    }
+    {
+      core::QMatch without(core::QMatchConfig{}, /*thesaurus=*/nullptr);
+      table.AddRow({"none (string similarity only)",
+                    eval::Num(MeanOverall(without, tasks)),
+                    eval::Num(MeanF1(without, tasks))});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The comparison the paper's conclusion names as ongoing work: QMatch
+// (hybrid) vs CUPID vs a COMA-style composite of the individual matchers,
+// plus the Nierman-Jagadish tree-edit-distance similarity as a structural
+// reference point, across all five match tasks.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/qmatch.h"
+#include "datagen/corpus.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "lingua/default_thesaurus.h"
+#include "match/composite_matcher.h"
+#include "match/cupid_matcher.h"
+#include "match/linguistic_matcher.h"
+#include "match/structural_matcher.h"
+#include "match/tree_edit_distance.h"
+
+int main() {
+  using namespace qmatch;
+
+  match::LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  match::StructuralMatcher structural;
+  match::CupidMatcher cupid(&lingua::DefaultThesaurus());
+  core::QMatch hybrid;
+  match::CompositeMatcher composite({&linguistic, &structural, &hybrid});
+
+  std::printf(
+      "== Future-work comparison: QMatch vs CUPID vs COMA-style composite "
+      "==\n\n");
+  eval::TextTable table({"task", "algorithm", "P", "I", "precision", "recall",
+                         "overall", "f1"});
+  const Matcher* algorithms[] = {&cupid, &hybrid, &composite};
+  for (const datagen::MatchTask& task : datagen::Tasks()) {
+    xsd::Schema source = task.source();
+    xsd::Schema target = task.target();
+    eval::GoldStandard gold = task.gold();
+    for (const Matcher* matcher : algorithms) {
+      eval::QualityMetrics metrics =
+          eval::Evaluate(matcher->Match(source, target), gold);
+      table.AddRow({task.name, std::string(matcher->name()),
+                    std::to_string(metrics.returned),
+                    std::to_string(metrics.true_positives),
+                    eval::Num(metrics.precision), eval::Num(metrics.recall),
+                    eval::Num(metrics.overall), eval::Num(metrics.f1)});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Tree-edit-distance similarity as a whole-schema structural reference
+  // (Nierman-Jagadish, cited in the paper's related work). Quadratic in
+  // tree size, so only the hand-built schemas.
+  std::printf("== Tree-edit-distance similarity (whole schemas) ==\n\n");
+  eval::TextTable ted_table({"task", "TED", "TED similarity"});
+  for (const datagen::MatchTask& task : datagen::Tasks()) {
+    if (task.name == "Protein") continue;
+    xsd::Schema source = task.source();
+    xsd::Schema target = task.target();
+    double distance =
+        match::TreeEditDistance(*source.root(), *target.root());
+    double sim = match::TedSimilarity(*source.root(), *target.root());
+    ted_table.AddRow({task.name, eval::Num(distance, 0), eval::Num(sim)});
+  }
+  std::printf("%s", ted_table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Validates the paper's complexity claim (Section 4: "The running time of
+// the algorithm lies in O(nm)") empirically: generated schema pairs are
+// swept over sizes and the hybrid's runtime is reported per node pair.
+// If the claim holds, ns/pair stays roughly flat as n·m grows by orders
+// of magnitude.
+
+#include <benchmark/benchmark.h>
+
+#include "core/qmatch.h"
+#include "datagen/generator.h"
+#include "datagen/perturb.h"
+
+namespace {
+
+using namespace qmatch;
+
+void BM_HybridScaling(benchmark::State& state) {
+  const size_t elements = static_cast<size_t>(state.range(0));
+  datagen::GeneratorOptions options;
+  options.element_count = elements;
+  options.max_depth = 6;
+  options.min_fanout = 2;
+  options.max_fanout = 6;
+  options.domain = datagen::Domain::kProtein;
+  options.seed = 42;
+  options.name = "Scale";
+  xsd::Schema source = datagen::GenerateSchema(options);
+  datagen::PerturbOptions perturb;
+  perturb.seed = 43;
+  xsd::Schema target = datagen::Perturb(source, perturb, nullptr);
+
+  core::QMatch matcher;
+  for (auto _ : state) {
+    MatchResult result = matcher.Match(source, target);
+    benchmark::DoNotOptimize(result);
+  }
+  const double pairs = static_cast<double>(source.NodeCount()) *
+                       static_cast<double>(target.NodeCount());
+  state.counters["pairs"] = pairs;
+  state.counters["ns_per_pair"] = benchmark::Counter(
+      pairs, benchmark::Counter::kIsIterationInvariantRate |
+                 benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_HybridScaling)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
+    ->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// corpus_explorer: match any two schemas from the built-in corpus with any
+// of the three algorithms and inspect the result.
+//
+// Usage:
+//   corpus_explorer                          # list corpus + tasks
+//   corpus_explorer <source> <target> [algo] [threshold]
+//   corpus_explorer --task <name> [algo]     # run a task and score vs gold
+//
+// algo: hybrid (default) | linguistic | structural
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/qmatch.h"
+#include "datagen/corpus.h"
+#include "eval/metrics.h"
+#include "lingua/default_thesaurus.h"
+#include "match/linguistic_matcher.h"
+#include "match/structural_matcher.h"
+
+namespace {
+
+using namespace qmatch;
+
+std::unique_ptr<Matcher> MakeMatcher(const std::string& algo,
+                                     double threshold) {
+  if (algo == "linguistic") {
+    match::LinguisticMatcher::Options options;
+    options.threshold = threshold;
+    return std::make_unique<match::LinguisticMatcher>(
+        &lingua::DefaultThesaurus(), options);
+  }
+  if (algo == "structural") {
+    match::StructuralMatcher::Options options;
+    options.threshold = threshold;
+    return std::make_unique<match::StructuralMatcher>(options);
+  }
+  core::QMatchConfig config;
+  config.threshold = threshold;
+  return std::make_unique<core::QMatch>(config);
+}
+
+const datagen::CorpusEntry* FindSchema(const std::string& name) {
+  for (const datagen::CorpusEntry& entry : datagen::Corpus()) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+int ListEverything() {
+  std::printf("corpus schemas:\n");
+  for (const datagen::CorpusEntry& entry : datagen::Corpus()) {
+    xsd::Schema schema = entry.make();
+    std::printf("  %-14s %5zu elements, depth %zu\n", entry.name.c_str(),
+                schema.ElementCount(), schema.MaxDepth());
+  }
+  std::printf("\nmatch tasks (--task):\n");
+  for (const datagen::MatchTask& task : datagen::Tasks()) {
+    std::printf("  %-10s %zu real matches\n", task.name.c_str(),
+                task.gold().size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return ListEverything();
+
+  std::string first = argv[1];
+  if (first == "--task") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: corpus_explorer --task <name> [algo]\n");
+      return 2;
+    }
+    std::string task_name = argv[2];
+    std::string algo = argc > 3 ? argv[3] : "hybrid";
+    for (const datagen::MatchTask& task : datagen::Tasks()) {
+      if (task.name != task_name) continue;
+      xsd::Schema source = task.source();
+      xsd::Schema target = task.target();
+      std::unique_ptr<Matcher> matcher = MakeMatcher(algo, 0.5);
+      MatchResult result = matcher->Match(source, target);
+      std::printf("%s\n", result.ToString().c_str());
+      eval::QualityMetrics metrics = eval::Evaluate(result, task.gold());
+      std::printf("quality: %s\n", metrics.ToString().c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "unknown task '%s'\n", task_name.c_str());
+    return 2;
+  }
+
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: corpus_explorer <source> <target> [algo] [threshold]\n");
+    return 2;
+  }
+  const datagen::CorpusEntry* source_entry = FindSchema(argv[1]);
+  const datagen::CorpusEntry* target_entry = FindSchema(argv[2]);
+  if (source_entry == nullptr || target_entry == nullptr) {
+    std::fprintf(stderr, "unknown schema name; run with no args to list\n");
+    return 2;
+  }
+  std::string algo = argc > 3 ? argv[3] : "hybrid";
+  double threshold = argc > 4 ? std::atof(argv[4]) : 0.5;
+
+  xsd::Schema source = source_entry->make();
+  xsd::Schema target = target_entry->make();
+  std::printf("%s", source.ToTreeString().c_str());
+  std::printf("\n%s\n", target.ToTreeString().c_str());
+  std::unique_ptr<Matcher> matcher = MakeMatcher(algo, threshold);
+  MatchResult result = matcher->Match(source, target);
+  std::printf("%s", result.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,254 @@
+// qmatch_cli: match two XML Schema (.xsd) files from disk — the tool a
+// downstream user actually runs.
+//
+// Usage:
+//   qmatch_cli <source.xsd> <target.xsd> [options]
+//     --algo hybrid|linguistic|structural|cupid   (default hybrid)
+//     --threshold <t>                             (default 0.5)
+//     --assignment best|greedy|stable             (hybrid only)
+//     --gold <gold.txt>      score against a "src -> tgt" line file
+//     --dump-trees           print both schema trees first
+//     --explain              per-axis QoM breakdown (hybrid only)
+//     --report <out.md>      write a Markdown match report
+//     --save-mapping <f>     save found correspondences in gold format
+//     --thesaurus <f>        merge a domain dictionary (thesaurus text
+//                            format) into the built-in one
+//     --export-corpus <dir>  write the built-in corpus as .xsd files and exit
+//
+// Exit code: 0 on success, 1 on bad input, 2 on usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/file_util.h"
+#include "core/qmatch.h"
+#include "datagen/corpus.h"
+#include "eval/match_report.h"
+#include "eval/metrics.h"
+#include "lingua/default_thesaurus.h"
+#include "lingua/thesaurus_io.h"
+#include "match/cupid_matcher.h"
+#include "match/linguistic_matcher.h"
+#include "match/structural_matcher.h"
+#include "xsd/parser.h"
+#include "xsd/writer.h"
+
+namespace {
+
+using namespace qmatch;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: qmatch_cli <source.xsd> <target.xsd>\n"
+               "  [--algo hybrid|linguistic|structural|cupid]\n"
+               "  [--threshold <t>] [--assignment best|greedy|stable]\n"
+               "  [--gold <gold.txt>] [--dump-trees]\n"
+               "or: qmatch_cli --export-corpus <dir>\n");
+  return 2;
+}
+
+int ExportCorpus(const std::string& dir) {
+  for (const datagen::CorpusEntry& entry : datagen::Corpus()) {
+    xsd::Schema schema = entry.make();
+    std::string path = dir + "/" + entry.name + ".xsd";
+    Status status = WriteFile(path, xsd::ToXsd(schema));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu elements)\n", path.c_str(),
+                schema.ElementCount());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--export-corpus") == 0) {
+    return ExportCorpus(argv[2]);
+  }
+  if (argc < 3) return Usage();
+
+  std::string source_path = argv[1];
+  std::string target_path = argv[2];
+  std::string algo = "hybrid";
+  std::string assignment = "best";
+  std::string gold_path;
+  double threshold = 0.5;
+  bool dump_trees = false;
+  bool explain = false;
+  std::string report_path;
+  std::string save_mapping_path;
+  std::string thesaurus_path;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--algo") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      algo = v;
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      threshold = std::atof(v);
+    } else if (arg == "--assignment") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      assignment = v;
+    } else if (arg == "--gold") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      gold_path = v;
+    } else if (arg == "--dump-trees") {
+      dump_trees = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      report_path = v;
+    } else if (arg == "--save-mapping") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      save_mapping_path = v;
+    } else if (arg == "--thesaurus") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      thesaurus_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  Result<std::string> source_text = ReadFile(source_path);
+  Result<std::string> target_text = ReadFile(target_path);
+  if (!source_text.ok() || !target_text.ok()) {
+    std::fprintf(stderr, "%s\n%s\n", source_text.status().ToString().c_str(),
+                 target_text.status().ToString().c_str());
+    return 1;
+  }
+  Result<xsd::Schema> source = xsd::ParseSchema(*source_text);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s: %s\n", source_path.c_str(),
+                 source.status().ToString().c_str());
+    return 1;
+  }
+  Result<xsd::Schema> target = xsd::ParseSchema(*target_text);
+  if (!target.ok()) {
+    std::fprintf(stderr, "%s: %s\n", target_path.c_str(),
+                 target.status().ToString().c_str());
+    return 1;
+  }
+
+  if (dump_trees) {
+    std::printf("%s\n%s\n", source->ToTreeString().c_str(),
+                target->ToTreeString().c_str());
+  }
+
+  lingua::Thesaurus thesaurus = lingua::MakeDefaultThesaurus();
+  if (!thesaurus_path.empty()) {
+    Result<std::string> text = ReadFile(thesaurus_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    Status merged = lingua::MergeThesaurus(*text, &thesaurus);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "%s\n", merged.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::unique_ptr<Matcher> matcher;
+  if (algo == "linguistic") {
+    match::LinguisticMatcher::Options options;
+    options.threshold = threshold;
+    matcher =
+        std::make_unique<match::LinguisticMatcher>(&thesaurus, options);
+  } else if (algo == "structural") {
+    match::StructuralMatcher::Options options;
+    options.threshold = threshold;
+    matcher = std::make_unique<match::StructuralMatcher>(options);
+  } else if (algo == "cupid") {
+    match::CupidMatcher::Options options;
+    options.th_accept = threshold;
+    matcher = std::make_unique<match::CupidMatcher>(&thesaurus, options);
+  } else if (algo == "hybrid") {
+    core::QMatchConfig config;
+    config.threshold = threshold;
+    if (assignment == "greedy") {
+      config.assignment = match::AssignmentStrategy::kGreedyGlobal;
+    } else if (assignment == "stable") {
+      config.assignment = match::AssignmentStrategy::kStableMarriage;
+    } else if (assignment != "best") {
+      return Usage();
+    }
+    matcher = std::make_unique<core::QMatch>(config, &thesaurus);
+  } else {
+    return Usage();
+  }
+
+  MatchResult result = matcher->Match(*source, *target);
+  std::printf("%s", result.ToString().c_str());
+
+  if (explain) {
+    if (algo != "hybrid") {
+      std::fprintf(stderr, "--explain is only available for --algo hybrid\n");
+    } else {
+      core::QMatchConfig config;
+      config.threshold = threshold;
+      core::QMatch hybrid(config, &thesaurus);
+      core::QMatch::Analysis analysis = hybrid.Analyze(*source, *target);
+      std::printf("\n%s", analysis.ExplainCorrespondences().c_str());
+    }
+  }
+
+  std::optional<eval::GoldStandard> gold;
+  if (!gold_path.empty()) {
+    Result<std::string> gold_text = ReadFile(gold_path);
+    if (!gold_text.ok()) {
+      std::fprintf(stderr, "%s\n", gold_text.status().ToString().c_str());
+      return 1;
+    }
+    Result<eval::GoldStandard> parsed = eval::GoldStandard::Parse(*gold_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    gold = std::move(parsed).value();
+    eval::QualityMetrics metrics = eval::Evaluate(result, *gold);
+    std::printf("\nquality vs %s:\n  %s\n", gold_path.c_str(),
+                metrics.ToString().c_str());
+  }
+
+  if (!save_mapping_path.empty()) {
+    Status status = WriteFile(save_mapping_path,
+                              eval::GoldStandard::FromMatchResult(result)
+                                  .ToString());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("mapping written to %s\n", save_mapping_path.c_str());
+  }
+
+  if (!report_path.empty()) {
+    std::string report = eval::RenderMatchReport(
+        *source, *target, result, gold.has_value() ? &*gold : nullptr);
+    Status status = WriteFile(report_path, report);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  return 0;
+}

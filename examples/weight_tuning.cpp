@@ -1,0 +1,69 @@
+// weight_tuning: reproduces the methodology of Section 5.1 — sweep the axis
+// weights of the QoM model over a grid, score each configuration against
+// the manually determined matches of several tasks, and report the best
+// region (the paper lands on L=0.3, P=0.2, H=0.1, C=0.4, their Table 2).
+//
+// Usage: ./weight_tuning [step]     (grid step, default 0.1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/qmatch.h"
+#include "datagen/corpus.h"
+#include "eval/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace qmatch;
+
+  const double step = argc > 1 ? std::atof(argv[1]) : 0.1;
+  if (step < 0.02 || step > 0.5) {
+    std::fprintf(stderr, "step must be in [0.02, 0.5]\n");
+    return 2;
+  }
+
+  // Tune on two tasks from different domains, as the paper does.
+  struct TaskData {
+    xsd::Schema source;
+    xsd::Schema target;
+    eval::GoldStandard gold;
+  };
+  std::vector<TaskData> tasks;
+  for (const datagen::MatchTask& task : datagen::Tasks()) {
+    if (task.name == "PO" || task.name == "Books" || task.name == "DCMD") {
+      tasks.push_back({task.source(), task.target(), task.gold()});
+    }
+  }
+
+  double best_score = -1.0;
+  qom::Weights best_weights;
+  int evaluated = 0;
+  for (double wl = 0.0; wl <= 1.0 + 1e-9; wl += step) {
+    for (double wp = 0.0; wl + wp <= 1.0 + 1e-9; wp += step) {
+      for (double wh = 0.0; wl + wp + wh <= 1.0 + 1e-9; wh += step) {
+        double wc = 1.0 - wl - wp - wh;
+        qom::Weights weights{wl, wp, wh, wc};
+        core::QMatchConfig config;
+        config.weights = weights;
+        core::QMatch matcher(config);
+        double total = 0.0;
+        for (const TaskData& task : tasks) {
+          MatchResult result = matcher.Match(task.source, task.target);
+          total += eval::Evaluate(result, task.gold).overall;
+        }
+        ++evaluated;
+        if (total > best_score) {
+          best_score = total;
+          best_weights = weights;
+          std::printf("new best %s  mean overall %.3f\n",
+                      weights.ToString().c_str(),
+                      total / static_cast<double>(tasks.size()));
+        }
+      }
+    }
+  }
+  std::printf("\nevaluated %d weight settings (step %.2f)\n", evaluated, step);
+  std::printf("best: %s (paper Table 2: {L=0.3, P=0.2, H=0.1, C=0.4})\n",
+              best_weights.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "common/file_util.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+
+namespace qmatch {
+
+namespace {
+std::string ErrnoMessage(const std::string& path) {
+  return path + ": " + std::strerror(errno);
+}
+}  // namespace
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError(ErrnoMessage(path));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  size_t bytes;
+  while ((bytes = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, bytes);
+  }
+  bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) {
+    return Status::IoError(ErrnoMessage(path));
+  }
+  return contents;
+}
+
+Status WriteFile(const std::string& path, std::string_view contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError(ErrnoMessage(path));
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  bool failed = written != contents.size();
+  if (std::fclose(file) != 0) failed = true;
+  if (failed) {
+    return Status::IoError(ErrnoMessage(path));
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace qmatch

@@ -1,0 +1,23 @@
+#ifndef QMATCH_COMMON_FILE_UTIL_H_
+#define QMATCH_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace qmatch {
+
+/// Reads an entire file into a string. Fails with kIoError (including the
+/// errno text) when the file cannot be opened or read.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, std::string_view contents);
+
+/// True if a regular file exists at `path`.
+bool FileExists(const std::string& path);
+
+}  // namespace qmatch
+
+#endif  // QMATCH_COMMON_FILE_UTIL_H_

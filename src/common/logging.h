@@ -1,0 +1,81 @@
+#ifndef QMATCH_COMMON_LOGGING_H_
+#define QMATCH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace qmatch {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: accumulates a message and emits it (to stderr) on
+/// destruction. kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lets a ternary produce void from a streaming expression: `operator<<`
+/// binds tighter than `&`, so `Voidify() & (msg << a << b)` evaluates the
+/// whole stream chain and then discards it as void.
+struct Voidify {
+  void operator&(const LogMessage&) {}
+  void operator&(const NullStream&) {}
+};
+
+}  // namespace internal
+
+#define QMATCH_LOG(level)                                         \
+  (::qmatch::LogLevel::k##level < ::qmatch::GetLogLevel())        \
+      ? (void)0                                                   \
+      : ::qmatch::internal::Voidify() &                           \
+            ::qmatch::internal::LogMessage(                       \
+                ::qmatch::LogLevel::k##level, __FILE__, __LINE__)
+
+#define QMATCH_LOG_STREAM(level) \
+  ::qmatch::internal::LogMessage(::qmatch::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check: always on (release included), aborts with message.
+#define QMATCH_CHECK(cond)                              \
+  (cond) ? (void)0                                      \
+         : ::qmatch::internal::Voidify() &              \
+               ::qmatch::internal::LogMessage(          \
+                   ::qmatch::LogLevel::kFatal, __FILE__, __LINE__) \
+                   << "Check failed: " #cond " "
+
+#define QMATCH_DCHECK(cond) QMATCH_CHECK(cond)
+
+}  // namespace qmatch
+
+#endif  // QMATCH_COMMON_LOGGING_H_

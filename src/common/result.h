@@ -1,0 +1,88 @@
+#ifndef QMATCH_COMMON_RESULT_H_
+#define QMATCH_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace qmatch {
+
+/// A Result<T> holds either a value of type T or a non-OK Status.
+///
+/// This is the value-returning counterpart of Status (analogous to
+/// `arrow::Result` / `absl::StatusOr`). A Result is never in the
+/// "OK status but no value" state.
+///
+/// Typical use:
+/// ```
+///   Result<Schema> r = ParseSchema(text);
+///   if (!r.ok()) return r.status();
+///   Schema s = std::move(r).value();
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`. Intentionally implicit so that
+  /// functions returning Result<T> can `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed Result from a non-OK status. Intentionally
+  /// implicit so functions can `return Status::ParseError(...);`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK() when a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result failed.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ present
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating failure; on success binds the
+/// moved value to `lhs`.
+#define QMATCH_ASSIGN_OR_RETURN(lhs, expr)              \
+  QMATCH_ASSIGN_OR_RETURN_IMPL_(                        \
+      QMATCH_CONCAT_(_qm_result_, __LINE__), lhs, expr)
+
+#define QMATCH_CONCAT_INNER_(a, b) a##b
+#define QMATCH_CONCAT_(a, b) QMATCH_CONCAT_INNER_(a, b)
+#define QMATCH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace qmatch
+
+#endif  // QMATCH_COMMON_RESULT_H_

@@ -1,0 +1,106 @@
+#ifndef QMATCH_COMMON_STATUS_H_
+#define QMATCH_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace qmatch {
+
+/// Error category carried by a Status. Mirrors the Arrow/RocksDB convention
+/// of status-based error handling: no exceptions cross the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kParseError = 4,
+  kIoError = 5,
+  kOutOfRange = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns the canonical lower-case name of a status code ("parse error").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status is either OK or an (code, message) pair describing a failure.
+///
+/// Statuses are cheap to copy in the OK case and are returned by every
+/// fallible operation in the library. Use the factory functions
+/// (`Status::ParseError(...)` etc.) to construct failures, and
+/// `QMATCH_RETURN_IF_ERROR` to propagate them.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering: "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message,
+  /// used to build parse-error breadcrumbs. OK statuses pass through.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status from the current function.
+#define QMATCH_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::qmatch::Status _qm_status = (expr);     \
+    if (!_qm_status.ok()) return _qm_status;  \
+  } while (false)
+
+}  // namespace qmatch
+
+#endif  // QMATCH_COMMON_STATUS_H_

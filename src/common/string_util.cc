@@ -1,0 +1,113 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace qmatch {
+
+std::string ToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(AsciiToLower(c));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(AsciiToUpper(c));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (AsciiToLower(a[i]) != AsciiToLower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsAsciiSpace(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsAsciiSpace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (const std::string& piece : Split(s, sep)) {
+    std::string_view trimmed = Trim(piece);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      break;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace qmatch

@@ -1,0 +1,91 @@
+#ifndef QMATCH_CORE_CONFIG_H_
+#define QMATCH_CORE_CONFIG_H_
+
+#include "common/status.h"
+#include "lingua/name_match.h"
+#include "match/assignment.h"
+#include "match/property_matcher.h"
+#include "qom/weights.h"
+
+namespace qmatch::core {
+
+/// Tunable parameters of the QMatch hybrid algorithm.
+struct QMatchConfig {
+  /// Axis weights of the match model (Eq. 1); default = paper Table 2.
+  qom::Weights weights = qom::kPaperWeights;
+
+  /// The threshold of Fig. 3: child pairs whose QoM falls below it do not
+  /// count as matching children, and node correspondences below it are not
+  /// reported.
+  double threshold = 0.5;
+
+  /// How matching children accumulate into the subtree weight Rw (Eq. 3).
+  enum class ChildAccumulation {
+    /// Each source child contributes its best-matching target child once
+    /// (greedy best match; keeps Rw and Rs in [0, 1]).
+    kBestMatch,
+    /// The literal reading of Fig. 3's pseudo-code: every (source child,
+    /// target child) pair above threshold accumulates, which can exceed 1
+    /// when a child matches several targets; QoM_C is clamped to 1.
+    kPaperLiteral,
+  };
+  ChildAccumulation child_accumulation = ChildAccumulation::kBestMatch;
+
+  /// How the level axis QoM_H is scored. The paper's model is binary
+  /// (Section 3: "1 if there is a level match and 0 otherwise"), but our
+  /// ablations show it penalises legitimate cross-depth matches (e.g. the
+  /// paper's own Lines -> Items example); kGraded decays with the depth
+  /// difference instead, and kIgnore removes the axis (weight should then
+  /// be redistributed).
+  enum class LevelMode {
+    kBinary,  // paper: equal depth = 1, else 0
+    kGraded,  // 1 / (1 + |level difference|)
+  };
+  LevelMode level_mode = LevelMode::kBinary;
+
+  /// When true (default), a correspondence is only reported when the pair
+  /// has label-axis evidence (exact or relaxed label match). Without this,
+  /// two same-level leaves of the same type score ~0.7 from the property,
+  /// level and children axes alone and flood the result with false
+  /// positives. The schema-level QoM is unaffected (structure still counts
+  /// there, as the Fig. 9 experiment requires).
+  bool require_label_evidence = true;
+
+  /// If the runner-up target for a source node scores within this margin
+  /// of the best, the mapping is considered ambiguous and suppressed
+  /// (kBestPerSource strategy only).
+  double ambiguity_margin = 0.02;
+
+  /// How node correspondences are extracted from the QoM table: the
+  /// paper's per-source best match, or an injective global assignment
+  /// (greedy / stable-marriage) for integration pipelines that need 1:1
+  /// mappings.
+  match::AssignmentStrategy assignment =
+      match::AssignmentStrategy::kBestPerSource;
+
+  /// Children-axis QoM granted when a leaf source node is compared with a
+  /// non-leaf target: coverage is vacuously total (the source has no
+  /// children to leave uncovered) but granting the full 1.0 makes inner
+  /// nodes outcompete the correct leaf targets, so only partial credit is
+  /// given by default.
+  double leaf_to_inner_children_credit = 0.5;
+
+  /// Linguistic (label axis) scoring parameters.
+  lingua::NameMatchOptions name_options;
+
+  /// Properties axis comparison parameters.
+  match::PropertyMatchOptions property_options;
+
+  /// Validates weights and threshold.
+  Status Validate() const {
+    QMATCH_RETURN_IF_ERROR(weights.Validate());
+    if (threshold < 0.0 || threshold > 1.0) {
+      return Status::InvalidArgument("threshold must lie in [0, 1]");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace qmatch::core
+
+#endif  // QMATCH_CORE_CONFIG_H_

@@ -1,0 +1,312 @@
+#include "core/qmatch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+#include "lingua/default_thesaurus.h"
+#include "lingua/name_match.h"
+
+namespace qmatch::core {
+
+std::string PairQoM::ToString() const {
+  return StrFormat(
+      "QoM=%.4f [%s] (L=%.3f/%s, P=%.3f/%s, H=%.3f/%s, C=%.3f/%s%s)", qom,
+      std::string(qom::MatchCategoryName(category)).c_str(), label,
+      std::string(qom::AxisMatchName(label_cls)).c_str(), properties,
+      std::string(qom::AxisMatchName(properties_cls)).c_str(), level,
+      std::string(qom::AxisMatchName(level_cls)).c_str(), children,
+      std::string(qom::CoverageName(coverage)).c_str(),
+      children_all_exact ? " all-exact" : "");
+}
+
+QMatch::QMatch() : QMatch(QMatchConfig{}, &lingua::DefaultThesaurus()) {}
+
+QMatch::QMatch(QMatchConfig config)
+    : QMatch(std::move(config), &lingua::DefaultThesaurus()) {}
+
+QMatch::QMatch(QMatchConfig config, const lingua::Thesaurus* thesaurus)
+    : config_(std::move(config)), thesaurus_(thesaurus) {}
+
+namespace {
+
+qom::AxisMatch ToAxisMatch(lingua::LabelMatchClass cls) {
+  switch (cls) {
+    case lingua::LabelMatchClass::kExact:
+      return qom::AxisMatch::kExact;
+    case lingua::LabelMatchClass::kRelaxed:
+      return qom::AxisMatch::kRelaxed;
+    case lingua::LabelMatchClass::kNone:
+      return qom::AxisMatch::kNone;
+  }
+  return qom::AxisMatch::kNone;
+}
+
+qom::AxisMatch ToAxisMatch(match::PropertyMatchClass cls) {
+  switch (cls) {
+    case match::PropertyMatchClass::kExact:
+      return qom::AxisMatch::kExact;
+    case match::PropertyMatchClass::kRelaxed:
+      return qom::AxisMatch::kRelaxed;
+    case match::PropertyMatchClass::kNone:
+      return qom::AxisMatch::kNone;
+  }
+  return qom::AxisMatch::kNone;
+}
+
+}  // namespace
+
+const PairQoM* QMatch::Analysis::Pair(const xsd::SchemaNode* source,
+                                      const xsd::SchemaNode* target) const {
+  auto is = source_index_.find(source);
+  auto it = target_index_.find(target);
+  if (is == source_index_.end() || it == target_index_.end()) return nullptr;
+  return &table_[is->second * target_nodes_.size() + it->second];
+}
+
+const PairQoM* QMatch::Analysis::PairByPath(std::string_view source_path,
+                                            std::string_view target_path) const {
+  const xsd::SchemaNode* s = source_schema_->FindByPath(source_path);
+  const xsd::SchemaNode* t = target_schema_->FindByPath(target_path);
+  if (s == nullptr || t == nullptr) return nullptr;
+  return Pair(s, t);
+}
+
+const PairQoM& QMatch::Analysis::Root() const {
+  return table_[0];  // preorder puts both roots first
+}
+
+std::string QMatch::Analysis::ExplainCorrespondences() const {
+  std::vector<const Correspondence*> sorted;
+  sorted.reserve(result_.correspondences.size());
+  for (const Correspondence& c : result_.correspondences) {
+    sorted.push_back(&c);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Correspondence* a, const Correspondence* b) {
+              return a->score > b->score;
+            });
+  std::string out = StrFormat("schema QoM %.4f — %zu correspondences\n",
+                              result_.schema_qom, sorted.size());
+  for (const Correspondence* c : sorted) {
+    const PairQoM* pair = Pair(c->source, c->target);
+    out += StrFormat("%s -> %s\n  %s\n", c->source->Path().c_str(),
+                     c->target->Path().c_str(),
+                     pair != nullptr ? pair->ToString().c_str() : "<?>");
+  }
+  return out;
+}
+
+std::map<qom::MatchCategory, size_t> QMatch::Analysis::CategoryHistogram()
+    const {
+  std::map<qom::MatchCategory, size_t> histogram;
+  for (const Correspondence& c : result_.correspondences) {
+    const PairQoM* pair = Pair(c.source, c.target);
+    if (pair != nullptr) ++histogram[pair->category];
+  }
+  return histogram;
+}
+
+QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
+                                 const xsd::Schema& target) const {
+  Analysis analysis;
+  analysis.source_schema_ = &source;
+  analysis.target_schema_ = &target;
+  analysis.result_.algorithm = std::string(name());
+  if (source.root() == nullptr || target.root() == nullptr) return analysis;
+
+  analysis.source_nodes_ = source.AllNodes();
+  analysis.target_nodes_ = target.AllNodes();
+  const auto& src = analysis.source_nodes_;
+  const auto& tgt = analysis.target_nodes_;
+  const size_t n = src.size();
+  const size_t m = tgt.size();
+  for (size_t i = 0; i < n; ++i) analysis.source_index_[src[i]] = i;
+  for (size_t j = 0; j < m; ++j) analysis.target_index_[tgt[j]] = j;
+  analysis.table_.assign(n * m, PairQoM{});
+  auto& table = analysis.table_;
+  auto at = [&](size_t i, size_t j) -> PairQoM& { return table[i * m + j]; };
+
+  const lingua::NameMatcher name_matcher(thesaurus_, config_.name_options);
+  // Tokenise every label once and memoise token-pair similarities; the
+  // O(n·m) pair loop then does array lookups.
+  std::vector<std::string> source_labels;
+  source_labels.reserve(n);
+  for (const xsd::SchemaNode* s : src) source_labels.push_back(s->label());
+  std::vector<std::string> target_labels;
+  target_labels.reserve(m);
+  for (const xsd::SchemaNode* t : tgt) target_labels.push_back(t->label());
+  const lingua::PairwiseLabelScorer label_scorer(name_matcher, source_labels,
+                                                 target_labels);
+  auto label_match = [&](size_t i, size_t j) {
+    return label_scorer.Match(i, j);
+  };
+
+  // Bottom-up over both trees: reverse preorder guarantees all child pairs
+  // are evaluated before their parents (the recursive TreeMatch of Fig. 3,
+  // memoised into an O(n·m) table).
+  for (size_t i = n; i-- > 0;) {
+    const xsd::SchemaNode* s = src[i];
+    for (size_t j = m; j-- > 0;) {
+      const xsd::SchemaNode* t = tgt[j];
+      PairQoM& pair = at(i, j);
+
+      // --- Children axis (Eq. 3-5) ---------------------------------
+      if (s->IsLeaf() && t->IsLeaf()) {
+        // Leaves match exactly by default along the children axis (the
+        // constant C of Eq. 2).
+        pair.children = 1.0;
+        pair.coverage = qom::Coverage::kTotal;
+        pair.children_all_exact = true;
+      } else if (s->IsLeaf()) {
+        // No source children to cover: vacuously total, never exact, and
+        // only partial credit (see QMatchConfig).
+        pair.children = config_.leaf_to_inner_children_credit;
+        pair.coverage = qom::Coverage::kTotal;
+        pair.children_all_exact = false;
+      } else if (t->IsLeaf()) {
+        pair.children = 0.0;
+        pair.coverage = qom::Coverage::kNone;
+        pair.children_all_exact = false;
+      } else {
+        const double child_total = static_cast<double>(s->child_count());
+        double qom_sum = 0.0;
+        double matched = 0.0;
+        bool all_exact = true;
+        if (config_.child_accumulation ==
+            QMatchConfig::ChildAccumulation::kBestMatch) {
+          for (const auto& sc : s->children()) {
+            size_t ci = analysis.source_index_.at(sc.get());
+            double best = 0.0;
+            const PairQoM* best_pair = nullptr;
+            for (const auto& tc : t->children()) {
+              size_t cj = analysis.target_index_.at(tc.get());
+              const PairQoM& child_pair = at(ci, cj);
+              if (child_pair.qom > best) {
+                best = child_pair.qom;
+                best_pair = &child_pair;
+              }
+            }
+            if (best_pair != nullptr && best >= config_.threshold) {
+              qom_sum += best;
+              matched += 1.0;
+              if (best_pair->category != qom::MatchCategory::kTotalExact) {
+                all_exact = false;
+              }
+            }
+          }
+        } else {
+          // Paper-literal accumulation: every child pair above threshold
+          // contributes (Fig. 3 pseudo-code).
+          for (const auto& sc : s->children()) {
+            size_t ci = analysis.source_index_.at(sc.get());
+            for (const auto& tc : t->children()) {
+              size_t cj = analysis.target_index_.at(tc.get());
+              const PairQoM& child_pair = at(ci, cj);
+              if (child_pair.qom >= config_.threshold) {
+                qom_sum += child_pair.qom;
+                matched += 1.0;
+                if (child_pair.category != qom::MatchCategory::kTotalExact) {
+                  all_exact = false;
+                }
+              }
+            }
+          }
+        }
+        double rw = qom_sum / child_total;   // Eq. 3
+        double rs = matched / child_total;   // Eq. 4
+        pair.children = std::min(1.0, (rw + rs) / 2.0);  // Eq. 5
+        if (matched <= 0.0) {
+          pair.coverage = qom::Coverage::kNone;
+          all_exact = false;
+        } else if (matched >= child_total) {
+          pair.coverage = qom::Coverage::kTotal;
+        } else {
+          pair.coverage = qom::Coverage::kPartial;
+          all_exact = false;
+        }
+        pair.children_all_exact = all_exact;
+      }
+
+      // --- Label axis -----------------------------------------------
+      lingua::LabelMatch lm = label_match(i, j);
+      pair.label = lm.cls == lingua::LabelMatchClass::kNone ? 0.0 : lm.score;
+      pair.label_cls = ToAxisMatch(lm.cls);
+
+      // --- Properties axis ------------------------------------------
+      match::PropertyMatch pm =
+          match::MatchProperties(*s, *t, config_.property_options);
+      pair.properties = pm.score;
+      pair.properties_cls = ToAxisMatch(pm.cls);
+
+      // --- Level axis -------------------------------------------------
+      if (s->level() == t->level()) {
+        pair.level = 1.0;
+        pair.level_cls = qom::AxisMatch::kExact;
+      } else {
+        pair.level_cls = qom::AxisMatch::kNone;
+        switch (config_.level_mode) {
+          case QMatchConfig::LevelMode::kBinary:
+            pair.level = 0.0;
+            break;
+          case QMatchConfig::LevelMode::kGraded: {
+            double gap = static_cast<double>(
+                s->level() > t->level() ? s->level() - t->level()
+                                        : t->level() - s->level());
+            pair.level = 1.0 / (1.0 + gap);
+            break;
+          }
+        }
+      }
+
+      // --- Weighted total (Eq. 1/6) and taxonomy category -------------
+      const qom::Weights& w = config_.weights;
+      pair.qom = w.label * pair.label + w.properties * pair.properties +
+                 w.level * pair.level + w.children * pair.children;
+      pair.category =
+          qom::Categorize(pair.label_cls, pair.properties_cls, pair.level_cls,
+                          pair.coverage, pair.children_all_exact);
+    }
+  }
+
+  // Correspondences: extracted from the QoM table per the configured
+  // assignment strategy (default: best target per source node, the set P
+  // evaluated in Section 5). Pairs without label evidence are never
+  // reported (see QMatchConfig).
+  match::AssignmentInput assignment_input;
+  assignment_input.sources = &src;
+  assignment_input.targets = &tgt;
+  assignment_input.score = [&](size_t i, size_t j) { return at(i, j).qom; };
+  if (config_.require_label_evidence) {
+    assignment_input.eligible = [&](size_t i, size_t j) {
+      return at(i, j).label_cls != qom::AxisMatch::kNone;
+    };
+  }
+  assignment_input.threshold = config_.threshold;
+  assignment_input.ambiguity_margin = config_.ambiguity_margin;
+  analysis.result_.correspondences =
+      match::SelectCorrespondences(assignment_input, config_.assignment);
+  analysis.result_.schema_qom = at(0, 0).qom;
+  return analysis;
+}
+
+MatchResult QMatch::Match(const xsd::Schema& source,
+                          const xsd::Schema& target) const {
+  return Analyze(source, target).result();
+}
+
+match::SimilarityMatrix QMatch::Similarity(const xsd::Schema& source,
+                                           const xsd::Schema& target) const {
+  Analysis analysis = Analyze(source, target);
+  match::SimilarityMatrix matrix(analysis.source_nodes_,
+                                 analysis.target_nodes_);
+  const size_t m = analysis.target_nodes_.size();
+  for (size_t i = 0; i < analysis.source_nodes_.size(); ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      matrix.set(i, j, analysis.table_[i * m + j].qom);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace qmatch::core

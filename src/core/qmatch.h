@@ -1,0 +1,127 @@
+#ifndef QMATCH_CORE_QMATCH_H_
+#define QMATCH_CORE_QMATCH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "lingua/thesaurus.h"
+#include "match/matcher.h"
+#include "qom/taxonomy.h"
+#include "xsd/schema.h"
+
+namespace qmatch::core {
+
+/// Per-node-pair QoM decomposition: the quantitative score along each axis,
+/// the qualitative classification of each axis, and the resulting taxonomy
+/// category and weighted total (paper Sections 2-3).
+struct PairQoM {
+  double label = 0.0;
+  double properties = 0.0;
+  double level = 0.0;
+  double children = 0.0;
+  qom::AxisMatch label_cls = qom::AxisMatch::kNone;
+  qom::AxisMatch properties_cls = qom::AxisMatch::kNone;
+  qom::AxisMatch level_cls = qom::AxisMatch::kNone;
+  qom::Coverage coverage = qom::Coverage::kNone;
+  bool children_all_exact = false;
+  qom::MatchCategory category = qom::MatchCategory::kNoMatch;
+  /// Weighted total QoM (Eq. 1 / Eq. 6).
+  double qom = 0.0;
+
+  std::string ToString() const;
+};
+
+/// QMatch — the paper's hybrid match algorithm (Section 4, Fig. 3).
+///
+/// A recursive depth-first evaluation that combines the linguistic label
+/// matcher, the property matcher (types on the XSD lattice, order,
+/// occurrence constraints), the level axis and the recursively computed
+/// children axis into one weighted QoM per node pair:
+///
+///   QoM(n1,n2) = WL·QoM_L + WP·QoM_P + WH·QoM_H + WC·QoM_C
+///   QoM_C      = (Rw + Rs) / 2                              (Eq. 5)
+///
+/// where Rw is the normalised sum of child-pair QoMs above the threshold
+/// (Eq. 3) and Rs the matched-children cardinality ratio (Eq. 4). The
+/// implementation memoises the pairwise table bottom-up, giving the O(n·m)
+/// evaluation count the paper claims for TreeMatch.
+///
+/// Children-axis edge cases (under-specified in the paper, see DESIGN.md):
+///  - leaf vs leaf: exact children match by default (QoM_C = 1);
+///  - leaf source vs non-leaf target: vacuously total coverage (the source
+///    has no children to leave uncovered) but never exact;
+///  - non-leaf source vs leaf target: no coverage (QoM_C = 0).
+class QMatch : public Matcher {
+ public:
+  /// Uses the built-in default thesaurus and paper-default configuration.
+  QMatch();
+  explicit QMatch(QMatchConfig config);
+  /// `thesaurus` is borrowed (may be null to disable the linguistic
+  /// resource) and must outlive the matcher.
+  QMatch(QMatchConfig config, const lingua::Thesaurus* thesaurus);
+
+  std::string_view name() const override { return "hybrid"; }
+
+  const QMatchConfig& config() const { return config_; }
+
+  MatchResult Match(const xsd::Schema& source,
+                    const xsd::Schema& target) const override;
+
+  /// The raw weighted QoM per pair (Eq. 1), before the label-evidence gate
+  /// and mapping selection.
+  match::SimilarityMatrix Similarity(const xsd::Schema& source,
+                                     const xsd::Schema& target) const override;
+
+  /// Full per-pair analysis of one match run. The returned object borrows
+  /// nodes from both schemas, which must outlive it.
+  class Analysis {
+   public:
+    /// The standard result (schema QoM + correspondences).
+    const MatchResult& result() const { return result_; }
+
+    /// The QoM decomposition of a specific node pair, or nullptr when
+    /// either node is not part of the analysed schemas.
+    const PairQoM* Pair(const xsd::SchemaNode* source,
+                        const xsd::SchemaNode* target) const;
+
+    /// Convenience path-based lookup ("/PO/PurchaseInfo", "/PurchaseOrder").
+    const PairQoM* PairByPath(std::string_view source_path,
+                              std::string_view target_path) const;
+
+    /// The root-pair decomposition (the tree match of Section 3).
+    const PairQoM& Root() const;
+
+    /// Multi-line, human-readable explanation of every reported
+    /// correspondence: the per-axis scores and classifications plus the
+    /// taxonomy category, sorted by descending QoM.
+    std::string ExplainCorrespondences() const;
+
+    /// Count of reported correspondences per taxonomy category (the
+    /// qualitative summary of Section 2.2). Keys with zero count are
+    /// omitted.
+    std::map<qom::MatchCategory, size_t> CategoryHistogram() const;
+
+   private:
+    friend class QMatch;
+    std::vector<const xsd::SchemaNode*> source_nodes_;
+    std::vector<const xsd::SchemaNode*> target_nodes_;
+    std::map<const xsd::SchemaNode*, size_t> source_index_;
+    std::map<const xsd::SchemaNode*, size_t> target_index_;
+    std::vector<PairQoM> table_;  // source-major, size n*m
+    MatchResult result_;
+    const xsd::Schema* source_schema_ = nullptr;
+    const xsd::Schema* target_schema_ = nullptr;
+  };
+
+  Analysis Analyze(const xsd::Schema& source, const xsd::Schema& target) const;
+
+ private:
+  QMatchConfig config_;
+  const lingua::Thesaurus* thesaurus_;
+};
+
+}  // namespace qmatch::core
+
+#endif  // QMATCH_CORE_QMATCH_H_

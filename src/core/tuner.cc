@@ -1,0 +1,89 @@
+#include "core/tuner.h"
+
+#include <array>
+
+#include "common/logging.h"
+#include "core/qmatch.h"
+#include "eval/metrics.h"
+#include "lingua/default_thesaurus.h"
+
+namespace qmatch::core {
+
+namespace {
+
+std::array<double, 4> ToArray(const qom::Weights& w) {
+  return {w.label, w.properties, w.level, w.children};
+}
+
+qom::Weights FromArray(const std::array<double, 4>& a) {
+  return qom::Weights{a[0], a[1], a[2], a[3]};
+}
+
+}  // namespace
+
+TuneResult TuneWeights(const std::vector<TuneTask>& tasks,
+                       const TuneOptions& options,
+                       const lingua::Thesaurus* thesaurus) {
+  QMATCH_CHECK(!tasks.empty()) << "tuning needs at least one task";
+  for (const TuneTask& task : tasks) {
+    QMATCH_CHECK(task.source != nullptr && task.target != nullptr &&
+                 task.gold != nullptr);
+  }
+
+  TuneResult result;
+  auto evaluate = [&](const qom::Weights& weights) {
+    QMatchConfig config = options.base_config;
+    config.weights = weights;
+    QMatch matcher(config, thesaurus);
+    double sum = 0.0;
+    for (const TuneTask& task : tasks) {
+      eval::QualityMetrics metrics =
+          eval::Evaluate(matcher.Match(*task.source, *task.target),
+                         *task.gold);
+      sum += options.objective == TuneOptions::Objective::kOverall
+                 ? metrics.overall
+                 : metrics.f1;
+    }
+    ++result.evaluations;
+    return sum / static_cast<double>(tasks.size());
+  };
+
+  std::array<double, 4> current = ToArray(options.base_config.weights);
+  double current_score = evaluate(FromArray(current));
+  result.initial_score = current_score;
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    double best_score = current_score;
+    std::array<double, 4> best = current;
+    // All pairwise transfers of `step` mass between distinct axes.
+    for (size_t from = 0; from < 4; ++from) {
+      if (current[from] < options.step - 1e-12) continue;
+      for (size_t to = 0; to < 4; ++to) {
+        if (to == from) continue;
+        std::array<double, 4> candidate = current;
+        candidate[from] -= options.step;
+        candidate[to] += options.step;
+        double score = evaluate(FromArray(candidate));
+        if (score > best_score + 1e-12) {
+          best_score = score;
+          best = candidate;
+        }
+      }
+    }
+    if (best == current) break;  // local optimum
+    current = best;
+    current_score = best_score;
+    ++result.rounds;
+  }
+
+  result.weights = FromArray(current);
+  result.score = current_score;
+  return result;
+}
+
+TuneResult TuneWeights(const std::vector<TuneTask>& tasks,
+                       const TuneOptions& options) {
+  return TuneWeights(tasks, options, &lingua::DefaultThesaurus());
+}
+
+}  // namespace qmatch::core

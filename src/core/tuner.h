@@ -1,0 +1,59 @@
+#ifndef QMATCH_CORE_TUNER_H_
+#define QMATCH_CORE_TUNER_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "eval/gold.h"
+#include "lingua/thesaurus.h"
+#include "xsd/schema.h"
+
+namespace qmatch::core {
+
+/// One tuning task: a schema pair plus its manually determined matches.
+/// All pointers are borrowed and must outlive the tuning run.
+struct TuneTask {
+  const xsd::Schema* source = nullptr;
+  const xsd::Schema* target = nullptr;
+  const eval::GoldStandard* gold = nullptr;
+};
+
+/// Options for the automated weight tuner.
+struct TuneOptions {
+  /// Mass transferred between two axes per move.
+  double step = 0.05;
+  /// Upper bound on accepted moves (each round evaluates all 12 possible
+  /// pairwise transfers).
+  int max_rounds = 50;
+  enum class Objective { kOverall, kF1 };
+  Objective objective = Objective::kOverall;
+  /// Everything but the weights (threshold, matchers' options, ...).
+  QMatchConfig base_config;
+};
+
+/// Outcome of a tuning run.
+struct TuneResult {
+  qom::Weights weights;
+  double score = 0.0;          // mean objective at `weights`
+  double initial_score = 0.0;  // mean objective at the starting weights
+  size_t evaluations = 0;      // QMatch runs performed
+  int rounds = 0;              // accepted moves
+};
+
+/// Automates the paper's Section 5.1 methodology: starting from the
+/// configured weights, hill-climbs by transferring `step` of weight mass
+/// between axes while the mean objective over `tasks` improves. The search
+/// is deterministic and stays on the weight simplex (non-negative, sum 1).
+///
+/// `thesaurus` may be null to tune without a linguistic resource.
+TuneResult TuneWeights(const std::vector<TuneTask>& tasks,
+                       const TuneOptions& options,
+                       const lingua::Thesaurus* thesaurus);
+
+/// Same, with the built-in default thesaurus.
+TuneResult TuneWeights(const std::vector<TuneTask>& tasks,
+                       const TuneOptions& options = {});
+
+}  // namespace qmatch::core
+
+#endif  // QMATCH_CORE_TUNER_H_

@@ -1,0 +1,532 @@
+#include "datagen/corpus.h"
+
+#include <memory>
+
+#include "datagen/generator.h"
+#include "datagen/perturb.h"
+#include "xsd/builder.h"
+
+namespace qmatch::datagen {
+
+using xsd::Occurs;
+using xsd::SchemaBuilder;
+using xsd::SchemaNode;
+using xsd::XsdType;
+
+// ---------------------------------------------------------------------------
+// Purchase-order domain (paper Figures 1 and 2)
+// ---------------------------------------------------------------------------
+
+xsd::Schema MakePO1() {
+  SchemaBuilder b("PO1");
+  SchemaNode* po = b.Root("PO");
+  b.Element(po, "OrderNo", XsdType::kInt);
+  SchemaNode* info = b.Element(po, "PurchaseInfo");
+  b.Element(info, "BillingAddr", XsdType::kString);
+  b.Element(info, "ShippingAddr", XsdType::kString);
+  SchemaNode* lines = b.Element(info, "Lines");
+  b.Element(lines, "Item", XsdType::kString);
+  b.Element(lines, "Quantity", XsdType::kInt);
+  b.Element(lines, "UnitOfMeasure", XsdType::kString);
+  b.Element(po, "PurchaseDate", XsdType::kDate);
+  return std::move(b).Build();
+}
+
+xsd::Schema MakePO2() {
+  SchemaBuilder b("PO2");
+  SchemaNode* po = b.Root("PurchaseOrder");
+  b.Element(po, "OrderNo", XsdType::kInt);
+  b.Element(po, "BillTo", XsdType::kString);
+  b.Element(po, "ShipTo", XsdType::kString);
+  SchemaNode* items = b.Element(po, "Items");
+  b.Element(items, "ItemNo", XsdType::kString);
+  b.Element(items, "Qty", XsdType::kInt);
+  b.Element(items, "UOM", XsdType::kString);
+  b.Element(po, "Date", XsdType::kDate);
+  return std::move(b).Build();
+}
+
+std::string PO1Xsd() {
+  return R"(<?xml version="1.0" encoding="UTF-8"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PO">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="OrderNo" type="xs:int"/>
+        <xs:element name="PurchaseInfo">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="BillingAddr" type="xs:string"/>
+              <xs:element name="ShippingAddr" type="xs:string"/>
+              <xs:element name="Lines">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="Item" type="xs:string"/>
+                    <xs:element name="Quantity" type="xs:int"/>
+                    <xs:element name="UnitOfMeasure" type="xs:string"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="PurchaseDate" type="xs:date"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+)";
+}
+
+std::string PO2Xsd() {
+  return R"(<?xml version="1.0" encoding="UTF-8"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PurchaseOrder">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="OrderNo" type="xs:int"/>
+        <xs:element name="BillTo" type="xs:string"/>
+        <xs:element name="ShipTo" type="xs:string"/>
+        <xs:element name="Items">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="ItemNo" type="xs:string"/>
+              <xs:element name="Qty" type="xs:int"/>
+              <xs:element name="UOM" type="xs:string"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="Date" type="xs:date"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+)";
+}
+
+eval::GoldStandard GoldPO() {
+  eval::GoldStandard gold;
+  gold.Add("/PO", "/PurchaseOrder");
+  gold.Add("/PO/OrderNo", "/PurchaseOrder/OrderNo");
+  gold.Add("/PO/PurchaseDate", "/PurchaseOrder/Date");
+  gold.Add("/PO/PurchaseInfo", "/PurchaseOrder");
+  gold.Add("/PO/PurchaseInfo/BillingAddr", "/PurchaseOrder/BillTo");
+  gold.Add("/PO/PurchaseInfo/ShippingAddr", "/PurchaseOrder/ShipTo");
+  gold.Add("/PO/PurchaseInfo/Lines", "/PurchaseOrder/Items");
+  gold.Add("/PO/PurchaseInfo/Lines/Item", "/PurchaseOrder/Items/ItemNo");
+  gold.Add("/PO/PurchaseInfo/Lines/Quantity", "/PurchaseOrder/Items/Qty");
+  gold.Add("/PO/PurchaseInfo/Lines/UnitOfMeasure", "/PurchaseOrder/Items/UOM");
+  return gold;
+}
+
+// ---------------------------------------------------------------------------
+// Bibliographic domain (Article vs Book)
+// ---------------------------------------------------------------------------
+
+xsd::Schema MakeArticle() {
+  SchemaBuilder b("Article");
+  SchemaNode* article = b.Root("Article");
+  b.Element(article, "Title", XsdType::kString);
+  SchemaNode* authors = b.Element(article, "Authors");
+  SchemaNode* author =
+      b.Element(authors, "Author", XsdType::kAnyType, {1, Occurs::kUnbounded});
+  b.Element(author, "FirstName", XsdType::kString);
+  b.Element(author, "LastName", XsdType::kString);
+  SchemaNode* journal = b.Element(article, "Journal");
+  b.Element(journal, "JournalName", XsdType::kString);
+  b.Element(journal, "Volume", XsdType::kInt);
+  b.Element(journal, "Issue", XsdType::kInt);
+  b.Element(article, "Abstract", XsdType::kString);
+  SchemaNode* keywords = b.Element(article, "Keywords");
+  b.Element(keywords, "Keyword", XsdType::kString, {0, Occurs::kUnbounded});
+  b.Element(article, "Year", XsdType::kGYear);
+  SchemaNode* pages = b.Element(article, "Pages");
+  b.Element(pages, "StartPage", XsdType::kInt);
+  b.Element(pages, "EndPage", XsdType::kInt);
+  b.Element(article, "DOI", XsdType::kString);
+  return std::move(b).Build();
+}
+
+xsd::Schema MakeBook() {
+  SchemaBuilder b("Book");
+  SchemaNode* book = b.Root("Book");
+  b.Element(book, "Title", XsdType::kString);
+  SchemaNode* author = b.Element(book, "Author");
+  b.Element(author, "Name", XsdType::kString);
+  b.Element(book, "Publisher", XsdType::kString);
+  b.Element(book, "Year", XsdType::kGYear);
+  return std::move(b).Build();
+}
+
+eval::GoldStandard GoldBooks() {
+  eval::GoldStandard gold;
+  gold.Add("/Article", "/Book");
+  gold.Add("/Article/Title", "/Book/Title");
+  gold.Add("/Article/Authors", "/Book/Author");
+  gold.Add("/Article/Authors/Author", "/Book/Author");
+  gold.Add("/Article/Authors/Author/FirstName", "/Book/Author/Name");
+  gold.Add("/Article/Authors/Author/LastName", "/Book/Author/Name");
+  gold.Add("/Article/Year", "/Book/Year");
+  return gold;
+}
+
+// ---------------------------------------------------------------------------
+// Dublin-Core-style metadata domain (DCMDItem vs DCMDOrder)
+// ---------------------------------------------------------------------------
+
+xsd::Schema MakeDcmdItem() {
+  SchemaBuilder b("DCMDItem");
+  SchemaNode* item = b.Root("DCMDItem");
+  b.Element(item, "Identifier", XsdType::kString);
+  b.Element(item, "Title", XsdType::kString);
+  b.Element(item, "Subject", XsdType::kString);
+  b.Element(item, "Description", XsdType::kString);
+  b.Element(item, "Type", XsdType::kString);
+  b.Element(item, "Format", XsdType::kString);
+  b.Element(item, "Language", XsdType::kLanguage);
+  b.Element(item, "Rights", XsdType::kString);
+  b.Element(item, "Coverage", XsdType::kString);
+  b.Element(item, "Source", XsdType::kString);
+  SchemaNode* creator = b.Element(item, "Creator");
+  b.Element(creator, "Name", XsdType::kString);
+  b.Element(creator, "Email", XsdType::kString);
+  b.Element(creator, "Organization", XsdType::kString);
+  SchemaNode* contributor = b.Element(item, "Contributor");
+  b.Element(contributor, "Name", XsdType::kString);
+  b.Element(contributor, "Role", XsdType::kString);
+  SchemaNode* publisher = b.Element(item, "Publisher");
+  b.Element(publisher, "Name", XsdType::kString);
+  b.Element(publisher, "Address", XsdType::kString);
+  b.Element(publisher, "Country", XsdType::kString);
+  SchemaNode* dates = b.Element(item, "Dates");
+  b.Element(dates, "Created", XsdType::kDate);
+  b.Element(dates, "Modified", XsdType::kDate);
+  b.Element(dates, "Issued", XsdType::kDate);
+  SchemaNode* relation = b.Element(item, "Relation");
+  b.Element(relation, "IsPartOf", XsdType::kString);
+  b.Element(relation, "References", XsdType::kString);
+  SchemaNode* info = b.Element(item, "ItemInfo");
+  b.Element(info, "Quantity", XsdType::kInt);
+  b.Element(info, "Price", XsdType::kDecimal);
+  b.Element(info, "Weight", XsdType::kDecimal);
+  b.Element(info, "Dimensions", XsdType::kString);
+  b.Element(info, "Color", XsdType::kString);
+  b.Element(info, "Material", XsdType::kString);
+  b.Element(info, "Category", XsdType::kString);
+  b.Element(info, "Barcode", XsdType::kString);
+  return std::move(b).Build();
+}
+
+xsd::Schema MakeDcmdOrder() {
+  SchemaBuilder b("DCMDOrder");
+  SchemaNode* order = b.Root("DCMDOrder");
+  b.Element(order, "OrderId", XsdType::kString);
+  b.Element(order, "OrderDate", XsdType::kDate);
+  b.Element(order, "Status", XsdType::kString);
+  b.Element(order, "Currency", XsdType::kString);
+  b.Element(order, "Channel", XsdType::kString);
+  b.Element(order, "Notes", XsdType::kString);
+  SchemaNode* customer = b.Element(order, "Customer");
+  b.Element(customer, "CustomerId", XsdType::kString);
+  b.Element(customer, "Name", XsdType::kString);
+  b.Element(customer, "Email", XsdType::kString);
+  b.Element(customer, "Phone", XsdType::kString);
+  SchemaNode* cust_addr = b.Element(customer, "Address");
+  b.Element(cust_addr, "Street", XsdType::kString);
+  b.Element(cust_addr, "City", XsdType::kString);
+  b.Element(cust_addr, "State", XsdType::kString);
+  b.Element(cust_addr, "Zip", XsdType::kString);
+  b.Element(cust_addr, "Country", XsdType::kString);
+  SchemaNode* billing = b.Element(order, "Billing");
+  b.Element(billing, "Method", XsdType::kString);
+  b.Element(billing, "CardNumber", XsdType::kString);
+  b.Element(billing, "Expiry", XsdType::kGYearMonth);
+  SchemaNode* bill_addr = b.Element(billing, "BillingAddress");
+  b.Element(bill_addr, "Street", XsdType::kString);
+  b.Element(bill_addr, "City", XsdType::kString);
+  b.Element(bill_addr, "State", XsdType::kString);
+  b.Element(bill_addr, "Zip", XsdType::kString);
+  b.Element(bill_addr, "Country", XsdType::kString);
+  SchemaNode* shipping = b.Element(order, "Shipping");
+  b.Element(shipping, "Carrier", XsdType::kString);
+  b.Element(shipping, "TrackingNumber", XsdType::kString);
+  b.Element(shipping, "ShipDate", XsdType::kDate);
+  b.Element(shipping, "DeliveryDate", XsdType::kDate);
+  SchemaNode* ship_addr = b.Element(shipping, "ShippingAddress");
+  b.Element(ship_addr, "Street", XsdType::kString);
+  b.Element(ship_addr, "City", XsdType::kString);
+  b.Element(ship_addr, "State", XsdType::kString);
+  b.Element(ship_addr, "Zip", XsdType::kString);
+  b.Element(ship_addr, "Country", XsdType::kString);
+  SchemaNode* items = b.Element(order, "Items");
+  SchemaNode* item =
+      b.Element(items, "Item", XsdType::kAnyType, {1, Occurs::kUnbounded});
+  b.Element(item, "ItemId", XsdType::kString);
+  b.Element(item, "Title", XsdType::kString);
+  b.Element(item, "Description", XsdType::kString);
+  b.Element(item, "Quantity", XsdType::kInt);
+  b.Element(item, "Price", XsdType::kDecimal);
+  b.Element(item, "Format", XsdType::kString);
+  SchemaNode* summary = b.Element(order, "Summary");
+  b.Element(summary, "Subtotal", XsdType::kDecimal);
+  b.Element(summary, "Tax", XsdType::kDecimal);
+  b.Element(summary, "ShippingCost", XsdType::kDecimal);
+  b.Element(summary, "Discount", XsdType::kDecimal);
+  b.Element(summary, "Total", XsdType::kDecimal);
+  return std::move(b).Build();
+}
+
+eval::GoldStandard GoldDcmd() {
+  eval::GoldStandard gold;
+  gold.Add("/DCMDItem", "/DCMDOrder");
+  gold.Add("/DCMDItem/ItemInfo", "/DCMDOrder/Items/Item");
+  gold.Add("/DCMDItem/Identifier", "/DCMDOrder/Items/Item/ItemId");
+  gold.Add("/DCMDItem/Title", "/DCMDOrder/Items/Item/Title");
+  gold.Add("/DCMDItem/Description", "/DCMDOrder/Items/Item/Description");
+  gold.Add("/DCMDItem/Format", "/DCMDOrder/Items/Item/Format");
+  gold.Add("/DCMDItem/ItemInfo/Quantity", "/DCMDOrder/Items/Item/Quantity");
+  gold.Add("/DCMDItem/ItemInfo/Price", "/DCMDOrder/Items/Item/Price");
+  gold.Add("/DCMDItem/Creator/Name", "/DCMDOrder/Customer/Name");
+  gold.Add("/DCMDItem/Creator/Email", "/DCMDOrder/Customer/Email");
+  gold.Add("/DCMDItem/Publisher/Address", "/DCMDOrder/Customer/Address");
+  gold.Add("/DCMDItem/Publisher/Country",
+           "/DCMDOrder/Customer/Address/Country");
+  return gold;
+}
+
+// ---------------------------------------------------------------------------
+// Library vs Human (paper Figures 7 and 8): identical structure, disjoint
+// vocabulary.
+// ---------------------------------------------------------------------------
+
+xsd::Schema MakeLibrary() {
+  SchemaBuilder b("Library");
+  SchemaNode* library = b.Root("Library");
+  SchemaNode* book = b.Element(library, "Book");
+  b.Element(book, "Number", XsdType::kString);
+  b.Element(book, "Character", XsdType::kString);
+  b.Element(book, "Writer", XsdType::kString);
+  b.Element(library, "Title", XsdType::kString);
+  return std::move(b).Build();
+}
+
+xsd::Schema MakeHuman() {
+  SchemaBuilder b("Human");
+  SchemaNode* human = b.Root("Human");
+  SchemaNode* body = b.Element(human, "Body");
+  b.Element(body, "Head", XsdType::kString);
+  b.Element(body, "Hands", XsdType::kString);
+  b.Element(body, "Legs", XsdType::kString);
+  b.Element(human, "Man", XsdType::kString);
+  return std::move(b).Build();
+}
+
+// ---------------------------------------------------------------------------
+// XBench-style e-commerce schemas
+// ---------------------------------------------------------------------------
+
+xsd::Schema MakeXBenchCatalog() {
+  SchemaBuilder b("XBenchCatalog");
+  SchemaNode* catalog = b.Root("Catalog");
+  b.Element(catalog, "CatalogId", XsdType::kString);
+  SchemaNode* items = b.Element(catalog, "Items");
+  SchemaNode* item =
+      b.Element(items, "Item", XsdType::kAnyType, {1, Occurs::kUnbounded});
+  b.Element(item, "ItemId", XsdType::kString);
+  b.Element(item, "Title", XsdType::kString);
+  b.Element(item, "Description", XsdType::kString);
+  b.Element(item, "Price", XsdType::kDecimal);
+  b.Element(item, "Currency", XsdType::kString);
+  b.Element(item, "Stock", XsdType::kInt);
+  b.Element(item, "Category", XsdType::kString);
+  b.Element(item, "Brand", XsdType::kString);
+  SchemaNode* publisher = b.Element(item, "Publisher");
+  b.Element(publisher, "Name", XsdType::kString);
+  SchemaNode* pub_addr = b.Element(publisher, "Address");
+  b.Element(pub_addr, "Street", XsdType::kString);
+  b.Element(pub_addr, "City", XsdType::kString);
+  b.Element(pub_addr, "Zip", XsdType::kString);
+  b.Element(pub_addr, "Country", XsdType::kString);
+  b.Element(publisher, "Phone", XsdType::kString);
+  SchemaNode* authors = b.Element(item, "Authors");
+  SchemaNode* author =
+      b.Element(authors, "Author", XsdType::kAnyType, {0, Occurs::kUnbounded});
+  b.Element(author, "FirstName", XsdType::kString);
+  b.Element(author, "LastName", XsdType::kString);
+  b.Element(author, "Bio", XsdType::kString);
+  SchemaNode* attributes = b.Element(item, "Attributes");
+  b.Element(attributes, "Weight", XsdType::kDecimal);
+  b.Element(attributes, "Dimensions", XsdType::kString);
+  b.Element(attributes, "Color", XsdType::kString);
+  return std::move(b).Build();
+}
+
+xsd::Schema MakeXBenchOrder() {
+  SchemaBuilder b("XBenchOrder");
+  SchemaNode* orders = b.Root("Orders");
+  SchemaNode* order =
+      b.Element(orders, "Order", XsdType::kAnyType, {1, Occurs::kUnbounded});
+  b.Element(order, "OrderId", XsdType::kString);
+  b.Element(order, "OrderDate", XsdType::kDate);
+  b.Element(order, "Status", XsdType::kString);
+  b.Element(order, "Total", XsdType::kDecimal);
+  SchemaNode* customer = b.Element(order, "Customer");
+  b.Element(customer, "CustomerId", XsdType::kString);
+  b.Element(customer, "FirstName", XsdType::kString);
+  b.Element(customer, "LastName", XsdType::kString);
+  b.Element(customer, "Email", XsdType::kString);
+  b.Element(customer, "Phone", XsdType::kString);
+  SchemaNode* address = b.Element(customer, "Address");
+  b.Element(address, "Street", XsdType::kString);
+  b.Element(address, "City", XsdType::kString);
+  b.Element(address, "Zip", XsdType::kString);
+  b.Element(address, "Country", XsdType::kString);
+  SchemaNode* lines = b.Element(order, "OrderLines");
+  SchemaNode* line =
+      b.Element(lines, "Line", XsdType::kAnyType, {1, Occurs::kUnbounded});
+  b.Element(line, "ItemId", XsdType::kString);
+  b.Element(line, "Title", XsdType::kString);
+  b.Element(line, "Qty", XsdType::kInt);
+  b.Element(line, "UnitPrice", XsdType::kDecimal);
+  b.Element(line, "Discount", XsdType::kDecimal);
+  return std::move(b).Build();
+}
+
+eval::GoldStandard GoldXBench() {
+  eval::GoldStandard gold;
+  gold.Add("/Catalog", "/Orders");
+  gold.Add("/Catalog/Items", "/Orders/Order/OrderLines");
+  gold.Add("/Catalog/Items/Item", "/Orders/Order/OrderLines/Line");
+  gold.Add("/Catalog/Items/Item/ItemId",
+           "/Orders/Order/OrderLines/Line/ItemId");
+  gold.Add("/Catalog/Items/Item/Title", "/Orders/Order/OrderLines/Line/Title");
+  gold.Add("/Catalog/Items/Item/Price",
+           "/Orders/Order/OrderLines/Line/UnitPrice");
+  gold.Add("/Catalog/Items/Item/Publisher/Phone",
+           "/Orders/Order/Customer/Phone");
+  gold.Add("/Catalog/Items/Item/Publisher/Address",
+           "/Orders/Order/Customer/Address");
+  gold.Add("/Catalog/Items/Item/Publisher/Address/Street",
+           "/Orders/Order/Customer/Address/Street");
+  gold.Add("/Catalog/Items/Item/Publisher/Address/City",
+           "/Orders/Order/Customer/Address/City");
+  gold.Add("/Catalog/Items/Item/Publisher/Address/Zip",
+           "/Orders/Order/Customer/Address/Zip");
+  gold.Add("/Catalog/Items/Item/Publisher/Address/Country",
+           "/Orders/Order/Customer/Address/Country");
+  gold.Add("/Catalog/Items/Item/Authors/Author/FirstName",
+           "/Orders/Order/Customer/FirstName");
+  gold.Add("/Catalog/Items/Item/Authors/Author/LastName",
+           "/Orders/Order/Customer/LastName");
+  return gold;
+}
+
+// ---------------------------------------------------------------------------
+// Protein domain at the paper's scale (PIR 231 / PDB 3753 elements)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ProteinData {
+  xsd::Schema pir;
+  xsd::Schema pdb;
+  eval::GoldStandard gold;
+};
+
+ProteinData BuildProteinData() {
+  GeneratorOptions pir_options;
+  pir_options.element_count = 231;
+  pir_options.max_depth = 6;
+  pir_options.min_fanout = 2;
+  pir_options.max_fanout = 6;
+  pir_options.domain = Domain::kProtein;
+  pir_options.seed = 1001;
+  pir_options.name = "PIR";
+  xsd::Schema pir = GenerateSchema(pir_options);
+
+  // PDB embeds a recognisably perturbed PIR entry (the shared protein
+  // vocabulary both databases describe) plus a large amount of structure
+  // PIR does not have — crystallographic data, atoms, etc. — generated as
+  // filler to reach the paper's 3753 elements at depth 7.
+  PerturbOptions perturb;
+  perturb.rename_prob = 0.35;
+  perturb.noise_rename_prob = 0.04;
+  perturb.drop_prob = 0.06;
+  perturb.add_prob = 0.08;
+  perturb.retype_prob = 0.15;
+  perturb.seed = 2002;
+  perturb.name = "PIR-in-PDB";
+  eval::GoldStandard raw_gold;
+  xsd::Schema embedded = Perturb(pir, perturb, &raw_gold);
+
+  auto pdb_root = std::make_unique<SchemaNode>("PDB", xsd::NodeKind::kElement);
+  pdb_root->set_compositor(xsd::Compositor::kSequence);
+  pdb_root->AddChild(embedded.TakeRoot());
+  size_t used = 1 + pdb_root->child(0)->SubtreeSize();
+
+  GeneratorOptions filler_options;
+  filler_options.element_count = 3753 > used ? 3753 - used : 1;
+  filler_options.max_depth = 6;
+  filler_options.min_fanout = 3;
+  filler_options.max_fanout = 9;
+  filler_options.domain = Domain::kProtein;
+  filler_options.seed = 3003;
+  filler_options.name = "Crystallography";
+  xsd::Schema filler = GenerateSchema(filler_options);
+  pdb_root->AddChild(filler.TakeRoot());
+
+  xsd::Schema pdb("PDB", std::move(pdb_root));
+
+  // The perturbed copy was re-rooted one level down; prefix target paths.
+  eval::GoldStandard gold;
+  for (const auto& [source_path, target_path] : raw_gold.pairs()) {
+    gold.Add(source_path, "/PDB" + target_path);
+  }
+  return ProteinData{std::move(pir), std::move(pdb), std::move(gold)};
+}
+
+const ProteinData& GetProteinData() {
+  static const ProteinData& data = *new ProteinData(BuildProteinData());
+  return data;
+}
+
+}  // namespace
+
+xsd::Schema MakePir() { return GetProteinData().pir.Clone(); }
+xsd::Schema MakePdb() { return GetProteinData().pdb.Clone(); }
+eval::GoldStandard GoldProtein() { return GetProteinData().gold; }
+
+// ---------------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------------
+
+const std::vector<CorpusEntry>& Corpus() {
+  static const auto& entries = *new std::vector<CorpusEntry>{
+      {"PO1", MakePO1},
+      {"PO2", MakePO2},
+      {"Article", MakeArticle},
+      {"Book", MakeBook},
+      {"DCMDItem", MakeDcmdItem},
+      {"DCMDOrder", MakeDcmdOrder},
+      {"Library", MakeLibrary},
+      {"Human", MakeHuman},
+      {"XBenchCatalog", MakeXBenchCatalog},
+      {"XBenchOrder", MakeXBenchOrder},
+      {"PIR", MakePir},
+      {"PDB", MakePdb},
+  };
+  return entries;
+}
+
+const std::vector<MatchTask>& Tasks() {
+  static const auto& tasks = *new std::vector<MatchTask>{
+      {"PO", MakePO1, MakePO2, GoldPO},
+      {"Books", MakeArticle, MakeBook, GoldBooks},
+      {"DCMD", MakeDcmdItem, MakeDcmdOrder, GoldDcmd},
+      {"XBench", MakeXBenchCatalog, MakeXBenchOrder, GoldXBench},
+      {"Protein", MakePir, MakePdb, GoldProtein},
+  };
+  return tasks;
+}
+
+}  // namespace qmatch::datagen

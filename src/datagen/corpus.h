@@ -1,0 +1,85 @@
+#ifndef QMATCH_DATAGEN_CORPUS_H_
+#define QMATCH_DATAGEN_CORPUS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/gold.h"
+#include "xsd/schema.h"
+
+namespace qmatch::datagen {
+
+// ---------------------------------------------------------------------------
+// The paper's test schemas (Table 1), rebuilt from the figures and the
+// descriptions in the text. Element counts follow Table 1:
+//   PO1 10 / PO2 9 / Article 18 / Book 6 / DCMDItem 38 / DCMDOrd 53 /
+//   PIR 231 / PDB 3753.
+// ---------------------------------------------------------------------------
+
+/// Fig. 1: the PO schema (10 elements, depth 3).
+xsd::Schema MakePO1();
+/// Fig. 2: the Purchase Order schema (9 elements).
+xsd::Schema MakePO2();
+/// PO1 as XSD text, to exercise the parser path end-to-end.
+std::string PO1Xsd();
+/// PO2 as XSD text.
+std::string PO2Xsd();
+
+/// Bibliographic domain: Article (18 elements) and Book (6 elements).
+xsd::Schema MakeArticle();
+xsd::Schema MakeBook();
+
+/// Dublin-Core-style metadata domain: DCMDItem (38) and DCMDOrder (53).
+xsd::Schema MakeDcmdItem();
+xsd::Schema MakeDcmdOrder();
+
+/// Fig. 7 / Fig. 8: the structurally identical but linguistically disjoint
+/// Library and Human schemas of the Section 5 extreme-case experiment.
+xsd::Schema MakeLibrary();
+xsd::Schema MakeHuman();
+
+/// XBench-style e-commerce schemas (catalog and order), standing in for the
+/// XBench benchmark workload (Fig. 6's Xbench(M) task).
+xsd::Schema MakeXBenchCatalog();
+xsd::Schema MakeXBenchOrder();
+
+/// Protein-domain schemas at the paper's scales: PIR-style (231 elements,
+/// depth 6) and PDB-style (3753 elements, depth 7). The PDB schema embeds a
+/// perturbed copy of the PIR entry structure so a gold standard exists by
+/// construction (see GoldProtein / DESIGN.md §5).
+xsd::Schema MakePir();
+xsd::Schema MakePdb();
+
+// --- Manually determined real matches R per match task --------------------
+
+eval::GoldStandard GoldPO();       // PO1 -> PO2 (from the paper's Section 2)
+eval::GoldStandard GoldBooks();    // Article -> Book
+eval::GoldStandard GoldDcmd();     // DCMDItem -> DCMDOrder
+eval::GoldStandard GoldXBench();   // XBenchCatalog -> XBenchOrder
+eval::GoldStandard GoldProtein();  // Pir -> Pdb (by construction)
+
+// --- Registry --------------------------------------------------------------
+
+struct CorpusEntry {
+  std::string name;
+  std::function<xsd::Schema()> make;
+};
+
+/// All corpus schemas by name (for the corpus_explorer example and tests).
+const std::vector<CorpusEntry>& Corpus();
+
+/// A named match task: two schemas plus their gold standard.
+struct MatchTask {
+  std::string name;                       // "PO", "Books", ...
+  std::function<xsd::Schema()> source;
+  std::function<xsd::Schema()> target;
+  std::function<eval::GoldStandard()> gold;
+};
+
+/// The paper's evaluation tasks (PO, Books, DCMD, XBench, Protein).
+const std::vector<MatchTask>& Tasks();
+
+}  // namespace qmatch::datagen
+
+#endif  // QMATCH_DATAGEN_CORPUS_H_

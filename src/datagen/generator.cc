@@ -1,0 +1,197 @@
+#include "datagen/generator.h"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace qmatch::datagen {
+
+namespace {
+
+const std::vector<std::string>& GenericVocab() {
+  static const std::vector<std::string>& v = *new std::vector<std::string>{
+      "Record",   "Entry",    "Group",   "Section",  "Field",   "Value",
+      "Name",     "Code",     "Type",    "Status",   "Category", "Label",
+      "Detail",   "Info",     "Data",    "Element",  "Property", "Attribute",
+      "Note",     "Comment",  "Tag",     "Key",      "Index",    "Count",
+      "Total",    "Level",    "Rank",    "Score",    "Flag",     "State",
+  };
+  return v;
+}
+
+const std::vector<std::string>& CommerceVocab() {
+  static const std::vector<std::string>& v = *new std::vector<std::string>{
+      "Order",    "Item",     "Product",  "Customer", "Vendor",   "Invoice",
+      "Payment",  "Shipment", "Address",  "City",     "Country",  "Zip",
+      "Price",    "Quantity", "Discount", "Tax",      "Subtotal", "Total",
+      "Currency", "Catalog",  "Category", "Brand",    "Model",    "Warranty",
+      "Stock",    "Warehouse", "Carrier", "Tracking", "Delivery", "Contact",
+  };
+  return v;
+}
+
+const std::vector<std::string>& BibliographicVocab() {
+  static const std::vector<std::string>& v = *new std::vector<std::string>{
+      "Book",     "Article",  "Journal",  "Title",     "Author",   "Editor",
+      "Publisher", "Edition", "Volume",   "Issue",     "Page",     "Chapter",
+      "Abstract", "Keyword",  "Subject",  "Language",  "Rights",   "Format",
+      "Identifier", "Isbn",   "Year",     "Citation",  "Reference", "Series",
+      "Contributor", "Coverage", "Source", "Relation", "Description", "Type",
+  };
+  return v;
+}
+
+const std::vector<std::string>& ProteinVocab() {
+  static const std::vector<std::string>& v = *new std::vector<std::string>{
+      "Protein",   "Entry",     "Sequence",  "Residue",   "Chain",
+      "Organism",  "Species",   "Taxonomy",  "Gene",      "Accession",
+      "Reference", "Citation",  "Author",    "Journal",   "Feature",
+      "Domain",    "Motif",     "Site",      "Position",  "Length",
+      "Weight",    "Function",  "Keyword",   "Annotation", "Structure",
+      "Atom",      "Helix",     "Sheet",     "Turn",      "Ligand",
+      "Method",    "Resolution", "Cell",     "Crystal",   "Source",
+      "Database",  "Version",   "Date",      "Classification", "Molecule",
+  };
+  return v;
+}
+
+xsd::XsdType PickLeafType(Random& rng) {
+  static constexpr xsd::XsdType kLeafTypes[] = {
+      xsd::XsdType::kString,  xsd::XsdType::kString,  // strings dominate
+      xsd::XsdType::kString,  xsd::XsdType::kInt,
+      xsd::XsdType::kInteger, xsd::XsdType::kDecimal,
+      xsd::XsdType::kDate,    xsd::XsdType::kBoolean,
+      xsd::XsdType::kDouble,  xsd::XsdType::kAnyUri,
+  };
+  return kLeafTypes[rng.Uniform(std::size(kLeafTypes))];
+}
+
+}  // namespace
+
+const std::vector<std::string>& DomainVocabulary(Domain domain) {
+  switch (domain) {
+    case Domain::kGeneric:
+      return GenericVocab();
+    case Domain::kCommerce:
+      return CommerceVocab();
+    case Domain::kBibliographic:
+      return BibliographicVocab();
+    case Domain::kProtein:
+      return ProteinVocab();
+  }
+  return GenericVocab();
+}
+
+xsd::Schema GenerateSchema(const GeneratorOptions& options) {
+  QMATCH_CHECK(options.element_count >= 1) << "need at least a root";
+  QMATCH_CHECK(options.min_fanout >= 1 && options.max_fanout >= options.min_fanout);
+
+  Random rng(options.seed);
+  const std::vector<std::string>& vocab = DomainVocabulary(options.domain);
+
+  auto root = std::make_unique<xsd::SchemaNode>(
+      options.name.empty() ? "Root" : options.name, xsd::NodeKind::kElement);
+  root->set_compositor(xsd::Compositor::kSequence);
+
+  size_t elements = 1;
+  size_t label_counter = 0;
+  // Sibling labels must be unique: duplicate sibling declarations make the
+  // content model ambiguous (the XSD "unique particle attribution" rule)
+  // and break validation/inference round trips.
+  std::map<const xsd::SchemaNode*, std::set<std::string>> used_labels;
+  auto next_label = [&](xsd::SchemaNode* parent, size_t depth) {
+    std::set<std::string>& used = used_labels[parent];
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::string& word = vocab[rng.Uniform(vocab.size())];
+      ++label_counter;
+      std::string candidate =
+          (label_counter <= vocab.size() && depth < 2 && attempt == 0)
+              ? word
+              : word + StrFormat("%zu", rng.Uniform(97) + 1);
+      if (used.insert(candidate).second) return candidate;
+    }
+    // Deterministic fallback, guaranteed fresh.
+    std::string fallback = StrFormat("Node%zu", label_counter);
+    used.insert(fallback);
+    return fallback;
+  };
+
+  // Frontier of expandable nodes with their depths.
+  struct Slot {
+    xsd::SchemaNode* node;
+    size_t depth;
+  };
+  std::deque<Slot> frontier;
+  frontier.push_back({root.get(), 0});
+
+  // First carve one spine to max_depth so the requested depth is reached.
+  {
+    xsd::SchemaNode* current = root.get();
+    for (size_t d = 1; d <= options.max_depth && elements < options.element_count;
+         ++d) {
+      auto child = std::make_unique<xsd::SchemaNode>(
+          next_label(current, d), xsd::NodeKind::kElement);
+      child->set_compositor(xsd::Compositor::kSequence);
+      xsd::SchemaNode* borrowed = current->AddChild(std::move(child));
+      ++elements;
+      if (d < options.max_depth) frontier.push_back({borrowed, d});
+      current = borrowed;
+    }
+  }
+
+  while (elements < options.element_count && !frontier.empty()) {
+    Slot slot = frontier.front();
+    frontier.pop_front();
+    size_t fanout = options.min_fanout +
+                    rng.Uniform(options.max_fanout - options.min_fanout + 1);
+    for (size_t k = 0; k < fanout && elements < options.element_count; ++k) {
+      auto child = std::make_unique<xsd::SchemaNode>(
+          next_label(slot.node, slot.depth + 1), xsd::NodeKind::kElement);
+      child->set_compositor(xsd::Compositor::kSequence);
+      // Occasionally make elements optional or repeating.
+      if (rng.Bernoulli(0.2)) child->set_occurs(xsd::Occurs{0, 1});
+      if (rng.Bernoulli(0.15)) {
+        child->set_occurs(xsd::Occurs{1, xsd::Occurs::kUnbounded});
+      }
+      xsd::SchemaNode* borrowed = slot.node->AddChild(std::move(child));
+      ++elements;
+      if (slot.depth + 1 < options.max_depth) {
+        frontier.push_back({borrowed, slot.depth + 1});
+      }
+    }
+    if (options.attribute_probability > 0.0 &&
+        rng.Bernoulli(options.attribute_probability)) {
+      auto attr = std::make_unique<xsd::SchemaNode>(
+          next_label(slot.node, slot.depth + 1) + "Id",
+          xsd::NodeKind::kAttribute);
+      attr->set_type(xsd::XsdType::kId);
+      attr->set_occurs(xsd::Occurs{0, 1});
+      slot.node->AddChild(std::move(attr));
+    }
+  }
+
+  // Type the leaves; interior nodes stay anyType (pure structure).
+  {
+    std::vector<xsd::SchemaNode*> stack = {root.get()};
+    while (!stack.empty()) {
+      xsd::SchemaNode* node = stack.back();
+      stack.pop_back();
+      if (node->IsLeaf() && node->kind() == xsd::NodeKind::kElement) {
+        node->set_type(PickLeafType(rng));
+      }
+      for (size_t i = 0; i < node->child_count(); ++i) {
+        stack.push_back(node->child(i));
+      }
+    }
+  }
+
+  xsd::Schema schema(options.name, std::move(root));
+  return schema;
+}
+
+}  // namespace qmatch::datagen

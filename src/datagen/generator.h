@@ -1,0 +1,50 @@
+#ifndef QMATCH_DATAGEN_GENERATOR_H_
+#define QMATCH_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xsd/schema.h"
+
+namespace qmatch::datagen {
+
+/// Vocabulary domain for generated labels.
+enum class Domain { kGeneric, kCommerce, kBibliographic, kProtein };
+
+/// Parameters for the synthetic schema generator.
+///
+/// The generator exists because the paper's protein workloads (PIR, 231
+/// elements / PDB, 3753 elements) and the XBench schemas are not
+/// redistributable: we synthesise schemas with the same element counts,
+/// depths and fan-out so the runtime experiment (Fig. 4) exercises the same
+/// tree sizes, and derive matchable pairs via `Perturb` so quality
+/// experiments have an exact gold standard (see DESIGN.md §5).
+struct GeneratorOptions {
+  /// Exact number of element nodes to produce (>= 1).
+  size_t element_count = 100;
+  /// Maximum tree depth in edges. The generator fills shallow levels first
+  /// and guarantees at least one path reaches this depth when the node
+  /// budget allows (depth+1 nodes needed).
+  size_t max_depth = 5;
+  size_t min_fanout = 2;
+  size_t max_fanout = 8;
+  /// Probability that an internal node also receives one attribute child.
+  double attribute_probability = 0.0;
+  Domain domain = Domain::kGeneric;
+  uint64_t seed = 42;
+  /// Display name of the produced schema.
+  std::string name = "generated";
+};
+
+/// Deterministically generates a schema from the options. The same options
+/// always produce the same tree.
+xsd::Schema GenerateSchema(const GeneratorOptions& options);
+
+/// The label vocabulary used for a domain (exposed for tests and for the
+/// perturbation rename tables).
+const std::vector<std::string>& DomainVocabulary(Domain domain);
+
+}  // namespace qmatch::datagen
+
+#endif  // QMATCH_DATAGEN_GENERATOR_H_

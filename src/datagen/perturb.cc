@@ -1,0 +1,177 @@
+#include "datagen/perturb.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace qmatch::datagen {
+
+namespace {
+
+/// Alternatives that the default thesaurus can relate back to the key, so a
+/// rename stays discoverable by the linguistic matcher (as a synonym,
+/// abbreviation or acronym -> exact or relaxed label match).
+const std::map<std::string, std::vector<std::string>>& RenameTable() {
+  static const auto& table = *new std::map<std::string, std::vector<std::string>>{
+      {"quantity", {"Qty"}},
+      {"number", {"No", "Num"}},
+      {"amount", {"Amt"}},
+      {"description", {"Desc"}},
+      {"address", {"Addr"}},
+      {"information", {"Info"}},
+      {"identifier", {"Id", "Key"}},
+      {"reference", {"Ref"}},
+      {"sequence", {"Seq", "Chain"}},
+      {"organism", {"Species"}},
+      {"taxonomy", {"Classification"}},
+      {"citation", {"Reference"}},
+      {"author", {"Writer", "Creator"}},
+      {"item", {"Product", "Article"}},
+      {"customer", {"Client", "Buyer"}},
+      {"vendor", {"Supplier", "Seller"}},
+      {"price", {"Cost"}},
+      {"telephone", {"Phone", "Tel"}},
+      {"category", {"Cat"}},
+      {"entry", {"Record"}},
+      {"function", {"Activity"}},
+      {"structure", {"Conformation"}},
+      {"annotation", {"Note"}},
+      {"motif", {"Pattern"}},
+      {"site", {"Position"}},
+      {"length", {"Size"}},
+      {"weight", {"Mass"}},
+      {"protein", {"Polypeptide"}},
+      {"keyword", {"Term"}},
+      {"subject", {"Topic"}},
+      {"abstract", {"Summary"}},
+      {"book", {"Volume"}},
+      {"journal", {"Periodical"}},
+      {"publisher", {"Press"}},
+      {"company", {"Firm", "Organization"}},
+      {"state", {"Province"}},
+      {"comment", {"Remark", "Note"}},
+      {"type", {"Kind"}},
+      {"code", {"Identifier"}},
+  };
+  return table;
+}
+
+xsd::XsdType WidenType(xsd::XsdType type) {
+  xsd::XsdType base = xsd::BaseType(type);
+  // Don't widen past useful simple types.
+  if (base == xsd::XsdType::kAnySimpleType || base == xsd::XsdType::kAnyType) {
+    return type;
+  }
+  return base;
+}
+
+struct PerturbContext {
+  const PerturbOptions* options;
+  Random* rng;
+  // Source node -> target node for surviving nodes, to emit gold pairs.
+  std::vector<std::pair<const xsd::SchemaNode*, const xsd::SchemaNode*>> kept;
+  int noise_counter = 0;
+};
+
+std::unique_ptr<xsd::SchemaNode> PerturbNode(const xsd::SchemaNode& src,
+                                             PerturbContext& ctx) {
+  Random& rng = *ctx.rng;
+  const PerturbOptions& opt = *ctx.options;
+
+  std::string label = src.label();
+  if (rng.Bernoulli(opt.rename_prob)) {
+    std::string renamed = RelatedRename(label, rng.Next());
+    if (!renamed.empty()) label = renamed;
+  } else if (rng.Bernoulli(opt.noise_rename_prob)) {
+    label = StrFormat("X%d%s", ++ctx.noise_counter, "Node");
+  }
+
+  auto copy = std::make_unique<xsd::SchemaNode>(label, src.kind());
+  copy->set_compositor(src.compositor());
+  copy->set_nillable(src.nillable());
+
+  xsd::XsdType type = src.type();
+  if (type != xsd::XsdType::kUnknown && rng.Bernoulli(opt.retype_prob)) {
+    type = WidenType(type);
+  }
+  copy->set_type(type, src.type_name());
+
+  xsd::Occurs occurs = src.occurs();
+  if (rng.Bernoulli(opt.occurs_prob)) {
+    occurs.min = occurs.min == 0 ? 1 : 0;
+  }
+  copy->set_occurs(occurs);
+
+  ctx.kept.push_back({&src, copy.get()});
+
+  std::vector<std::unique_ptr<xsd::SchemaNode>> new_children;
+  for (const auto& child : src.children()) {
+    if (rng.Bernoulli(opt.drop_prob)) continue;  // drop subtree
+    new_children.push_back(PerturbNode(*child, ctx));
+  }
+  if (!src.IsLeaf() && rng.Bernoulli(opt.add_prob)) {
+    auto extra = std::make_unique<xsd::SchemaNode>(
+        StrFormat("Extra%d", ++ctx.noise_counter), src.kind());
+    extra->set_type(xsd::XsdType::kString);
+    new_children.push_back(std::move(extra));
+  }
+  if (opt.shuffle_children) {
+    rng.Shuffle(new_children);
+  }
+  for (auto& child : new_children) {
+    copy->AddChild(std::move(child));
+  }
+  return copy;
+}
+
+}  // namespace
+
+std::string RelatedRename(const std::string& label, uint64_t salt) {
+  // Look the whole lower-cased label up; fall back to the last camel-case
+  // word ("PurchaseDate" -> "date").
+  std::string lower = ToLower(label);
+  const auto& table = RenameTable();
+  auto it = table.find(lower);
+  if (it == table.end()) {
+    // Try the final word of a camel-case label.
+    size_t split = label.size();
+    while (split > 0 && !IsAsciiUpper(label[split - 1])) --split;
+    if (split > 0 && split < label.size()) {
+      std::string tail = ToLower(label.substr(split - 1));
+      it = table.find(tail);
+      if (it != table.end()) {
+        const std::string& alt = it->second[salt % it->second.size()];
+        return label.substr(0, split - 1) + alt;
+      }
+    }
+    return std::string();
+  }
+  return it->second[salt % it->second.size()];
+}
+
+xsd::Schema Perturb(const xsd::Schema& source, const PerturbOptions& options,
+                    eval::GoldStandard* gold) {
+  Random rng(options.seed);
+  PerturbContext ctx{&options, &rng, {}, 0};
+
+  std::unique_ptr<xsd::SchemaNode> root;
+  if (source.root() != nullptr) {
+    root = PerturbNode(*source.root(), ctx);
+  }
+  xsd::Schema derived(
+      options.name.empty() ? source.name() + "-perturbed" : options.name,
+      std::move(root));
+  derived.set_target_namespace(source.target_namespace());
+
+  if (gold != nullptr) {
+    for (const auto& [src_node, tgt_node] : ctx.kept) {
+      gold->Add(src_node->Path(), tgt_node->Path());
+    }
+  }
+  return derived;
+}
+
+}  // namespace qmatch::datagen

@@ -1,0 +1,55 @@
+#ifndef QMATCH_DATAGEN_PERTURB_H_
+#define QMATCH_DATAGEN_PERTURB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "eval/gold.h"
+#include "xsd/schema.h"
+
+namespace qmatch::datagen {
+
+/// Controlled mutations applied to a source schema to derive a matchable
+/// target schema *with a known gold standard* — the substitution for
+/// manually determined real matches on workloads too large to map by hand
+/// (the paper itself calls the protein schemas "nearly impossible" to match
+/// manually).
+struct PerturbOptions {
+  /// Probability of renaming a node to a thesaurus-relatable alternative
+  /// (synonym / abbreviation / acronym). The pair remains in the gold set.
+  double rename_prob = 0.35;
+  /// Probability of renaming a node to unrelated noise. The node is still
+  /// structurally the same, so it stays in the gold set, but linguistic
+  /// matchers will miss it.
+  double noise_rename_prob = 0.05;
+  /// Probability of dropping a non-root subtree (removed from gold).
+  double drop_prob = 0.08;
+  /// Probability of inserting an extra (unmatched) leaf child under an
+  /// internal node.
+  double add_prob = 0.10;
+  /// Probability of widening a leaf's type to an ancestor on the lattice
+  /// (int -> integer), producing relaxed property matches.
+  double retype_prob = 0.15;
+  /// Probability of toggling a node's minOccurs between 0 and 1.
+  double occurs_prob = 0.10;
+  /// Shuffle the order of every node's children.
+  bool shuffle_children = true;
+  uint64_t seed = 7;
+  /// Name for the derived schema; empty appends "-perturbed".
+  std::string name;
+};
+
+/// Derives a perturbed copy of `source`. When `gold` is non-null it is
+/// filled with the path pairs of all surviving nodes (source path ->
+/// target path), i.e. the exact set of real matches R.
+xsd::Schema Perturb(const xsd::Schema& source, const PerturbOptions& options,
+                    eval::GoldStandard* gold);
+
+/// Renaming dictionary used by Perturb: returns a thesaurus-relatable
+/// alternative for `label` ("Quantity" -> "Qty", "PurchaseOrder" -> "PO"),
+/// or an empty string when none is known.
+std::string RelatedRename(const std::string& label, uint64_t salt);
+
+}  // namespace qmatch::datagen
+
+#endif  // QMATCH_DATAGEN_PERTURB_H_

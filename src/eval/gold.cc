@@ -1,0 +1,60 @@
+#include "eval/gold.h"
+
+#include "common/string_util.h"
+
+namespace qmatch::eval {
+
+void GoldStandard::Add(std::string_view source_path,
+                       std::string_view target_path) {
+  pairs_.emplace(std::string(source_path), std::string(target_path));
+}
+
+bool GoldStandard::Contains(std::string_view source_path,
+                            std::string_view target_path) const {
+  return pairs_.count({std::string(source_path), std::string(target_path)}) >
+         0;
+}
+
+Result<GoldStandard> GoldStandard::Parse(std::string_view text) {
+  GoldStandard gold;
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    size_t arrow = line.find("->");
+    if (arrow == std::string_view::npos) {
+      return Status::ParseError(
+          StrFormat("gold standard line %zu: missing '->'", line_number));
+    }
+    std::string_view lhs = Trim(line.substr(0, arrow));
+    std::string_view rhs = Trim(line.substr(arrow + 2));
+    if (lhs.empty() || rhs.empty()) {
+      return Status::ParseError(
+          StrFormat("gold standard line %zu: empty path", line_number));
+    }
+    gold.Add(lhs, rhs);
+  }
+  return gold;
+}
+
+GoldStandard GoldStandard::FromMatchResult(const MatchResult& result) {
+  GoldStandard gold;
+  for (const Correspondence& c : result.correspondences) {
+    gold.Add(c.source->Path(), c.target->Path());
+  }
+  return gold;
+}
+
+std::string GoldStandard::ToString() const {
+  std::string out;
+  for (const auto& [source, target] : pairs_) {
+    out += source;
+    out += " -> ";
+    out += target;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qmatch::eval

@@ -1,0 +1,53 @@
+#ifndef QMATCH_EVAL_GOLD_H_
+#define QMATCH_EVAL_GOLD_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "match/matcher.h"
+
+namespace qmatch::eval {
+
+/// A manually determined set of real matches `R` for a match task
+/// (Section 5): pairs of node paths (source -> target).
+class GoldStandard {
+ public:
+  GoldStandard() = default;
+
+  /// Adds one real match; duplicate pairs are ignored.
+  void Add(std::string_view source_path, std::string_view target_path);
+
+  bool Contains(std::string_view source_path,
+                std::string_view target_path) const;
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  const std::set<std::pair<std::string, std::string>>& pairs() const {
+    return pairs_;
+  }
+
+  /// Parses the line-oriented text format:
+  ///   # comment
+  ///   /PO/OrderNo -> /PurchaseOrder/OrderNo
+  /// Blank lines are skipped; fails on lines without the arrow.
+  static Result<GoldStandard> Parse(std::string_view text);
+
+  /// Serialises back to the text format (sorted).
+  std::string ToString() const;
+
+  /// Builds a gold standard from a match result's correspondences — the
+  /// "run, hand-correct, reuse as R" workflow (save with ToString()).
+  static GoldStandard FromMatchResult(const MatchResult& result);
+
+ private:
+  std::set<std::pair<std::string, std::string>> pairs_;
+};
+
+}  // namespace qmatch::eval
+
+#endif  // QMATCH_EVAL_GOLD_H_

@@ -1,0 +1,102 @@
+#include "eval/match_report.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+#include "eval/metrics.h"
+#include "xsd/stats.h"
+
+namespace qmatch::eval {
+
+namespace {
+
+void AppendSchemaSection(const xsd::Schema& schema, std::string_view role,
+                         std::string& out) {
+  xsd::SchemaStats stats = xsd::ComputeStats(schema);
+  out += StrFormat("### %s schema: `%s`\n\n",
+                   std::string(role).c_str(), schema.name().c_str());
+  out += StrFormat(
+      "| nodes | elements | attributes | leaves | max depth | avg fanout "
+      "|\n|---|---|---|---|---|---|\n| %zu | %zu | %zu | %zu | %zu | %.2f "
+      "|\n\n",
+      stats.node_count, stats.element_count, stats.attribute_count,
+      stats.leaf_count, stats.max_depth, stats.average_fanout);
+}
+
+}  // namespace
+
+std::string RenderMatchReport(const xsd::Schema& source,
+                              const xsd::Schema& target,
+                              const MatchResult& result,
+                              const GoldStandard* gold,
+                              const MatchReportOptions& options) {
+  std::string out;
+  out += StrFormat("# Match report: %s vs %s\n\n", source.name().c_str(),
+                   target.name().c_str());
+  out += StrFormat("algorithm: **%s** — schema QoM **%.4f** — %zu "
+                   "correspondences\n\n",
+                   result.algorithm.c_str(), result.schema_qom,
+                   result.correspondences.size());
+
+  if (options.include_stats) {
+    AppendSchemaSection(source, "source", out);
+    AppendSchemaSection(target, "target", out);
+  }
+
+  // Ranked correspondence table.
+  std::vector<const Correspondence*> sorted;
+  sorted.reserve(result.correspondences.size());
+  for (const Correspondence& c : result.correspondences) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Correspondence* a, const Correspondence* b) {
+              return a->score > b->score;
+            });
+
+  out += "### Correspondences\n\n";
+  out += gold != nullptr ? "| source | target | score | gold |\n|---|---|---|---|\n"
+                         : "| source | target | score |\n|---|---|---|\n";
+  size_t rows = 0;
+  for (const Correspondence* c : sorted) {
+    if (rows++ >= options.max_rows) {
+      out += StrFormat("| ... %zu more rows elided ... |\n",
+                       sorted.size() - options.max_rows);
+      break;
+    }
+    if (gold != nullptr) {
+      bool hit = gold->Contains(c->source->Path(), c->target->Path());
+      out += StrFormat("| `%s` | `%s` | %.4f | %s |\n",
+                       c->source->Path().c_str(), c->target->Path().c_str(),
+                       c->score, hit ? "✓" : "✗ false positive");
+    } else {
+      out += StrFormat("| `%s` | `%s` | %.4f |\n", c->source->Path().c_str(),
+                       c->target->Path().c_str(), c->score);
+    }
+  }
+  out += '\n';
+
+  if (gold != nullptr) {
+    QualityMetrics metrics = Evaluate(result, *gold);
+    out += "### Quality vs gold standard\n\n";
+    out += StrFormat(
+        "| R | P | I | F | M | precision | recall | overall | f1 |\n"
+        "|---|---|---|---|---|---|---|---|---|\n"
+        "| %zu | %zu | %zu | %zu | %zu | %.3f | %.3f | %.3f | %.3f |\n\n",
+        metrics.real, metrics.returned, metrics.true_positives,
+        metrics.false_positives, metrics.missed, metrics.precision,
+        metrics.recall, metrics.overall, metrics.f1);
+    // List the misses, the post-match work a human must do.
+    if (metrics.missed > 0) {
+      out += "missed real matches:\n\n";
+      for (const auto& [s, t] : gold->pairs()) {
+        if (!result.Contains(s, t)) {
+          out += StrFormat("- `%s` -> `%s`\n", s.c_str(), t.c_str());
+        }
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace qmatch::eval

@@ -1,0 +1,32 @@
+#ifndef QMATCH_EVAL_MATCH_REPORT_H_
+#define QMATCH_EVAL_MATCH_REPORT_H_
+
+#include <string>
+
+#include "eval/gold.h"
+#include "match/matcher.h"
+
+namespace qmatch::eval {
+
+/// Options for report rendering.
+struct MatchReportOptions {
+  /// Cap on the correspondence rows included (largest scores first).
+  size_t max_rows = 200;
+  /// Include the per-schema shape statistics section.
+  bool include_stats = true;
+};
+
+/// Renders a self-contained Markdown report of one match run: the two
+/// schemas' shape statistics, the ranked correspondence table, and — when
+/// a gold standard is supplied — the quality metrics with per-pair
+/// true/false-positive annotations. This is the artifact a human reviewer
+/// signs off on before using a mapping for integration.
+std::string RenderMatchReport(const xsd::Schema& source,
+                              const xsd::Schema& target,
+                              const MatchResult& result,
+                              const GoldStandard* gold = nullptr,
+                              const MatchReportOptions& options = {});
+
+}  // namespace qmatch::eval
+
+#endif  // QMATCH_EVAL_MATCH_REPORT_H_

@@ -1,0 +1,45 @@
+#include "eval/metrics.h"
+
+#include "common/string_util.h"
+
+namespace qmatch::eval {
+
+std::string QualityMetrics::ToString() const {
+  return StrFormat(
+      "R=%zu P=%zu I=%zu F=%zu M=%zu | precision=%.3f recall=%.3f "
+      "overall=%.3f f1=%.3f",
+      real, returned, true_positives, false_positives, missed, precision,
+      recall, overall, f1);
+}
+
+QualityMetrics Evaluate(const MatchResult& result, const GoldStandard& gold) {
+  QualityMetrics metrics;
+  metrics.real = gold.size();
+  metrics.returned = result.correspondences.size();
+  for (const Correspondence& c : result.correspondences) {
+    if (gold.Contains(c.source->Path(), c.target->Path())) {
+      ++metrics.true_positives;
+    }
+  }
+  metrics.false_positives = metrics.returned - metrics.true_positives;
+  metrics.missed = metrics.real - std::min(metrics.real, metrics.true_positives);
+
+  if (metrics.returned > 0) {
+    metrics.precision = static_cast<double>(metrics.true_positives) /
+                        static_cast<double>(metrics.returned);
+  }
+  if (metrics.real > 0) {
+    metrics.recall = static_cast<double>(metrics.true_positives) /
+                     static_cast<double>(metrics.real);
+    metrics.overall =
+        1.0 - static_cast<double>(metrics.false_positives + metrics.missed) /
+                  static_cast<double>(metrics.real);
+  }
+  if (metrics.precision + metrics.recall > 0.0) {
+    metrics.f1 = 2.0 * metrics.precision * metrics.recall /
+                 (metrics.precision + metrics.recall);
+  }
+  return metrics;
+}
+
+}  // namespace qmatch::eval

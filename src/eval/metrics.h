@@ -1,0 +1,40 @@
+#ifndef QMATCH_EVAL_METRICS_H_
+#define QMATCH_EVAL_METRICS_H_
+
+#include <string>
+
+#include "eval/gold.h"
+#include "match/matcher.h"
+
+namespace qmatch::eval {
+
+/// The match-quality measures of Section 5, computed from the real matches
+/// R, the returned matches P, the true positives I = P ∩ R, false positives
+/// F = P \ I and missed matches M = R \ I:
+///
+///   Precision = |I| / |P|
+///   Recall    = |I| / |R|
+///   Overall   = 1 - (|F| + |M|)/|R| = Recall · (2 - 1/Precision)
+///
+/// Overall can be negative when more than half the returned matches are
+/// wrong — the post-match correction effort exceeds doing it by hand.
+struct QualityMetrics {
+  size_t real = 0;            // |R|
+  size_t returned = 0;        // |P|
+  size_t true_positives = 0;  // |I|
+  size_t false_positives = 0; // |F|
+  size_t missed = 0;          // |M|
+  double precision = 0.0;
+  double recall = 0.0;
+  double overall = 0.0;
+  double f1 = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Scores a match result against a gold standard by path-pair identity.
+QualityMetrics Evaluate(const MatchResult& result, const GoldStandard& gold);
+
+}  // namespace qmatch::eval
+
+#endif  // QMATCH_EVAL_METRICS_H_

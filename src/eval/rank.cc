@@ -1,0 +1,29 @@
+#include "eval/rank.h"
+
+#include <algorithm>
+
+namespace qmatch::eval {
+
+std::vector<RankEntry> RankSchemas(
+    const Matcher& matcher, const xsd::Schema& query,
+    const std::vector<const xsd::Schema*>& candidates) {
+  std::vector<RankEntry> entries;
+  entries.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    MatchResult result = matcher.Match(query, *candidates[i]);
+    entries.push_back({i, result.schema_qom, result.correspondences.size()});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const RankEntry& a, const RankEntry& b) {
+              if (a.schema_qom != b.schema_qom) {
+                return a.schema_qom > b.schema_qom;
+              }
+              if (a.correspondence_count != b.correspondence_count) {
+                return a.correspondence_count > b.correspondence_count;
+              }
+              return a.index < b.index;
+            });
+  return entries;
+}
+
+}  // namespace qmatch::eval

@@ -1,0 +1,28 @@
+#ifndef QMATCH_EVAL_RANK_H_
+#define QMATCH_EVAL_RANK_H_
+
+#include <vector>
+
+#include "match/matcher.h"
+
+namespace qmatch::eval {
+
+/// One candidate's rank against a query schema.
+struct RankEntry {
+  size_t index = 0;                 // position in the candidates vector
+  double schema_qom = 0.0;          // the matcher's schema-level score
+  size_t correspondence_count = 0;  // node mappings found
+};
+
+/// Ranks candidate schemas by how well they match `query` — the paper's
+/// motivating retrieval scenario ("the schema of the query must be matched
+/// with the schema of the XML documents", Section 1). Returns entries
+/// sorted by descending schema QoM, ties broken by correspondence count
+/// then by index (stable).
+std::vector<RankEntry> RankSchemas(
+    const Matcher& matcher, const xsd::Schema& query,
+    const std::vector<const xsd::Schema*>& candidates);
+
+}  // namespace qmatch::eval
+
+#endif  // QMATCH_EVAL_RANK_H_

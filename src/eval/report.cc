@@ -1,0 +1,56 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace qmatch::eval {
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += "  ";
+      const std::string& cell = row[c];
+      size_t pad = widths[c] - cell.size();
+      if (c == 0) {
+        out += cell;
+        out.append(pad, ' ');
+      } else {
+        out.append(pad, ' ');
+        out += cell;
+      }
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(columns_, out);
+  size_t rule = 0;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string Num(double value, int digits) {
+  return StrFormat("%.*f", digits, value);
+}
+
+}  // namespace qmatch::eval

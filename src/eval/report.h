@@ -1,0 +1,33 @@
+#ifndef QMATCH_EVAL_REPORT_H_
+#define QMATCH_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace qmatch::eval {
+
+/// A fixed-width text table used by the benchmark harnesses to print the
+/// paper's tables and figure series in a stable, diffable layout.
+class TextTable {
+ public:
+  /// `columns` are the header labels; the first column is left-aligned,
+  /// the rest right-aligned.
+  explicit TextTable(std::vector<std::string> columns);
+
+  /// Adds a row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a separator rule under the header.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals ("0.473").
+std::string Num(double value, int digits = 3);
+
+}  // namespace qmatch::eval
+
+#endif  // QMATCH_EVAL_REPORT_H_

@@ -1,0 +1,220 @@
+#include "lingua/default_thesaurus.h"
+
+namespace qmatch::lingua {
+
+namespace {
+
+void AddGenericSchemaVocabulary(Thesaurus& t) {
+  // --- Abbreviations ubiquitous in schema labels -----------------------
+  t.AddAbbreviation("no", "number");
+  t.AddAbbreviation("num", "number");
+  t.AddAbbreviation("nbr", "number");
+  t.AddAbbreviation("nr", "number");
+  t.AddAbbreviation("qty", "quantity");
+  t.AddAbbreviation("amt", "amount");
+  t.AddAbbreviation("desc", "description");
+  t.AddAbbreviation("descr", "description");
+  t.AddAbbreviation("addr", "address");
+  t.AddAbbreviation("info", "information");
+  t.AddAbbreviation("tel", "telephone");
+  t.AddAbbreviation("cust", "customer");
+  t.AddAbbreviation("acct", "account");
+  t.AddAbbreviation("ref", "reference");
+  t.AddAbbreviation("seq", "sequence");
+  t.AddAbbreviation("org", "organization");
+  t.AddAbbreviation("dept", "department");
+  t.AddAbbreviation("mgr", "manager");
+  t.AddAbbreviation("emp", "employee");
+  t.AddAbbreviation("std", "standard");
+  t.AddAbbreviation("max", "maximum");
+  t.AddAbbreviation("min", "minimum");
+  t.AddAbbreviation("avg", "average");
+  t.AddAbbreviation("id", "identifier");
+  t.AddAbbreviation("pct", "percent");
+  t.AddAbbreviation("msg", "message");
+  t.AddAbbreviation("lang", "language");
+  t.AddAbbreviation("cat", "category");
+  t.AddAbbreviation("loc", "location");
+  t.AddAbbreviation("fn", "first name");
+  t.AddAbbreviation("ln", "last name");
+  t.AddAbbreviation("dob", "date of birth");
+
+  // --- Generic synonyms -------------------------------------------------
+  t.AddSynonym("phone", "telephone");
+  t.AddSynonym("zip", "postal code");
+  t.AddSynonym("zip code", "postal code");
+  t.AddSynonym("key", "identifier");
+  t.AddSynonym("code", "identifier");
+  t.AddSynonym("type", "kind");
+  t.AddSynonym("comment", "remark");
+  t.AddSynonym("comment", "note");
+  t.AddSynonym("begin", "start");
+  t.AddSynonym("end", "finish");
+  t.AddSynonym("cost", "price");
+  t.AddSynonym("firm", "company");
+  t.AddSynonym("company", "organization");
+  t.AddSynonym("state", "province");
+  t.AddSynonym("country", "nation");
+  t.AddSynonym("mail", "email");
+  t.AddSynonym("surname", "last name");
+  t.AddSynonym("given name", "first name");
+
+  // --- Generic hypernyms ------------------------------------------------
+  t.AddHypernym("identifier", "number");
+  t.AddHypernym("identifier", "serial number");
+  t.AddHypernym("name", "first name");
+  t.AddHypernym("name", "last name");
+  t.AddHypernym("name", "title");
+  t.AddHypernym("date", "start date");
+  t.AddHypernym("date", "end date");
+  t.AddHypernym("date", "birth date");
+  t.AddHypernym("date", "date of birth");
+  t.AddHypernym("location", "address");
+  t.AddHypernym("location", "city");
+  t.AddHypernym("location", "country");
+  t.AddHypernym("person", "customer");
+  t.AddHypernym("person", "employee");
+  t.AddHypernym("person", "contact");
+  t.AddHypernym("person", "author");
+  t.AddHypernym("amount", "total");
+  t.AddHypernym("amount", "subtotal");
+  t.AddHypernym("amount", "price");
+  t.AddHypernym("amount", "tax");
+  t.AddHypernym("amount", "discount");
+}
+
+void AddCommerceVocabulary(Thesaurus& t) {
+  // Purchase-order domain (the paper's PO / PurchaseOrder schemas).
+  t.AddAcronym("po", "purchase order");
+  t.AddAcronym("uom", "unit of measure");
+  t.AddAcronym("sku", "stock keeping unit");
+  t.AddAcronym("vat", "value added tax");
+  t.AddSynonym("line", "item");
+  t.AddSynonym("line item", "item");
+  t.AddSynonym("item", "product");
+  t.AddSynonym("item", "article");
+  t.AddSynonym("goods", "product");
+  t.AddSynonym("bill to", "billing address");
+  t.AddSynonym("ship to", "shipping address");
+  t.AddSynonym("bill", "billing");
+  t.AddSynonym("ship", "shipping");
+  t.AddSynonym("order number", "order identifier");
+  t.AddSynonym("purchase", "order");
+  t.AddSynonym("vendor", "supplier");
+  t.AddSynonym("vendor", "seller");
+  t.AddSynonym("buyer", "customer");
+  t.AddSynonym("client", "customer");
+  t.AddSynonym("freight", "shipping cost");
+  t.AddSynonym("invoice", "bill");
+  t.AddSynonym("payment", "remittance");
+  t.AddSynonym("delivery", "shipment");
+  t.AddSynonym("catalog", "catalogue");
+  t.AddSynonym("cart", "basket");
+  t.AddSynonym("unit price", "price per unit");
+  t.AddHypernym("order", "purchase order");
+  t.AddHypernym("order", "sales order");
+  t.AddHypernym("date", "purchase date");
+  t.AddHypernym("date", "order date");
+  t.AddHypernym("date", "ship date");
+  t.AddHypernym("date", "delivery date");
+  t.AddHypernym("address", "billing address");
+  t.AddHypernym("address", "shipping address");
+  t.AddHypernym("party", "vendor");
+  t.AddHypernym("party", "customer");
+}
+
+void AddBibliographicVocabulary(Thesaurus& t) {
+  // Book / Article / Dublin Core domain.
+  t.AddAcronym("isbn", "international standard book number");
+  t.AddAcronym("issn", "international standard serial number");
+  t.AddAcronym("dc", "dublin core");
+  t.AddAcronym("dcmd", "dublin core metadata");
+  t.AddSynonym("author", "writer");
+  t.AddSynonym("author", "creator");
+  t.AddSynonym("book", "volume");
+  t.AddSynonym("article", "paper");
+  t.AddSynonym("journal", "periodical");
+  t.AddSynonym("magazine", "periodical");
+  t.AddSynonym("subject", "topic");
+  t.AddSynonym("keyword", "term");
+  t.AddSynonym("abstract", "summary");
+  t.AddSynonym("chapter", "section");
+  t.AddSynonym("page", "leaf");
+  t.AddSynonym("publisher", "press");
+  t.AddSynonym("edition", "version");
+  t.AddSynonym("rights", "license");
+  t.AddSynonym("contributor", "collaborator");
+  t.AddSynonym("coverage", "scope");
+  t.AddSynonym("relation", "relationship");
+  t.AddSynonym("format", "layout");
+  t.AddSynonym("source", "origin");
+  t.AddHypernym("publication", "book");
+  t.AddHypernym("publication", "article");
+  t.AddHypernym("publication", "journal");
+  t.AddHypernym("publication", "magazine");
+  t.AddHypernym("publication", "proceedings");
+  t.AddHypernym("person", "editor");
+  t.AddHypernym("person", "contributor");
+  t.AddHypernym("date", "publication date");
+  t.AddHypernym("date", "release date");
+  t.AddHypernym("identifier", "isbn");
+  t.AddHypernym("identifier", "issn");
+  t.AddHypernym("identifier", "doi");
+}
+
+void AddProteinVocabulary(Thesaurus& t) {
+  // Protein domain (PIR / PDB style schemas).
+  t.AddAcronym("pir", "protein information resource");
+  t.AddAcronym("pdb", "protein data bank");
+  t.AddAcronym("dna", "deoxyribonucleic acid");
+  t.AddAcronym("rna", "ribonucleic acid");
+  t.AddAcronym("ec", "enzyme commission");
+  t.AddAcronym("mw", "molecular weight");
+  t.AddSynonym("protein", "polypeptide");
+  t.AddSynonym("sequence", "chain");
+  t.AddSynonym("residue", "amino acid");
+  t.AddSynonym("organism", "species");
+  t.AddSynonym("taxonomy", "classification");
+  t.AddSynonym("accession", "accession number");
+  t.AddSynonym("entry", "record");
+  t.AddSynonym("citation", "reference");
+  t.AddSynonym("function", "activity");
+  t.AddSynonym("structure", "conformation");
+  t.AddSynonym("mutation", "variant");
+  t.AddSynonym("gene", "locus")
+      ;
+  t.AddSynonym("annotation", "note");
+  t.AddSynonym("motif", "pattern");
+  t.AddSynonym("site", "position");
+  t.AddSynonym("length", "size");
+  t.AddSynonym("weight", "mass");
+  t.AddHypernym("molecule", "protein");
+  t.AddHypernym("molecule", "enzyme");
+  t.AddHypernym("molecule", "ligand");
+  t.AddHypernym("feature", "domain");
+  t.AddHypernym("feature", "motif");
+  t.AddHypernym("feature", "site");
+  t.AddHypernym("identifier", "accession");
+  t.AddHypernym("method", "x ray diffraction");
+  t.AddHypernym("method", "nmr spectroscopy");
+}
+
+}  // namespace
+
+Thesaurus MakeDefaultThesaurus() {
+  Thesaurus t;
+  AddGenericSchemaVocabulary(t);
+  AddCommerceVocabulary(t);
+  AddBibliographicVocabulary(t);
+  AddProteinVocabulary(t);
+  return t;
+}
+
+const Thesaurus& DefaultThesaurus() {
+  // Function-local static reference: constructed once, never destroyed
+  // (avoids static-destruction ordering issues per the style guide).
+  static const Thesaurus& instance = *new Thesaurus(MakeDefaultThesaurus());
+  return instance;
+}
+
+}  // namespace qmatch::lingua

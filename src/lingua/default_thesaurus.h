@@ -1,0 +1,25 @@
+#ifndef QMATCH_LINGUA_DEFAULT_THESAURUS_H_
+#define QMATCH_LINGUA_DEFAULT_THESAURUS_H_
+
+#include "lingua/thesaurus.h"
+
+namespace qmatch::lingua {
+
+/// The library's built-in linguistic resource: a curated dictionary of
+/// synonyms, hypernyms, acronyms and abbreviations covering generic schema
+/// vocabulary plus the commerce (purchase-order / XBench), bibliographic
+/// (book / article / Dublin Core) and protein (PIR / PDB style) domains the
+/// paper evaluates on.
+///
+/// This substitutes for the WordNet-style resource used by the original
+/// CUPID-based matcher (see DESIGN.md §5). The returned reference is to a
+/// lazily constructed, immutable singleton and is safe to share.
+const Thesaurus& DefaultThesaurus();
+
+/// Builds a fresh copy of the default dictionary (for callers that want to
+/// extend it with their own relations).
+Thesaurus MakeDefaultThesaurus();
+
+}  // namespace qmatch::lingua
+
+#endif  // QMATCH_LINGUA_DEFAULT_THESAURUS_H_

@@ -1,0 +1,173 @@
+#include "lingua/string_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace qmatch::lingua {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  // Single-row dynamic program.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t above = row[j];
+      size_t substitute = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j - 1] + 1, above + 1, substitute});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t window =
+      std::max(a.size(), b.size()) / 2 == 0
+          ? 0
+          : std::max(a.size(), b.size()) / 2 - 1;
+
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions between the matched sequences.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+
+  double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  double jaro = JaroSimilarity(a, b);
+  if (prefix_scale > 0.25) prefix_scale = 0.25;
+  if (prefix_scale < 0.0) prefix_scale = 0.0;
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double DigramSimilarity(std::string_view a, std::string_view b) {
+  if (a == b) return 1.0;
+  if (a.size() < 2 || b.size() < 2) return 0.0;
+  // Dice over multisets of bigrams, computed with a sorted vector.
+  auto bigrams = [](std::string_view s) {
+    std::vector<std::pair<char, char>> out;
+    out.reserve(s.size() - 1);
+    for (size_t i = 0; i + 1 < s.size(); ++i) out.push_back({s[i], s[i + 1]});
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  std::vector<std::pair<char, char>> ba = bigrams(a);
+  std::vector<std::pair<char, char>> bb = bigrams(b);
+  size_t common = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ba.size() && j < bb.size()) {
+    if (ba[i] == bb[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (ba[i] < bb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return 2.0 * static_cast<double>(common) /
+         static_cast<double>(ba.size() + bb.size());
+}
+
+size_t LongestCommonSubstringLength(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0;
+  std::vector<size_t> row(b.size() + 1, 0);
+  size_t best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = 0;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t above = row[j];
+      row[j] = (a[i - 1] == b[j - 1]) ? diagonal + 1 : 0;
+      best = std::max(best, row[j]);
+      diagonal = above;
+    }
+  }
+  return best;
+}
+
+bool IsPlausibleAbbreviation(std::string_view abbrev, std::string_view word) {
+  if (abbrev.empty() || word.empty()) return false;
+  if (abbrev.size() >= word.size()) return false;
+  if (abbrev[0] != word[0]) return false;
+  size_t w = 0;
+  for (char c : abbrev) {
+    while (w < word.size() && word[w] != c) ++w;
+    if (w == word.size()) return false;
+    ++w;
+  }
+  return true;
+}
+
+double BlendedSimilarity(std::string_view a, std::string_view b) {
+  if (a == b) return 1.0;
+  // Digram Dice is the base: strict on unrelated words (Jaro-Winkler, by
+  // contrast, scores ~0.75 for pairs like "material"/"email" and would
+  // flood matchers with false label evidence).
+  double best = DigramSimilarity(a, b);
+  // Morphological variants: one word is a full prefix of the other
+  // ("ship"/"shipping", "bill"/"billing").
+  std::string_view shorter = a.size() <= b.size() ? a : b;
+  std::string_view longer = a.size() <= b.size() ? b : a;
+  if (shorter.size() >= 3 && shorter.size() < longer.size() &&
+      longer.substr(0, shorter.size()) == shorter) {
+    double ratio = static_cast<double>(shorter.size()) /
+                   static_cast<double>(longer.size());
+    best = std::max(best, 0.72 + 0.2 * ratio);
+  }
+  // Unregistered abbreviations ("qnty"/"quantity"); require >= 3 chars so
+  // incidental subsequences of tiny tokens don't trigger.
+  if ((shorter.size() >= 3) && (IsPlausibleAbbreviation(a, b) ||
+                                IsPlausibleAbbreviation(b, a))) {
+    best = std::max(best, 0.80);
+  }
+  return best;
+}
+
+}  // namespace qmatch::lingua

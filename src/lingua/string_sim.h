@@ -1,0 +1,41 @@
+#ifndef QMATCH_LINGUA_STRING_SIM_H_
+#define QMATCH_LINGUA_STRING_SIM_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace qmatch::lingua {
+
+/// Classic Levenshtein edit distance (insert/delete/substitute, unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Normalised edit similarity: 1 - distance / max(|a|, |b|); 1.0 for two
+/// empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity: Jaro boosted by up to 4 chars of common prefix.
+/// `prefix_scale` is Winkler's p (default 0.1, capped at 0.25).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+/// Dice coefficient over character bigrams, in [0, 1]. Single-character
+/// strings compare by equality.
+double DigramSimilarity(std::string_view a, std::string_view b);
+
+/// Length of the longest common substring.
+size_t LongestCommonSubstringLength(std::string_view a, std::string_view b);
+
+/// True when `abbrev` could abbreviate `word`: same first letter and every
+/// character of `abbrev` appears in `word` in order ("qty" vs "quantity").
+bool IsPlausibleAbbreviation(std::string_view abbrev, std::string_view word);
+
+/// The similarity used for out-of-vocabulary token pairs: the maximum of
+/// Jaro-Winkler and digram similarity, with an abbreviation bonus.
+double BlendedSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace qmatch::lingua
+
+#endif  // QMATCH_LINGUA_STRING_SIM_H_

@@ -1,0 +1,99 @@
+#ifndef QMATCH_LINGUA_THESAURUS_H_
+#define QMATCH_LINGUA_THESAURUS_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qmatch::lingua {
+
+/// Relation between two terms, as used by the QoM label axis:
+/// equal / synonym -> *exact* label match; hypernym / hyponym / acronym /
+/// abbreviation -> *relaxed* label match (paper Section 2.1).
+enum class TermRelation {
+  kNone,
+  kEqual,
+  kSynonym,
+  kHypernym,      // lhs is a broader term for rhs
+  kHyponym,       // lhs is a narrower term for rhs
+  kAcronym,       // lhs is an acronym of rhs ("uom" / "unit of measure")
+  kAbbreviation,  // lhs abbreviates rhs ("qty" / "quantity")
+  kExpansion,     // lhs is the expansion of acronym/abbreviation rhs
+};
+
+std::string_view TermRelationName(TermRelation r);
+
+/// An in-memory linguistic resource: synonym sets, a hypernym hierarchy,
+/// and acronym/abbreviation expansions.
+///
+/// This stands in for the WordNet-style resource the paper's CUPID-based
+/// linguistic matcher consumed (see DESIGN.md §5). Terms are stored in the
+/// normalised form produced by `NormalizeLabel` (lower-case, space
+/// separated); all lookups normalise their inputs first.
+class Thesaurus {
+ public:
+  Thesaurus() = default;
+
+  /// Declares `a` and `b` synonyms (symmetric, transitive via union-find
+  /// style merged sets).
+  void AddSynonym(std::string_view a, std::string_view b);
+
+  /// Declares `general` a hypernym (broader term) of `specific`.
+  void AddHypernym(std::string_view general, std::string_view specific);
+
+  /// Declares `acronym` to expand to `expansion` ("UOM" -> "unit of measure").
+  void AddAcronym(std::string_view acronym, std::string_view expansion);
+
+  /// Declares `abbrev` a short form of `full` ("qty" -> "quantity").
+  void AddAbbreviation(std::string_view abbrev, std::string_view full);
+
+  /// Classifies the relation of `a` to `b`. Checks, in order: equality,
+  /// synonymy (including via expansions), hypernym/hyponym (transitive,
+  /// bounded depth), acronym, abbreviation.
+  TermRelation Relate(std::string_view a, std::string_view b) const;
+
+  /// Same as Relate but requires both inputs to already be in canonical
+  /// form (lower-case, singularized, space-separated — the output of
+  /// `CanonicalizeLabel`). Skips re-canonicalization; the hot path for
+  /// matchers that prepare labels once per node.
+  TermRelation RelateCanonical(const std::string& a, const std::string& b) const;
+
+  /// Expansion lookup for an already canonical term (see Expand).
+  std::optional<std::string> ExpandCanonical(const std::string& term) const;
+
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+  bool AreSynonymsCanonical(const std::string& a, const std::string& b) const;
+
+  /// True if `general` is a (transitive) hypernym of `specific`.
+  bool IsHypernymOf(std::string_view general, std::string_view specific) const;
+  bool IsHypernymOfCanonical(const std::string& general,
+                             const std::string& specific) const;
+
+  /// The stored expansion of `term` when it is a known acronym or
+  /// abbreviation, else nullopt.
+  std::optional<std::string> Expand(std::string_view term) const;
+
+  /// Number of stored relations (for tests and diagnostics).
+  size_t RelationCount() const { return relation_count_; }
+
+ private:
+  std::string Canonical(std::string_view term) const;
+  const std::set<std::string>* SynonymSet(const std::string& term) const;
+
+  // term -> id of its synonym group; groups hold normalised terms.
+  std::map<std::string, size_t> synonym_group_of_;
+  std::vector<std::set<std::string>> synonym_groups_;
+  // general -> set of direct specifics.
+  std::map<std::string, std::set<std::string>> hyponyms_;
+  // short form -> expansions.
+  std::map<std::string, std::set<std::string>> acronyms_;
+  std::map<std::string, std::set<std::string>> abbreviations_;
+  size_t relation_count_ = 0;
+};
+
+}  // namespace qmatch::lingua
+
+#endif  // QMATCH_LINGUA_THESAURUS_H_

@@ -1,0 +1,87 @@
+#include "lingua/thesaurus_io.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace qmatch::lingua {
+
+namespace {
+
+Status MalformedLine(size_t line_number, std::string_view what) {
+  return Status::ParseError(
+      StrFormat("thesaurus line %zu: %s", line_number, std::string(what).c_str()));
+}
+
+}  // namespace
+
+Status MergeThesaurus(std::string_view text, Thesaurus* thesaurus) {
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    // Strip trailing comments, then whitespace.
+    std::string_view line = raw_line;
+    if (size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return MalformedLine(line_number, "missing 'kind:' prefix");
+    }
+    std::string_view kind = Trim(line.substr(0, colon));
+    std::string_view body = Trim(line.substr(colon + 1));
+    if (body.empty()) return MalformedLine(line_number, "empty body");
+
+    if (kind == "synonym") {
+      std::vector<std::string> terms = SplitSkipEmpty(body, ',');
+      if (terms.size() < 2) {
+        return MalformedLine(line_number, "synonym needs >= 2 terms");
+      }
+      for (size_t i = 1; i < terms.size(); ++i) {
+        thesaurus->AddSynonym(terms[0], terms[i]);
+      }
+    } else if (kind == "hypernym") {
+      size_t gt = body.find('>');
+      if (gt == std::string_view::npos) {
+        return MalformedLine(line_number, "hypernym needs 'general > specific'");
+      }
+      std::string_view general = Trim(body.substr(0, gt));
+      std::string_view specific = Trim(body.substr(gt + 1));
+      if (general.empty() || specific.empty()) {
+        return MalformedLine(line_number, "empty hypernym term");
+      }
+      thesaurus->AddHypernym(general, specific);
+    } else if (kind == "acronym" || kind == "abbreviation") {
+      size_t eq = body.find('=');
+      if (eq == std::string_view::npos) {
+        return MalformedLine(line_number,
+                             "acronym/abbreviation needs 'short = long'");
+      }
+      std::string_view short_form = Trim(body.substr(0, eq));
+      std::string_view long_form = Trim(body.substr(eq + 1));
+      if (short_form.empty() || long_form.empty()) {
+        return MalformedLine(line_number, "empty term");
+      }
+      if (kind == "acronym") {
+        thesaurus->AddAcronym(short_form, long_form);
+      } else {
+        thesaurus->AddAbbreviation(short_form, long_form);
+      }
+    } else {
+      return MalformedLine(line_number,
+                           "unknown kind '" + std::string(kind) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Thesaurus> ParseThesaurus(std::string_view text) {
+  Thesaurus thesaurus;
+  QMATCH_RETURN_IF_ERROR(MergeThesaurus(text, &thesaurus));
+  return thesaurus;
+}
+
+}  // namespace qmatch::lingua

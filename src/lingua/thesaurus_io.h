@@ -1,0 +1,31 @@
+#ifndef QMATCH_LINGUA_THESAURUS_IO_H_
+#define QMATCH_LINGUA_THESAURUS_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "lingua/thesaurus.h"
+
+namespace qmatch::lingua {
+
+/// Parses the line-oriented thesaurus text format, so deployments can ship
+/// their own domain dictionaries without recompiling:
+///
+/// ```
+/// # comments and blank lines are skipped
+/// synonym: author, writer, creator       # pairwise synonyms
+/// hypernym: publication > book           # general > specific
+/// acronym: UOM = unit of measure
+/// abbreviation: qty = quantity
+/// ```
+///
+/// Fails with a line-numbered parse error on malformed input.
+Result<Thesaurus> ParseThesaurus(std::string_view text);
+
+/// Parses and merges into an existing thesaurus (e.g. the default one).
+Status MergeThesaurus(std::string_view text, Thesaurus* thesaurus);
+
+}  // namespace qmatch::lingua
+
+#endif  // QMATCH_LINGUA_THESAURUS_IO_H_

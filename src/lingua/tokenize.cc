@@ -1,0 +1,103 @@
+#include "lingua/tokenize.h"
+
+#include "common/string_util.h"
+
+namespace qmatch::lingua {
+
+namespace {
+
+enum class CharClass { kNone, kLower, kUpper, kDigit, kOther };
+
+CharClass ClassOf(char c) {
+  if (IsAsciiLower(c)) return CharClass::kLower;
+  if (IsAsciiUpper(c)) return CharClass::kUpper;
+  if (IsAsciiDigit(c)) return CharClass::kDigit;
+  // Non-ASCII bytes (UTF-8 continuation/lead bytes) are treated as
+  // lower-case word characters so international labels survive
+  // tokenization instead of collapsing to empty tokens.
+  if (static_cast<unsigned char>(c) >= 0x80) return CharClass::kLower;
+  return CharClass::kOther;
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeLabel(std::string_view label) {
+  std::vector<std::string> tokens;
+  std::string current;
+  CharClass prev = CharClass::kNone;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+
+  for (size_t i = 0; i < label.size(); ++i) {
+    char c = label[i];
+    CharClass cls = ClassOf(c);
+    if (cls == CharClass::kOther) {
+      // Separators and punctuation end the current token.
+      flush();
+      prev = CharClass::kNone;
+      continue;
+    }
+    bool boundary = false;
+    if (!current.empty()) {
+      if (prev != cls) {
+        // lower->UPPER and letter<->digit transitions start a new word;
+        // UPPER->lower continues a capitalised word ("Code").
+        if (prev == CharClass::kLower && cls == CharClass::kUpper) {
+          boundary = true;
+        } else if (prev == CharClass::kDigit || cls == CharClass::kDigit) {
+          boundary = true;
+        }
+      } else if (cls == CharClass::kUpper) {
+        // Inside an upper-case run: if the NEXT char is lower-case, this
+        // char begins a new capitalised word ("UOMCode" -> UOM | Code).
+        if (i + 1 < label.size() &&
+            ClassOf(label[i + 1]) == CharClass::kLower) {
+          boundary = true;
+        }
+      }
+    }
+    if (boundary) flush();
+    current.push_back(AsciiToLower(c));
+    prev = cls;
+  }
+  flush();
+  return tokens;
+}
+
+std::string NormalizeLabel(std::string_view label) {
+  return Join(TokenizeLabel(label), " ");
+}
+
+std::string SingularizeToken(std::string_view token) {
+  std::string t(token);
+  if (t.size() > 4 && EndsWith(t, "ies")) {
+    t.resize(t.size() - 3);
+    t += 'y';
+    return t;
+  }
+  if (t.size() > 4 && (EndsWith(t, "xes") || EndsWith(t, "ches") ||
+                       EndsWith(t, "shes") || EndsWith(t, "sses"))) {
+    t.resize(t.size() - 2);
+    return t;
+  }
+  if (t.size() > 3 && EndsWith(t, "s") && !EndsWith(t, "ss") &&
+      !EndsWith(t, "us") && !EndsWith(t, "is")) {
+    t.resize(t.size() - 1);
+    return t;
+  }
+  return t;
+}
+
+std::string CanonicalizeLabel(std::string_view label) {
+  std::vector<std::string> tokens = TokenizeLabel(label);
+  for (std::string& token : tokens) {
+    token = SingularizeToken(token);
+  }
+  return Join(tokens, " ");
+}
+
+}  // namespace qmatch::lingua

@@ -1,0 +1,37 @@
+#ifndef QMATCH_LINGUA_TOKENIZE_H_
+#define QMATCH_LINGUA_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qmatch::lingua {
+
+/// Splits a schema label into lower-case word tokens.
+///
+/// Handles the identifier conventions found in XML schemas:
+///   "UnitOfMeasure"  -> {"unit", "of", "measure"}   (camel/Pascal case)
+///   "order_no"       -> {"order", "no"}             (snake case)
+///   "bill-to"        -> {"bill", "to"}              (kebab case)
+///   "UOMCode"        -> {"uom", "code"}             (acronym runs)
+///   "Address2"       -> {"address", "2"}            (digit boundaries)
+///   "Item#"          -> {"item"}                    (punctuation dropped)
+std::vector<std::string> TokenizeLabel(std::string_view label);
+
+/// Canonical form of a label: tokens joined with single spaces
+/// ("UnitOfMeasure" -> "unit of measure").
+std::string NormalizeLabel(std::string_view label);
+
+/// Heuristic English singular of a lower-case token: "lines" -> "line",
+/// "categories" -> "category", "boxes" -> "box". Tokens that do not look
+/// plural (including "address", "status") are returned unchanged.
+std::string SingularizeToken(std::string_view token);
+
+/// Fully canonical label: tokenized, each token singularized, joined with
+/// spaces. Thesaurus keys and the name matcher use this form so that
+/// "Lines" and "Item" match the stored "line"/"item" relation.
+std::string CanonicalizeLabel(std::string_view label);
+
+}  // namespace qmatch::lingua
+
+#endif  // QMATCH_LINGUA_TOKENIZE_H_

@@ -1,0 +1,180 @@
+#include "match/assignment.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace qmatch::match {
+
+std::string_view AssignmentStrategyName(AssignmentStrategy s) {
+  switch (s) {
+    case AssignmentStrategy::kBestPerSource:
+      return "best-per-source";
+    case AssignmentStrategy::kGreedyGlobal:
+      return "greedy-global";
+    case AssignmentStrategy::kStableMarriage:
+      return "stable-marriage";
+  }
+  return "?";
+}
+
+namespace {
+
+bool Eligible(const AssignmentInput& input, size_t i, size_t j) {
+  return !input.eligible || input.eligible(i, j);
+}
+
+std::vector<Correspondence> BestPerSource(const AssignmentInput& input) {
+  std::vector<Correspondence> out;
+  const size_t n = input.sources->size();
+  const size_t m = input.targets->size();
+  for (size_t i = 0; i < n; ++i) {
+    double best = 0.0;
+    double runner_up = 0.0;
+    size_t best_j = m;
+    for (size_t j = 0; j < m; ++j) {
+      if (!Eligible(input, i, j)) continue;
+      double score = input.score(i, j);
+      if (score > best) {
+        runner_up = best;
+        best = score;
+        best_j = j;
+      } else if (score > runner_up) {
+        runner_up = score;
+      }
+    }
+    if (best_j < m && best >= input.threshold &&
+        best - runner_up > input.ambiguity_margin) {
+      out.push_back({(*input.sources)[i], (*input.targets)[best_j], best});
+    }
+  }
+  return out;
+}
+
+struct ScoredPair {
+  double score;
+  size_t i;
+  size_t j;
+};
+
+std::vector<ScoredPair> EligiblePairsAboveThreshold(
+    const AssignmentInput& input) {
+  std::vector<ScoredPair> pairs;
+  for (size_t i = 0; i < input.sources->size(); ++i) {
+    for (size_t j = 0; j < input.targets->size(); ++j) {
+      if (!Eligible(input, i, j)) continue;
+      double score = input.score(i, j);
+      if (score >= input.threshold) pairs.push_back({score, i, j});
+    }
+  }
+  return pairs;
+}
+
+std::vector<Correspondence> GreedyGlobal(const AssignmentInput& input) {
+  std::vector<ScoredPair> pairs = EligiblePairsAboveThreshold(input);
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.i != b.i) return a.i < b.i;  // deterministic tie-break
+              return a.j < b.j;
+            });
+  std::vector<bool> source_used(input.sources->size(), false);
+  std::vector<bool> target_used(input.targets->size(), false);
+  std::vector<Correspondence> out;
+  for (const ScoredPair& pair : pairs) {
+    if (source_used[pair.i] || target_used[pair.j]) continue;
+    source_used[pair.i] = true;
+    target_used[pair.j] = true;
+    out.push_back({(*input.sources)[pair.i], (*input.targets)[pair.j],
+                   pair.score});
+  }
+  return out;
+}
+
+std::vector<Correspondence> StableMarriage(const AssignmentInput& input) {
+  const size_t n = input.sources->size();
+  const size_t m = input.targets->size();
+  // Preference lists: eligible targets above threshold, best first.
+  std::vector<std::vector<ScoredPair>> preferences(n);
+  for (const ScoredPair& pair : EligiblePairsAboveThreshold(input)) {
+    preferences[pair.i].push_back(pair);
+  }
+  for (auto& row : preferences) {
+    std::sort(row.begin(), row.end(),
+              [](const ScoredPair& a, const ScoredPair& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.j < b.j;
+              });
+  }
+
+  std::vector<size_t> next_proposal(n, 0);
+  std::vector<size_t> engaged_to(m, n);  // n = free
+  std::vector<double> engaged_score(m, -1.0);
+  std::queue<size_t> free_sources;
+  for (size_t i = 0; i < n; ++i) free_sources.push(i);
+
+  while (!free_sources.empty()) {
+    size_t i = free_sources.front();
+    free_sources.pop();
+    if (next_proposal[i] >= preferences[i].size()) continue;  // exhausted
+    const ScoredPair& proposal = preferences[i][next_proposal[i]++];
+    size_t j = proposal.j;
+    if (engaged_to[j] == n) {
+      engaged_to[j] = i;
+      engaged_score[j] = proposal.score;
+    } else if (proposal.score > engaged_score[j]) {
+      free_sources.push(engaged_to[j]);
+      engaged_to[j] = i;
+      engaged_score[j] = proposal.score;
+    } else {
+      free_sources.push(i);
+    }
+  }
+
+  std::vector<Correspondence> out;
+  for (size_t j = 0; j < m; ++j) {
+    if (engaged_to[j] == n) continue;
+    out.push_back({(*input.sources)[engaged_to[j]], (*input.targets)[j],
+                   engaged_score[j]});
+  }
+  // Stable output order: by source preorder position.
+  std::sort(out.begin(), out.end(),
+            [&](const Correspondence& a, const Correspondence& b) {
+              return a.source->Path() < b.source->Path();
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<Correspondence> SelectCorrespondences(const AssignmentInput& input,
+                                                  AssignmentStrategy strategy) {
+  QMATCH_CHECK(input.sources != nullptr && input.targets != nullptr &&
+               input.score != nullptr);
+  switch (strategy) {
+    case AssignmentStrategy::kBestPerSource:
+      return BestPerSource(input);
+    case AssignmentStrategy::kGreedyGlobal:
+      return GreedyGlobal(input);
+    case AssignmentStrategy::kStableMarriage:
+      return StableMarriage(input);
+  }
+  return {};
+}
+
+std::vector<Correspondence> SelectFromMatrix(
+    const SimilarityMatrix& matrix, double threshold, double ambiguity_margin,
+    AssignmentStrategy strategy,
+    std::function<bool(size_t, size_t)> eligible) {
+  AssignmentInput input;
+  input.sources = &matrix.sources();
+  input.targets = &matrix.targets();
+  input.score = [&matrix](size_t i, size_t j) { return matrix.at(i, j); };
+  input.eligible = std::move(eligible);
+  input.threshold = threshold;
+  input.ambiguity_margin = ambiguity_margin;
+  return SelectCorrespondences(input, strategy);
+}
+
+}  // namespace qmatch::match

@@ -1,0 +1,56 @@
+#ifndef QMATCH_MATCH_ASSIGNMENT_H_
+#define QMATCH_MATCH_ASSIGNMENT_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "match/matcher.h"
+
+namespace qmatch::match {
+
+/// Mapping-extraction strategy: how node correspondences are selected from
+/// the pairwise score table.
+enum class AssignmentStrategy {
+  /// Each source maps to its best target independently (the default; a
+  /// target may be claimed by several sources — matches the paper's
+  /// evaluation, where P is per-source).
+  kBestPerSource,
+  /// Greedy global 1:1 matching: repeatedly take the highest-scoring
+  /// unclaimed pair. Guarantees an injective mapping.
+  kGreedyGlobal,
+  /// Gale-Shapley stable marriage on the score-induced preferences
+  /// (sources propose). Also injective; stable w.r.t. the scores.
+  kStableMarriage,
+};
+
+std::string_view AssignmentStrategyName(AssignmentStrategy s);
+
+/// Inputs to correspondence selection: the node lists, a score oracle, a
+/// predicate marking pairs eligible for reporting (e.g. the label-evidence
+/// gate), the acceptance threshold and the ambiguity margin (only used by
+/// kBestPerSource; the 1:1 strategies resolve ties by taking pairs in
+/// descending score order).
+struct AssignmentInput {
+  const std::vector<const xsd::SchemaNode*>* sources = nullptr;
+  const std::vector<const xsd::SchemaNode*>* targets = nullptr;
+  std::function<double(size_t, size_t)> score;
+  std::function<bool(size_t, size_t)> eligible;  // may be null (= all)
+  double threshold = 0.5;
+  double ambiguity_margin = 0.02;
+};
+
+/// Selects correspondences per the strategy. Scores below `threshold`
+/// never produce a correspondence under any strategy.
+std::vector<Correspondence> SelectCorrespondences(const AssignmentInput& input,
+                                                  AssignmentStrategy strategy);
+
+/// Convenience: selection over a similarity matrix.
+std::vector<Correspondence> SelectFromMatrix(
+    const SimilarityMatrix& matrix, double threshold, double ambiguity_margin,
+    AssignmentStrategy strategy = AssignmentStrategy::kBestPerSource,
+    std::function<bool(size_t, size_t)> eligible = nullptr);
+
+}  // namespace qmatch::match
+
+#endif  // QMATCH_MATCH_ASSIGNMENT_H_

@@ -1,0 +1,89 @@
+#include "match/composite_matcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "match/assignment.h"
+
+namespace qmatch::match {
+
+SimilarityMatrix CompositeMatcher::Similarity(const xsd::Schema& source,
+                                              const xsd::Schema& target) const {
+  SimilarityMatrix aggregate(source, target);
+  if (components_.empty() || aggregate.empty()) return aggregate;
+  if (options_.aggregation == Aggregation::kWeighted) {
+    QMATCH_CHECK(options_.weights.size() == components_.size())
+        << "kWeighted needs one weight per component";
+  }
+
+  // Collect every component's matrix. All components see the same schemas,
+  // so the shapes agree (preorder node lists are deterministic).
+  std::vector<SimilarityMatrix> matrices;
+  matrices.reserve(components_.size());
+  for (const Matcher* component : components_) {
+    matrices.push_back(component->Similarity(source, target));
+    QMATCH_CHECK(matrices.back().SameShape(aggregate))
+        << "component produced a differently shaped matrix";
+  }
+
+  const double weight_sum = [&] {
+    if (options_.aggregation != Aggregation::kWeighted) return 0.0;
+    double sum = 0.0;
+    for (double w : options_.weights) sum += w;
+    return sum;
+  }();
+
+  for (size_t i = 0; i < aggregate.source_count(); ++i) {
+    for (size_t j = 0; j < aggregate.target_count(); ++j) {
+      double value = 0.0;
+      switch (options_.aggregation) {
+        case Aggregation::kMax: {
+          for (const SimilarityMatrix& m : matrices) {
+            value = std::max(value, m.at(i, j));
+          }
+          break;
+        }
+        case Aggregation::kMin: {
+          value = matrices.front().at(i, j);
+          for (const SimilarityMatrix& m : matrices) {
+            value = std::min(value, m.at(i, j));
+          }
+          break;
+        }
+        case Aggregation::kAverage: {
+          for (const SimilarityMatrix& m : matrices) {
+            value += m.at(i, j);
+          }
+          value /= static_cast<double>(matrices.size());
+          break;
+        }
+        case Aggregation::kWeighted: {
+          for (size_t c = 0; c < matrices.size(); ++c) {
+            value += options_.weights[c] * matrices[c].at(i, j);
+          }
+          if (weight_sum > 0.0) value /= weight_sum;
+          break;
+        }
+      }
+      aggregate.set(i, j, value);
+    }
+  }
+  return aggregate;
+}
+
+MatchResult CompositeMatcher::Match(const xsd::Schema& source,
+                                    const xsd::Schema& target) const {
+  MatchResult result;
+  result.algorithm = std::string(name());
+  if (components_.empty() || source.root() == nullptr ||
+      target.root() == nullptr) {
+    return result;
+  }
+  SimilarityMatrix aggregate = Similarity(source, target);
+  result.correspondences = SelectFromMatrix(aggregate, options_.threshold,
+                                            options_.ambiguity_margin);
+  result.schema_qom = aggregate.MeanBestPerSource();
+  return result;
+}
+
+}  // namespace qmatch::match

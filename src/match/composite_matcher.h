@@ -1,0 +1,57 @@
+#ifndef QMATCH_MATCH_COMPOSITE_MATCHER_H_
+#define QMATCH_MATCH_COMPOSITE_MATCHER_H_
+
+#include <vector>
+
+#include "match/matcher.h"
+
+namespace qmatch::match {
+
+/// COMA-style composite matcher (Do & Rahm, VLDB'02) — the second system
+/// the paper's conclusion targets for comparison. Runs a set of component
+/// matchers, aggregates their per-pair scores, and selects mappings from
+/// the combined similarity.
+///
+/// Aggregation operates on the components' full similarity *matrices*
+/// (COMA's representation), entry-wise:
+///   kMax      — optimistic union (any component can establish a match);
+///   kAverage  — COMA's default combination;
+///   kMin      — pessimistic intersection (consensus required);
+///   kWeighted — per-component weights (must match the component count).
+/// Mapping selection then runs on the aggregated matrix.
+class CompositeMatcher : public Matcher {
+ public:
+  enum class Aggregation { kMax, kMin, kAverage, kWeighted };
+
+  struct Options {
+    Aggregation aggregation = Aggregation::kAverage;
+    /// Weights for kWeighted, one per component matcher.
+    std::vector<double> weights;
+    /// Mapping-selection threshold on the aggregated score.
+    double threshold = 0.5;
+    double ambiguity_margin = 0.02;
+  };
+
+  /// `components` are borrowed and must outlive the composite.
+  explicit CompositeMatcher(std::vector<const Matcher*> components)
+      : CompositeMatcher(std::move(components), Options()) {}
+  CompositeMatcher(std::vector<const Matcher*> components, Options options)
+      : components_(std::move(components)), options_(options) {}
+
+  std::string_view name() const override { return "composite"; }
+
+  MatchResult Match(const xsd::Schema& source,
+                    const xsd::Schema& target) const override;
+
+  /// The aggregated matrix (entry-wise combination of the components').
+  SimilarityMatrix Similarity(const xsd::Schema& source,
+                              const xsd::Schema& target) const override;
+
+ private:
+  std::vector<const Matcher*> components_;
+  Options options_;
+};
+
+}  // namespace qmatch::match
+
+#endif  // QMATCH_MATCH_COMPOSITE_MATCHER_H_

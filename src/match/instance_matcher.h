@@ -1,0 +1,76 @@
+#ifndef QMATCH_MATCH_INSTANCE_MATCHER_H_
+#define QMATCH_MATCH_INSTANCE_MATCHER_H_
+
+#include <vector>
+
+#include "match/matcher.h"
+#include "xml/dom.h"
+
+namespace qmatch::match {
+
+/// Instance-level matcher: matches leaves by the *data values* observed in
+/// sample documents, ignoring labels and structure.
+///
+/// This is the matcher family of LSD and SemInt, which the paper's related
+/// work section contrasts QMatch against ("SemInt provides a match
+/// procedure using a classifier to categorize attributes according to
+/// their field specifications and data values"). Two leaves are similar
+/// when their observed value sets overlap (Jaccard over normalised string
+/// values) or, for numeric leaves, when their value ranges overlap. Inner
+/// node similarity is the linked-leaf fraction over the subtrees (the same
+/// bounded recurrence the structural matcher uses).
+///
+/// Sample documents are bound at construction and must conform to the
+/// schemas later passed to Match()/Similarity() (element names are matched
+/// by path). Leaves never observed in any sample score 0 against
+/// everything.
+class InstanceMatcher : public Matcher {
+ public:
+  struct Options {
+    /// Correspondence cut-off. Value-overlap evidence from finite samples
+    /// is inherently partial, so the default sits below the
+    /// schema-matchers' 0.5.
+    double threshold = 0.35;
+    double ambiguity_margin = 0.02;
+    /// Leaf-pair similarity required to create a strong link for the
+    /// inner-node recurrence.
+    double leaf_link_threshold = 0.35;
+    /// Cap on values collected per leaf (guards against huge documents).
+    size_t max_values_per_leaf = 1024;
+  };
+
+  /// Documents are borrowed and must outlive the matcher.
+  InstanceMatcher(std::vector<const xml::XmlDocument*> source_docs,
+                  std::vector<const xml::XmlDocument*> target_docs)
+      : InstanceMatcher(std::move(source_docs), std::move(target_docs),
+                        Options()) {}
+  InstanceMatcher(std::vector<const xml::XmlDocument*> source_docs,
+                  std::vector<const xml::XmlDocument*> target_docs,
+                  Options options)
+      : source_docs_(std::move(source_docs)),
+        target_docs_(std::move(target_docs)),
+        options_(options) {}
+
+  std::string_view name() const override { return "instance"; }
+
+  MatchResult Match(const xsd::Schema& source,
+                    const xsd::Schema& target) const override;
+
+  SimilarityMatrix Similarity(const xsd::Schema& source,
+                              const xsd::Schema& target) const override;
+
+  /// Similarity of two observed value sets in [0,1] (exposed for tests):
+  /// max of the normalised-string overlap coefficient and the numeric
+  /// range overlap.
+  static double ValueSetSimilarity(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b);
+
+ private:
+  std::vector<const xml::XmlDocument*> source_docs_;
+  std::vector<const xml::XmlDocument*> target_docs_;
+  Options options_;
+};
+
+}  // namespace qmatch::match
+
+#endif  // QMATCH_MATCH_INSTANCE_MATCHER_H_

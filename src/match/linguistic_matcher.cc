@@ -1,0 +1,49 @@
+#include "match/linguistic_matcher.h"
+
+#include "match/assignment.h"
+
+namespace qmatch::match {
+
+SimilarityMatrix LinguisticMatcher::Similarity(const xsd::Schema& source,
+                                               const xsd::Schema& target) const {
+  SimilarityMatrix matrix(source, target);
+  if (matrix.empty()) return matrix;
+
+  // Tokenise every label once and memoise token-pair similarities.
+  std::vector<std::string> source_labels;
+  source_labels.reserve(matrix.source_count());
+  for (const xsd::SchemaNode* s : matrix.sources()) {
+    source_labels.push_back(s->label());
+  }
+  std::vector<std::string> target_labels;
+  target_labels.reserve(matrix.target_count());
+  for (const xsd::SchemaNode* t : matrix.targets()) {
+    target_labels.push_back(t->label());
+  }
+  const lingua::PairwiseLabelScorer scorer(name_matcher_, source_labels,
+                                           target_labels);
+  for (size_t i = 0; i < matrix.source_count(); ++i) {
+    for (size_t j = 0; j < matrix.target_count(); ++j) {
+      lingua::LabelMatch lm = scorer.Match(i, j);
+      if (lm.cls != lingua::LabelMatchClass::kNone) {
+        matrix.set(i, j, lm.score);
+      }
+    }
+  }
+  return matrix;
+}
+
+MatchResult LinguisticMatcher::Match(const xsd::Schema& source,
+                                     const xsd::Schema& target) const {
+  MatchResult result;
+  result.algorithm = std::string(name());
+  if (source.root() == nullptr || target.root() == nullptr) return result;
+
+  SimilarityMatrix matrix = Similarity(source, target);
+  result.correspondences = SelectFromMatrix(matrix, options_.threshold,
+                                            options_.ambiguity_margin);
+  result.schema_qom = matrix.MeanBestPerSource();
+  return result;
+}
+
+}  // namespace qmatch::match

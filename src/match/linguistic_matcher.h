@@ -1,0 +1,54 @@
+#ifndef QMATCH_MATCH_LINGUISTIC_MATCHER_H_
+#define QMATCH_MATCH_LINGUISTIC_MATCHER_H_
+
+#include "lingua/name_match.h"
+#include "lingua/thesaurus.h"
+#include "match/matcher.h"
+
+namespace qmatch::match {
+
+/// The pure linguistic baseline of Section 5: a CUPID-style label matcher
+/// applied to every (source node, target node) pair, ignoring structure,
+/// properties and levels entirely.
+///
+/// Each source node maps to the target node with the highest label score;
+/// pairs below `threshold` are dropped. The schema-level QoM is the mean of
+/// the per-source-node best label scores — high when the vocabularies of
+/// the two schemas overlap, regardless of structure.
+class LinguisticMatcher : public Matcher {
+ public:
+  struct Options {
+    double threshold = 0.5;
+    /// Suppress a mapping when the runner-up target's label score is
+    /// within this margin of the best (ambiguous vocabulary).
+    double ambiguity_margin = 0.02;
+    lingua::NameMatchOptions name_options;
+  };
+
+  /// `thesaurus` is borrowed (may be null for pure string matching) and
+  /// must outlive the matcher.
+  LinguisticMatcher() : LinguisticMatcher(nullptr) {}
+  explicit LinguisticMatcher(const lingua::Thesaurus* thesaurus)
+      : LinguisticMatcher(thesaurus, Options()) {}
+  LinguisticMatcher(const lingua::Thesaurus* thesaurus, Options options)
+      : name_matcher_(thesaurus, options.name_options), options_(options) {}
+
+  std::string_view name() const override { return "linguistic"; }
+
+  MatchResult Match(const xsd::Schema& source,
+                    const xsd::Schema& target) const override;
+
+  /// Label-axis similarity per pair; pairs with no label evidence score 0.
+  SimilarityMatrix Similarity(const xsd::Schema& source,
+                              const xsd::Schema& target) const override;
+
+  const lingua::NameMatcher& name_matcher() const { return name_matcher_; }
+
+ private:
+  lingua::NameMatcher name_matcher_;
+  Options options_;
+};
+
+}  // namespace qmatch::match
+
+#endif  // QMATCH_MATCH_LINGUISTIC_MATCHER_H_

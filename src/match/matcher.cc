@@ -1,0 +1,44 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace qmatch {
+
+bool MatchResult::Contains(std::string_view source_path,
+                           std::string_view target_path) const {
+  for (const Correspondence& c : correspondences) {
+    if (c.source->Path() == source_path && c.target->Path() == target_path) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double MatchResult::ScoreFor(std::string_view source_path) const {
+  for (const Correspondence& c : correspondences) {
+    if (c.source->Path() == source_path) return c.score;
+  }
+  return 0.0;
+}
+
+std::string MatchResult::ToString() const {
+  std::vector<const Correspondence*> sorted;
+  sorted.reserve(correspondences.size());
+  for (const Correspondence& c : correspondences) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Correspondence* a, const Correspondence* b) {
+              return a->score > b->score;
+            });
+  std::string out = StrFormat("%s: schema QoM = %.4f, %zu correspondences\n",
+                              algorithm.c_str(), schema_qom,
+                              correspondences.size());
+  for (const Correspondence* c : sorted) {
+    out += StrFormat("  %-40s -> %-40s  %.4f\n", c->source->Path().c_str(),
+                     c->target->Path().c_str(), c->score);
+  }
+  return out;
+}
+
+}  // namespace qmatch

@@ -1,0 +1,66 @@
+#ifndef QMATCH_MATCH_MATCHER_H_
+#define QMATCH_MATCH_MATCHER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "match/similarity_matrix.h"
+#include "xsd/schema.h"
+
+namespace qmatch {
+
+/// One discovered node-to-node match: a source node, the target node it was
+/// mapped to, and the algorithm's confidence/QoM score in [0, 1].
+struct Correspondence {
+  const xsd::SchemaNode* source = nullptr;
+  const xsd::SchemaNode* target = nullptr;
+  double score = 0.0;
+};
+
+/// The output of a match algorithm over two schemas: the schema-level QoM
+/// (the paper's "total match value ... presented to the user") plus the set
+/// of node correspondences above the algorithm's threshold — the set `P`
+/// scored against the manually determined real matches `R` in Section 5.
+struct MatchResult {
+  std::string algorithm;
+  double schema_qom = 0.0;
+  std::vector<Correspondence> correspondences;
+
+  /// True if a correspondence with these endpoint paths was returned.
+  bool Contains(std::string_view source_path,
+                std::string_view target_path) const;
+
+  /// The score of the correspondence for `source_path`, or 0 when unmapped.
+  double ScoreFor(std::string_view source_path) const;
+
+  /// Human-readable listing, sorted by descending score.
+  std::string ToString() const;
+};
+
+/// Abstract schema match algorithm. Implementations: LinguisticMatcher,
+/// StructuralMatcher, CupidMatcher, CompositeMatcher and core::QMatch (the
+/// paper's hybrid).
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Algorithm display name ("linguistic", "structural", "hybrid", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Matches `source` against `target`. Both schemas must outlive the
+  /// returned result (correspondences point into their trees).
+  virtual MatchResult Match(const xsd::Schema& source,
+                            const xsd::Schema& target) const = 0;
+
+  /// The full pairwise similarity matrix this algorithm scores from,
+  /// *before* mapping selection (thresholds, ambiguity suppression,
+  /// evidence gates). This is the representation COMA-style composition
+  /// aggregates. Both schemas must outlive the returned matrix.
+  virtual match::SimilarityMatrix Similarity(
+      const xsd::Schema& source, const xsd::Schema& target) const = 0;
+};
+
+}  // namespace qmatch
+
+#endif  // QMATCH_MATCH_MATCHER_H_

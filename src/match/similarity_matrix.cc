@@ -1,0 +1,40 @@
+#include "match/similarity_matrix.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace qmatch::match {
+
+double SimilarityMatrix::MaxValue() const {
+  double best = 0.0;
+  for (double v : values_) best = std::max(best, v);
+  return best;
+}
+
+double SimilarityMatrix::MeanBestPerSource() const {
+  if (sources_.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    double best = 0.0;
+    for (size_t j = 0; j < targets_.size(); ++j) {
+      best = std::max(best, at(i, j));
+    }
+    sum += best;
+  }
+  return sum / static_cast<double>(sources_.size());
+}
+
+std::string SimilarityMatrix::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    out += StrFormat("%-40s", sources_[i]->Path().c_str());
+    for (size_t j = 0; j < targets_.size(); ++j) {
+      out += StrFormat(" %.2f", at(i, j));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qmatch::match

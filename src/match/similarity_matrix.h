@@ -1,0 +1,69 @@
+#ifndef QMATCH_MATCH_SIMILARITY_MATRIX_H_
+#define QMATCH_MATCH_SIMILARITY_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "xsd/schema.h"
+
+namespace qmatch::match {
+
+/// A dense |source nodes| x |target nodes| similarity matrix — the
+/// intermediate representation composite matchers (COMA-style) aggregate
+/// before mapping selection. Row/column order is schema preorder.
+class SimilarityMatrix {
+ public:
+  SimilarityMatrix() = default;
+
+  /// Borrows both node lists' pointees; the schemas must outlive the matrix.
+  SimilarityMatrix(std::vector<const xsd::SchemaNode*> sources,
+                   std::vector<const xsd::SchemaNode*> targets)
+      : sources_(std::move(sources)),
+        targets_(std::move(targets)),
+        values_(sources_.size() * targets_.size(), 0.0) {}
+
+  /// Convenience: builds the node lists from the schemas.
+  SimilarityMatrix(const xsd::Schema& source, const xsd::Schema& target)
+      : SimilarityMatrix(source.AllNodes(), target.AllNodes()) {}
+
+  size_t source_count() const { return sources_.size(); }
+  size_t target_count() const { return targets_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const std::vector<const xsd::SchemaNode*>& sources() const {
+    return sources_;
+  }
+  const std::vector<const xsd::SchemaNode*>& targets() const {
+    return targets_;
+  }
+
+  double at(size_t i, size_t j) const { return values_[i * targets_.size() + j]; }
+  void set(size_t i, size_t j, double value) {
+    values_[i * targets_.size() + j] = value;
+  }
+
+  /// True when both matrices cover the same node lists (same order).
+  bool SameShape(const SimilarityMatrix& other) const {
+    return sources_ == other.sources_ && targets_ == other.targets_;
+  }
+
+  /// Largest entry (0 for an empty matrix).
+  double MaxValue() const;
+
+  /// Mean of each source row's best score — the schema-level similarity
+  /// several matchers report.
+  double MeanBestPerSource() const;
+
+  /// Compact textual dump (scores with 2 decimals), for debugging small
+  /// matrices.
+  std::string ToString() const;
+
+ private:
+  std::vector<const xsd::SchemaNode*> sources_;
+  std::vector<const xsd::SchemaNode*> targets_;
+  std::vector<double> values_;
+};
+
+}  // namespace qmatch::match
+
+#endif  // QMATCH_MATCH_SIMILARITY_MATRIX_H_

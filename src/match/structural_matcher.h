@@ -1,0 +1,58 @@
+#ifndef QMATCH_MATCH_STRUCTURAL_MATCHER_H_
+#define QMATCH_MATCH_STRUCTURAL_MATCHER_H_
+
+#include "match/matcher.h"
+
+namespace qmatch::match {
+
+/// The pure structural baseline of Section 5, modelled on CUPID's
+/// structural phase with the linguistic seeding removed.
+///
+/// Leaves are compared by their intrinsic structure — node kind, datatype
+/// (on the XSD lattice) and occurrence constraints — and two leaves whose
+/// similarity clears `leaf_link_threshold` are *strongly linked*. An inner
+/// node pair's similarity is the Dice coefficient of strongly linked leaf
+/// pairs across their subtrees, blended with local shape features (child
+/// count and subtree height). Labels are never consulted, so the matcher
+/// scores high on structurally identical but linguistically disjoint
+/// schemas (paper Figure 9) and low on the reverse.
+class StructuralMatcher : public Matcher {
+ public:
+  struct Options {
+    /// Correspondence cut-off on the pair similarity.
+    double threshold = 0.5;
+    /// Leaf-pair similarity required to create a strong link. Set above
+    /// the 0.7 baseline that same-kind/same-occurs leaves of unrelated
+    /// types score, so links carry type evidence.
+    double leaf_link_threshold = 0.75;
+    /// Suppress a mapping when the runner-up target scores within this
+    /// margin of the best (ambiguity, endemic to label-blind matching).
+    double ambiguity_margin = 0.02;
+    /// Weight of the subtree (leaf-link) component vs local shape features.
+    double subtree_weight = 0.75;
+  };
+
+  StructuralMatcher() : StructuralMatcher(Options()) {}
+  explicit StructuralMatcher(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "structural"; }
+
+  MatchResult Match(const xsd::Schema& source,
+                    const xsd::Schema& target) const override;
+
+  /// Pure structural pair similarity (leaf links + local shape blend).
+  SimilarityMatrix Similarity(const xsd::Schema& source,
+                              const xsd::Schema& target) const override;
+
+  /// Structural similarity of two leaf nodes in [0,1] (exposed for tests):
+  /// 0.5·type + 0.25·kind + 0.25·occurs component.
+  static double LeafSimilarity(const xsd::SchemaNode& s,
+                               const xsd::SchemaNode& t);
+
+ private:
+  Options options_;
+};
+
+}  // namespace qmatch::match
+
+#endif  // QMATCH_MATCH_STRUCTURAL_MATCHER_H_

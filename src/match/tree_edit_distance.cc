@@ -1,0 +1,135 @@
+#include "match/tree_edit_distance.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lingua/tokenize.h"
+
+namespace qmatch::match {
+
+namespace {
+
+/// Post-order flattening of a schema subtree with the leftmost-leaf and
+/// keyroot tables required by Zhang-Shasha.
+struct FlatTree {
+  std::vector<const xsd::SchemaNode*> postorder;
+  std::vector<size_t> leftmost;   // index of leftmost leaf of subtree(i)
+  std::vector<size_t> keyroots;   // ascending
+
+  explicit FlatTree(const xsd::SchemaNode& root) {
+    Walk(root);
+    // A keyroot is a node with no parent, or which is not the leftmost
+    // child of its parent: nodes whose leftmost differs from all larger
+    // nodes' leftmost.
+    std::vector<bool> seen(postorder.size(), false);
+    for (size_t i = postorder.size(); i-- > 0;) {
+      if (!seen[leftmost[i]]) {
+        keyroots.push_back(i);
+        seen[leftmost[i]] = true;
+      }
+    }
+    std::sort(keyroots.begin(), keyroots.end());
+  }
+
+ private:
+  size_t Walk(const xsd::SchemaNode& node) {
+    size_t first_leaf = postorder.size();  // placeholder
+    bool first = true;
+    for (const auto& child : node.children()) {
+      size_t child_leftmost = Walk(*child);
+      if (first) {
+        first_leaf = child_leftmost;
+        first = false;
+      }
+    }
+    size_t index = postorder.size();
+    postorder.push_back(&node);
+    leftmost.push_back(first ? index : first_leaf);
+    return leftmost[index];
+  }
+};
+
+double RenameCostOf(const xsd::SchemaNode& a, const xsd::SchemaNode& b,
+                    const TedOptions& options) {
+  switch (options.rename) {
+    case TedOptions::RenameCost::kLabel: {
+      return lingua::CanonicalizeLabel(a.label()) ==
+                     lingua::CanonicalizeLabel(b.label())
+                 ? 0.0
+                 : options.rename_cost;
+    }
+    case TedOptions::RenameCost::kStructural: {
+      bool same = a.kind() == b.kind() && a.type() == b.type();
+      return same ? 0.0 : options.rename_cost;
+    }
+  }
+  return options.rename_cost;
+}
+
+}  // namespace
+
+double TreeEditDistance(const xsd::SchemaNode& a, const xsd::SchemaNode& b,
+                        const TedOptions& options) {
+  FlatTree ta(a);
+  FlatTree tb(b);
+  const size_t n = ta.postorder.size();
+  const size_t m = tb.postorder.size();
+
+  std::vector<std::vector<double>> treedist(n,
+                                            std::vector<double>(m, 0.0));
+
+  // Forest distance scratch, sized (n+1) x (m+1).
+  std::vector<std::vector<double>> fd(n + 1, std::vector<double>(m + 1, 0.0));
+
+  for (size_t ki : ta.keyroots) {
+    for (size_t kj : tb.keyroots) {
+      const size_t li = ta.leftmost[ki];
+      const size_t lj = tb.leftmost[kj];
+
+      fd[li][lj] = 0.0;
+      for (size_t di = li; di <= ki; ++di) {
+        fd[di + 1][lj] = fd[di][lj] + options.delete_cost;
+      }
+      for (size_t dj = lj; dj <= kj; ++dj) {
+        fd[li][dj + 1] = fd[li][dj] + options.insert_cost;
+      }
+      for (size_t di = li; di <= ki; ++di) {
+        for (size_t dj = lj; dj <= kj; ++dj) {
+          const size_t ai = di;  // postorder index in a
+          const size_t bj = dj;
+          if (ta.leftmost[ai] == li && tb.leftmost[bj] == lj) {
+            // Both forests are whole trees: full tree comparison.
+            double rename =
+                RenameCostOf(*ta.postorder[ai], *tb.postorder[bj], options);
+            fd[di + 1][dj + 1] =
+                std::min({fd[di][dj + 1] + options.delete_cost,
+                          fd[di + 1][dj] + options.insert_cost,
+                          fd[di][dj] + rename});
+            treedist[ai][bj] = fd[di + 1][dj + 1];
+          } else {
+            const size_t pi = ta.leftmost[ai];  // forest cut points
+            const size_t pj = tb.leftmost[bj];
+            fd[di + 1][dj + 1] =
+                std::min({fd[di][dj + 1] + options.delete_cost,
+                          fd[di + 1][dj] + options.insert_cost,
+                          fd[pi][pj] + treedist[ai][bj]});
+          }
+        }
+      }
+    }
+  }
+  return treedist[n - 1][m - 1];
+}
+
+double TedSimilarity(const xsd::SchemaNode& a, const xsd::SchemaNode& b,
+                     const TedOptions& options) {
+  double distance = TreeEditDistance(a, b, options);
+  double denominator =
+      static_cast<double>(a.SubtreeSize() + b.SubtreeSize());
+  if (denominator <= 0.0) return 1.0;
+  double sim = 1.0 - distance / denominator;
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+}  // namespace qmatch::match

@@ -1,0 +1,41 @@
+#ifndef QMATCH_MATCH_TREE_EDIT_DISTANCE_H_
+#define QMATCH_MATCH_TREE_EDIT_DISTANCE_H_
+
+#include <cstddef>
+
+#include "xsd/schema.h"
+
+namespace qmatch::match {
+
+/// Cost model for tree edit operations.
+struct TedOptions {
+  enum class RenameCost {
+    /// Rename is free iff the canonicalised labels are equal (the
+    /// Nierman-Jagadish style structural+label distance).
+    kLabel,
+    /// Rename is free iff kind and datatype agree — a label-blind,
+    /// purely structural distance.
+    kStructural,
+  };
+  RenameCost rename = RenameCost::kLabel;
+  double insert_cost = 1.0;
+  double delete_cost = 1.0;
+  double rename_cost = 1.0;
+};
+
+/// Ordered tree edit distance between two schema subtrees via the
+/// Zhang-Shasha algorithm (insert / delete / rename, configurable costs).
+///
+/// Complexity is O(|a|·|b|·min(depth,leaves)²) time and O(|a|·|b|) space —
+/// fine for the paper's hand-built schemas, not intended for the
+/// thousands-of-nodes protein schemas (use StructuralMatcher there).
+double TreeEditDistance(const xsd::SchemaNode& a, const xsd::SchemaNode& b,
+                        const TedOptions& options = {});
+
+/// Normalised similarity: 1 - distance / (|a| + |b|), clamped to [0, 1].
+double TedSimilarity(const xsd::SchemaNode& a, const xsd::SchemaNode& b,
+                     const TedOptions& options = {});
+
+}  // namespace qmatch::match
+
+#endif  // QMATCH_MATCH_TREE_EDIT_DISTANCE_H_

@@ -1,0 +1,73 @@
+#include "qom/taxonomy.h"
+
+namespace qmatch::qom {
+
+std::string_view AxisMatchName(AxisMatch m) {
+  switch (m) {
+    case AxisMatch::kNone:
+      return "none";
+    case AxisMatch::kRelaxed:
+      return "relaxed";
+    case AxisMatch::kExact:
+      return "exact";
+  }
+  return "?";
+}
+
+std::string_view CoverageName(Coverage c) {
+  switch (c) {
+    case Coverage::kNone:
+      return "none";
+    case Coverage::kPartial:
+      return "partial";
+    case Coverage::kTotal:
+      return "total";
+  }
+  return "?";
+}
+
+std::string_view MatchCategoryName(MatchCategory c) {
+  switch (c) {
+    case MatchCategory::kNoMatch:
+      return "no match";
+    case MatchCategory::kPartialRelaxed:
+      return "partial relaxed";
+    case MatchCategory::kPartialExact:
+      return "partial exact";
+    case MatchCategory::kTotalRelaxed:
+      return "total relaxed";
+    case MatchCategory::kTotalExact:
+      return "total exact";
+  }
+  return "?";
+}
+
+MatchCategory Categorize(AxisMatch label, AxisMatch properties,
+                         AxisMatch level, Coverage coverage,
+                         bool children_all_exact) {
+  // A pair with no label relationship and no child coverage is no match.
+  if (label == AxisMatch::kNone && coverage == Coverage::kNone) {
+    return MatchCategory::kNoMatch;
+  }
+  if (coverage == Coverage::kNone) {
+    // Atomic axes agree to some degree but the structures share nothing.
+    return MatchCategory::kNoMatch;
+  }
+
+  const bool atomic_all_exact = label == AxisMatch::kExact &&
+                                properties == AxisMatch::kExact &&
+                                level == AxisMatch::kExact;
+  if (coverage == Coverage::kTotal) {
+    return (atomic_all_exact && children_all_exact)
+               ? MatchCategory::kTotalExact
+               : MatchCategory::kTotalRelaxed;
+  }
+  // Partial coverage.
+  return (atomic_all_exact && children_all_exact)
+             ? MatchCategory::kPartialExact
+             : MatchCategory::kPartialRelaxed;
+}
+
+int CategoryRank(MatchCategory c) { return static_cast<int>(c); }
+
+}  // namespace qmatch::qom

@@ -1,0 +1,55 @@
+#ifndef QMATCH_QOM_TAXONOMY_H_
+#define QMATCH_QOM_TAXONOMY_H_
+
+#include <string_view>
+
+namespace qmatch::qom {
+
+/// Match level along an atomic-valued axis (label, properties, level).
+/// Paper Section 2.1: exact / relaxed; for the level axis relaxed is
+/// synonymous with no match.
+enum class AxisMatch { kNone, kRelaxed, kExact };
+
+/// Coverage along the set-valued children axis (Section 2.1): total = every
+/// source child matches some target child; partial = some but not all;
+/// none = no child matches (or the coverage is vacuous in a mixed
+/// leaf/non-leaf comparison).
+enum class Coverage { kNone, kPartial, kTotal };
+
+/// The paper's XML match taxonomy (Section 2.2), ordered worst to best.
+enum class MatchCategory {
+  kNoMatch,
+  kPartialRelaxed,
+  kPartialExact,
+  kTotalRelaxed,
+  kTotalExact,
+};
+
+std::string_view AxisMatchName(AxisMatch m);
+std::string_view CoverageName(Coverage c);
+std::string_view MatchCategoryName(MatchCategory c);
+
+/// Combines the three atomic axes and the children axis into a taxonomy
+/// category, per Section 2.2:
+///  - total exact: exact along label, properties and level AND a total
+///    exact children match;
+///  - total relaxed: total coverage, but one or more relaxed matches along
+///    an atomic axis or among the children;
+///  - partial exact: exact along all atomic axes, partial exact children;
+///  - partial relaxed: partial coverage and/or relaxed matches;
+///  - no match: label axis none, or no child coverage on a non-leaf pair.
+///
+/// `children_all_exact` states whether every matched child pair was itself
+/// a total-exact match. For two leaves pass Coverage::kTotal and true
+/// (leaves match exactly by default along the children axis).
+MatchCategory Categorize(AxisMatch label, AxisMatch properties,
+                         AxisMatch level, Coverage coverage,
+                         bool children_all_exact);
+
+/// Total order on categories for ranking ("a total exact is clearly a
+/// better match", Section 3). Higher is better.
+int CategoryRank(MatchCategory c);
+
+}  // namespace qmatch::qom
+
+#endif  // QMATCH_QOM_TAXONOMY_H_

@@ -1,0 +1,35 @@
+#include "qom/weights.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace qmatch::qom {
+
+Status Weights::Validate() const {
+  for (double w : {label, properties, level, children}) {
+    if (w < 0.0 || w > 1.0 || std::isnan(w)) {
+      return Status::InvalidArgument(
+          "axis weights must lie in [0, 1], got " + ToString());
+    }
+  }
+  if (std::abs(Sum() - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        StrFormat("axis weights must sum to 1, got %.6f (%s)", Sum(),
+                  ToString().c_str()));
+  }
+  return Status::OK();
+}
+
+Weights Weights::Normalized() const {
+  double sum = Sum();
+  if (sum <= 0.0) return *this;
+  return Weights{label / sum, properties / sum, level / sum, children / sum};
+}
+
+std::string Weights::ToString() const {
+  return StrFormat("{L=%.3f, P=%.3f, H=%.3f, C=%.3f}", label, properties,
+                   level, children);
+}
+
+}  // namespace qmatch::qom

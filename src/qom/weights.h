@@ -1,0 +1,48 @@
+#ifndef QMATCH_QOM_WEIGHTS_H_
+#define QMATCH_QOM_WEIGHTS_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace qmatch::qom {
+
+/// The per-axis weights of the quantitative match model (paper Eq. 1):
+///
+///   QoM(n1,n2) = WL·QoM_L + WP·QoM_P + WH·QoM_H + WC·QoM_C
+///
+/// Defaults are the paper's chosen values (Table 2). Weights must be
+/// non-negative and sum to 1 so the highest classification (total exact)
+/// yields QoM = 1.
+struct Weights {
+  double label = 0.3;
+  double properties = 0.2;
+  double level = 0.1;
+  double children = 0.4;
+
+  double Sum() const { return label + properties + level + children; }
+
+  /// OK iff all weights are in [0,1] and sum to 1 (within 1e-9).
+  Status Validate() const;
+
+  /// Returns a copy scaled so the weights sum to 1. Weights summing to 0
+  /// are returned unchanged.
+  Weights Normalized() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Weights& a, const Weights& b) {
+    return a.label == b.label && a.properties == b.properties &&
+           a.level == b.level && a.children == b.children;
+  }
+};
+
+/// Table 2 of the paper: label 0.3, properties 0.2, level 0.1, children 0.4.
+inline constexpr Weights kPaperWeights{0.3, 0.2, 0.1, 0.4};
+
+/// Equal weighting across the four axes (ablation baseline).
+inline constexpr Weights kUniformWeights{0.25, 0.25, 0.25, 0.25};
+
+}  // namespace qmatch::qom
+
+#endif  // QMATCH_QOM_WEIGHTS_H_

@@ -1,0 +1,47 @@
+#include "xml/cursor.h"
+
+#include "common/string_util.h"
+
+namespace qmatch::xml {
+
+char TextCursor::Advance() {
+  if (AtEnd()) return '\0';
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool TextCursor::Consume(std::string_view prefix) {
+  if (!LookingAt(prefix)) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) Advance();
+  return true;
+}
+
+size_t TextCursor::SkipWhitespace() {
+  size_t n = 0;
+  while (!AtEnd() && IsAsciiSpace(Peek())) {
+    Advance();
+    ++n;
+  }
+  return n;
+}
+
+bool TextCursor::ReadUntil(std::string_view delimiter, std::string_view* out) {
+  size_t hit = input_.find(delimiter, pos_);
+  if (hit == std::string_view::npos) return false;
+  size_t start = pos_;
+  while (pos_ < hit) Advance();
+  *out = input_.substr(start, hit - start);
+  return true;
+}
+
+std::string TextCursor::Location() const {
+  return StrFormat("line %zu, column %zu", line_, column_);
+}
+
+}  // namespace qmatch::xml

@@ -1,0 +1,61 @@
+#ifndef QMATCH_XML_CURSOR_H_
+#define QMATCH_XML_CURSOR_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace qmatch::xml {
+
+/// A character cursor over an in-memory XML document that tracks the current
+/// line and column for error reporting. All parsing in `xml::Parser` goes
+/// through this class.
+class TextCursor {
+ public:
+  explicit TextCursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  size_t pos() const { return pos_; }
+  size_t line() const { return line_; }
+  size_t column() const { return column_; }
+
+  /// Current character; '\0' at end of input.
+  char Peek() const { return AtEnd() ? '\0' : input_[pos_]; }
+
+  /// Character at `offset` past the current position; '\0' past the end.
+  char PeekAt(size_t offset) const {
+    size_t p = pos_ + offset;
+    return p >= input_.size() ? '\0' : input_[p];
+  }
+
+  /// Consumes and returns the current character ('\0' at end).
+  char Advance();
+
+  /// Consumes `prefix` if the input starts with it here; returns whether it did.
+  bool Consume(std::string_view prefix);
+
+  /// True if the remaining input starts with `prefix`.
+  bool LookingAt(std::string_view prefix) const {
+    return input_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  /// Skips ASCII whitespace; returns how many characters were skipped.
+  size_t SkipWhitespace();
+
+  /// Consumes characters until (not including) the next occurrence of
+  /// `delimiter`, returning them. Returns false if `delimiter` never occurs.
+  bool ReadUntil(std::string_view delimiter, std::string_view* out);
+
+  /// "file:line:column" style location string for error messages.
+  std::string Location() const;
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t column_ = 1;
+};
+
+}  // namespace qmatch::xml
+
+#endif  // QMATCH_XML_CURSOR_H_

@@ -1,0 +1,146 @@
+#include "xml/dom.h"
+
+#include <algorithm>
+
+namespace qmatch::xml {
+
+std::string_view XmlElement::LocalNameOf(std::string_view qname) {
+  size_t colon = qname.find(':');
+  return colon == std::string_view::npos ? qname : qname.substr(colon + 1);
+}
+
+std::string_view XmlElement::PrefixOf(std::string_view qname) {
+  size_t colon = qname.find(':');
+  return colon == std::string_view::npos ? std::string_view()
+                                         : qname.substr(0, colon);
+}
+
+void XmlElement::SetAttribute(std::string_view name, std::string_view value) {
+  for (XmlAttribute& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::string(name), std::string(value)});
+}
+
+const std::string* XmlElement::FindAttribute(std::string_view name) const {
+  for (const XmlAttribute& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+std::string_view XmlElement::AttributeOr(std::string_view name,
+                                         std::string_view fallback) const {
+  const std::string* v = FindAttribute(name);
+  return v != nullptr ? std::string_view(*v) : fallback;
+}
+
+bool XmlElement::RemoveAttribute(std::string_view name) {
+  auto it = std::find_if(attributes_.begin(), attributes_.end(),
+                         [&](const XmlAttribute& a) { return a.name == name; });
+  if (it == attributes_.end()) return false;
+  attributes_.erase(it);
+  return true;
+}
+
+XmlElement* XmlElement::AddChild(std::unique_ptr<XmlElement> child) {
+  child->parent_ = this;
+  XmlElement* borrowed = child.get();
+  children_.emplace_back(std::move(child));
+  return borrowed;
+}
+
+XmlElement* XmlElement::AddChildElement(std::string name) {
+  return AddChild(std::make_unique<XmlElement>(std::move(name)));
+}
+
+void XmlElement::AddText(std::string text, bool is_cdata) {
+  children_.emplace_back(XmlText{std::move(text), is_cdata});
+}
+
+std::vector<const XmlElement*> XmlElement::ChildElements() const {
+  std::vector<const XmlElement*> out;
+  for (const XmlChild& child : children_) {
+    if (const auto* el = std::get_if<std::unique_ptr<XmlElement>>(&child)) {
+      out.push_back(el->get());
+    }
+  }
+  return out;
+}
+
+std::vector<XmlElement*> XmlElement::ChildElements() {
+  std::vector<XmlElement*> out;
+  for (XmlChild& child : children_) {
+    if (auto* el = std::get_if<std::unique_ptr<XmlElement>>(&child)) {
+      out.push_back(el->get());
+    }
+  }
+  return out;
+}
+
+std::vector<const XmlElement*> XmlElement::ChildElementsNamed(
+    std::string_view local_name) const {
+  std::vector<const XmlElement*> out;
+  for (const XmlElement* el : ChildElements()) {
+    if (el->LocalName() == local_name) out.push_back(el);
+  }
+  return out;
+}
+
+const XmlElement* XmlElement::FirstChildElement(
+    std::string_view local_name) const {
+  for (const XmlElement* el : ChildElements()) {
+    if (el->LocalName() == local_name) return el;
+  }
+  return nullptr;
+}
+
+const XmlElement* XmlElement::FirstChildElement() const {
+  for (const XmlChild& child : children_) {
+    if (const auto* el = std::get_if<std::unique_ptr<XmlElement>>(&child)) {
+      return el->get();
+    }
+  }
+  return nullptr;
+}
+
+std::string XmlElement::InnerText() const {
+  std::string out;
+  for (const XmlChild& child : children_) {
+    if (const XmlText* text = std::get_if<XmlText>(&child)) {
+      out += text->text;
+    }
+  }
+  return out;
+}
+
+size_t XmlElement::CountDescendantElements() const {
+  size_t count = 1;
+  for (const XmlElement* el : ChildElements()) {
+    count += el->CountDescendantElements();
+  }
+  return count;
+}
+
+size_t XmlElement::MaxDepth() const {
+  size_t deepest = 0;
+  for (const XmlElement* el : ChildElements()) {
+    deepest = std::max(deepest, 1 + el->MaxDepth());
+  }
+  return deepest;
+}
+
+const std::string* XmlElement::ResolveNamespacePrefix(
+    std::string_view prefix) const {
+  const std::string attr_name =
+      prefix.empty() ? std::string("xmlns") : "xmlns:" + std::string(prefix);
+  for (const XmlElement* el = this; el != nullptr; el = el->parent()) {
+    if (const std::string* v = el->FindAttribute(attr_name)) return v;
+  }
+  return nullptr;
+}
+
+}  // namespace qmatch::xml

@@ -1,0 +1,149 @@
+#ifndef QMATCH_XML_DOM_H_
+#define QMATCH_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace qmatch::xml {
+
+/// A single name="value" attribute. Attribute order is preserved.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// A run of character data (text or CDATA) inside an element.
+struct XmlText {
+  std::string text;
+  bool is_cdata = false;
+};
+
+class XmlElement;
+
+/// Ordered element content: child elements interleaved with text runs.
+using XmlChild = std::variant<std::unique_ptr<XmlElement>, XmlText>;
+
+/// An XML element node: qualified name, attributes, ordered children.
+///
+/// Elements own their child elements (tree ownership via unique_ptr); the
+/// non-owning `parent()` back-pointer supports upward traversal, e.g. for
+/// namespace-prefix resolution.
+class XmlElement {
+ public:
+  explicit XmlElement(std::string name) : name_(std::move(name)) {}
+
+  XmlElement(const XmlElement&) = delete;
+  XmlElement& operator=(const XmlElement&) = delete;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Local part of this element's qualified name ("element" for "xs:element").
+  std::string_view LocalName() const { return LocalNameOf(name_); }
+  /// Prefix part of this element's qualified name ("" if unprefixed).
+  std::string_view Prefix() const { return PrefixOf(name_); }
+
+  static std::string_view LocalNameOf(std::string_view qname);
+  static std::string_view PrefixOf(std::string_view qname);
+
+  const XmlElement* parent() const { return parent_; }
+
+  // --- Attributes ------------------------------------------------------
+
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+
+  /// Sets (replacing any existing) attribute `name` to `value`.
+  void SetAttribute(std::string_view name, std::string_view value);
+
+  /// Returns the attribute value, or nullptr if absent.
+  const std::string* FindAttribute(std::string_view name) const;
+
+  bool HasAttribute(std::string_view name) const {
+    return FindAttribute(name) != nullptr;
+  }
+
+  /// Returns the attribute value or `fallback` if absent.
+  std::string_view AttributeOr(std::string_view name,
+                               std::string_view fallback) const;
+
+  /// Removes attribute `name` if present; returns whether it was removed.
+  bool RemoveAttribute(std::string_view name);
+
+  // --- Children --------------------------------------------------------
+
+  const std::vector<XmlChild>& children() const { return children_; }
+
+  /// Appends a child element and returns a borrowed pointer to it.
+  XmlElement* AddChild(std::unique_ptr<XmlElement> child);
+
+  /// Convenience: creates, appends and returns a new child element.
+  XmlElement* AddChildElement(std::string name);
+
+  /// Appends a text (or CDATA) run.
+  void AddText(std::string text, bool is_cdata = false);
+
+  /// Borrowed pointers to all direct child elements, in document order.
+  std::vector<const XmlElement*> ChildElements() const;
+  std::vector<XmlElement*> ChildElements();
+
+  /// Direct child elements whose *local* name equals `local_name`.
+  std::vector<const XmlElement*> ChildElementsNamed(
+      std::string_view local_name) const;
+
+  /// First direct child element with the given local name, or nullptr.
+  const XmlElement* FirstChildElement(std::string_view local_name) const;
+  /// First direct child element of any name, or nullptr.
+  const XmlElement* FirstChildElement() const;
+
+  /// Concatenation of all *direct* text runs.
+  std::string InnerText() const;
+
+  /// Number of element nodes in the subtree rooted here (inclusive).
+  size_t CountDescendantElements() const;
+
+  /// Depth of the deepest element below this one (this element = 0).
+  size_t MaxDepth() const;
+
+  /// Resolves a namespace prefix ("" for the default namespace) against the
+  /// xmlns declarations in scope at this element. Returns nullptr when the
+  /// prefix is unbound.
+  const std::string* ResolveNamespacePrefix(std::string_view prefix) const;
+
+ private:
+  std::string name_;
+  std::vector<XmlAttribute> attributes_;
+  std::vector<XmlChild> children_;
+  const XmlElement* parent_ = nullptr;
+};
+
+/// A parsed XML document: the XML declaration plus a single root element.
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+
+  XmlDocument(XmlDocument&&) noexcept = default;
+  XmlDocument& operator=(XmlDocument&&) noexcept = default;
+
+  const XmlElement* root() const { return root_.get(); }
+  XmlElement* root() { return root_.get(); }
+  void set_root(std::unique_ptr<XmlElement> root) { root_ = std::move(root); }
+
+  const std::string& version() const { return version_; }
+  const std::string& encoding() const { return encoding_; }
+  void set_declaration(std::string version, std::string encoding) {
+    version_ = std::move(version);
+    encoding_ = std::move(encoding);
+  }
+
+ private:
+  std::unique_ptr<XmlElement> root_;
+  std::string version_ = "1.0";
+  std::string encoding_ = "UTF-8";
+};
+
+}  // namespace qmatch::xml
+
+#endif  // QMATCH_XML_DOM_H_

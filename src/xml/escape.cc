@@ -1,0 +1,154 @@
+#include "xml/escape.h"
+
+#include <cstdint>
+
+#include "common/string_util.h"
+
+namespace qmatch::xml {
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\t':
+        out += "&#9;";
+        break;
+      case '\n':
+        out += "&#10;";
+        break;
+      case '\r':
+        out += "&#13;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Appends `cp` to `out` as UTF-8. Returns false for invalid code points.
+bool AppendUtf8(uint32_t cp, std::string& out) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return false;
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = s.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view body = s.substr(i + 1, semi - i - 1);
+    if (body.empty()) {
+      return Status::ParseError("empty entity reference '&;'");
+    }
+    if (body == "amp") {
+      out.push_back('&');
+    } else if (body == "lt") {
+      out.push_back('<');
+    } else if (body == "gt") {
+      out.push_back('>');
+    } else if (body == "apos") {
+      out.push_back('\'');
+    } else if (body == "quot") {
+      out.push_back('"');
+    } else if (body[0] == '#') {
+      std::string_view digits = body.substr(1);
+      uint32_t cp = 0;
+      bool hex = !digits.empty() && (digits[0] == 'x' || digits[0] == 'X');
+      if (hex) digits = digits.substr(1);
+      if (digits.empty()) {
+        return Status::ParseError("empty character reference");
+      }
+      for (char d : digits) {
+        uint32_t v;
+        if (IsAsciiDigit(d)) {
+          v = static_cast<uint32_t>(d - '0');
+        } else if (hex && d >= 'a' && d <= 'f') {
+          v = static_cast<uint32_t>(d - 'a' + 10);
+        } else if (hex && d >= 'A' && d <= 'F') {
+          v = static_cast<uint32_t>(d - 'A' + 10);
+        } else {
+          return Status::ParseError("malformed character reference '&" +
+                                    std::string(body) + ";'");
+        }
+        cp = cp * (hex ? 16u : 10u) + v;
+        if (cp > 0x10FFFF) {
+          return Status::ParseError("character reference out of range");
+        }
+      }
+      if (!AppendUtf8(cp, out)) {
+        return Status::ParseError("invalid code point in character reference");
+      }
+    } else {
+      return Status::ParseError("undefined entity '&" + std::string(body) +
+                                ";'");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace qmatch::xml

@@ -1,0 +1,26 @@
+#ifndef QMATCH_XML_ESCAPE_H_
+#define QMATCH_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace qmatch::xml {
+
+/// Escapes character data for use as XML text content: `&`, `<`, `>`.
+std::string EscapeText(std::string_view s);
+
+/// Escapes a string for use inside a double-quoted attribute value:
+/// `&`, `<`, `>`, `"`, plus tab/CR/LF as character references.
+std::string EscapeAttribute(std::string_view s);
+
+/// Decodes the five predefined XML entities (&amp; &lt; &gt; &apos; &quot;)
+/// and decimal / hexadecimal character references (&#123; &#x1F;) in `s`.
+/// Non-ASCII code points are encoded as UTF-8. Fails on malformed or
+/// undefined entity references.
+Result<std::string> DecodeEntities(std::string_view s);
+
+}  // namespace qmatch::xml
+
+#endif  // QMATCH_XML_ESCAPE_H_

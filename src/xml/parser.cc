@@ -1,0 +1,302 @@
+#include "xml/parser.h"
+
+#include <memory>
+#include <string>
+
+#include "common/string_util.h"
+#include "xml/cursor.h"
+#include "xml/escape.h"
+
+namespace qmatch::xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return IsAsciiAlpha(c) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || IsAsciiDigit(c) || c == '-' || c == '.';
+}
+
+/// Recursive-descent XML parser over a TextCursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : cursor_(input) {}
+
+  Result<XmlDocument> ParseDocument() {
+    XmlDocument doc;
+    // Optional UTF-8 BOM.
+    cursor_.Consume("\xEF\xBB\xBF");
+    QMATCH_RETURN_IF_ERROR(ParseProlog(&doc));
+    cursor_.SkipWhitespace();
+    if (!cursor_.LookingAt("<")) {
+      return Error("expected root element");
+    }
+    QMATCH_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseElement());
+    doc.set_root(std::move(root));
+    // Trailing misc: whitespace, comments, PIs only.
+    QMATCH_RETURN_IF_ERROR(SkipMisc());
+    if (!cursor_.AtEnd()) {
+      return Error("unexpected content after root element");
+    }
+    return doc;
+  }
+
+ private:
+  Status Error(std::string_view what) const {
+    return Status::ParseError(std::string(what) + " at " + cursor_.Location());
+  }
+
+  // Skips whitespace, comments and processing instructions.
+  Status SkipMisc() {
+    for (;;) {
+      cursor_.SkipWhitespace();
+      if (cursor_.LookingAt("<!--")) {
+        QMATCH_RETURN_IF_ERROR(SkipComment());
+      } else if (cursor_.LookingAt("<?")) {
+        QMATCH_RETURN_IF_ERROR(SkipProcessingInstruction());
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status ParseProlog(XmlDocument* doc) {
+    cursor_.SkipWhitespace();
+    if (cursor_.LookingAt("<?xml") &&
+        (IsAsciiSpace(cursor_.PeekAt(5)) || cursor_.PeekAt(5) == '?')) {
+      QMATCH_RETURN_IF_ERROR(ParseXmlDeclaration(doc));
+    }
+    QMATCH_RETURN_IF_ERROR(SkipMisc());
+    if (cursor_.LookingAt("<!DOCTYPE")) {
+      QMATCH_RETURN_IF_ERROR(SkipDoctype());
+      QMATCH_RETURN_IF_ERROR(SkipMisc());
+    }
+    return Status::OK();
+  }
+
+  Status ParseXmlDeclaration(XmlDocument* doc) {
+    cursor_.Consume("<?xml");
+    std::string version = "1.0";
+    std::string encoding = "UTF-8";
+    for (;;) {
+      cursor_.SkipWhitespace();
+      if (cursor_.Consume("?>")) break;
+      if (cursor_.AtEnd()) return Error("unterminated XML declaration");
+      QMATCH_ASSIGN_OR_RETURN(XmlAttribute attr, ParseAttribute());
+      if (attr.name == "version") {
+        version = attr.value;
+      } else if (attr.name == "encoding") {
+        encoding = attr.value;
+      } else if (attr.name != "standalone") {
+        return Error("unknown XML declaration attribute '" + attr.name + "'");
+      }
+    }
+    doc->set_declaration(std::move(version), std::move(encoding));
+    return Status::OK();
+  }
+
+  Status SkipComment() {
+    cursor_.Consume("<!--");
+    std::string_view ignored;
+    if (!cursor_.ReadUntil("-->", &ignored)) {
+      return Error("unterminated comment");
+    }
+    cursor_.Consume("-->");
+    if (ignored.find("--") != std::string_view::npos) {
+      return Error("'--' not allowed inside comment");
+    }
+    return Status::OK();
+  }
+
+  Status SkipProcessingInstruction() {
+    cursor_.Consume("<?");
+    std::string_view ignored;
+    if (!cursor_.ReadUntil("?>", &ignored)) {
+      return Error("unterminated processing instruction");
+    }
+    cursor_.Consume("?>");
+    return Status::OK();
+  }
+
+  // Skips <!DOCTYPE ...>, tolerating an internal subset in brackets.
+  Status SkipDoctype() {
+    cursor_.Consume("<!DOCTYPE");
+    int bracket_depth = 0;
+    while (!cursor_.AtEnd()) {
+      char c = cursor_.Advance();
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth == 0) {
+        return Status::OK();
+      }
+    }
+    return Error("unterminated DOCTYPE");
+  }
+
+  Result<std::string> ParseName() {
+    if (!IsNameStartChar(cursor_.Peek())) {
+      return Error("expected a name");
+    }
+    std::string name;
+    while (IsNameChar(cursor_.Peek())) {
+      name.push_back(cursor_.Advance());
+    }
+    return name;
+  }
+
+  Result<XmlAttribute> ParseAttribute() {
+    QMATCH_ASSIGN_OR_RETURN(std::string name, ParseName());
+    cursor_.SkipWhitespace();
+    if (!cursor_.Consume("=")) {
+      return Error("expected '=' after attribute name '" + name + "'");
+    }
+    cursor_.SkipWhitespace();
+    char quote = cursor_.Peek();
+    if (quote != '"' && quote != '\'') {
+      return Error("expected quoted attribute value");
+    }
+    cursor_.Advance();
+    std::string raw;
+    for (;;) {
+      if (cursor_.AtEnd()) return Error("unterminated attribute value");
+      char c = cursor_.Peek();
+      if (c == quote) {
+        cursor_.Advance();
+        break;
+      }
+      if (c == '<') return Error("'<' not allowed in attribute value");
+      raw.push_back(cursor_.Advance());
+    }
+    Result<std::string> decoded = DecodeEntities(raw);
+    if (!decoded.ok()) {
+      return decoded.status().WithContext("in attribute '" + name + "'");
+    }
+    return XmlAttribute{std::move(name), std::move(decoded).value()};
+  }
+
+  Result<std::unique_ptr<XmlElement>> ParseElement() {
+    if (!cursor_.Consume("<")) return Error("expected '<'");
+    QMATCH_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto element = std::make_unique<XmlElement>(name);
+
+    // Attributes.
+    for (;;) {
+      size_t skipped = cursor_.SkipWhitespace();
+      char c = cursor_.Peek();
+      if (c == '>' || c == '/' || c == '\0') break;
+      if (skipped == 0) {
+        return Error("expected whitespace before attribute in <" + name + ">");
+      }
+      QMATCH_ASSIGN_OR_RETURN(XmlAttribute attr, ParseAttribute());
+      if (element->HasAttribute(attr.name)) {
+        return Error("duplicate attribute '" + attr.name + "' in <" + name +
+                     ">");
+      }
+      element->SetAttribute(attr.name, attr.value);
+    }
+
+    if (cursor_.Consume("/>")) return element;
+    if (!cursor_.Consume(">")) {
+      return Error("malformed start tag <" + name + ">");
+    }
+
+    // Content until matching end tag.
+    QMATCH_RETURN_IF_ERROR(ParseContent(element.get(), name));
+    return element;
+  }
+
+  Status ParseContent(XmlElement* element, const std::string& name) {
+    std::string text;
+    auto flush_text = [&]() -> Status {
+      if (text.empty()) return Status::OK();
+      Result<std::string> decoded = DecodeEntities(text);
+      if (!decoded.ok()) {
+        return decoded.status().WithContext("in text content of <" + name +
+                                            ">");
+      }
+      element->AddText(std::move(decoded).value());
+      text.clear();
+      return Status::OK();
+    };
+
+    for (;;) {
+      if (cursor_.AtEnd()) {
+        return Error("unexpected end of input inside <" + name + ">");
+      }
+      if (cursor_.LookingAt("</")) {
+        QMATCH_RETURN_IF_ERROR(flush_text());
+        cursor_.Consume("</");
+        QMATCH_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+        cursor_.SkipWhitespace();
+        if (!cursor_.Consume(">")) {
+          return Error("malformed end tag </" + end_name + ">");
+        }
+        if (end_name != name) {
+          return Error("mismatched end tag: expected </" + name + ">, found </" +
+                       end_name + ">");
+        }
+        return Status::OK();
+      }
+      if (cursor_.LookingAt("<!--")) {
+        QMATCH_RETURN_IF_ERROR(flush_text());
+        QMATCH_RETURN_IF_ERROR(SkipComment());
+        continue;
+      }
+      if (cursor_.LookingAt("<![CDATA[")) {
+        QMATCH_RETURN_IF_ERROR(flush_text());
+        cursor_.Consume("<![CDATA[");
+        std::string_view cdata;
+        if (!cursor_.ReadUntil("]]>", &cdata)) {
+          return Error("unterminated CDATA section");
+        }
+        cursor_.Consume("]]>");
+        element->AddText(std::string(cdata), /*is_cdata=*/true);
+        continue;
+      }
+      if (cursor_.LookingAt("<?")) {
+        QMATCH_RETURN_IF_ERROR(flush_text());
+        QMATCH_RETURN_IF_ERROR(SkipProcessingInstruction());
+        continue;
+      }
+      if (cursor_.LookingAt("<!")) {
+        return Error("unexpected markup declaration in content");
+      }
+      if (cursor_.Peek() == '<') {
+        QMATCH_RETURN_IF_ERROR(flush_text());
+        QMATCH_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> child,
+                                ParseElement());
+        element->AddChild(std::move(child));
+        continue;
+      }
+      text.push_back(cursor_.Advance());
+    }
+  }
+
+  TextCursor cursor_;
+};
+
+}  // namespace
+
+Result<XmlDocument> Parse(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+Result<XmlDocument> ParseExpectingRoot(std::string_view input,
+                                       std::string_view expected_root) {
+  QMATCH_ASSIGN_OR_RETURN(XmlDocument doc, Parse(input));
+  if (doc.root() == nullptr || doc.root()->LocalName() != expected_root) {
+    return Status::ParseError(
+        "expected root element '" + std::string(expected_root) + "', found '" +
+        (doc.root() != nullptr ? std::string(doc.root()->name()) : "<none>") +
+        "'");
+  }
+  return doc;
+}
+
+}  // namespace qmatch::xml

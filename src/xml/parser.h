@@ -1,0 +1,30 @@
+#ifndef QMATCH_XML_PARSER_H_
+#define QMATCH_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace qmatch::xml {
+
+/// Parses an XML 1.0 document from `input` into a DOM tree.
+///
+/// Supported: XML declaration, comments, processing instructions, DOCTYPE
+/// (skipped, including an internal subset), elements with attributes,
+/// self-closing tags, text content, CDATA sections, the five predefined
+/// entities and numeric character references. Well-formedness is enforced:
+/// balanced and matching tags, a single root element, no duplicate
+/// attributes, and no stray markup. DTD entity definitions are not expanded.
+///
+/// Errors report the line/column where parsing failed.
+Result<XmlDocument> Parse(std::string_view input);
+
+/// Convenience wrapper: parses and returns only the root element check —
+/// fails if the document's root local name is not `expected_root`.
+Result<XmlDocument> ParseExpectingRoot(std::string_view input,
+                                       std::string_view expected_root);
+
+}  // namespace qmatch::xml
+
+#endif  // QMATCH_XML_PARSER_H_

@@ -1,0 +1,105 @@
+#include "xml/writer.h"
+
+#include "xml/escape.h"
+
+namespace qmatch::xml {
+
+namespace {
+
+bool HasElementChildren(const XmlElement& element) {
+  for (const XmlChild& child : element.children()) {
+    if (std::holds_alternative<std::unique_ptr<XmlElement>>(child)) return true;
+  }
+  return false;
+}
+
+bool HasTextChildren(const XmlElement& element) {
+  for (const XmlChild& child : element.children()) {
+    if (std::holds_alternative<XmlText>(child)) return true;
+  }
+  return false;
+}
+
+void WriteElement(const XmlElement& element, const WriteOptions& options,
+                  int depth, std::string& out) {
+  const std::string pad =
+      options.indent > 0
+          ? std::string(static_cast<size_t>(options.indent * depth), ' ')
+          : std::string();
+  const char* newline = options.indent > 0 ? "\n" : "";
+
+  out += pad;
+  out += '<';
+  out += element.name();
+  for (const XmlAttribute& attr : element.attributes()) {
+    out += ' ';
+    out += attr.name;
+    out += "=\"";
+    out += EscapeAttribute(attr.value);
+    out += '"';
+  }
+
+  if (element.children().empty()) {
+    out += "/>";
+    out += newline;
+    return;
+  }
+
+  out += '>';
+
+  // Mixed or text-only content is written inline to preserve the text
+  // verbatim; element-only content is indented one level deeper.
+  const bool inline_content =
+      HasTextChildren(element) || !HasElementChildren(element);
+  if (!inline_content) out += newline;
+
+  for (const XmlChild& child : element.children()) {
+    if (const auto* el = std::get_if<std::unique_ptr<XmlElement>>(&child)) {
+      if (inline_content) {
+        WriteOptions compact = options;
+        compact.indent = 0;
+        WriteElement(**el, compact, 0, out);
+      } else {
+        WriteElement(**el, options, depth + 1, out);
+      }
+    } else {
+      const XmlText& text = std::get<XmlText>(child);
+      if (text.is_cdata) {
+        out += "<![CDATA[";
+        out += text.text;
+        out += "]]>";
+      } else {
+        out += EscapeText(text.text);
+      }
+    }
+  }
+
+  if (!inline_content) out += pad;
+  out += "</";
+  out += element.name();
+  out += '>';
+  out += newline;
+}
+
+}  // namespace
+
+std::string ToString(const XmlDocument& doc, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"" + doc.version() + "\" encoding=\"" +
+           doc.encoding() + "\"?>";
+    out += options.indent > 0 ? "\n" : "";
+  }
+  if (doc.root() != nullptr) {
+    WriteElement(*doc.root(), options, 0, out);
+  }
+  return out;
+}
+
+std::string ToString(const XmlElement& element, const WriteOptions& options) {
+  std::string out;
+  WriteElement(element, options, 0, out);
+  return out;
+}
+
+}  // namespace qmatch::xml

@@ -1,0 +1,28 @@
+#ifndef QMATCH_XML_WRITER_H_
+#define QMATCH_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace qmatch::xml {
+
+/// Serialization options for `ToString`.
+struct WriteOptions {
+  /// Spaces per indentation level; 0 emits a compact single-line document.
+  int indent = 2;
+  /// Whether to emit the `<?xml ...?>` declaration.
+  bool declaration = true;
+};
+
+/// Serializes a document to XML text. Text content and attribute values are
+/// escaped; CDATA runs are re-emitted as CDATA sections.
+std::string ToString(const XmlDocument& doc, const WriteOptions& options = {});
+
+/// Serializes a single element subtree.
+std::string ToString(const XmlElement& element,
+                     const WriteOptions& options = {});
+
+}  // namespace qmatch::xml
+
+#endif  // QMATCH_XML_WRITER_H_

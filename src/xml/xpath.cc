@@ -1,0 +1,195 @@
+#include "xml/xpath.h"
+
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace qmatch::xml {
+
+Result<XPath> XPath::Compile(std::string_view expression) {
+  XPath compiled;
+  compiled.expression_ = std::string(expression);
+  std::string_view rest = expression;
+  if (rest.empty() || rest[0] != '/') {
+    return Status::InvalidArgument("XPath must be absolute (start with '/')");
+  }
+
+  bool pending_descendant = false;
+  while (!rest.empty()) {
+    if (!rest.empty() && rest[0] == '/') {
+      rest.remove_prefix(1);
+      if (!rest.empty() && rest[0] == '/') {
+        pending_descendant = true;
+        rest.remove_prefix(1);
+      }
+    }
+    if (rest.empty()) {
+      return Status::InvalidArgument("XPath ends with '/'");
+    }
+    size_t end = rest.find('/');
+    std::string_view token =
+        end == std::string_view::npos ? rest : rest.substr(0, end);
+    rest = end == std::string_view::npos ? std::string_view() : rest.substr(end);
+
+    if (token.empty()) {
+      return Status::InvalidArgument("empty XPath step");
+    }
+    // Terminal forms.
+    if (token[0] == '@') {
+      if (!rest.empty()) {
+        return Status::InvalidArgument("@attribute must be the last step");
+      }
+      if (token.size() == 1) {
+        return Status::InvalidArgument("empty attribute name");
+      }
+      compiled.terminal_ = Terminal::kAttribute;
+      compiled.attribute_ = std::string(token.substr(1));
+      break;
+    }
+    if (token == "text()") {
+      if (!rest.empty()) {
+        return Status::InvalidArgument("text() must be the last step");
+      }
+      compiled.terminal_ = Terminal::kText;
+      break;
+    }
+
+    Step step;
+    step.descendant = pending_descendant;
+    pending_descendant = false;
+    // Positional predicate.
+    std::string_view name = token;
+    if (size_t bracket = token.find('['); bracket != std::string_view::npos) {
+      if (token.back() != ']') {
+        return Status::InvalidArgument("unterminated predicate in '" +
+                                       std::string(token) + "'");
+      }
+      std::string_view index =
+          token.substr(bracket + 1, token.size() - bracket - 2);
+      if (index.empty()) {
+        return Status::InvalidArgument("empty predicate");
+      }
+      int position = 0;
+      for (char c : index) {
+        if (!IsAsciiDigit(c)) {
+          return Status::InvalidArgument(
+              "only positional predicates are supported, got '[" +
+              std::string(index) + "]'");
+        }
+        position = position * 10 + (c - '0');
+      }
+      if (position < 1) {
+        return Status::InvalidArgument("positions are 1-based");
+      }
+      step.position = position;
+      name = token.substr(0, bracket);
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("missing element name before predicate");
+    }
+    step.name = std::string(name);
+    compiled.steps_.push_back(std::move(step));
+  }
+
+  if (compiled.steps_.empty()) {
+    return Status::InvalidArgument("XPath selects no elements");
+  }
+  return compiled;
+}
+
+namespace {
+
+void CollectDescendants(const XmlElement* element, std::string_view name,
+                        std::vector<const XmlElement*>& out) {
+  if (name == "*" || element->LocalName() == name) out.push_back(element);
+  for (const XmlElement* child : element->ChildElements()) {
+    CollectDescendants(child, name, out);
+  }
+}
+
+}  // namespace
+
+std::vector<const XmlElement*> XPath::Select(const XmlDocument& doc) const {
+  std::vector<const XmlElement*> current;
+  if (doc.root() == nullptr) return current;
+
+  // First step matches against the root element itself.
+  {
+    const Step& first = steps_.front();
+    if (first.descendant) {
+      CollectDescendants(doc.root(), first.name, current);
+    } else if (first.name == "*" || doc.root()->LocalName() == first.name) {
+      current.push_back(doc.root());
+    }
+    if (first.position > 0) {
+      if (static_cast<size_t>(first.position) <= current.size()) {
+        current = {current[static_cast<size_t>(first.position) - 1]};
+      } else {
+        current.clear();
+      }
+    }
+  }
+
+  for (size_t s = 1; s < steps_.size() && !current.empty(); ++s) {
+    const Step& step = steps_[s];
+    std::vector<const XmlElement*> next;
+    for (const XmlElement* element : current) {
+      if (step.descendant) {
+        for (const XmlElement* child : element->ChildElements()) {
+          CollectDescendants(child, step.name, next);
+        }
+        continue;
+      }
+      // Positional predicates count same-name siblings per parent.
+      size_t position = 0;
+      for (const XmlElement* child : element->ChildElements()) {
+        if (step.name != "*" && child->LocalName() != step.name) continue;
+        ++position;
+        if (step.position == 0 ||
+            position == static_cast<size_t>(step.position)) {
+          next.push_back(child);
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+const XmlElement* XPath::SelectFirst(const XmlDocument& doc) const {
+  std::vector<const XmlElement*> all = Select(doc);
+  return all.empty() ? nullptr : all.front();
+}
+
+std::vector<std::string> XPath::SelectValues(const XmlDocument& doc) const {
+  std::vector<std::string> out;
+  for (const XmlElement* element : Select(doc)) {
+    switch (terminal_) {
+      case Terminal::kNone:
+      case Terminal::kText:
+        out.push_back(element->InnerText());
+        break;
+      case Terminal::kAttribute: {
+        if (const std::string* value = element->FindAttribute(attribute_)) {
+          out.push_back(*value);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<const XmlElement*>> SelectElements(const XmlDocument& doc,
+                                                      std::string_view xpath) {
+  QMATCH_ASSIGN_OR_RETURN(XPath compiled, XPath::Compile(xpath));
+  return compiled.Select(doc);
+}
+
+Result<std::vector<std::string>> SelectValues(const XmlDocument& doc,
+                                              std::string_view xpath) {
+  QMATCH_ASSIGN_OR_RETURN(XPath compiled, XPath::Compile(xpath));
+  return compiled.SelectValues(doc);
+}
+
+}  // namespace qmatch::xml

@@ -1,0 +1,67 @@
+#ifndef QMATCH_XML_XPATH_H_
+#define QMATCH_XML_XPATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace qmatch::xml {
+
+/// A minimal XPath-like selector over the DOM — the query substrate of the
+/// paper's motivating scenario (querying schemaless XML documents).
+///
+/// Supported grammar (absolute paths only):
+///   /a/b            child element steps (local names)
+///   /a/*            wildcard element step
+///   /a/b[2]         1-based positional predicate among same-name siblings
+///   /a//b           descendant-or-self step
+///   /a/b/@attr      terminal attribute selection (SelectValues only)
+///   /a/b/text()     terminal text selection   (SelectValues only)
+///
+/// Example: `SelectValues(doc, "/bookstore/book[2]/title/text()")`.
+class XPath {
+ public:
+  /// Parses a selector; fails on syntax errors.
+  static Result<XPath> Compile(std::string_view expression);
+
+  /// All elements matched by the element steps, in document order.
+  std::vector<const XmlElement*> Select(const XmlDocument& doc) const;
+
+  /// The string values produced by a terminal @attr / text() step (or the
+  /// matched elements' inner text when the expression ends in an element
+  /// step).
+  std::vector<std::string> SelectValues(const XmlDocument& doc) const;
+
+  /// First match or nullptr / nullopt convenience forms.
+  const XmlElement* SelectFirst(const XmlDocument& doc) const;
+
+  const std::string& expression() const { return expression_; }
+
+ private:
+  struct Step {
+    std::string name;        // element local name, or "*"
+    bool descendant = false; // came after "//"
+    int position = 0;        // 1-based; 0 = all
+  };
+  enum class Terminal { kNone, kAttribute, kText };
+
+  XPath() = default;
+
+  std::string expression_;
+  std::vector<Step> steps_;
+  Terminal terminal_ = Terminal::kNone;
+  std::string attribute_;  // for Terminal::kAttribute
+};
+
+/// One-shot helpers.
+Result<std::vector<const XmlElement*>> SelectElements(const XmlDocument& doc,
+                                                      std::string_view xpath);
+Result<std::vector<std::string>> SelectValues(const XmlDocument& doc,
+                                              std::string_view xpath);
+
+}  // namespace qmatch::xml
+
+#endif  // QMATCH_XML_XPATH_H_

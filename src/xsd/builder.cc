@@ -1,0 +1,42 @@
+#include "xsd/builder.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace qmatch::xsd {
+
+SchemaNode* SchemaBuilder::Root(std::string label, Compositor compositor) {
+  QMATCH_CHECK(root_ == nullptr) << "Root() called twice";
+  root_ = std::make_unique<SchemaNode>(std::move(label), NodeKind::kElement);
+  root_->set_compositor(compositor);
+  return root_.get();
+}
+
+SchemaNode* SchemaBuilder::Element(SchemaNode* parent, std::string label,
+                                   XsdType type, Occurs occurs,
+                                   Compositor compositor) {
+  QMATCH_CHECK(parent != nullptr) << "Element() requires a parent";
+  auto node = std::make_unique<SchemaNode>(std::move(label), NodeKind::kElement);
+  node->set_type(type);
+  node->set_occurs(occurs);
+  node->set_compositor(compositor);
+  return parent->AddChild(std::move(node));
+}
+
+SchemaNode* SchemaBuilder::Attribute(SchemaNode* parent, std::string label,
+                                     XsdType type, bool required) {
+  QMATCH_CHECK(parent != nullptr) << "Attribute() requires a parent";
+  auto node =
+      std::make_unique<SchemaNode>(std::move(label), NodeKind::kAttribute);
+  node->set_type(type);
+  node->set_occurs(Occurs{required ? 1 : 0, 1});
+  return parent->AddChild(std::move(node));
+}
+
+Schema SchemaBuilder::Build() && {
+  QMATCH_CHECK(root_ != nullptr) << "Build() before Root()";
+  return Schema(std::move(name_), std::move(root_));
+}
+
+}  // namespace qmatch::xsd

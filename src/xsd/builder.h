@@ -1,0 +1,49 @@
+#ifndef QMATCH_XSD_BUILDER_H_
+#define QMATCH_XSD_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "xsd/schema.h"
+
+namespace qmatch::xsd {
+
+/// Fluent programmatic construction of schema trees, used by the test
+/// corpus, the synthetic generator and unit tests.
+///
+/// ```
+///   SchemaBuilder b("PO");
+///   SchemaNode* root = b.Root("PO");
+///   SchemaNode* info = b.Element(root, "PurchaseInfo");
+///   b.Element(info, "BillingAddr", XsdType::kString);
+///   Schema schema = std::move(b).Build();
+/// ```
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string name) : name_(std::move(name)) {}
+
+  /// Creates the root element. Must be called exactly once, first.
+  SchemaNode* Root(std::string label,
+                   Compositor compositor = Compositor::kSequence);
+
+  /// Appends an element child under `parent` and returns it.
+  SchemaNode* Element(SchemaNode* parent, std::string label,
+                      XsdType type = XsdType::kAnyType, Occurs occurs = {},
+                      Compositor compositor = Compositor::kSequence);
+
+  /// Appends an attribute child under `parent` and returns it.
+  SchemaNode* Attribute(SchemaNode* parent, std::string label,
+                        XsdType type = XsdType::kString,
+                        bool required = false);
+
+  /// Finalizes and returns the schema. The builder is consumed.
+  Schema Build() &&;
+
+ private:
+  std::string name_;
+  std::unique_ptr<SchemaNode> root_;
+};
+
+}  // namespace qmatch::xsd
+
+#endif  // QMATCH_XSD_BUILDER_H_

@@ -1,0 +1,281 @@
+#include "xsd/infer.h"
+
+#include <map>
+#include <set>
+#include <memory>
+#include <vector>
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+
+namespace qmatch::xsd {
+
+namespace {
+
+bool IsIntegerLiteral(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!IsAsciiDigit(s[i])) return false;
+  }
+  return true;
+}
+
+bool IsDecimalLiteral(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digits = false;
+  bool dot = false;
+  for (; i < s.size(); ++i) {
+    if (IsAsciiDigit(s[i])) {
+      digits = true;
+    } else if (s[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digits;
+}
+
+bool IsBooleanLiteral(std::string_view s) {
+  return s == "true" || s == "false" || s == "0" || s == "1";
+}
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsAsciiDigit(c)) return false;
+  }
+  return true;
+}
+
+// YYYY-MM-DD
+bool IsDateLiteral(std::string_view s) {
+  return s.size() == 10 && AllDigits(s.substr(0, 4)) && s[4] == '-' &&
+         AllDigits(s.substr(5, 2)) && s[7] == '-' && AllDigits(s.substr(8, 2));
+}
+
+// YYYY-MM-DDThh:mm:ss (timezone suffix tolerated)
+bool IsDateTimeLiteral(std::string_view s) {
+  return s.size() >= 19 && IsDateLiteral(s.substr(0, 10)) && s[10] == 'T' &&
+         AllDigits(s.substr(11, 2)) && s[13] == ':' &&
+         AllDigits(s.substr(14, 2)) && s[16] == ':' &&
+         AllDigits(s.substr(17, 2));
+}
+
+bool IsGYearLiteral(std::string_view s) {
+  return s.size() == 4 && AllDigits(s);
+}
+
+bool IsUriLiteral(std::string_view s) {
+  return StartsWith(s, "http://") || StartsWith(s, "https://") ||
+         StartsWith(s, "urn:") || StartsWith(s, "ftp://");
+}
+
+/// Widens `current` so it also covers a value of type `observed`.
+XsdType WidenToCover(XsdType current, XsdType observed) {
+  if (current == observed) return current;
+  if (current == XsdType::kAnySimpleType) return observed;  // first value
+  // int ∪ decimal = decimal; gYear ∪ int = int (4-digit numbers).
+  auto numeric = [](XsdType t) {
+    return t == XsdType::kInt || t == XsdType::kDecimal ||
+           t == XsdType::kGYear;
+  };
+  if (numeric(current) && numeric(observed)) {
+    if (current == XsdType::kDecimal || observed == XsdType::kDecimal) {
+      return XsdType::kDecimal;
+    }
+    return XsdType::kInt;
+  }
+  if ((current == XsdType::kDate && observed == XsdType::kDateTime) ||
+      (current == XsdType::kDateTime && observed == XsdType::kDate)) {
+    return XsdType::kDateTime;
+  }
+  return XsdType::kString;
+}
+
+/// Accumulated knowledge about one element (or attribute) name under one
+/// parent context.
+struct Profile {
+  std::string name;
+  NodeKind kind = NodeKind::kElement;
+  size_t instances = 0;   // how many element instances were observed
+  size_t present_in = 0;  // parent instances that contained at least one
+  int max_per_parent = 0;
+  XsdType value_type = XsdType::kAnySimpleType;  // none observed yet
+  bool has_values = false;
+  bool has_element_children = false;
+  std::vector<std::string> child_order;  // first-seen order (elements)
+  std::map<std::string, Profile> children;
+  std::vector<std::string> attr_order;
+  std::map<std::string, Profile> attributes;
+};
+
+class Inferrer {
+ public:
+  explicit Inferrer(const InferOptions& options) : options_(options) {}
+
+  void Observe(const xml::XmlElement& element, Profile& profile) {
+    ++profile.instances;
+
+    // Attributes.
+    if (options_.include_attributes) {
+      for (const xml::XmlAttribute& attr : element.attributes()) {
+        if (attr.name == "xmlns" || StartsWith(attr.name, "xmlns:")) continue;
+        Profile& child = Touch(profile.attributes, profile.attr_order,
+                               attr.name, NodeKind::kAttribute);
+        ++child.present_in;
+        ++child.instances;
+        child.max_per_parent = 1;
+        child.has_values = true;
+        child.value_type =
+            WidenToCover(child.value_type, InferValueType(Trim(attr.value)));
+      }
+    }
+
+    // Child elements: count per-instance occurrences, registering names in
+    // document order (first appearance wins the sibling position).
+    std::map<std::string, int> counts;
+    for (const xml::XmlElement* child : element.ChildElements()) {
+      ++counts[std::string(child->LocalName())];
+      profile.has_element_children = true;
+    }
+    std::set<std::string> seen_here;
+    for (const xml::XmlElement* child : element.ChildElements()) {
+      std::string name(child->LocalName());
+      if (!seen_here.insert(name).second) continue;
+      Profile& child_profile =
+          Touch(profile.children, profile.child_order, name, NodeKind::kElement);
+      ++child_profile.present_in;
+      child_profile.max_per_parent =
+          std::max(child_profile.max_per_parent, counts[name]);
+    }
+    for (const xml::XmlElement* child : element.ChildElements()) {
+      Observe(*child, profile.children.at(std::string(child->LocalName())));
+    }
+
+    // Text content (ignore pure whitespace and mixed content around
+    // element children).
+    if (!profile.has_element_children) {
+      std::string inner = element.InnerText();  // keep the buffer alive
+      std::string_view text = Trim(inner);
+      if (!text.empty()) {
+        profile.has_values = true;
+        profile.value_type =
+            WidenToCover(profile.value_type, InferValueType(text));
+      }
+    }
+  }
+
+  std::unique_ptr<SchemaNode> Convert(const Profile& profile,
+                                      size_t parent_instances) {
+    auto node = std::make_unique<SchemaNode>(profile.name, profile.kind);
+    if (profile.kind == NodeKind::kAttribute) {
+      node->set_occurs(
+          Occurs{profile.present_in >= parent_instances ? 1 : 0, 1});
+    } else if (parent_instances > 0) {
+      Occurs occurs;
+      occurs.min = profile.present_in >= parent_instances ? 1 : 0;
+      occurs.max = profile.max_per_parent > 1 ? Occurs::kUnbounded : 1;
+      node->set_occurs(occurs);
+    }
+    if (profile.children.empty() && profile.attributes.empty()) {
+      if (options_.infer_types && profile.has_values) {
+        node->set_type(profile.value_type == XsdType::kAnySimpleType
+                           ? XsdType::kString
+                           : profile.value_type);
+      } else {
+        node->set_type(XsdType::kString);
+      }
+      return node;
+    }
+    node->set_compositor(Compositor::kSequence);
+    // Children's occurrence constraints are judged against the number of
+    // *instances* of this element, not the number of parents containing it.
+    for (const std::string& name : profile.child_order) {
+      node->AddChild(Convert(profile.children.at(name), profile.instances));
+    }
+    for (const std::string& name : profile.attr_order) {
+      node->AddChild(Convert(profile.attributes.at(name), profile.instances));
+    }
+    return node;
+  }
+
+ private:
+  static Profile& Touch(std::map<std::string, Profile>& table,
+                        std::vector<std::string>& order,
+                        const std::string& name, NodeKind kind) {
+    auto it = table.find(name);
+    if (it == table.end()) {
+      it = table.emplace(name, Profile{}).first;
+      it->second.name = name;
+      it->second.kind = kind;
+      order.push_back(name);
+    }
+    return it->second;
+  }
+
+  const InferOptions& options_;
+};
+
+}  // namespace
+
+XsdType InferValueType(std::string_view value) {
+  if (value.empty()) return XsdType::kString;
+  if (IsBooleanLiteral(value) && !AllDigits(value)) return XsdType::kBoolean;
+  if (IsGYearLiteral(value)) return XsdType::kGYear;
+  if (IsIntegerLiteral(value)) return XsdType::kInt;
+  if (IsDecimalLiteral(value)) return XsdType::kDecimal;
+  if (IsDateTimeLiteral(value)) return XsdType::kDateTime;
+  if (IsDateLiteral(value)) return XsdType::kDate;
+  if (IsUriLiteral(value)) return XsdType::kAnyUri;
+  return XsdType::kString;
+}
+
+Result<Schema> InferSchemaFromDocuments(
+    const std::vector<const xml::XmlDocument*>& docs,
+    const InferOptions& options) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("no documents to infer from");
+  }
+  Inferrer inferrer(options);
+  Profile root_profile;
+  for (const xml::XmlDocument* doc : docs) {
+    if (doc == nullptr || doc->root() == nullptr) {
+      return Status::InvalidArgument("document has no root element");
+    }
+    std::string root_name(doc->root()->LocalName());
+    if (root_profile.name.empty()) {
+      root_profile.name = root_name;
+    } else if (root_profile.name != root_name) {
+      return Status::InvalidArgument(
+          "documents have different roots: '" + root_profile.name +
+          "' vs '" + root_name + "'");
+    }
+    ++root_profile.present_in;
+    root_profile.max_per_parent = 1;
+    inferrer.Observe(*doc->root(), root_profile);
+  }
+
+  Schema schema;
+  schema.set_name(options.schema_name.empty() ? root_profile.name
+                                              : options.schema_name);
+  schema.set_root(
+      inferrer.Convert(root_profile, /*parent_instances=*/docs.size()));
+  return schema;
+}
+
+Result<Schema> InferSchema(const xml::XmlDocument& doc,
+                           const InferOptions& options) {
+  return InferSchemaFromDocuments({&doc}, options);
+}
+
+Result<Schema> InferSchemaFromXml(std::string_view xml_text,
+                                  const InferOptions& options) {
+  QMATCH_ASSIGN_OR_RETURN(xml::XmlDocument doc, xml::Parse(xml_text));
+  return InferSchema(doc, options);
+}
+
+}  // namespace qmatch::xsd

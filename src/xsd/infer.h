@@ -1,0 +1,67 @@
+#ifndef QMATCH_XSD_INFER_H_
+#define QMATCH_XSD_INFER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xsd/schema.h"
+
+namespace qmatch::xsd {
+
+/// Options for XML-instance-to-schema inference.
+struct InferOptions {
+  /// Display name of the inferred schema; defaults to the root's name.
+  std::string schema_name;
+  /// Whether XML attributes become attribute-kind schema children
+  /// (xmlns declarations are always skipped).
+  bool include_attributes = true;
+  /// Whether leaf datatypes are inferred from the observed text values
+  /// (boolean / integer family / decimal / date / dateTime / gYear /
+  /// anyURI / string). When false, every leaf is xs:string.
+  bool infer_types = true;
+};
+
+/// Infers a schema tree from an XML *instance* document.
+///
+/// This is the substrate for the paper's motivating scenario — matching a
+/// query schema against the "melting pot" of schemaless XML documents on
+/// the Web (Section 1): documents without an XSD are lifted into the same
+/// `Schema` representation the matchers consume.
+///
+/// Inference rules:
+///  - repeated sibling elements of one name merge into a single schema
+///    node; `maxOccurs` becomes unbounded when more than one occurrence
+///    appears under any single parent instance, and `minOccurs` becomes 0
+///    when any parent instance lacks the child;
+///  - the structures of all instances of a name (under one parent name)
+///    are unioned;
+///  - child order follows first appearance (document order);
+///  - leaf element / attribute types are inferred from the observed text
+///    values as the narrowest type covering all of them.
+Result<Schema> InferSchema(const xml::XmlDocument& doc,
+                           const InferOptions& options = {});
+
+/// Convenience: parse `xml_text` and infer.
+Result<Schema> InferSchemaFromXml(std::string_view xml_text,
+                                  const InferOptions& options = {});
+
+/// Infers one schema from several instance documents of the same source
+/// (they must share a root element name). Occurrence constraints and types
+/// are aggregated across all documents, so a child missing from some
+/// documents becomes optional even if every individual document is
+/// self-consistent.
+Result<Schema> InferSchemaFromDocuments(
+    const std::vector<const xml::XmlDocument*>& docs,
+    const InferOptions& options = {});
+
+/// The narrowest built-in type covering a single text value (exposed for
+/// tests): "42" -> int, "3.5" -> decimal, "true" -> boolean,
+/// "2004-01-02" -> date, "http://x" -> anyURI, else string.
+XsdType InferValueType(std::string_view value);
+
+}  // namespace qmatch::xsd
+
+#endif  // QMATCH_XSD_INFER_H_

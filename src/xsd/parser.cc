@@ -1,0 +1,534 @@
+#include "xsd/parser.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+
+namespace qmatch::xsd {
+
+namespace {
+
+constexpr std::string_view kXsdNamespace = "http://www.w3.org/2001/XMLSchema";
+
+/// Converts one parsed XSD DOM into a Schema tree.
+class XsdTreeBuilder {
+ public:
+  XsdTreeBuilder(const xml::XmlElement& schema_el, const ParseOptions& options)
+      : schema_el_(schema_el), options_(options) {}
+
+  Result<Schema> Build() {
+    IndexGlobals();
+    const xml::XmlElement* root_decl = nullptr;
+    if (!options_.root_element.empty()) {
+      auto it = global_elements_.find(options_.root_element);
+      if (it == global_elements_.end()) {
+        return Status::NotFound("global element '" + options_.root_element +
+                                "' not declared in schema");
+      }
+      root_decl = it->second;
+    } else {
+      for (const xml::XmlElement* child : schema_el_.ChildElements()) {
+        if (child->LocalName() == "element") {
+          root_decl = child;
+          break;
+        }
+      }
+      if (root_decl == nullptr) {
+        return Status::ParseError("schema declares no global element");
+      }
+    }
+
+    QMATCH_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> root,
+                            BuildElement(*root_decl, /*depth=*/0));
+    Schema schema;
+    schema.set_target_namespace(
+        std::string(schema_el_.AttributeOr("targetNamespace", "")));
+    schema.set_name(options_.schema_name.empty() ? root->label()
+                                                 : options_.schema_name);
+    schema.set_root(std::move(root));
+    return schema;
+  }
+
+ private:
+  void IndexGlobals() {
+    for (const xml::XmlElement* child : schema_el_.ChildElements()) {
+      const std::string* name = child->FindAttribute("name");
+      if (name == nullptr) continue;
+      std::string_view local = child->LocalName();
+      if (local == "element") {
+        global_elements_.emplace(*name, child);
+      } else if (local == "complexType") {
+        complex_types_.emplace(*name, child);
+      } else if (local == "simpleType") {
+        simple_types_.emplace(*name, child);
+      } else if (local == "attribute") {
+        global_attributes_.emplace(*name, child);
+      } else if (local == "group") {
+        groups_.emplace(*name, child);
+      } else if (local == "attributeGroup") {
+        attribute_groups_.emplace(*name, child);
+      }
+    }
+  }
+
+  static std::string_view LocalOf(std::string_view qname) {
+    return xml::XmlElement::LocalNameOf(qname);
+  }
+
+  /// True when `qname`'s prefix resolves to the XML Schema namespace at
+  /// `context`. Unprefixed names count as XSD when no default namespace is
+  /// declared (common in schema snippets) or the default is the XSD ns.
+  bool IsXsdQName(const xml::XmlElement& context, std::string_view qname) const {
+    std::string_view prefix = xml::XmlElement::PrefixOf(qname);
+    const std::string* uri = context.ResolveNamespacePrefix(prefix);
+    if (uri != nullptr) return *uri == kXsdNamespace;
+    return prefix.empty();
+  }
+
+  Result<Occurs> ParseOccurs(const xml::XmlElement& decl) const {
+    Occurs occurs;
+    if (const std::string* v = decl.FindAttribute("minOccurs")) {
+      QMATCH_ASSIGN_OR_RETURN(occurs.min, ParseNonNegativeInt(*v, "minOccurs"));
+    }
+    if (const std::string* v = decl.FindAttribute("maxOccurs")) {
+      if (*v == "unbounded") {
+        occurs.max = Occurs::kUnbounded;
+      } else {
+        QMATCH_ASSIGN_OR_RETURN(occurs.max,
+                                ParseNonNegativeInt(*v, "maxOccurs"));
+      }
+    }
+    if (!occurs.unbounded() && occurs.max < occurs.min) {
+      return Status::ParseError(
+          StrFormat("maxOccurs (%d) < minOccurs (%d)", occurs.max, occurs.min));
+    }
+    return occurs;
+  }
+
+  static Result<int> ParseNonNegativeInt(std::string_view text,
+                                         std::string_view what) {
+    if (text.empty()) {
+      return Status::ParseError("empty " + std::string(what));
+    }
+    long value = 0;
+    for (char c : text) {
+      if (!IsAsciiDigit(c)) {
+        return Status::ParseError("malformed " + std::string(what) + " '" +
+                                  std::string(text) + "'");
+      }
+      value = value * 10 + (c - '0');
+      if (value > 1'000'000'000) {
+        return Status::ParseError(std::string(what) + " out of range");
+      }
+    }
+    return static_cast<int>(value);
+  }
+
+  /// Resolves a type= QName to a built-in type, chasing named simple types
+  /// down to their built-in base. Named complex types are NOT resolved here
+  /// (the caller expands them structurally).
+  XsdType ResolveSimpleTypeName(const xml::XmlElement& context,
+                                std::string_view qname,
+                                std::set<std::string>* visiting) const {
+    std::string_view local = LocalOf(qname);
+    if (IsXsdQName(context, qname)) {
+      XsdType builtin = ParseBuiltinType(local);
+      if (builtin != XsdType::kUnknown) return builtin;
+    }
+    auto it = simple_types_.find(std::string(local));
+    if (it == simple_types_.end()) return XsdType::kUnknown;
+    if (visiting->count(std::string(local)) > 0) return XsdType::kUnknown;
+    visiting->insert(std::string(local));
+    XsdType resolved = ResolveSimpleTypeElement(*it->second, visiting);
+    visiting->erase(std::string(local));
+    return resolved;
+  }
+
+  XsdType ResolveSimpleTypeElement(const xml::XmlElement& st,
+                                   std::set<std::string>* visiting) const {
+    if (const xml::XmlElement* restriction = st.FirstChildElement("restriction")) {
+      std::string_view base = restriction->AttributeOr("base", "");
+      if (!base.empty()) {
+        return ResolveSimpleTypeName(*restriction, base, visiting);
+      }
+      if (const xml::XmlElement* nested =
+              restriction->FirstChildElement("simpleType")) {
+        return ResolveSimpleTypeElement(*nested, visiting);
+      }
+      return XsdType::kAnySimpleType;
+    }
+    if (const xml::XmlElement* list = st.FirstChildElement("list")) {
+      std::string_view item = list->AttributeOr("itemType", "");
+      if (!item.empty()) return ResolveSimpleTypeName(*list, item, visiting);
+      return XsdType::kAnySimpleType;
+    }
+    if (const xml::XmlElement* u = st.FirstChildElement("union")) {
+      // Approximate a union by its first member type.
+      std::string_view members = u->AttributeOr("memberTypes", "");
+      std::vector<std::string> names = SplitSkipEmpty(members, ' ');
+      if (!names.empty()) {
+        return ResolveSimpleTypeName(*u, names.front(), visiting);
+      }
+      if (const xml::XmlElement* nested = u->FirstChildElement("simpleType")) {
+        return ResolveSimpleTypeElement(*nested, visiting);
+      }
+      return XsdType::kAnySimpleType;
+    }
+    return XsdType::kAnySimpleType;
+  }
+
+  Result<std::unique_ptr<SchemaNode>> BuildElement(const xml::XmlElement& decl,
+                                                   size_t depth) {
+    if (depth > options_.max_depth) {
+      return Status::ParseError("schema nesting exceeds max_depth");
+    }
+    // ref= : resolve to the global declaration, but keep local occurs.
+    if (const std::string* ref = decl.FindAttribute("ref")) {
+      std::string local(LocalOf(*ref));
+      auto it = global_elements_.find(local);
+      if (it == global_elements_.end()) {
+        return Status::NotFound("element ref '" + *ref + "' not declared");
+      }
+      if (expanding_elements_.count(local) > 0) {
+        // Recursive element reference: truncate into a typed leaf.
+        auto leaf = std::make_unique<SchemaNode>(local, NodeKind::kElement);
+        leaf->set_type(XsdType::kUnknown, local);
+        QMATCH_ASSIGN_OR_RETURN(Occurs occurs, ParseOccurs(decl));
+        leaf->set_occurs(occurs);
+        return leaf;
+      }
+      expanding_elements_.insert(local);
+      Result<std::unique_ptr<SchemaNode>> node = BuildElement(*it->second, depth);
+      expanding_elements_.erase(local);
+      if (!node.ok()) return node.status();
+      QMATCH_ASSIGN_OR_RETURN(Occurs occurs, ParseOccurs(decl));
+      node.value()->set_occurs(occurs);
+      return node;
+    }
+
+    const std::string* name = decl.FindAttribute("name");
+    if (name == nullptr) {
+      return Status::ParseError("element declaration without name or ref");
+    }
+    // Guard against self-reference while this element's content is being
+    // expanded (e.g. <element name="node"> ... <element ref="node"/>).
+    struct ExpansionGuard {
+      std::set<std::string>* expanding;
+      const std::string* name;
+      bool active;
+      ~ExpansionGuard() {
+        if (active) expanding->erase(*name);
+      }
+    } guard{&expanding_elements_, name,
+            expanding_elements_.insert(*name).second};
+    auto node = std::make_unique<SchemaNode>(*name, NodeKind::kElement);
+    QMATCH_ASSIGN_OR_RETURN(Occurs occurs, ParseOccurs(decl));
+    node->set_occurs(occurs);
+    node->set_nillable(decl.AttributeOr("nillable", "false") == "true");
+    if (const std::string* v = decl.FindAttribute("default")) {
+      node->set_default_value(*v);
+    }
+    if (const std::string* v = decl.FindAttribute("fixed")) {
+      node->set_fixed_value(*v);
+    }
+
+    if (const std::string* type_name = decl.FindAttribute("type")) {
+      QMATCH_RETURN_IF_ERROR(
+          ApplyNamedType(node.get(), decl, *type_name, depth));
+      return node;
+    }
+    if (const xml::XmlElement* ct = decl.FirstChildElement("complexType")) {
+      QMATCH_RETURN_IF_ERROR(ExpandComplexType(node.get(), *ct, depth));
+      return node;
+    }
+    if (const xml::XmlElement* st = decl.FirstChildElement("simpleType")) {
+      std::set<std::string> visiting;
+      node->set_type(ResolveSimpleTypeElement(*st, &visiting));
+      return node;
+    }
+    // Untyped element: xs:anyType.
+    node->set_type(XsdType::kAnyType);
+    return node;
+  }
+
+  Status ApplyNamedType(SchemaNode* node, const xml::XmlElement& context,
+                        const std::string& type_qname, size_t depth) {
+    std::string local(LocalOf(type_qname));
+    // Built-in simple type?
+    if (IsXsdQName(context, type_qname)) {
+      XsdType builtin = ParseBuiltinType(local);
+      if (builtin != XsdType::kUnknown) {
+        node->set_type(builtin);
+        return Status::OK();
+      }
+      if (local == "anyType") {
+        node->set_type(XsdType::kAnyType);
+        return Status::OK();
+      }
+    }
+    // Named complex type?
+    auto ct = complex_types_.find(local);
+    if (ct != complex_types_.end()) {
+      if (expanding_types_.count(local) > 0) {
+        // Recursive type: truncate.
+        node->set_type(XsdType::kUnknown, local);
+        return Status::OK();
+      }
+      expanding_types_.insert(local);
+      Status s = ExpandComplexType(node, *ct->second, depth);
+      expanding_types_.erase(local);
+      node->set_type(node->type(), local);
+      return s;
+    }
+    // Named simple type?
+    auto st = simple_types_.find(local);
+    if (st != simple_types_.end()) {
+      std::set<std::string> visiting;
+      node->set_type(ResolveSimpleTypeElement(*st->second, &visiting), local);
+      return Status::OK();
+    }
+    // Unknown user type: keep the name, mark unknown.
+    node->set_type(XsdType::kUnknown, local);
+    return Status::OK();
+  }
+
+  Status ExpandComplexType(SchemaNode* node, const xml::XmlElement& ct,
+                           size_t depth) {
+    if (depth > options_.max_depth) {
+      return Status::ParseError("schema nesting exceeds max_depth");
+    }
+    for (const xml::XmlElement* child : ct.ChildElements()) {
+      std::string_view local = child->LocalName();
+      if (local == "annotation") continue;
+      if (local == "sequence" || local == "choice" || local == "all") {
+        node->set_compositor(local == "sequence"  ? Compositor::kSequence
+                             : local == "choice" ? Compositor::kChoice
+                                                 : Compositor::kAll);
+        QMATCH_RETURN_IF_ERROR(ExpandParticle(node, *child, depth));
+      } else if (local == "group") {
+        QMATCH_RETURN_IF_ERROR(ExpandGroupRef(node, *child, depth));
+      } else if (local == "attribute") {
+        QMATCH_RETURN_IF_ERROR(AddAttribute(node, *child));
+      } else if (local == "attributeGroup") {
+        QMATCH_RETURN_IF_ERROR(ExpandAttributeGroupRef(node, *child));
+      } else if (local == "complexContent") {
+        QMATCH_RETURN_IF_ERROR(ExpandDerivedContent(node, *child, depth,
+                                                    /*simple_content=*/false));
+      } else if (local == "simpleContent") {
+        QMATCH_RETURN_IF_ERROR(ExpandDerivedContent(node, *child, depth,
+                                                    /*simple_content=*/true));
+      } else if (local == "anyAttribute" || local == "any") {
+        continue;  // wildcards carry no matchable structure
+      } else {
+        return Status::ParseError("unsupported complexType child <" +
+                                  std::string(child->name()) + ">");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExpandDerivedContent(SchemaNode* node, const xml::XmlElement& content,
+                              size_t depth, bool simple_content) {
+    const xml::XmlElement* derivation = content.FirstChildElement("extension");
+    bool is_extension = derivation != nullptr;
+    if (derivation == nullptr) {
+      derivation = content.FirstChildElement("restriction");
+    }
+    if (derivation == nullptr) {
+      return Status::ParseError(
+          "complexContent/simpleContent without extension or restriction");
+    }
+    std::string_view base = derivation->AttributeOr("base", "");
+    if (!base.empty()) {
+      if (simple_content) {
+        std::set<std::string> visiting;
+        node->set_type(ResolveSimpleTypeName(*derivation, base, &visiting),
+                       std::string(LocalOf(base)));
+      } else if (is_extension) {
+        // Extension inherits the base type's particles and attributes.
+        std::string local(LocalOf(base));
+        auto it = complex_types_.find(local);
+        if (it != complex_types_.end() && expanding_types_.count(local) == 0) {
+          expanding_types_.insert(local);
+          Status s = ExpandComplexType(node, *it->second, depth);
+          expanding_types_.erase(local);
+          QMATCH_RETURN_IF_ERROR(s);
+        }
+      }
+      // complexContent restriction: the restricted content model is
+      // repeated inline below, so nothing is inherited.
+    }
+    for (const xml::XmlElement* child : derivation->ChildElements()) {
+      std::string_view local = child->LocalName();
+      if (local == "annotation") continue;
+      if (local == "sequence" || local == "choice" || local == "all") {
+        node->set_compositor(local == "sequence"  ? Compositor::kSequence
+                             : local == "choice" ? Compositor::kChoice
+                                                 : Compositor::kAll);
+        QMATCH_RETURN_IF_ERROR(ExpandParticle(node, *child, depth));
+      } else if (local == "group") {
+        QMATCH_RETURN_IF_ERROR(ExpandGroupRef(node, *child, depth));
+      } else if (local == "attribute") {
+        QMATCH_RETURN_IF_ERROR(AddAttribute(node, *child));
+      } else if (local == "attributeGroup") {
+        QMATCH_RETURN_IF_ERROR(ExpandAttributeGroupRef(node, *child));
+      }
+      // Facets (enumeration, pattern, ...) under simpleContent restriction
+      // are ignored: they constrain values, not structure.
+    }
+    return Status::OK();
+  }
+
+  /// Walks a compositor's children, appending element declarations to
+  /// `node`. Nested compositors are flattened into the same child list.
+  Status ExpandParticle(SchemaNode* node, const xml::XmlElement& compositor,
+                        size_t depth) {
+    for (const xml::XmlElement* child : compositor.ChildElements()) {
+      std::string_view local = child->LocalName();
+      if (local == "annotation" || local == "any") continue;
+      if (local == "element") {
+        QMATCH_ASSIGN_OR_RETURN(std::unique_ptr<SchemaNode> el,
+                                BuildElement(*child, depth + 1));
+        node->AddChild(std::move(el));
+      } else if (local == "sequence" || local == "choice" || local == "all") {
+        QMATCH_RETURN_IF_ERROR(ExpandParticle(node, *child, depth));
+      } else if (local == "group") {
+        QMATCH_RETURN_IF_ERROR(ExpandGroupRef(node, *child, depth));
+      } else {
+        return Status::ParseError("unsupported particle <" +
+                                  std::string(child->name()) + ">");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ExpandGroupRef(SchemaNode* node, const xml::XmlElement& group_ref,
+                        size_t depth) {
+    std::string_view ref = group_ref.AttributeOr("ref", "");
+    if (ref.empty()) {
+      return Status::ParseError("group reference without ref attribute");
+    }
+    std::string local(LocalOf(ref));
+    auto it = groups_.find(local);
+    if (it == groups_.end()) {
+      return Status::NotFound("group '" + local + "' not declared");
+    }
+    if (expanding_groups_.count(local) > 0) return Status::OK();
+    expanding_groups_.insert(local);
+    Status s = Status::OK();
+    for (const xml::XmlElement* child : it->second->ChildElements()) {
+      std::string_view child_local = child->LocalName();
+      if (child_local == "annotation") continue;
+      if (child_local == "sequence" || child_local == "choice" ||
+          child_local == "all") {
+        if (node->compositor() == Compositor::kNone) {
+          node->set_compositor(child_local == "sequence" ? Compositor::kSequence
+                               : child_local == "choice" ? Compositor::kChoice
+                                                         : Compositor::kAll);
+        }
+        s = ExpandParticle(node, *child, depth);
+        if (!s.ok()) break;
+      }
+    }
+    expanding_groups_.erase(local);
+    return s;
+  }
+
+  Status AddAttribute(SchemaNode* node, const xml::XmlElement& decl) {
+    if (!options_.include_attributes) return Status::OK();
+    const xml::XmlElement* resolved = &decl;
+    if (const std::string* ref = decl.FindAttribute("ref")) {
+      auto it = global_attributes_.find(std::string(LocalOf(*ref)));
+      if (it == global_attributes_.end()) {
+        return Status::NotFound("attribute ref '" + *ref + "' not declared");
+      }
+      resolved = it->second;
+    }
+    const std::string* name = resolved->FindAttribute("name");
+    if (name == nullptr) {
+      return Status::ParseError("attribute declaration without name or ref");
+    }
+    auto attr = std::make_unique<SchemaNode>(*name, NodeKind::kAttribute);
+    // use= comes from the *reference site* when present, else the decl.
+    std::string_view use = decl.AttributeOr("use", resolved->AttributeOr("use", "optional"));
+    attr->set_occurs(Occurs{use == "required" ? 1 : 0, 1});
+    if (const std::string* type_name = resolved->FindAttribute("type")) {
+      std::set<std::string> visiting;
+      XsdType t = ResolveSimpleTypeName(*resolved, *type_name, &visiting);
+      attr->set_type(t, std::string(LocalOf(*type_name)));
+    } else if (const xml::XmlElement* st =
+                   resolved->FirstChildElement("simpleType")) {
+      std::set<std::string> visiting;
+      attr->set_type(ResolveSimpleTypeElement(*st, &visiting));
+    } else {
+      attr->set_type(XsdType::kAnySimpleType);
+    }
+    if (const std::string* v = resolved->FindAttribute("default")) {
+      attr->set_default_value(*v);
+    }
+    if (const std::string* v = resolved->FindAttribute("fixed")) {
+      attr->set_fixed_value(*v);
+    }
+    node->AddChild(std::move(attr));
+    return Status::OK();
+  }
+
+  Status ExpandAttributeGroupRef(SchemaNode* node,
+                                 const xml::XmlElement& group_ref) {
+    std::string_view ref = group_ref.AttributeOr("ref", "");
+    if (ref.empty()) {
+      return Status::ParseError("attributeGroup reference without ref");
+    }
+    std::string local(LocalOf(ref));
+    auto it = attribute_groups_.find(local);
+    if (it == attribute_groups_.end()) {
+      return Status::NotFound("attributeGroup '" + local + "' not declared");
+    }
+    for (const xml::XmlElement* child : it->second->ChildElements()) {
+      if (child->LocalName() == "attribute") {
+        QMATCH_RETURN_IF_ERROR(AddAttribute(node, *child));
+      } else if (child->LocalName() == "attributeGroup") {
+        QMATCH_RETURN_IF_ERROR(ExpandAttributeGroupRef(node, *child));
+      }
+    }
+    return Status::OK();
+  }
+
+  const xml::XmlElement& schema_el_;
+  const ParseOptions& options_;
+  std::map<std::string, const xml::XmlElement*> global_elements_;
+  std::map<std::string, const xml::XmlElement*> global_attributes_;
+  std::map<std::string, const xml::XmlElement*> complex_types_;
+  std::map<std::string, const xml::XmlElement*> simple_types_;
+  std::map<std::string, const xml::XmlElement*> groups_;
+  std::map<std::string, const xml::XmlElement*> attribute_groups_;
+  std::set<std::string> expanding_types_;
+  std::set<std::string> expanding_elements_;
+  std::set<std::string> expanding_groups_;
+};
+
+}  // namespace
+
+Result<Schema> ParseSchemaDocument(const xml::XmlDocument& doc,
+                                   const ParseOptions& options) {
+  if (doc.root() == nullptr) {
+    return Status::ParseError("empty XML document");
+  }
+  if (doc.root()->LocalName() != "schema") {
+    return Status::ParseError("root element is <" + doc.root()->name() +
+                              ">, expected an XSD <schema>");
+  }
+  XsdTreeBuilder builder(*doc.root(), options);
+  return builder.Build();
+}
+
+Result<Schema> ParseSchema(std::string_view xsd_text,
+                           const ParseOptions& options) {
+  QMATCH_ASSIGN_OR_RETURN(xml::XmlDocument doc, xml::Parse(xsd_text));
+  return ParseSchemaDocument(doc, options);
+}
+
+}  // namespace qmatch::xsd

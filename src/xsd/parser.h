@@ -1,0 +1,47 @@
+#ifndef QMATCH_XSD_PARSER_H_
+#define QMATCH_XSD_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xsd/schema.h"
+
+namespace qmatch::xsd {
+
+/// Options controlling XSD-to-schema-tree conversion.
+struct ParseOptions {
+  /// Display name of the produced schema; defaults to the root element label.
+  std::string schema_name;
+  /// Name of the global element to use as the tree root. Empty picks the
+  /// first global element declaration in document order.
+  std::string root_element;
+  /// Whether attribute declarations become (attribute-kind) children.
+  bool include_attributes = true;
+  /// Expansion-depth guard against degenerate or recursive schemas. Named
+  /// types that recurse are expanded once and then cut off into leaves.
+  size_t max_depth = 64;
+};
+
+/// Parses an XML Schema (XSD) document into a `Schema` tree.
+///
+/// Supported XSD constructs: global/local `element`, named and anonymous
+/// `complexType`, `simpleType` with `restriction`/`list`/`union`,
+/// `sequence`/`choice`/`all` compositors (nested compositors are flattened
+/// into the nearest element's child list), `group`/`attributeGroup`
+/// definitions and references, `element`/`attribute` `ref=`,
+/// `complexContent`/`simpleContent` with `extension` and `restriction`,
+/// `minOccurs`/`maxOccurs`/`use`, `nillable`, `default`, `fixed`, and
+/// `annotation` (skipped). Recursive type definitions are expanded once and
+/// then truncated, matching how matchers bound recursion.
+Result<Schema> ParseSchema(std::string_view xsd_text,
+                           const ParseOptions& options = {});
+
+/// Same, starting from an already parsed XML document.
+Result<Schema> ParseSchemaDocument(const xml::XmlDocument& doc,
+                                   const ParseOptions& options = {});
+
+}  // namespace qmatch::xsd
+
+#endif  // QMATCH_XSD_PARSER_H_

@@ -1,0 +1,224 @@
+#include "xsd/schema.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace qmatch::xsd {
+
+std::string_view CompositorName(Compositor c) {
+  switch (c) {
+    case Compositor::kNone:
+      return "none";
+    case Compositor::kSequence:
+      return "sequence";
+    case Compositor::kChoice:
+      return "choice";
+    case Compositor::kAll:
+      return "all";
+  }
+  return "?";
+}
+
+std::string_view NodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kElement:
+      return "element";
+    case NodeKind::kAttribute:
+      return "attribute";
+  }
+  return "?";
+}
+
+SchemaNode* SchemaNode::AddChild(std::unique_ptr<SchemaNode> child) {
+  child->parent_ = this;
+  SchemaNode* borrowed = child.get();
+  children_.push_back(std::move(child));
+  return borrowed;
+}
+
+const SchemaNode* SchemaNode::FindChild(std::string_view label) const {
+  for (const auto& child : children_) {
+    if (child->label() == label) return child.get();
+  }
+  return nullptr;
+}
+
+size_t SchemaNode::SubtreeSize() const {
+  size_t count = 1;
+  for (const auto& child : children_) count += child->SubtreeSize();
+  return count;
+}
+
+size_t SchemaNode::Height() const {
+  size_t h = 0;
+  for (const auto& child : children_) {
+    h = std::max(h, 1 + child->Height());
+  }
+  return h;
+}
+
+std::string SchemaNode::Path() const {
+  std::string path;
+  // Build from root down: collect ancestry, then emit.
+  std::vector<const SchemaNode*> chain;
+  for (const SchemaNode* n = this; n != nullptr; n = n->parent_) {
+    chain.push_back(n);
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    path += '/';
+    if ((*it)->kind() == NodeKind::kAttribute) path += '@';
+    path += (*it)->label();
+  }
+  return path;
+}
+
+std::string SchemaNode::DebugString() const {
+  std::string occurs_str;
+  if (occurs_.unbounded()) {
+    occurs_str = StrFormat("[%d,*]", occurs_.min);
+  } else {
+    occurs_str = StrFormat("[%d,%d]", occurs_.min, occurs_.max);
+  }
+  return StrFormat(
+      "%s%s (%s, type=%s, occurs=%s, level=%zu, order=%d%s)",
+      kind_ == NodeKind::kAttribute ? "@" : "", label_.c_str(),
+      std::string(NodeKindName(kind_)).c_str(),
+      type_name_.empty() ? std::string(TypeName(type_)).c_str()
+                         : type_name_.c_str(),
+      occurs_str.c_str(), level_, order_, ordered_ ? ", ordered" : "");
+}
+
+void Schema::Finalize() {
+  if (root_ == nullptr) return;
+  // Iterative preorder walk assigning levels and sibling order.
+  struct Item {
+    SchemaNode* node;
+    size_t level;
+  };
+  std::vector<Item> stack;
+  root_->level_ = 0;
+  root_->order_ = 0;
+  root_->ordered_ = false;
+  root_->parent_ = nullptr;
+  stack.push_back({root_.get(), 0});
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    SchemaNode* node = item.node;
+    node->level_ = item.level;
+    const bool children_ordered = node->compositor_ == Compositor::kSequence;
+    int index = 0;
+    for (auto& child : node->children_) {
+      child->parent_ = node;
+      child->order_ = index++;
+      child->ordered_ = children_ordered;
+      stack.push_back({child.get(), item.level + 1});
+    }
+  }
+}
+
+size_t Schema::NodeCount() const {
+  return root_ != nullptr ? root_->SubtreeSize() : 0;
+}
+
+size_t Schema::ElementCount() const {
+  size_t count = 0;
+  for (const SchemaNode* node : AllNodes()) {
+    if (node->kind() == NodeKind::kElement) ++count;
+  }
+  return count;
+}
+
+size_t Schema::MaxDepth() const {
+  return root_ != nullptr ? root_->Height() : 0;
+}
+
+std::vector<const SchemaNode*> Schema::AllNodes() const {
+  std::vector<const SchemaNode*> out;
+  if (root_ == nullptr) return out;
+  std::vector<const SchemaNode*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const SchemaNode* node = stack.back();
+    stack.pop_back();
+    out.push_back(node);
+    // Push children in reverse so preorder emits them left-to-right.
+    for (auto it = node->children().rbegin(); it != node->children().rend();
+         ++it) {
+      stack.push_back(it->get());
+    }
+  }
+  return out;
+}
+
+std::vector<SchemaNode*> Schema::AllNodes() {
+  std::vector<SchemaNode*> out;
+  if (root_ == nullptr) return out;
+  std::vector<SchemaNode*> stack = {root_.get()};
+  while (!stack.empty()) {
+    SchemaNode* node = stack.back();
+    stack.pop_back();
+    out.push_back(node);
+    for (auto it = node->children_.rbegin(); it != node->children_.rend();
+         ++it) {
+      stack.push_back(it->get());
+    }
+  }
+  return out;
+}
+
+const SchemaNode* Schema::FindByPath(std::string_view path) const {
+  for (const SchemaNode* node : AllNodes()) {
+    if (node->Path() == path) return node;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::unique_ptr<SchemaNode> CloneNode(const SchemaNode& src) {
+  auto copy = std::make_unique<SchemaNode>(src.label(), src.kind());
+  copy->set_type(src.type(), src.type_name());
+  copy->set_occurs(src.occurs());
+  copy->set_compositor(src.compositor());
+  copy->set_nillable(src.nillable());
+  if (src.default_value().has_value()) {
+    copy->set_default_value(*src.default_value());
+  }
+  if (src.fixed_value().has_value()) {
+    copy->set_fixed_value(*src.fixed_value());
+  }
+  for (const auto& child : src.children()) {
+    copy->AddChild(CloneNode(*child));
+  }
+  return copy;
+}
+
+void AppendTree(const SchemaNode& node, size_t depth, std::string& out) {
+  out.append(depth * 2, ' ');
+  out += node.DebugString();
+  out += '\n';
+  for (const auto& child : node.children()) {
+    AppendTree(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Schema Schema::Clone() const {
+  Schema copy;
+  copy.set_name(name_);
+  copy.set_target_namespace(target_namespace_);
+  if (root_ != nullptr) {
+    copy.set_root(CloneNode(*root_));
+  }
+  return copy;
+}
+
+std::string Schema::ToTreeString() const {
+  std::string out = "schema '" + name_ + "'\n";
+  if (root_ != nullptr) AppendTree(*root_, 1, out);
+  return out;
+}
+
+}  // namespace qmatch::xsd

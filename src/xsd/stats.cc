@@ -1,0 +1,68 @@
+#include "xsd/stats.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "lingua/tokenize.h"
+
+namespace qmatch::xsd {
+
+SchemaStats ComputeStats(const Schema& schema) {
+  SchemaStats stats;
+  if (schema.root() == nullptr) return stats;
+
+  std::set<std::string> tokens;
+  size_t depth_sum = 0;
+  size_t fanout_sum = 0;
+  for (const SchemaNode* node : schema.AllNodes()) {
+    ++stats.node_count;
+    depth_sum += node->level();
+    if (node->kind() == NodeKind::kElement) {
+      ++stats.element_count;
+    } else {
+      ++stats.attribute_count;
+    }
+    if (node->IsLeaf()) {
+      ++stats.leaf_count;
+      ++stats.type_histogram[std::string(TypeName(node->type()))];
+    } else {
+      ++stats.inner_count;
+      fanout_sum += node->child_count();
+      stats.max_fanout = std::max(stats.max_fanout, node->child_count());
+    }
+    stats.max_depth = std::max(stats.max_depth, node->level());
+    if (node->occurs().min == 0) ++stats.optional_count;
+    if (node->occurs().unbounded() || node->occurs().max > 1) {
+      ++stats.repeating_count;
+    }
+    for (const std::string& token : lingua::TokenizeLabel(node->label())) {
+      tokens.insert(lingua::SingularizeToken(token));
+    }
+  }
+  stats.average_depth =
+      static_cast<double>(depth_sum) / static_cast<double>(stats.node_count);
+  if (stats.inner_count > 0) {
+    stats.average_fanout = static_cast<double>(fanout_sum) /
+                           static_cast<double>(stats.inner_count);
+  }
+  stats.distinct_tokens = tokens.size();
+  return stats;
+}
+
+std::string SchemaStats::ToString() const {
+  std::string out = StrFormat(
+      "nodes=%zu (elements=%zu, attributes=%zu) leaves=%zu inner=%zu\n"
+      "depth: max=%zu avg=%.2f | fanout: max=%zu avg=%.2f\n"
+      "optional=%zu repeating=%zu distinct_tokens=%zu\n",
+      node_count, element_count, attribute_count, leaf_count, inner_count,
+      max_depth, average_depth, max_fanout, average_fanout, optional_count,
+      repeating_count, distinct_tokens);
+  out += "types:";
+  for (const auto& [name, count] : type_histogram) {
+    out += StrFormat(" %s=%zu", name.c_str(), count);
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace qmatch::xsd

@@ -1,0 +1,39 @@
+#ifndef QMATCH_XSD_STATS_H_
+#define QMATCH_XSD_STATS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xsd/schema.h"
+
+namespace qmatch::xsd {
+
+/// Aggregate shape statistics of a schema tree — the Table 1 data plus the
+/// distributional detail the generator is calibrated against.
+struct SchemaStats {
+  size_t node_count = 0;
+  size_t element_count = 0;
+  size_t attribute_count = 0;
+  size_t leaf_count = 0;
+  size_t inner_count = 0;
+  size_t max_depth = 0;          // edges
+  double average_depth = 0.0;    // over all nodes
+  size_t max_fanout = 0;
+  double average_fanout = 0.0;   // over inner nodes
+  size_t optional_count = 0;     // minOccurs == 0
+  size_t repeating_count = 0;    // maxOccurs > 1 or unbounded
+  /// Node count per built-in type name (leaves only).
+  std::map<std::string, size_t> type_histogram;
+  /// Distinct canonicalised label tokens.
+  size_t distinct_tokens = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes the statistics in one pass over the tree.
+SchemaStats ComputeStats(const Schema& schema);
+
+}  // namespace qmatch::xsd
+
+#endif  // QMATCH_XSD_STATS_H_

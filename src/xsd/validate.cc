@@ -1,0 +1,221 @@
+#include "xsd/validate.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "xsd/infer.h"
+
+namespace qmatch::xsd {
+
+std::string_view ViolationKindName(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kWrongRoot:
+      return "wrong root";
+    case Violation::Kind::kUnknownElement:
+      return "unknown element";
+    case Violation::Kind::kUnknownAttribute:
+      return "unknown attribute";
+    case Violation::Kind::kMissingChild:
+      return "missing child";
+    case Violation::Kind::kMissingAttribute:
+      return "missing attribute";
+    case Violation::Kind::kTooFewOccurrences:
+      return "too few occurrences";
+    case Violation::Kind::kTooManyOccurrences:
+      return "too many occurrences";
+    case Violation::Kind::kTypeMismatch:
+      return "type mismatch";
+    case Violation::Kind::kFixedValueMismatch:
+      return "fixed value mismatch";
+  }
+  return "?";
+}
+
+std::string Violation::ToString() const {
+  return StrFormat("[%s] %s: %s",
+                   std::string(ViolationKindName(kind)).c_str(), where.c_str(),
+                   message.c_str());
+}
+
+namespace {
+
+/// True when `text` is acceptable for the declared built-in type. The check
+/// is permissive: the inferred type of the value must be the declared type
+/// or a relative on the lattice (string accepts everything).
+bool ValueMatchesType(std::string_view text, XsdType declared) {
+  if (declared == XsdType::kUnknown || declared == XsdType::kAnyType ||
+      declared == XsdType::kAnySimpleType) {
+    return true;
+  }
+  if (PrimitiveAncestor(declared) == XsdType::kString) return true;
+  // Only check types the value inferrer can actually recognise; lexical
+  // spaces it does not model (gYearMonth, duration, binary, QName, ...)
+  // are accepted as-is.
+  switch (PrimitiveAncestor(declared)) {
+    case XsdType::kDecimal:
+    case XsdType::kFloat:
+    case XsdType::kDouble:
+    case XsdType::kBoolean:
+    case XsdType::kDate:
+    case XsdType::kDateTime:
+    case XsdType::kGYear:
+    case XsdType::kAnyUri:
+      break;
+    default:
+      return true;
+  }
+  XsdType observed = InferValueType(Trim(text));
+  if (observed == declared) return true;
+  switch (CompareTypes(observed, declared)) {
+    case TypeRelation::kEqual:
+    case TypeRelation::kGeneralizes:
+    case TypeRelation::kSpecializes:
+    case TypeRelation::kSameFamily:
+      return true;
+    case TypeRelation::kUnrelated:
+      return false;
+  }
+  return false;
+}
+
+class Validator {
+ public:
+  Validator(const ValidateOptions& options, std::vector<Violation>* out)
+      : options_(options), out_(out) {}
+
+  bool Full() const {
+    return options_.max_violations > 0 &&
+           out_->size() >= options_.max_violations;
+  }
+
+  void Report(Violation::Kind kind, std::string where, std::string message) {
+    if (Full()) return;
+    out_->push_back({kind, std::move(where), std::move(message)});
+  }
+
+  void ValidateElement(const xml::XmlElement& element, const SchemaNode& decl,
+                       const std::string& where) {
+    if (Full()) return;
+
+    // Attributes.
+    std::map<std::string, const SchemaNode*> declared_attributes;
+    for (const auto& child : decl.children()) {
+      if (child->kind() == NodeKind::kAttribute) {
+        declared_attributes[child->label()] = child.get();
+      }
+    }
+    for (const xml::XmlAttribute& attr : element.attributes()) {
+      if (attr.name == "xmlns" || StartsWith(attr.name, "xmlns:")) continue;
+      auto it = declared_attributes.find(attr.name);
+      if (it == declared_attributes.end()) {
+        if (!options_.allow_undeclared) {
+          Report(Violation::Kind::kUnknownAttribute, where + "/@" + attr.name,
+                 "attribute not declared");
+        }
+        continue;
+      }
+      CheckValue(attr.value, *it->second, where + "/@" + attr.name);
+    }
+    for (const auto& [name, attr_decl] : declared_attributes) {
+      if (attr_decl->occurs().min >= 1 && !element.HasAttribute(name)) {
+        Report(Violation::Kind::kMissingAttribute, where + "/@" + name,
+               "required attribute absent");
+      }
+    }
+
+    // Child elements.
+    std::map<std::string, const SchemaNode*> declared_children;
+    for (const auto& child : decl.children()) {
+      if (child->kind() == NodeKind::kElement) {
+        declared_children[child->label()] = child.get();
+      }
+    }
+    std::map<std::string, int> counts;
+    std::map<std::string, int> sibling_index;
+    for (const xml::XmlElement* child : element.ChildElements()) {
+      std::string name(child->LocalName());
+      int index = ++sibling_index[name];
+      std::string child_where =
+          StrFormat("%s/%s[%d]", where.c_str(), name.c_str(), index);
+      auto it = declared_children.find(name);
+      if (it == declared_children.end()) {
+        if (!options_.allow_undeclared) {
+          Report(Violation::Kind::kUnknownElement, child_where,
+                 "element not declared here");
+        }
+        continue;
+      }
+      ++counts[name];
+      ValidateElement(*child, *it->second, child_where);
+    }
+    for (const auto& [name, child_decl] : declared_children) {
+      int count = counts.count(name) > 0 ? counts.at(name) : 0;
+      const Occurs& occurs = child_decl->occurs();
+      if (count == 0 && occurs.min >= 1) {
+        Report(Violation::Kind::kMissingChild, where + "/" + name,
+               StrFormat("requires at least %d occurrence(s), found none",
+                         occurs.min));
+      } else if (count > 0 && count < occurs.min) {
+        Report(Violation::Kind::kTooFewOccurrences, where + "/" + name,
+               StrFormat("requires at least %d, found %d", occurs.min, count));
+      } else if (!occurs.unbounded() && count > occurs.max) {
+        Report(Violation::Kind::kTooManyOccurrences, where + "/" + name,
+               StrFormat("allows at most %d, found %d", occurs.max, count));
+      }
+    }
+
+    // Leaf value.
+    if (decl.IsLeaf() ||
+        declared_children.empty()) {  // element-content nodes skip text
+      CheckValue(element.InnerText(), decl, where);
+    }
+  }
+
+ private:
+  void CheckValue(std::string_view text, const SchemaNode& decl,
+                  const std::string& where) {
+    if (decl.fixed_value().has_value() &&
+        Trim(text) != std::string_view(*decl.fixed_value())) {
+      Report(Violation::Kind::kFixedValueMismatch, where,
+             "value '" + std::string(Trim(text)) + "' != fixed '" +
+                 *decl.fixed_value() + "'");
+      return;
+    }
+    if (!options_.check_types) return;
+    std::string_view trimmed = Trim(text);
+    if (trimmed.empty()) return;  // emptiness is an occurrence concern
+    if (!ValueMatchesType(trimmed, decl.type())) {
+      Report(Violation::Kind::kTypeMismatch, where,
+             "value '" + std::string(trimmed) + "' does not conform to " +
+                 std::string(TypeName(decl.type())));
+    }
+  }
+
+  const ValidateOptions& options_;
+  std::vector<Violation>* out_;
+};
+
+}  // namespace
+
+std::vector<Violation> Validate(const xml::XmlDocument& doc,
+                                const Schema& schema,
+                                const ValidateOptions& options) {
+  std::vector<Violation> violations;
+  if (doc.root() == nullptr || schema.root() == nullptr) {
+    violations.push_back({Violation::Kind::kWrongRoot, "/",
+                          "document or schema has no root"});
+    return violations;
+  }
+  if (doc.root()->LocalName() != schema.root()->label()) {
+    violations.push_back(
+        {Violation::Kind::kWrongRoot, "/" + std::string(doc.root()->name()),
+         "expected root '" + schema.root()->label() + "'"});
+    return violations;
+  }
+  Validator validator(options, &violations);
+  validator.ValidateElement(*doc.root(), *schema.root(),
+                            "/" + schema.root()->label());
+  return violations;
+}
+
+}  // namespace qmatch::xsd

@@ -1,0 +1,57 @@
+#ifndef QMATCH_XSD_VALIDATE_H_
+#define QMATCH_XSD_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/dom.h"
+#include "xsd/schema.h"
+
+namespace qmatch::xsd {
+
+/// One conformance violation found while validating a document.
+struct Violation {
+  enum class Kind {
+    kWrongRoot,          // root element name differs from the schema root
+    kUnknownElement,     // element not declared at this position
+    kUnknownAttribute,   // attribute not declared on this element
+    kMissingChild,       // required (minOccurs >= 1) child absent
+    kMissingAttribute,   // required attribute absent
+    kTooFewOccurrences,  // fewer than minOccurs occurrences
+    kTooManyOccurrences, // more than (bounded) maxOccurs occurrences
+    kTypeMismatch,       // leaf text does not parse as the declared type
+    kFixedValueMismatch, // fixed= value violated
+  };
+  Kind kind;
+  /// Document location ("/bookstore/book[2]/price").
+  std::string where;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+std::string_view ViolationKindName(Violation::Kind kind);
+
+/// Options controlling validation strictness.
+struct ValidateOptions {
+  /// Whether undeclared elements/attributes are violations (strict) or
+  /// tolerated (open-content mode).
+  bool allow_undeclared = false;
+  /// Whether leaf text must parse as the declared built-in type.
+  bool check_types = true;
+  /// Stop after this many violations (0 = unlimited).
+  size_t max_violations = 0;
+};
+
+/// Validates an XML instance document against a schema tree, returning all
+/// violations found (empty = valid). This closes the loop between the
+/// schema substrate, the document generator and the inference path:
+/// `Validate(GenerateDocument(S), S)` is empty by construction, and the
+/// property tests assert it.
+std::vector<Violation> Validate(const xml::XmlDocument& doc,
+                                const Schema& schema,
+                                const ValidateOptions& options = {});
+
+}  // namespace qmatch::xsd
+
+#endif  // QMATCH_XSD_VALIDATE_H_

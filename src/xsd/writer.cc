@@ -1,0 +1,139 @@
+#include "xsd/writer.h"
+
+#include "common/string_util.h"
+#include "xml/dom.h"
+#include "xml/writer.h"
+
+namespace qmatch::xsd {
+
+namespace {
+
+/// Serializer state: the prefix and element factory helpers.
+class XsdWriter {
+ public:
+  explicit XsdWriter(const XsdWriteOptions& options) : options_(options) {}
+
+  std::unique_ptr<xml::XmlElement> Build(const Schema& schema) {
+    auto root = Tag("schema");
+    root->SetAttribute("xmlns:" + options_.prefix,
+                       "http://www.w3.org/2001/XMLSchema");
+    if (!schema.target_namespace().empty()) {
+      root->SetAttribute("targetNamespace", schema.target_namespace());
+    }
+    if (schema.root() != nullptr) {
+      root->AddChild(BuildElement(*schema.root()));
+    }
+    return root;
+  }
+
+ private:
+  std::unique_ptr<xml::XmlElement> Tag(std::string_view local) {
+    return std::make_unique<xml::XmlElement>(options_.prefix + ":" +
+                                             std::string(local));
+  }
+
+  void EmitOccurs(const SchemaNode& node, xml::XmlElement* decl) {
+    // Root elements carry no occurrence attributes.
+    if (node.parent() == nullptr) return;
+    if (node.occurs().min != 1) {
+      decl->SetAttribute("minOccurs", StrFormat("%d", node.occurs().min));
+    }
+    if (node.occurs().unbounded()) {
+      decl->SetAttribute("maxOccurs", "unbounded");
+    } else if (node.occurs().max != 1) {
+      decl->SetAttribute("maxOccurs", StrFormat("%d", node.occurs().max));
+    }
+  }
+
+  void EmitValueFacets(const SchemaNode& node, xml::XmlElement* decl) {
+    if (node.default_value().has_value()) {
+      decl->SetAttribute("default", *node.default_value());
+    }
+    if (node.fixed_value().has_value()) {
+      decl->SetAttribute("fixed", *node.fixed_value());
+    }
+  }
+
+  std::string TypeAttribute(const SchemaNode& node) {
+    if (node.type() == XsdType::kUnknown) {
+      return node.type_name();  // user-defined name, unprefixed
+    }
+    return options_.prefix + ":" + std::string(TypeName(node.type()));
+  }
+
+  std::unique_ptr<xml::XmlElement> BuildAttribute(const SchemaNode& node) {
+    auto decl = Tag("attribute");
+    decl->SetAttribute("name", node.label());
+    decl->SetAttribute("type", TypeAttribute(node));
+    if (node.occurs().min >= 1) {
+      decl->SetAttribute("use", "required");
+    }
+    EmitValueFacets(node, decl.get());
+    return decl;
+  }
+
+  std::unique_ptr<xml::XmlElement> BuildElement(const SchemaNode& node) {
+    auto decl = Tag("element");
+    decl->SetAttribute("name", node.label());
+    EmitOccurs(node, decl.get());
+    if (node.nillable()) decl->SetAttribute("nillable", "true");
+    EmitValueFacets(node, decl.get());
+
+    if (node.IsLeaf()) {
+      if (node.type() != XsdType::kAnyType) {
+        decl->SetAttribute("type", TypeAttribute(node));
+      }
+      return decl;
+    }
+
+    // Inline anonymous complex type: compositor + element children, then
+    // attribute children.
+    auto complex_type = Tag("complexType");
+    std::string_view compositor_tag;
+    switch (node.compositor()) {
+      case Compositor::kChoice:
+        compositor_tag = "choice";
+        break;
+      case Compositor::kAll:
+        compositor_tag = "all";
+        break;
+      case Compositor::kSequence:
+      case Compositor::kNone:
+        compositor_tag = "sequence";
+        break;
+    }
+    auto compositor = Tag(compositor_tag);
+    bool any_elements = false;
+    for (const auto& child : node.children()) {
+      if (child->kind() == NodeKind::kElement) {
+        compositor->AddChild(BuildElement(*child));
+        any_elements = true;
+      }
+    }
+    if (any_elements) {
+      complex_type->AddChild(std::move(compositor));
+    }
+    for (const auto& child : node.children()) {
+      if (child->kind() == NodeKind::kAttribute) {
+        complex_type->AddChild(BuildAttribute(*child));
+      }
+    }
+    decl->AddChild(std::move(complex_type));
+    return decl;
+  }
+
+  const XsdWriteOptions& options_;
+};
+
+}  // namespace
+
+std::string ToXsd(const Schema& schema, const XsdWriteOptions& options) {
+  XsdWriter writer(options);
+  xml::XmlDocument doc;
+  doc.set_root(writer.Build(schema));
+  xml::WriteOptions xml_options;
+  xml_options.indent = options.indent;
+  return xml::ToString(doc, xml_options);
+}
+
+}  // namespace qmatch::xsd

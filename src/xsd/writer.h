@@ -1,0 +1,32 @@
+#ifndef QMATCH_XSD_WRITER_H_
+#define QMATCH_XSD_WRITER_H_
+
+#include <string>
+
+#include "xsd/schema.h"
+
+namespace qmatch::xsd {
+
+/// Options for schema-to-XSD serialization.
+struct XsdWriteOptions {
+  /// Spaces per indentation level.
+  int indent = 2;
+  /// Namespace prefix to bind to the XML Schema namespace.
+  std::string prefix = "xs";
+};
+
+/// Serializes a schema tree back to XML Schema text.
+///
+/// The output uses inline anonymous complex types (the tree shape maps
+/// 1:1 onto nested declarations), emits `minOccurs`/`maxOccurs`/`use`,
+/// `nillable`, `default`/`fixed` and the compositor recorded on each node.
+/// Unknown user types are written by their recorded `type_name`.
+///
+/// `ParseSchema(ToXsd(schema))` reconstructs a tree with identical paths,
+/// types, occurrence constraints and compositors (verified by the
+/// round-trip property tests).
+std::string ToXsd(const Schema& schema, const XsdWriteOptions& options = {});
+
+}  // namespace qmatch::xsd
+
+#endif  // QMATCH_XSD_WRITER_H_

@@ -1,0 +1,339 @@
+// Unit tests for src/common: Status, Result, string utilities, Random.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace qmatch {
+namespace {
+
+// --- Status ---------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("boom").message(), "boom");
+  EXPECT_FALSE(Status::ParseError("boom").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_EQ(s.ToString(), "parse error: bad token");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::ParseError("bad token").WithContext("line 3");
+  EXPECT_EQ(s.message(), "line 3: bad token");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::OK().WithContext("ignored"), Status::OK());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto inner = [](bool fail) {
+    return fail ? Status::Internal("inner") : Status::OK();
+  };
+  auto outer = [&](bool fail) -> Status {
+    QMATCH_RETURN_IF_ERROR(inner(fail));
+    return Status::InvalidArgument("after");
+  };
+  EXPECT_EQ(outer(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(outer(false).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "parse error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "unimplemented");
+}
+
+// --- Result ----------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto maybe = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("no");
+    return 7;
+  };
+  auto f = [&](bool fail) -> Result<int> {
+    QMATCH_ASSIGN_OR_RETURN(int v, maybe(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*f(false), 8);
+  EXPECT_EQ(f(true).status().code(), StatusCode::kOutOfRange);
+}
+
+// --- string_util -----------------------------------------------------------
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+  EXPECT_EQ(ToUpper("AbC-12"), "ABC-12");
+  EXPECT_TRUE(EqualsIgnoreCase("Hello", "hELLO"));
+  EXPECT_FALSE(EqualsIgnoreCase("Hello", "Hell"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringUtilTest, SplitPreservesEmptyPieces) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, SplitSkipEmptyTrims) {
+  EXPECT_EQ(SplitSkipEmpty(" a , ,b ", ','),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitSkipEmpty("  ", ',').empty());
+}
+
+TEST(StringUtilTest, JoinRoundtripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, "/"), "x/y/z");
+  EXPECT_EQ(Join({}, "/"), "");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("hello", "l", ""), "heo");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");  // empty needle: unchanged
+  EXPECT_EQ(ReplaceAll("abab", "ab", "ba"), "baba");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.0 / 3.0), "0.33");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// --- Random ------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RandomTest, UniformStaysInBound) {
+  Random rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(4);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyFair) {
+  Random rng(6);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.5)) ++heads;
+  }
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RandomTest, ShufflePermutes) {
+  Random rng(8);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RandomTest, PickReturnsElement) {
+  Random rng(9);
+  std::vector<int> v = {10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    int p = rng.Pick(v);
+    EXPECT_TRUE(p == 10 || p == 20 || p == 30);
+  }
+}
+
+// --- file_util -----------------------------------------------------------
+
+TEST(FileUtilTest, WriteReadRoundtrip) {
+  const std::string path = ::testing::TempDir() + "/qmatch_file_util_test.txt";
+  const std::string payload = "line one\nline two\0with nul";
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  EXPECT_TRUE(FileExists(path));
+  Result<std::string> read = ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, payload);
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, OverwriteReplacesContents) {
+  const std::string path = ::testing::TempDir() + "/qmatch_overwrite_test.txt";
+  ASSERT_TRUE(WriteFile(path, "first, longer contents").ok());
+  ASSERT_TRUE(WriteFile(path, "second").ok());
+  EXPECT_EQ(*ReadFile(path), "second");
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, MissingFileIsIoError) {
+  Result<std::string> read = ReadFile("/nonexistent/path/nowhere.txt");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  EXPECT_FALSE(FileExists("/nonexistent/path/nowhere.txt"));
+}
+
+TEST(FileUtilTest, EmptyFile) {
+  const std::string path = ::testing::TempDir() + "/qmatch_empty_test.txt";
+  ASSERT_TRUE(WriteFile(path, "").ok());
+  Result<std::string> read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  std::remove(path.c_str());
+}
+
+// --- logging -------------------------------------------------------------
+
+TEST(LoggingTest, LevelRoundtrips) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogMacroRespectsLevel) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  QMATCH_LOG(Debug) << "suppressed " << count();
+  EXPECT_EQ(evaluations, 0) << "disabled levels must not evaluate args";
+  SetLogLevel(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ QMATCH_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(LoggingTest, CheckSuccessIsSilentAndCheap) {
+  QMATCH_CHECK(true) << "never evaluated";
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return "msg";
+  };
+  QMATCH_CHECK(2 + 2 == 4) << count();
+  EXPECT_EQ(evaluations, 0) << "stream args must not evaluate on success";
+}
+
+}  // namespace
+}  // namespace qmatch

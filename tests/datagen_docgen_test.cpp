@@ -1,0 +1,151 @@
+// Unit and property tests for XML instance generation and its round trip
+// through schema inference.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/corpus.h"
+#include "datagen/docgen.h"
+#include "datagen/generator.h"
+#include "xsd/builder.h"
+#include "xml/writer.h"
+#include "xsd/infer.h"
+
+namespace qmatch::datagen {
+namespace {
+
+TEST(DocGenTest, RootMatchesSchema) {
+  xsd::Schema schema = MakePO1();
+  xml::XmlDocument doc = GenerateDocument(schema);
+  ASSERT_NE(doc.root(), nullptr);
+  EXPECT_EQ(doc.root()->name(), "PO");
+}
+
+TEST(DocGenTest, DeterministicForSeed) {
+  xsd::Schema schema = MakeDcmdOrder();
+  DocGenOptions options;
+  options.seed = 5;
+  std::string a = xml::ToString(GenerateDocument(schema, options));
+  std::string b = xml::ToString(GenerateDocument(schema, options));
+  EXPECT_EQ(a, b);
+  options.seed = 6;
+  EXPECT_NE(a, xml::ToString(GenerateDocument(schema, options)));
+}
+
+TEST(DocGenTest, MandatoryChildrenAlwaysPresent) {
+  xsd::Schema schema = MakePO1();  // all children have minOccurs = 1
+  DocGenOptions options;
+  options.optional_probability = 0.0;
+  xml::XmlDocument doc = GenerateDocument(schema, options);
+  const xml::XmlElement* info = doc.root()->FirstChildElement("PurchaseInfo");
+  ASSERT_NE(info, nullptr);
+  EXPECT_NE(info->FirstChildElement("Lines"), nullptr);
+  EXPECT_NE(doc.root()->FirstChildElement("OrderNo"), nullptr);
+}
+
+TEST(DocGenTest, UnboundedElementsRepeat) {
+  xsd::Schema schema = MakeXBenchOrder();  // Order is unbounded
+  DocGenOptions options;
+  options.max_repeat = 4;
+  options.seed = 11;
+  xml::XmlDocument doc = GenerateDocument(schema, options);
+  size_t orders = doc.root()->ChildElementsNamed("Order").size();
+  EXPECT_GE(orders, 1u);
+  EXPECT_LE(orders, 4u);
+}
+
+TEST(DocGenTest, FixedValueHonoured) {
+  xsd::SchemaBuilder b("s");
+  xsd::SchemaNode* root = b.Root("root");
+  b.Element(root, "constant", xsd::XsdType::kString)
+      ->set_fixed_value("always-this");
+  xsd::Schema schema = std::move(b).Build();
+  xml::XmlDocument doc = GenerateDocument(schema);
+  EXPECT_EQ(doc.root()->FirstChildElement("constant")->InnerText(),
+            "always-this");
+}
+
+TEST(DocGenTest, AttributesEmitted) {
+  xsd::SchemaBuilder b("s");
+  xsd::SchemaNode* root = b.Root("root");
+  b.Element(root, "child", xsd::XsdType::kString);
+  b.Attribute(root, "id", xsd::XsdType::kInt, /*required=*/true);
+  xsd::Schema schema = std::move(b).Build();
+  xml::XmlDocument doc = GenerateDocument(schema);
+  EXPECT_TRUE(doc.root()->HasAttribute("id"));
+}
+
+// --- Round trip: infer(generate(S)) reconstructs S's structure ---------
+
+class DocGenRoundtripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DocGenRoundtripTest, InferenceReconstructsPaths) {
+  GeneratorOptions gen;
+  gen.element_count = 60;
+  gen.max_depth = 4;
+  gen.domain = Domain::kCommerce;
+  gen.seed = GetParam();
+  gen.name = "Doc";
+  xsd::Schema original = GenerateSchema(gen);
+
+  DocGenOptions docgen;
+  docgen.seed = GetParam() + 1;
+  docgen.optional_probability = 1.0;  // emit everything
+  docgen.max_repeat = 2;
+  xml::XmlDocument doc = GenerateDocument(original, docgen);
+
+  Result<xsd::Schema> inferred = xsd::InferSchema(doc);
+  ASSERT_TRUE(inferred.ok()) << inferred.status();
+
+  // Path sets must coincide: every declared node was emitted and every
+  // emitted node was declared.
+  std::set<std::string> original_paths;
+  for (const xsd::SchemaNode* node : original.AllNodes()) {
+    original_paths.insert(node->Path());
+  }
+  std::set<std::string> inferred_paths;
+  for (const xsd::SchemaNode* node : inferred->AllNodes()) {
+    inferred_paths.insert(node->Path());
+  }
+  EXPECT_EQ(original_paths, inferred_paths);
+  EXPECT_EQ(inferred->MaxDepth(), original.MaxDepth());
+}
+
+TEST_P(DocGenRoundtripTest, InferredLeafTypesCompatible) {
+  GeneratorOptions gen;
+  gen.element_count = 40;
+  gen.max_depth = 3;
+  gen.seed = GetParam() + 100;
+  gen.name = "Typed";
+  xsd::Schema original = GenerateSchema(gen);
+
+  DocGenOptions docgen;
+  docgen.seed = GetParam() + 101;
+  docgen.optional_probability = 1.0;
+  Result<xsd::Schema> inferred =
+      xsd::InferSchema(GenerateDocument(original, docgen));
+  ASSERT_TRUE(inferred.ok());
+
+  for (const xsd::SchemaNode* node : original.AllNodes()) {
+    if (!node->IsLeaf()) continue;
+    const xsd::SchemaNode* twin = inferred->FindByPath(node->Path());
+    ASSERT_NE(twin, nullptr) << node->Path();
+    // The inferred type must be the declared type, a relative on the
+    // lattice, or a safe widening to string.
+    bool compatible =
+        twin->type() == node->type() ||
+        xsd::CompareTypes(twin->type(), node->type()) !=
+            xsd::TypeRelation::kUnrelated ||
+        twin->type() == xsd::XsdType::kString;
+    EXPECT_TRUE(compatible) << node->Path() << ": declared "
+                            << xsd::TypeName(node->type()) << ", inferred "
+                            << xsd::TypeName(twin->type());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DocGenRoundtripTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace qmatch::datagen

@@ -1,0 +1,147 @@
+// End-to-end integration tests: XSD text -> parse -> match -> evaluate,
+// plus the cross-algorithm shape claims of the paper's evaluation.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include "core/qmatch.h"
+#include "datagen/corpus.h"
+#include "eval/metrics.h"
+#include "lingua/default_thesaurus.h"
+#include "match/linguistic_matcher.h"
+#include "match/structural_matcher.h"
+#include "xsd/parser.h"
+
+namespace qmatch {
+namespace {
+
+TEST(IntegrationTest, QuickstartPipeline) {
+  // The full user-facing flow of examples/quickstart.cpp.
+  Result<xsd::Schema> source = xsd::ParseSchema(datagen::PO1Xsd());
+  Result<xsd::Schema> target = xsd::ParseSchema(datagen::PO2Xsd());
+  ASSERT_TRUE(source.ok()) << source.status();
+  ASSERT_TRUE(target.ok()) << target.status();
+
+  core::QMatch matcher;
+  MatchResult result = matcher.Match(*source, *target);
+  eval::QualityMetrics metrics = eval::Evaluate(result, datagen::GoldPO());
+  // The paper's own running example must be solved perfectly.
+  EXPECT_DOUBLE_EQ(metrics.precision, 1.0) << metrics.ToString();
+  EXPECT_DOUBLE_EQ(metrics.recall, 1.0) << metrics.ToString();
+}
+
+TEST(IntegrationTest, HybridBeatsOrTiesBaselinesOnTruePositives) {
+  // Figure 6's shape: QMatch finds at least as many true matches as the
+  // individual algorithms on every task.
+  match::LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  match::StructuralMatcher structural;
+  core::QMatch hybrid;
+  for (const datagen::MatchTask& task : datagen::Tasks()) {
+    xsd::Schema source = task.source();
+    xsd::Schema target = task.target();
+    eval::GoldStandard gold = task.gold();
+    size_t hybrid_tp =
+        eval::Evaluate(hybrid.Match(source, target), gold).true_positives;
+    size_t linguistic_tp =
+        eval::Evaluate(linguistic.Match(source, target), gold).true_positives;
+    size_t structural_tp =
+        eval::Evaluate(structural.Match(source, target), gold).true_positives;
+    EXPECT_GE(hybrid_tp, linguistic_tp) << task.name;
+    EXPECT_GE(hybrid_tp, structural_tp) << task.name;
+  }
+}
+
+TEST(IntegrationTest, Figure9ExtremeCaseShape) {
+  // Structurally identical, linguistically disjoint schemas: linguistic
+  // near 0, structural near 1, hybrid in between, gravitating high.
+  xsd::Schema library = datagen::MakeLibrary();
+  xsd::Schema human = datagen::MakeHuman();
+  match::LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  match::StructuralMatcher structural;
+  core::QMatch hybrid;
+
+  double l = linguistic.Match(library, human).schema_qom;
+  double s = structural.Match(library, human).schema_qom;
+  double h = hybrid.Match(library, human).schema_qom;
+  EXPECT_LT(l, 0.1);
+  EXPECT_GT(s, 0.9);
+  EXPECT_GT(h, l);
+  EXPECT_LT(h, s);
+  EXPECT_GT(h, 0.5) << "hybrid gravitates towards the higher value";
+}
+
+TEST(IntegrationTest, ProteinScaleCompletesAndScores) {
+  // PIR (231) vs PDB (3753): the Fig. 4/Fig. 5 protein workload runs in
+  // seconds and the hybrid clearly beats the baselines.
+  xsd::Schema pir = datagen::MakePir();
+  xsd::Schema pdb = datagen::MakePdb();
+  eval::GoldStandard gold = datagen::GoldProtein();
+
+  core::QMatch hybrid;
+  eval::QualityMetrics h = eval::Evaluate(hybrid.Match(pir, pdb), gold);
+  EXPECT_GT(h.f1, 0.5) << h.ToString();
+
+  match::LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  eval::QualityMetrics l = eval::Evaluate(linguistic.Match(pir, pdb), gold);
+  EXPECT_GT(h.overall, l.overall);
+}
+
+TEST(IntegrationTest, RuntimeOrderingMatchesFigure4) {
+  // The hybrid algorithm does strictly more work than either baseline;
+  // verify the ordering on the mid-size DCMD task with wall-clock timing.
+  xsd::Schema source = datagen::MakeDcmdItem();
+  xsd::Schema target = datagen::MakeDcmdOrder();
+
+  auto time_matcher = [&](const Matcher& matcher) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 20; ++i) {
+      MatchResult result = matcher.Match(source, target);
+      (void)result;
+    }
+    return std::chrono::steady_clock::now() - start;
+  };
+  match::StructuralMatcher structural;
+  core::QMatch hybrid;
+  // Structural does no linguistic work at all; the hybrid must be slower.
+  EXPECT_GT(time_matcher(hybrid), time_matcher(structural));
+}
+
+TEST(IntegrationTest, TuningThresholdTradesPrecisionForRecall) {
+  xsd::Schema source = datagen::MakeDcmdItem();
+  xsd::Schema target = datagen::MakeDcmdOrder();
+  eval::GoldStandard gold = datagen::GoldDcmd();
+
+  core::QMatchConfig loose;
+  loose.threshold = 0.3;
+  core::QMatchConfig strict;
+  strict.threshold = 0.85;
+  eval::QualityMetrics loose_m =
+      eval::Evaluate(core::QMatch(loose).Match(source, target), gold);
+  eval::QualityMetrics strict_m =
+      eval::Evaluate(core::QMatch(strict).Match(source, target), gold);
+  EXPECT_GE(loose_m.recall, strict_m.recall);
+  EXPECT_GE(strict_m.precision, loose_m.precision);
+}
+
+TEST(IntegrationTest, MatcherInterfacePolymorphism) {
+  // All algorithms are usable through the Matcher interface.
+  match::LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  match::StructuralMatcher structural;
+  core::QMatch hybrid;
+  std::vector<const Matcher*> algorithms = {&linguistic, &structural, &hybrid};
+  xsd::Schema source = datagen::MakePO1();
+  xsd::Schema target = datagen::MakePO2();
+  std::set<std::string> names;
+  for (const Matcher* m : algorithms) {
+    MatchResult result = m->Match(source, target);
+    EXPECT_EQ(result.algorithm, m->name());
+    names.insert(result.algorithm);
+  }
+  EXPECT_EQ(names.size(), 3u);
+}
+
+}  // namespace
+}  // namespace qmatch

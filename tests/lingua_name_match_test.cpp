@@ -1,0 +1,156 @@
+// Unit and property tests for the CUPID-style name matcher and the
+// memoising pairwise scorer.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "lingua/default_thesaurus.h"
+#include "lingua/name_match.h"
+
+namespace qmatch::lingua {
+namespace {
+
+NameMatcher DefaultMatcher() { return NameMatcher(&DefaultThesaurus()); }
+
+TEST(NameMatchTest, IdenticalLabelsAreExact) {
+  NameMatcher m = DefaultMatcher();
+  LabelMatch lm = m.Match("OrderNo", "OrderNo");
+  EXPECT_EQ(lm.cls, LabelMatchClass::kExact);
+  EXPECT_DOUBLE_EQ(lm.score, 1.0);
+}
+
+TEST(NameMatchTest, CaseAndConventionInsensitive) {
+  NameMatcher m = DefaultMatcher();
+  EXPECT_EQ(m.Match("order_no", "OrderNo").cls, LabelMatchClass::kExact);
+  // An unsegmented all-caps run is a single token; "order" is a full
+  // prefix of "orderno", so the pair degrades to a relaxed fuzzy match.
+  EXPECT_EQ(m.Match("ORDERNO", "OrderNo").cls, LabelMatchClass::kRelaxed);
+  EXPECT_EQ(m.Match("purchase-date", "PurchaseDate").cls,
+            LabelMatchClass::kExact);
+}
+
+TEST(NameMatchTest, PluralsAreExact) {
+  NameMatcher m = DefaultMatcher();
+  EXPECT_EQ(m.Match("Item", "Items").cls, LabelMatchClass::kExact);
+  EXPECT_EQ(m.Match("Categories", "Category").cls, LabelMatchClass::kExact);
+}
+
+TEST(NameMatchTest, SynonymsAreExactPerPaper) {
+  NameMatcher m = DefaultMatcher();
+  LabelMatch lm = m.Match("Author", "Writer");
+  EXPECT_EQ(lm.cls, LabelMatchClass::kExact);
+  EXPECT_DOUBLE_EQ(lm.score, m.options().synonym_score);
+  EXPECT_LT(lm.score, 1.0) << "identical strings must outrank synonyms";
+}
+
+TEST(NameMatchTest, AcronymsAreRelaxed) {
+  NameMatcher m = DefaultMatcher();
+  LabelMatch lm = m.Match("UOM", "UnitOfMeasure");
+  EXPECT_EQ(lm.cls, LabelMatchClass::kRelaxed);
+  EXPECT_NEAR(lm.score, m.options().acronym_score, 1e-12);
+}
+
+TEST(NameMatchTest, AbbreviationsAreRelaxed) {
+  NameMatcher m = DefaultMatcher();
+  LabelMatch lm = m.Match("Qty", "Quantity");
+  EXPECT_EQ(lm.cls, LabelMatchClass::kRelaxed);
+  EXPECT_NEAR(lm.score, m.options().abbreviation_score, 1e-12);
+}
+
+TEST(NameMatchTest, HypernymsAreRelaxed) {
+  NameMatcher m = DefaultMatcher();
+  LabelMatch lm = m.Match("Date", "PurchaseDate");
+  EXPECT_EQ(lm.cls, LabelMatchClass::kRelaxed);
+}
+
+TEST(NameMatchTest, TokenOverlapIsRelaxed) {
+  NameMatcher m = DefaultMatcher();
+  // {purchase, info} vs {purchase, order}: partial token overlap.
+  LabelMatch lm = m.Match("PurchaseInfo", "PurchaseOrder");
+  EXPECT_EQ(lm.cls, LabelMatchClass::kRelaxed);
+  EXPECT_GT(lm.score, 0.45);
+  EXPECT_LT(lm.score, 1.0);
+}
+
+TEST(NameMatchTest, DisjointVocabulariesAreNone) {
+  NameMatcher m = DefaultMatcher();
+  EXPECT_EQ(m.Match("Library", "Human").cls, LabelMatchClass::kNone);
+  EXPECT_EQ(m.Match("Writer", "Legs").cls, LabelMatchClass::kNone);
+  EXPECT_EQ(m.Match("Material", "Email").cls, LabelMatchClass::kNone);
+}
+
+TEST(NameMatchTest, EmptyLabelsNeverMatch) {
+  NameMatcher m = DefaultMatcher();
+  EXPECT_EQ(m.Match("", "x").cls, LabelMatchClass::kNone);
+  EXPECT_EQ(m.Match("x", "").cls, LabelMatchClass::kNone);
+  EXPECT_EQ(m.Match("", "").cls, LabelMatchClass::kNone);
+}
+
+TEST(NameMatchTest, WithoutThesaurusStringOnly) {
+  NameMatcher m(nullptr);
+  EXPECT_EQ(m.Match("OrderNo", "OrderNo").cls, LabelMatchClass::kExact);
+  // Synonym knowledge requires the thesaurus.
+  EXPECT_EQ(m.Match("Author", "Writer").cls, LabelMatchClass::kNone);
+  // Morphological similarity still works.
+  EXPECT_EQ(m.Match("Shipping", "Ship").cls, LabelMatchClass::kRelaxed);
+}
+
+TEST(NameMatchTest, PrepareProducesCanonicalTokens) {
+  PreparedLabel p = NameMatcher::Prepare("OrderLines");
+  EXPECT_EQ(p.canonical, "order line");
+  ASSERT_EQ(p.tokens.size(), 2u);
+  EXPECT_EQ(p.tokens[0], "order");
+  EXPECT_EQ(p.tokens[1], "line");
+}
+
+TEST(NameMatchTest, ScoreIsSymmetricForTokenPaths) {
+  NameMatcher m = DefaultMatcher();
+  const char* labels[] = {"PurchaseInfo", "PurchaseOrder", "OrderNo",
+                          "BillingAddr", "ShipTo", "UnitOfMeasure"};
+  for (const char* a : labels) {
+    for (const char* b : labels) {
+      LabelMatch ab = m.Match(a, b);
+      LabelMatch ba = m.Match(b, a);
+      EXPECT_NEAR(ab.score, ba.score, 1e-9) << a << " vs " << b;
+      EXPECT_EQ(ab.cls, ba.cls) << a << " vs " << b;
+    }
+  }
+}
+
+// --- PairwiseLabelScorer consistency ------------------------------------
+
+class ScorerConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScorerConsistencyTest, ScorerEqualsDirectMatcher) {
+  Random rng(GetParam());
+  const std::vector<std::string> pool = {
+      "OrderNo",   "PurchaseInfo", "Qty",      "Quantity", "UOM",
+      "Items",     "Line",         "BillTo",   "Author",   "Writer",
+      "Sequence",  "Protein",      "Material", "Email",    "Address2",
+      "ShipDate",  "UnitPrice",    "XyzzyQ",   "Title",    "Book",
+  };
+  std::vector<std::string> source;
+  std::vector<std::string> target;
+  for (int i = 0; i < 12; ++i) {
+    source.push_back(pool[rng.Uniform(pool.size())]);
+    target.push_back(pool[rng.Uniform(pool.size())]);
+  }
+  NameMatcher matcher(&DefaultThesaurus());
+  PairwiseLabelScorer scorer(matcher, source, target);
+  for (size_t i = 0; i < source.size(); ++i) {
+    for (size_t j = 0; j < target.size(); ++j) {
+      LabelMatch direct = matcher.Match(source[i], target[j]);
+      LabelMatch cached = scorer.Match(i, j);
+      EXPECT_EQ(direct.cls, cached.cls)
+          << source[i] << " vs " << target[j];
+      EXPECT_NEAR(direct.score, cached.score, 1e-12)
+          << source[i] << " vs " << target[j];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScorerConsistencyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace qmatch::lingua

@@ -1,0 +1,172 @@
+// Unit and property tests for the string similarity kit.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "lingua/string_sim.h"
+
+namespace qmatch::lingua {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("a", "b"), 1u);
+}
+
+TEST(LevenshteinTest, SimilarityNormalised) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0,
+              1e-12);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("same", "same"), 1.0);
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.766667, 1e-5);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double jaro = JaroSimilarity("prefixes", "prefixed");
+  double jw = JaroWinklerSimilarity("prefixes", "prefixed");
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.961111, 1e-5);
+  // prefix_scale is clamped to 0.25.
+  EXPECT_LE(JaroWinklerSimilarity("abcd", "abce", 5.0), 1.0);
+}
+
+TEST(DigramTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(DigramSimilarity("night", "night"), 1.0);
+  EXPECT_NEAR(DigramSimilarity("night", "nacht"), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(DigramSimilarity("ab", "cd"), 0.0);
+  EXPECT_DOUBLE_EQ(DigramSimilarity("a", "ab"), 0.0);  // too short
+  EXPECT_DOUBLE_EQ(DigramSimilarity("x", "x"), 1.0);   // equality shortcut
+}
+
+TEST(LcsTest, KnownValues) {
+  EXPECT_EQ(LongestCommonSubstringLength("", "x"), 0u);
+  EXPECT_EQ(LongestCommonSubstringLength("abcdef", "zabcy"), 3u);
+  EXPECT_EQ(LongestCommonSubstringLength("same", "same"), 4u);
+  EXPECT_EQ(LongestCommonSubstringLength("ab", "ba"), 1u);
+}
+
+TEST(AbbreviationTest, Heuristics) {
+  EXPECT_TRUE(IsPlausibleAbbreviation("qty", "quantity"));
+  EXPECT_TRUE(IsPlausibleAbbreviation("nbr", "number"));
+  EXPECT_TRUE(IsPlausibleAbbreviation("addr", "address"));
+  // "no" is NOT a character subsequence of "number" (no 'o'); that pair is
+  // covered by the explicit thesaurus entry instead.
+  EXPECT_FALSE(IsPlausibleAbbreviation("no", "number"));
+  EXPECT_FALSE(IsPlausibleAbbreviation("quantity", "qty"));  // longer
+  EXPECT_FALSE(IsPlausibleAbbreviation("xyz", "quantity"));  // first letter
+  EXPECT_FALSE(IsPlausibleAbbreviation("qtz", "quantity"));  // not subseq
+  EXPECT_FALSE(IsPlausibleAbbreviation("", "x"));
+  EXPECT_FALSE(IsPlausibleAbbreviation("abc", "abc"));  // equal length
+}
+
+TEST(BlendedTest, StrictOnUnrelatedWords) {
+  // The motivating false-positive pairs from matcher calibration: these
+  // must stay below the 0.72 label-evidence floor.
+  EXPECT_LT(BlendedSimilarity("material", "email"), 0.72);
+  EXPECT_LT(BlendedSimilarity("subject", "subtotal"), 0.72);
+  EXPECT_LT(BlendedSimilarity("barcode", "card"), 0.72);
+  EXPECT_LT(BlendedSimilarity("category", "carrier"), 0.72);
+}
+
+TEST(BlendedTest, GenerousOnMorphologicalVariants) {
+  EXPECT_GE(BlendedSimilarity("ship", "shipping"), 0.72);
+  EXPECT_GE(BlendedSimilarity("bill", "billing"), 0.72);
+  EXPECT_GE(BlendedSimilarity("journal", "journalname"), 0.72);
+  EXPECT_DOUBLE_EQ(BlendedSimilarity("same", "same"), 1.0);
+}
+
+TEST(BlendedTest, AbbreviationBonusNeedsThreeChars) {
+  EXPECT_GE(BlendedSimilarity("qnty", "quantity"), 0.80);
+  // "is" could abbreviate "issued" but is too short to trigger the bonus.
+  EXPECT_LT(BlendedSimilarity("is", "issued"), 0.72);
+}
+
+// --- Property sweeps over random strings --------------------------------
+
+class StringSimPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomWord(Random& rng) {
+  size_t len = 1 + static_cast<size_t>(rng.Uniform(10));
+  std::string word;
+  for (size_t i = 0; i < len; ++i) {
+    word.push_back(static_cast<char>('a' + rng.Uniform(6)));  // small alphabet
+  }
+  return word;
+}
+
+TEST_P(StringSimPropertyTest, SimilaritiesAreSymmetricAndBounded) {
+  Random rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string a = RandomWord(rng);
+    std::string b = RandomWord(rng);
+    for (auto f : {JaroSimilarity, DigramSimilarity}) {
+      double ab = f(a, b);
+      double ba = f(b, a);
+      EXPECT_NEAR(ab, ba, 1e-12) << a << " vs " << b;
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+    }
+    EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+    double blended = BlendedSimilarity(a, b);
+    EXPECT_GE(blended, 0.0);
+    EXPECT_LE(blended, 1.0);
+  }
+}
+
+TEST_P(StringSimPropertyTest, IdentityScoresOne) {
+  Random rng(GetParam() + 17);
+  for (int i = 0; i < 100; ++i) {
+    std::string a = RandomWord(rng);
+    EXPECT_EQ(LevenshteinDistance(a, a), 0u);
+    EXPECT_DOUBLE_EQ(JaroSimilarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(DigramSimilarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(BlendedSimilarity(a, a), 1.0);
+  }
+}
+
+TEST_P(StringSimPropertyTest, LevenshteinTriangleInequality) {
+  Random rng(GetParam() + 43);
+  for (int i = 0; i < 100; ++i) {
+    std::string a = RandomWord(rng);
+    std::string b = RandomWord(rng);
+    std::string c = RandomWord(rng);
+    EXPECT_LE(LevenshteinDistance(a, c),
+              LevenshteinDistance(a, b) + LevenshteinDistance(b, c))
+        << a << " " << b << " " << c;
+  }
+}
+
+TEST_P(StringSimPropertyTest, LevenshteinBoundedByLongerLength) {
+  Random rng(GetParam() + 91);
+  for (int i = 0; i < 100; ++i) {
+    std::string a = RandomWord(rng);
+    std::string b = RandomWord(rng);
+    EXPECT_LE(LevenshteinDistance(a, b), std::max(a.size(), b.size()));
+    size_t diff = a.size() > b.size() ? a.size() - b.size()
+                                      : b.size() - a.size();
+    EXPECT_GE(LevenshteinDistance(a, b), diff);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StringSimPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace qmatch::lingua

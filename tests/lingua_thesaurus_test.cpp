@@ -1,0 +1,210 @@
+// Unit tests for the thesaurus and the built-in default dictionary.
+
+#include <gtest/gtest.h>
+
+#include "lingua/default_thesaurus.h"
+#include "lingua/thesaurus.h"
+#include "lingua/thesaurus_io.h"
+
+namespace qmatch::lingua {
+namespace {
+
+TEST(ThesaurusTest, EmptyRelatesNothing) {
+  Thesaurus t;
+  EXPECT_EQ(t.Relate("a", "b"), TermRelation::kNone);
+  EXPECT_EQ(t.Relate("a", "a"), TermRelation::kEqual);
+  EXPECT_EQ(t.RelationCount(), 0u);
+}
+
+TEST(ThesaurusTest, SynonymsAreSymmetric) {
+  Thesaurus t;
+  t.AddSynonym("author", "writer");
+  EXPECT_EQ(t.Relate("author", "writer"), TermRelation::kSynonym);
+  EXPECT_EQ(t.Relate("writer", "author"), TermRelation::kSynonym);
+  EXPECT_TRUE(t.AreSynonyms("author", "writer"));
+  EXPECT_FALSE(t.AreSynonyms("author", "author"));  // equality, not synonymy
+}
+
+TEST(ThesaurusTest, SynonymGroupsMergeTransitively) {
+  Thesaurus t;
+  t.AddSynonym("a", "b");
+  t.AddSynonym("c", "d");
+  EXPECT_FALSE(t.AreSynonyms("a", "c"));
+  t.AddSynonym("b", "c");  // merges the two groups
+  EXPECT_TRUE(t.AreSynonyms("a", "d"));
+  EXPECT_TRUE(t.AreSynonyms("d", "a"));
+}
+
+TEST(ThesaurusTest, CanonicalizationAppliesToLookups) {
+  Thesaurus t;
+  t.AddSynonym("line", "item");
+  // Plural, camel-case and case variants all resolve.
+  EXPECT_EQ(t.Relate("Lines", "Items"), TermRelation::kSynonym);
+  EXPECT_EQ(t.Relate("LINE", "item"), TermRelation::kSynonym);
+  EXPECT_EQ(t.Relate("OrderLines", "OrderItems"), TermRelation::kNone)
+      << "multi-word labels only match stored multi-word terms";
+}
+
+TEST(ThesaurusTest, HypernymsAreDirectional) {
+  Thesaurus t;
+  t.AddHypernym("publication", "book");
+  EXPECT_EQ(t.Relate("publication", "book"), TermRelation::kHypernym);
+  EXPECT_EQ(t.Relate("book", "publication"), TermRelation::kHyponym);
+  EXPECT_TRUE(t.IsHypernymOf("publication", "book"));
+  EXPECT_FALSE(t.IsHypernymOf("book", "publication"));
+}
+
+TEST(ThesaurusTest, HypernymsAreTransitiveBounded) {
+  Thesaurus t;
+  t.AddHypernym("entity", "publication");
+  t.AddHypernym("publication", "book");
+  t.AddHypernym("book", "paperback");
+  EXPECT_TRUE(t.IsHypernymOf("entity", "paperback"));
+  EXPECT_FALSE(t.IsHypernymOf("paperback", "entity"));
+}
+
+TEST(ThesaurusTest, HypernymThroughSynonyms) {
+  Thesaurus t;
+  t.AddSynonym("book", "volume");
+  t.AddHypernym("publication", "book");
+  EXPECT_TRUE(t.IsHypernymOf("publication", "volume"));
+}
+
+TEST(ThesaurusTest, AcronymsExpand) {
+  Thesaurus t;
+  t.AddAcronym("uom", "unit of measure");
+  EXPECT_EQ(t.Relate("UOM", "UnitOfMeasure"), TermRelation::kAcronym);
+  EXPECT_EQ(t.Relate("UnitOfMeasure", "UOM"), TermRelation::kExpansion);
+  EXPECT_EQ(t.Expand("uom").value(), "unit of measure");
+  EXPECT_FALSE(t.Expand("xyz").has_value());
+}
+
+TEST(ThesaurusTest, AcronymViaSynonymOfExpansion) {
+  Thesaurus t;
+  t.AddAcronym("po", "purchase order");
+  t.AddSynonym("purchase order", "sales order");
+  EXPECT_EQ(t.Relate("PO", "SalesOrder"), TermRelation::kAcronym);
+}
+
+TEST(ThesaurusTest, AbbreviationsRelate) {
+  Thesaurus t;
+  t.AddAbbreviation("qty", "quantity");
+  EXPECT_EQ(t.Relate("Qty", "Quantity"), TermRelation::kAbbreviation);
+  EXPECT_EQ(t.Relate("Quantity", "Qty"), TermRelation::kExpansion);
+}
+
+TEST(ThesaurusTest, RelationCountTracksAdds) {
+  Thesaurus t;
+  t.AddSynonym("a", "b");
+  t.AddHypernym("c", "d");
+  t.AddAcronym("e", "ee something");
+  t.AddAbbreviation("f", "ff full");
+  EXPECT_EQ(t.RelationCount(), 4u);
+  t.AddSynonym("a", "a");  // degenerate: ignored
+  EXPECT_EQ(t.RelationCount(), 4u);
+}
+
+// --- Default dictionary ------------------------------------------------
+
+TEST(DefaultThesaurusTest, IsSubstantial) {
+  EXPECT_GE(DefaultThesaurus().RelationCount(), 150u);
+}
+
+TEST(DefaultThesaurusTest, PaperExampleRelations) {
+  const Thesaurus& t = DefaultThesaurus();
+  // The relations exercised by the paper's PO example (Section 2).
+  EXPECT_EQ(t.Relate("UOM", "UnitOfMeasure"), TermRelation::kAcronym);
+  EXPECT_EQ(t.Relate("Qty", "Quantity"), TermRelation::kAbbreviation);
+  EXPECT_EQ(t.Relate("PO", "PurchaseOrder"), TermRelation::kAcronym);
+  EXPECT_EQ(t.Relate("Lines", "Items"), TermRelation::kSynonym);
+  EXPECT_EQ(t.Relate("BillTo", "BillingAddress"), TermRelation::kSynonym);
+  EXPECT_EQ(t.Relate("ShipTo", "ShippingAddress"), TermRelation::kSynonym);
+}
+
+TEST(DefaultThesaurusTest, CrossDomainVocabulary) {
+  const Thesaurus& t = DefaultThesaurus();
+  EXPECT_EQ(t.Relate("author", "creator"), TermRelation::kSynonym);
+  EXPECT_EQ(t.Relate("organism", "species"), TermRelation::kSynonym);
+  EXPECT_EQ(t.Relate("publication", "article"), TermRelation::kHypernym);
+  EXPECT_EQ(t.Relate("date", "PurchaseDate"), TermRelation::kHypernym);
+  EXPECT_EQ(t.Relate("No", "Number"), TermRelation::kAbbreviation);
+  EXPECT_EQ(t.Relate("pir", "ProteinInformationResource"),
+            TermRelation::kAcronym);
+}
+
+TEST(DefaultThesaurusTest, UnrelatedStaysUnrelated) {
+  const Thesaurus& t = DefaultThesaurus();
+  EXPECT_EQ(t.Relate("protein", "invoice"), TermRelation::kNone);
+  EXPECT_EQ(t.Relate("library", "human"), TermRelation::kNone);
+  EXPECT_EQ(t.Relate("head", "writer"), TermRelation::kNone);
+}
+
+// --- Text format IO -------------------------------------------------
+
+TEST(ThesaurusIoTest, ParsesAllRelationKinds) {
+  Result<Thesaurus> t = ParseThesaurus(R"(
+# a comment
+synonym: author, writer, creator
+hypernym: publication > book    # trailing comment
+acronym: UOM = unit of measure
+abbreviation: qty = quantity
+)");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->Relate("author", "creator"), TermRelation::kSynonym);
+  EXPECT_EQ(t->Relate("writer", "creator"), TermRelation::kSynonym);
+  EXPECT_EQ(t->Relate("publication", "book"), TermRelation::kHypernym);
+  EXPECT_EQ(t->Relate("UOM", "UnitOfMeasure"), TermRelation::kAcronym);
+  EXPECT_EQ(t->Relate("qty", "quantity"), TermRelation::kAbbreviation);
+}
+
+TEST(ThesaurusIoTest, EmptyAndCommentOnlyInputs) {
+  EXPECT_TRUE(ParseThesaurus("").ok());
+  EXPECT_TRUE(ParseThesaurus("# only comments\n\n  \n").ok());
+  EXPECT_EQ(ParseThesaurus("")->RelationCount(), 0u);
+}
+
+TEST(ThesaurusIoTest, MergeExtendsExistingDictionary) {
+  Thesaurus t = MakeDefaultThesaurus();
+  ASSERT_TRUE(MergeThesaurus("synonym: flux, capacitance\n", &t).ok());
+  EXPECT_TRUE(t.AreSynonyms("flux", "capacitance"));
+  EXPECT_TRUE(t.AreSynonyms("author", "writer"));  // defaults intact
+}
+
+TEST(ThesaurusIoTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* fragment;
+  };
+  const Case cases[] = {
+      {"synonym author, writer", "missing 'kind:'"},
+      {"synonym: onlyone", ">= 2 terms"},
+      {"hypernym: no-arrow", "general > specific"},
+      {"acronym: no-equals", "short = long"},
+      {"frobnicate: a, b", "unknown kind"},
+      {"\n\nsynonym:", "empty body"},
+  };
+  for (const Case& c : cases) {
+    Result<Thesaurus> t = ParseThesaurus(c.text);
+    ASSERT_FALSE(t.ok()) << c.text;
+    EXPECT_NE(t.status().message().find(c.fragment), std::string::npos)
+        << t.status();
+  }
+  // Line numbers point at the offending line.
+  Result<Thesaurus> t = ParseThesaurus("synonym: a, b\n\nbad line\n");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos)
+      << t.status();
+}
+
+TEST(DefaultThesaurusTest, MakeCopyIsExtensible) {
+  Thesaurus copy = MakeDefaultThesaurus();
+  size_t base = copy.RelationCount();
+  copy.AddSynonym("gadget", "widget");
+  EXPECT_EQ(copy.RelationCount(), base + 1);
+  EXPECT_TRUE(copy.AreSynonyms("gadget", "widget"));
+  // The shared default is untouched.
+  EXPECT_FALSE(DefaultThesaurus().AreSynonyms("gadget", "widget"));
+}
+
+}  // namespace
+}  // namespace qmatch::lingua

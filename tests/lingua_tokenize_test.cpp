@@ -1,0 +1,108 @@
+// Unit tests for label tokenization, singularization and canonicalization.
+
+#include <gtest/gtest.h>
+
+#include "lingua/tokenize.h"
+
+namespace qmatch::lingua {
+namespace {
+
+using Tokens = std::vector<std::string>;
+
+struct TokenizeCase {
+  const char* name;
+  const char* input;
+  Tokens expected;
+};
+
+class TokenizeTest : public ::testing::TestWithParam<TokenizeCase> {};
+
+TEST_P(TokenizeTest, SplitsAsExpected) {
+  EXPECT_EQ(TokenizeLabel(GetParam().input), GetParam().expected)
+      << "input: " << GetParam().input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conventions, TokenizeTest,
+    ::testing::Values(
+        TokenizeCase{"camel", "unitOfMeasure", Tokens{"unit", "of", "measure"}},
+        TokenizeCase{"pascal", "UnitOfMeasure", Tokens{"unit", "of", "measure"}},
+        TokenizeCase{"snake", "order_no", Tokens{"order", "no"}},
+        TokenizeCase{"kebab", "bill-to", Tokens{"bill", "to"}},
+        TokenizeCase{"spaces", "Purchase Order", Tokens{"purchase", "order"}},
+        TokenizeCase{"acronym_run", "UOMCode", Tokens{"uom", "code"}},
+        TokenizeCase{"acronym_tail", "OrderNo", Tokens{"order", "no"}},
+        TokenizeCase{"all_caps", "UOM", Tokens{"uom"}},
+        TokenizeCase{"digit_boundary", "Address2", Tokens{"address", "2"}},
+        TokenizeCase{"digit_prefix", "PO1", Tokens{"po", "1"}},
+        TokenizeCase{"punct_dropped", "Item#", Tokens{"item"}},
+        TokenizeCase{"dots", "a.b.c", Tokens{"a", "b", "c"}},
+        TokenizeCase{"empty", "", Tokens{}},
+        TokenizeCase{"only_punct", "@#$", Tokens{}},
+        TokenizeCase{"single", "x", Tokens{"x"}},
+        TokenizeCase{"mixed_everything", "XML_Schema-v2Parser",
+                     Tokens{"xml", "schema", "v", "2", "parser"}}),
+    [](const ::testing::TestParamInfo<TokenizeCase>& info) {
+      return info.param.name;
+    });
+
+TEST(TokenizeUtf8Test, NonAsciiLabelsSurvive) {
+  // UTF-8 bytes stay inside tokens (treated as word characters).
+  EXPECT_EQ(TokenizeLabel("Gr\xc3\xb6\xc3\x9f""e"),
+            Tokens{"gr\xc3\xb6\xc3\x9f""e"});
+  EXPECT_EQ(TokenizeLabel("Stra\xc3\x9f""enName"),
+            (Tokens{"stra\xc3\x9f""en", "name"}));
+  EXPECT_EQ(CanonicalizeLabel("Gr\xc3\xb6\xc3\x9f""e"),
+            CanonicalizeLabel("gr\xc3\xb6\xc3\x9f""e"));
+}
+
+TEST(NormalizeLabelTest, JoinsWithSpaces) {
+  EXPECT_EQ(NormalizeLabel("UnitOfMeasure"), "unit of measure");
+  EXPECT_EQ(NormalizeLabel("order_no"), "order no");
+  EXPECT_EQ(NormalizeLabel(""), "");
+}
+
+struct SingularCase {
+  const char* name;
+  const char* input;
+  const char* expected;
+};
+
+class SingularizeTest : public ::testing::TestWithParam<SingularCase> {};
+
+TEST_P(SingularizeTest, Singularizes) {
+  EXPECT_EQ(SingularizeToken(GetParam().input), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Forms, SingularizeTest,
+    ::testing::Values(
+        SingularCase{"plain_s", "lines", "line"},
+        SingularCase{"items", "items", "item"},
+        SingularCase{"ies", "categories", "category"},
+        SingularCase{"xes", "boxes", "box"},
+        SingularCase{"ches", "branches", "branch"},
+        SingularCase{"shes", "dishes", "dish"},
+        SingularCase{"sses", "classes", "class"},
+        SingularCase{"keep_ss", "address", "address"},
+        SingularCase{"keep_us", "status", "status"},
+        SingularCase{"keep_is", "analysis", "analysis"},
+        SingularCase{"keep_short", "is", "is"},
+        SingularCase{"keep_singular", "order", "order"},
+        SingularCase{"legs", "legs", "leg"},
+        SingularCase{"hands", "hands", "hand"}),
+    [](const ::testing::TestParamInfo<SingularCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CanonicalizeLabelTest, TokenizesAndSingularizes) {
+  EXPECT_EQ(CanonicalizeLabel("OrderLines"), "order line");
+  EXPECT_EQ(CanonicalizeLabel("Items"), "item");
+  EXPECT_EQ(CanonicalizeLabel("ShippingAddresses"), "shipping address");
+  // Idempotent.
+  EXPECT_EQ(CanonicalizeLabel(CanonicalizeLabel("OrderLines")),
+            CanonicalizeLabel("OrderLines"));
+}
+
+}  // namespace
+}  // namespace qmatch::lingua

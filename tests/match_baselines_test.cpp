@@ -1,0 +1,198 @@
+// Unit tests for the linguistic and structural baseline matchers.
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "lingua/default_thesaurus.h"
+#include "match/linguistic_matcher.h"
+#include "match/structural_matcher.h"
+#include "xsd/builder.h"
+
+namespace qmatch::match {
+namespace {
+
+using xsd::Occurs;
+using xsd::Schema;
+using xsd::SchemaBuilder;
+using xsd::SchemaNode;
+using xsd::XsdType;
+
+// --- LinguisticMatcher ----------------------------------------------------
+
+TEST(LinguisticMatcherTest, SelfMatchIsPerfect) {
+  Schema po = datagen::MakePO1();
+  Schema po_copy = datagen::MakePO1();
+  LinguisticMatcher matcher(&lingua::DefaultThesaurus());
+  MatchResult result = matcher.Match(po, po_copy);
+  EXPECT_NEAR(result.schema_qom, 1.0, 1e-9);
+  EXPECT_EQ(result.correspondences.size(), po.NodeCount());
+  for (const Correspondence& c : result.correspondences) {
+    EXPECT_EQ(c.source->Path(), c.target->Path());
+  }
+}
+
+TEST(LinguisticMatcherTest, FindsThesaurusBackedPairs) {
+  Schema po1 = datagen::MakePO1();
+  Schema po2 = datagen::MakePO2();
+  LinguisticMatcher matcher(&lingua::DefaultThesaurus());
+  MatchResult result = matcher.Match(po1, po2);
+  EXPECT_TRUE(result.Contains("/PO/PurchaseInfo/Lines/Quantity",
+                              "/PurchaseOrder/Items/Qty"));
+  EXPECT_TRUE(result.Contains("/PO/PurchaseInfo/Lines/UnitOfMeasure",
+                              "/PurchaseOrder/Items/UOM"));
+  EXPECT_TRUE(result.Contains("/PO/OrderNo", "/PurchaseOrder/OrderNo"));
+}
+
+TEST(LinguisticMatcherTest, DisjointVocabularyScoresZero) {
+  Schema library = datagen::MakeLibrary();
+  Schema human = datagen::MakeHuman();
+  LinguisticMatcher matcher(&lingua::DefaultThesaurus());
+  MatchResult result = matcher.Match(library, human);
+  EXPECT_NEAR(result.schema_qom, 0.0, 1e-9);
+  EXPECT_TRUE(result.correspondences.empty());
+}
+
+TEST(LinguisticMatcherTest, ThresholdFilters) {
+  Schema po1 = datagen::MakePO1();
+  Schema po2 = datagen::MakePO2();
+  LinguisticMatcher::Options strict;
+  strict.threshold = 0.99;
+  LinguisticMatcher matcher(&lingua::DefaultThesaurus(), strict);
+  MatchResult result = matcher.Match(po1, po2);
+  for (const Correspondence& c : result.correspondences) {
+    EXPECT_GE(c.score, 0.99);
+  }
+}
+
+TEST(LinguisticMatcherTest, AmbiguousTargetsSuppressed) {
+  SchemaBuilder sb("s");
+  SchemaNode* sroot = sb.Root("Root");
+  sb.Element(sroot, "Name", XsdType::kString);
+  Schema source = std::move(sb).Build();
+
+  SchemaBuilder tb("t");
+  SchemaNode* troot = tb.Root("Root");
+  SchemaNode* a = tb.Element(troot, "A");
+  tb.Element(a, "Name", XsdType::kString);
+  SchemaNode* b = tb.Element(troot, "B");
+  tb.Element(b, "Name", XsdType::kString);
+  Schema target = std::move(tb).Build();
+
+  LinguisticMatcher matcher(&lingua::DefaultThesaurus());
+  MatchResult result = matcher.Match(source, target);
+  // "Name" matches two targets identically: ambiguous, not reported.
+  EXPECT_EQ(result.ScoreFor("/Root/Name"), 0.0);
+}
+
+TEST(LinguisticMatcherTest, EmptySchemasYieldEmptyResult) {
+  Schema empty;
+  Schema po = datagen::MakePO1();
+  LinguisticMatcher matcher(&lingua::DefaultThesaurus());
+  EXPECT_TRUE(matcher.Match(empty, po).correspondences.empty());
+  EXPECT_TRUE(matcher.Match(po, empty).correspondences.empty());
+}
+
+// --- StructuralMatcher ------------------------------------------------
+
+TEST(StructuralMatcherTest, LeafSimilarityComponents) {
+  SchemaNode a("a");
+  a.set_type(XsdType::kInt);
+  SchemaNode b("b");
+  b.set_type(XsdType::kInt);
+  EXPECT_DOUBLE_EQ(StructuralMatcher::LeafSimilarity(a, b), 1.0);
+
+  SchemaNode c("c");
+  c.set_type(XsdType::kString);
+  // Unrelated type: 0.5*0.4 + 0.25 + 0.25 = 0.7.
+  EXPECT_NEAR(StructuralMatcher::LeafSimilarity(a, c), 0.7, 1e-12);
+
+  SchemaNode d("d", xsd::NodeKind::kAttribute);
+  d.set_type(XsdType::kInt);
+  d.set_occurs(Occurs{0, 1});
+  // kind mismatch (0.7*0.25) + occurs min mismatch (0.8*0.25).
+  EXPECT_NEAR(StructuralMatcher::LeafSimilarity(a, d),
+              0.5 + 0.25 * 0.7 + 0.25 * 0.8, 1e-12);
+}
+
+TEST(StructuralMatcherTest, IdenticalStructuresScoreOne) {
+  Schema library = datagen::MakeLibrary();
+  Schema human = datagen::MakeHuman();  // same shape, same types
+  StructuralMatcher matcher;
+  MatchResult result = matcher.Match(library, human);
+  EXPECT_NEAR(result.schema_qom, 1.0, 1e-9);
+}
+
+TEST(StructuralMatcherTest, SelfMatchScoresOne) {
+  Schema a = datagen::MakePO1();
+  Schema b = datagen::MakePO1();
+  StructuralMatcher matcher;
+  EXPECT_NEAR(matcher.Match(a, b).schema_qom, 1.0, 1e-9);
+}
+
+TEST(StructuralMatcherTest, ScrambledStructureScoresLower) {
+  Schema po = datagen::MakePO1();
+  // A flat schema with the same leaf types but no nesting.
+  SchemaBuilder fb("flat");
+  SchemaNode* froot = fb.Root("Flat");
+  fb.Element(froot, "L1", XsdType::kInt);
+  fb.Element(froot, "L2", XsdType::kString);
+  fb.Element(froot, "L3", XsdType::kDate);
+  Schema flat = std::move(fb).Build();
+
+  StructuralMatcher matcher;
+  double self_score = matcher.Match(po, po).schema_qom;
+  double flat_score = matcher.Match(po, flat).schema_qom;
+  EXPECT_LT(flat_score, self_score);
+}
+
+TEST(StructuralMatcherTest, IgnoresLabelsEntirely) {
+  Schema library = datagen::MakeLibrary();
+  Schema renamed = library.Clone();
+  for (SchemaNode* node : renamed.AllNodes()) {
+    node->set_label("Z" + node->label() + "Q");
+  }
+  renamed.Finalize();
+  StructuralMatcher matcher;
+  EXPECT_NEAR(matcher.Match(library, renamed).schema_qom, 1.0, 1e-9);
+}
+
+TEST(StructuralMatcherTest, ScoresAreBounded) {
+  StructuralMatcher matcher;
+  for (const datagen::MatchTask& task : datagen::Tasks()) {
+    if (task.name == "Protein") continue;
+    Schema source = task.source();
+    Schema target = task.target();
+    MatchResult result = matcher.Match(source, target);
+    EXPECT_GE(result.schema_qom, 0.0) << task.name;
+    EXPECT_LE(result.schema_qom, 1.0 + 1e-9) << task.name;
+    for (const Correspondence& c : result.correspondences) {
+      EXPECT_GE(c.score, 0.0);
+      EXPECT_LE(c.score, 1.0 + 1e-9);
+    }
+  }
+}
+
+// --- MatchResult helpers ---------------------------------------------
+
+TEST(MatchResultTest, ContainsAndScoreFor) {
+  Schema po1 = datagen::MakePO1();
+  Schema po2 = datagen::MakePO2();
+  LinguisticMatcher matcher(&lingua::DefaultThesaurus());
+  MatchResult result = matcher.Match(po1, po2);
+  EXPECT_TRUE(result.Contains("/PO/OrderNo", "/PurchaseOrder/OrderNo"));
+  EXPECT_FALSE(result.Contains("/PO/OrderNo", "/PurchaseOrder/Date"));
+  EXPECT_GT(result.ScoreFor("/PO/OrderNo"), 0.9);
+  EXPECT_EQ(result.ScoreFor("/does/not/exist"), 0.0);
+}
+
+TEST(MatchResultTest, ToStringSortsByScore) {
+  Schema po1 = datagen::MakePO1();
+  Schema po2 = datagen::MakePO2();
+  LinguisticMatcher matcher(&lingua::DefaultThesaurus());
+  std::string text = matcher.Match(po1, po2).ToString();
+  EXPECT_NE(text.find("linguistic"), std::string::npos);
+  EXPECT_NE(text.find("/PO/OrderNo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qmatch::match

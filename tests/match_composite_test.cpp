@@ -1,0 +1,201 @@
+// Unit tests for the COMA-style composite matcher and the assignment
+// (mapping-extraction) strategies.
+
+#include <gtest/gtest.h>
+
+#include "core/qmatch.h"
+#include "datagen/corpus.h"
+#include "eval/metrics.h"
+#include "lingua/default_thesaurus.h"
+#include "match/assignment.h"
+#include "match/composite_matcher.h"
+#include "match/linguistic_matcher.h"
+#include "match/structural_matcher.h"
+
+namespace qmatch::match {
+namespace {
+
+// --- CompositeMatcher -------------------------------------------------
+
+TEST(CompositeMatcherTest, AverageOfOneEqualsComponent) {
+  LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  CompositeMatcher composite({&linguistic});
+  xsd::Schema po1 = datagen::MakePO1();
+  xsd::Schema po2 = datagen::MakePO2();
+  MatchResult single = linguistic.Match(po1, po2);
+  MatchResult combined = composite.Match(po1, po2);
+  EXPECT_EQ(combined.correspondences.size(), single.correspondences.size());
+  EXPECT_NEAR(combined.schema_qom, single.schema_qom, 1e-12);
+}
+
+TEST(CompositeMatcherTest, MaxAggregationUnionsEvidence) {
+  LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  StructuralMatcher structural;
+  CompositeMatcher::Options options;
+  options.aggregation = CompositeMatcher::Aggregation::kMax;
+  CompositeMatcher composite({&linguistic, &structural}, options);
+
+  // Library vs Human: linguistic proposes nothing, structural proposes a
+  // couple of pairs; kMax lets the structural evidence through.
+  xsd::Schema library = datagen::MakeLibrary();
+  xsd::Schema human = datagen::MakeHuman();
+  MatchResult result = composite.Match(library, human);
+  MatchResult structural_only = structural.Match(library, human);
+  EXPECT_EQ(result.correspondences.size(),
+            structural_only.correspondences.size());
+}
+
+TEST(CompositeMatcherTest, MinAggregationRequiresConsensus) {
+  LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  StructuralMatcher structural;
+  CompositeMatcher::Options options;
+  options.aggregation = CompositeMatcher::Aggregation::kMin;
+  CompositeMatcher composite({&linguistic, &structural}, options);
+  xsd::Schema library = datagen::MakeLibrary();
+  xsd::Schema human = datagen::MakeHuman();
+  // Linguistic proposes nothing -> min is 0 everywhere -> no mappings.
+  EXPECT_TRUE(composite.Match(library, human).correspondences.empty());
+}
+
+TEST(CompositeMatcherTest, AverageBlendsOnPoTask) {
+  LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  core::QMatch hybrid;
+  CompositeMatcher composite({&linguistic, &hybrid});
+  xsd::Schema po1 = datagen::MakePO1();
+  xsd::Schema po2 = datagen::MakePO2();
+  MatchResult result = composite.Match(po1, po2);
+  eval::QualityMetrics metrics = eval::Evaluate(result, datagen::GoldPO());
+  EXPECT_GT(metrics.f1, 0.7) << metrics.ToString();
+}
+
+TEST(CompositeMatcherTest, WeightedAggregation) {
+  LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  StructuralMatcher structural;
+  CompositeMatcher::Options options;
+  options.aggregation = CompositeMatcher::Aggregation::kWeighted;
+  options.weights = {1.0, 0.0};  // degenerate: all weight on linguistic
+  CompositeMatcher composite({&linguistic, &structural}, options);
+  xsd::Schema po1 = datagen::MakePO1();
+  xsd::Schema po2 = datagen::MakePO2();
+  MatchResult weighted = composite.Match(po1, po2);
+  MatchResult linguistic_only = linguistic.Match(po1, po2);
+  // Same pairs survive (scores equal the linguistic ones).
+  for (const Correspondence& c : weighted.correspondences) {
+    EXPECT_TRUE(linguistic_only.Contains(c.source->Path(), c.target->Path()));
+  }
+}
+
+TEST(CompositeMatcherTest, EmptyComponentsYieldEmptyResult) {
+  CompositeMatcher composite({});
+  xsd::Schema po1 = datagen::MakePO1();
+  xsd::Schema po2 = datagen::MakePO2();
+  EXPECT_TRUE(composite.Match(po1, po2).correspondences.empty());
+}
+
+// --- Assignment strategies ------------------------------------------
+
+struct AssignmentFixture {
+  xsd::Schema source = datagen::MakePO1();
+  xsd::Schema target = datagen::MakePO2();
+  std::vector<const xsd::SchemaNode*> sources = std::as_const(source).AllNodes();
+  std::vector<const xsd::SchemaNode*> targets = std::as_const(target).AllNodes();
+
+  AssignmentInput Input(std::function<double(size_t, size_t)> score,
+                        double threshold = 0.5) {
+    AssignmentInput input;
+    input.sources = &sources;
+    input.targets = &targets;
+    input.score = std::move(score);
+    input.threshold = threshold;
+    return input;
+  }
+};
+
+TEST(AssignmentTest, GreedyGlobalIsInjective) {
+  AssignmentFixture f;
+  // Everything maximally similar: greedy must still produce a 1:1 map.
+  AssignmentInput input = f.Input([](size_t, size_t) { return 1.0; });
+  std::vector<Correspondence> out =
+      SelectCorrespondences(input, AssignmentStrategy::kGreedyGlobal);
+  std::set<const xsd::SchemaNode*> used_sources;
+  std::set<const xsd::SchemaNode*> used_targets;
+  for (const Correspondence& c : out) {
+    EXPECT_TRUE(used_sources.insert(c.source).second);
+    EXPECT_TRUE(used_targets.insert(c.target).second);
+  }
+  EXPECT_EQ(out.size(), std::min(f.sources.size(), f.targets.size()));
+}
+
+TEST(AssignmentTest, StableMarriageIsInjectiveAndStable) {
+  AssignmentFixture f;
+  // Score favors matching equal indices, with a twist.
+  auto score = [&](size_t i, size_t j) {
+    return 1.0 / (1.0 + static_cast<double>(i > j ? i - j : j - i));
+  };
+  AssignmentInput input = f.Input(score, /*threshold=*/0.1);
+  std::vector<Correspondence> out =
+      SelectCorrespondences(input, AssignmentStrategy::kStableMarriage);
+  std::set<const xsd::SchemaNode*> used_targets;
+  for (const Correspondence& c : out) {
+    EXPECT_TRUE(used_targets.insert(c.target).second);
+  }
+  // With this score the diagonal pairing is the unique stable outcome for
+  // the first min(n,m) nodes.
+  EXPECT_EQ(out.size(), std::min(f.sources.size(), f.targets.size()));
+  for (const Correspondence& c : out) {
+    EXPECT_DOUBLE_EQ(c.score, 1.0);
+  }
+}
+
+TEST(AssignmentTest, ThresholdRespectedByAllStrategies) {
+  AssignmentFixture f;
+  auto score = [](size_t i, size_t j) { return i == j ? 0.4 : 0.2; };
+  for (AssignmentStrategy strategy :
+       {AssignmentStrategy::kBestPerSource, AssignmentStrategy::kGreedyGlobal,
+        AssignmentStrategy::kStableMarriage}) {
+    AssignmentInput input = f.Input(score, /*threshold=*/0.5);
+    EXPECT_TRUE(SelectCorrespondences(input, strategy).empty())
+        << AssignmentStrategyName(strategy);
+  }
+}
+
+TEST(AssignmentTest, EligibilityPredicateFilters) {
+  AssignmentFixture f;
+  AssignmentInput input = f.Input([](size_t, size_t) { return 1.0; });
+  input.eligible = [](size_t i, size_t j) { return i == j; };
+  std::vector<Correspondence> out =
+      SelectCorrespondences(input, AssignmentStrategy::kGreedyGlobal);
+  for (const Correspondence& c : out) {
+    // Only diagonal pairs were eligible.
+    EXPECT_EQ(c.source->Path() == f.sources[0]->Path(),
+              c.target->Path() == f.targets[0]->Path());
+  }
+  EXPECT_EQ(out.size(), std::min(f.sources.size(), f.targets.size()));
+}
+
+TEST(AssignmentTest, QMatchWithGlobalAssignmentIsInjective) {
+  core::QMatchConfig config;
+  config.assignment = AssignmentStrategy::kGreedyGlobal;
+  core::QMatch matcher(config);
+  xsd::Schema source = datagen::MakeDcmdItem();
+  xsd::Schema target = datagen::MakeDcmdOrder();
+  MatchResult result = matcher.Match(source, target);
+  std::set<const xsd::SchemaNode*> used_targets;
+  for (const Correspondence& c : result.correspondences) {
+    EXPECT_TRUE(used_targets.insert(c.target).second)
+        << "target claimed twice: " << c.target->Path();
+  }
+  EXPECT_FALSE(result.correspondences.empty());
+}
+
+TEST(AssignmentTest, StrategyNames) {
+  EXPECT_EQ(AssignmentStrategyName(AssignmentStrategy::kBestPerSource),
+            "best-per-source");
+  EXPECT_EQ(AssignmentStrategyName(AssignmentStrategy::kGreedyGlobal),
+            "greedy-global");
+  EXPECT_EQ(AssignmentStrategyName(AssignmentStrategy::kStableMarriage),
+            "stable-marriage");
+}
+
+}  // namespace
+}  // namespace qmatch::match

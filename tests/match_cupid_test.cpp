@@ -1,0 +1,108 @@
+// Unit tests for the CUPID comparator matcher.
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "eval/metrics.h"
+#include "lingua/default_thesaurus.h"
+#include "match/cupid_matcher.h"
+
+namespace qmatch::match {
+namespace {
+
+TEST(CupidMatcherTest, SelfMatchIsPerfect) {
+  xsd::Schema a = datagen::MakePO1();
+  xsd::Schema b = datagen::MakePO1();
+  CupidMatcher matcher(&lingua::DefaultThesaurus());
+  MatchResult result = matcher.Match(a, b);
+  EXPECT_NEAR(result.schema_qom, 1.0, 1e-9);
+  for (const Correspondence& c : result.correspondences) {
+    EXPECT_EQ(c.source->Path(), c.target->Path());
+  }
+  EXPECT_EQ(result.correspondences.size(), a.NodeCount());
+}
+
+TEST(CupidMatcherTest, SolvesThePaperPoExample) {
+  xsd::Schema po1 = datagen::MakePO1();
+  xsd::Schema po2 = datagen::MakePO2();
+  CupidMatcher matcher(&lingua::DefaultThesaurus());
+  MatchResult result = matcher.Match(po1, po2);
+  eval::QualityMetrics metrics = eval::Evaluate(result, datagen::GoldPO());
+  EXPECT_GT(metrics.f1, 0.6) << metrics.ToString();
+  EXPECT_TRUE(result.Contains("/PO/OrderNo", "/PurchaseOrder/OrderNo"));
+  EXPECT_TRUE(result.Contains("/PO/PurchaseInfo/Lines/Quantity",
+                              "/PurchaseOrder/Items/Qty"));
+}
+
+TEST(CupidMatcherTest, BlendsLinguisticAndStructural) {
+  // Library vs Human: no linguistic signal, full structural signal.
+  // wsim = wstruct*ssim + (1-wstruct)*lsim, so the schema QoM must land
+  // near wstruct for leaves that structurally align.
+  xsd::Schema library = datagen::MakeLibrary();
+  xsd::Schema human = datagen::MakeHuman();
+  CupidMatcher::Options options;
+  options.wstruct = 0.5;
+  CupidMatcher matcher(&lingua::DefaultThesaurus(), options);
+  MatchResult result = matcher.Match(library, human);
+  EXPECT_GT(result.schema_qom, 0.3);
+  EXPECT_LT(result.schema_qom, 0.7);
+}
+
+TEST(CupidMatcherTest, WstructShiftsTheBlend) {
+  xsd::Schema library = datagen::MakeLibrary();
+  xsd::Schema human = datagen::MakeHuman();
+  CupidMatcher::Options structural_heavy;
+  structural_heavy.wstruct = 0.9;
+  CupidMatcher::Options linguistic_heavy;
+  linguistic_heavy.wstruct = 0.1;
+  double s = CupidMatcher(&lingua::DefaultThesaurus(), structural_heavy)
+                 .Match(library, human)
+                 .schema_qom;
+  double l = CupidMatcher(&lingua::DefaultThesaurus(), linguistic_heavy)
+                 .Match(library, human)
+                 .schema_qom;
+  EXPECT_GT(s, l) << "labels are disjoint; structure must dominate";
+}
+
+TEST(CupidMatcherTest, ThresholdGatesMappings) {
+  xsd::Schema po1 = datagen::MakePO1();
+  xsd::Schema po2 = datagen::MakePO2();
+  CupidMatcher::Options strict;
+  strict.th_accept = 0.95;
+  CupidMatcher matcher(&lingua::DefaultThesaurus(), strict);
+  MatchResult result = matcher.Match(po1, po2);
+  for (const Correspondence& c : result.correspondences) {
+    EXPECT_GE(c.score, 0.95);
+  }
+}
+
+TEST(CupidMatcherTest, ScoresBounded) {
+  for (const datagen::MatchTask& task : datagen::Tasks()) {
+    xsd::Schema source = task.source();
+    xsd::Schema target = task.target();
+    CupidMatcher matcher(&lingua::DefaultThesaurus());
+    MatchResult result = matcher.Match(source, target);
+    EXPECT_GE(result.schema_qom, 0.0) << task.name;
+    EXPECT_LE(result.schema_qom, 1.0 + 1e-9) << task.name;
+    for (const Correspondence& c : result.correspondences) {
+      EXPECT_GE(c.score, 0.0);
+      EXPECT_LE(c.score, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(CupidMatcherTest, EmptySchemasHandled) {
+  xsd::Schema empty;
+  xsd::Schema po = datagen::MakePO1();
+  CupidMatcher matcher(&lingua::DefaultThesaurus());
+  EXPECT_TRUE(matcher.Match(empty, po).correspondences.empty());
+  EXPECT_TRUE(matcher.Match(po, empty).correspondences.empty());
+}
+
+TEST(CupidMatcherTest, NameIsCupid) {
+  CupidMatcher matcher;
+  EXPECT_EQ(matcher.name(), "cupid");
+}
+
+}  // namespace
+}  // namespace qmatch::match

@@ -1,0 +1,167 @@
+// Unit and consistency tests for the SimilarityMatrix API across all
+// matchers.
+
+#include <gtest/gtest.h>
+
+#include "core/qmatch.h"
+#include "datagen/corpus.h"
+#include "lingua/default_thesaurus.h"
+#include "match/composite_matcher.h"
+#include "match/cupid_matcher.h"
+#include "match/linguistic_matcher.h"
+#include "match/structural_matcher.h"
+
+namespace qmatch::match {
+namespace {
+
+TEST(SimilarityMatrixTest, BasicAccessors) {
+  xsd::Schema source = datagen::MakeBook();
+  xsd::Schema target = datagen::MakeLibrary();
+  SimilarityMatrix matrix(source, target);
+  EXPECT_EQ(matrix.source_count(), source.NodeCount());
+  EXPECT_EQ(matrix.target_count(), target.NodeCount());
+  EXPECT_FALSE(matrix.empty());
+  EXPECT_DOUBLE_EQ(matrix.at(0, 0), 0.0);
+  matrix.set(1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(matrix.at(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(matrix.MaxValue(), 0.5);
+}
+
+TEST(SimilarityMatrixTest, MeanBestPerSource) {
+  xsd::Schema source = datagen::MakeBook();
+  xsd::Schema target = datagen::MakeBook();
+  SimilarityMatrix matrix(source, target);
+  for (size_t i = 0; i < matrix.source_count(); ++i) {
+    matrix.set(i, i, 0.8);
+    if (matrix.target_count() > 1) matrix.set(i, (i + 1) % 6, 0.3);
+  }
+  EXPECT_NEAR(matrix.MeanBestPerSource(), 0.8, 1e-12);
+}
+
+TEST(SimilarityMatrixTest, SameShapeComparesNodeLists) {
+  xsd::Schema a = datagen::MakeBook();
+  xsd::Schema b = datagen::MakeLibrary();
+  SimilarityMatrix m1(a, b);
+  SimilarityMatrix m2(a, b);
+  EXPECT_TRUE(m1.SameShape(m2));
+  SimilarityMatrix m3(b, a);
+  EXPECT_FALSE(m1.SameShape(m3));
+}
+
+TEST(SimilarityMatrixTest, ToStringListsSources) {
+  xsd::Schema a = datagen::MakeBook();
+  SimilarityMatrix matrix(a, a);
+  std::string s = matrix.ToString();
+  EXPECT_NE(s.find("/Book/Title"), std::string::npos);
+}
+
+// Every matcher's reported correspondences must be consistent with its
+// own similarity matrix: the score equals the matrix entry.
+class MatrixConsistencyTest : public ::testing::Test {
+ protected:
+  static void CheckConsistency(const Matcher& matcher,
+                               const xsd::Schema& source,
+                               const xsd::Schema& target) {
+    SimilarityMatrix matrix = matcher.Similarity(source, target);
+    MatchResult result = matcher.Match(source, target);
+    // Index lookup by node pointer.
+    std::map<const xsd::SchemaNode*, size_t> source_index;
+    std::map<const xsd::SchemaNode*, size_t> target_index;
+    for (size_t i = 0; i < matrix.source_count(); ++i) {
+      source_index[matrix.sources()[i]] = i;
+    }
+    for (size_t j = 0; j < matrix.target_count(); ++j) {
+      target_index[matrix.targets()[j]] = j;
+    }
+    for (const Correspondence& c : result.correspondences) {
+      ASSERT_TRUE(source_index.count(c.source) > 0);
+      ASSERT_TRUE(target_index.count(c.target) > 0);
+      double entry = matrix.at(source_index[c.source], target_index[c.target]);
+      EXPECT_NEAR(c.score, entry, 1e-9)
+          << std::string(matcher.name()) << ": " << c.source->Path();
+    }
+    // Matrix entries are bounded.
+    for (size_t i = 0; i < matrix.source_count(); ++i) {
+      for (size_t j = 0; j < matrix.target_count(); ++j) {
+        EXPECT_GE(matrix.at(i, j), 0.0);
+        EXPECT_LE(matrix.at(i, j), 1.0 + 1e-9);
+      }
+    }
+  }
+};
+
+TEST_F(MatrixConsistencyTest, Linguistic) {
+  LinguisticMatcher matcher(&lingua::DefaultThesaurus());
+  xsd::Schema source = datagen::MakePO1();
+  xsd::Schema target = datagen::MakePO2();
+  CheckConsistency(matcher, source, target);
+}
+
+TEST_F(MatrixConsistencyTest, Structural) {
+  StructuralMatcher matcher;
+  xsd::Schema source = datagen::MakeArticle();
+  xsd::Schema target = datagen::MakeBook();
+  CheckConsistency(matcher, source, target);
+}
+
+TEST_F(MatrixConsistencyTest, Cupid) {
+  CupidMatcher matcher(&lingua::DefaultThesaurus());
+  xsd::Schema source = datagen::MakeDcmdItem();
+  xsd::Schema target = datagen::MakeDcmdOrder();
+  CheckConsistency(matcher, source, target);
+}
+
+TEST_F(MatrixConsistencyTest, Composite) {
+  LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  StructuralMatcher structural;
+  CompositeMatcher matcher({&linguistic, &structural});
+  xsd::Schema source = datagen::MakePO1();
+  xsd::Schema target = datagen::MakePO2();
+  CheckConsistency(matcher, source, target);
+}
+
+TEST(MatrixAggregationTest, EntrywiseOrderingHolds) {
+  // For any pair: min <= weighted/average <= max.
+  LinguisticMatcher linguistic(&lingua::DefaultThesaurus());
+  StructuralMatcher structural;
+  xsd::Schema source = datagen::MakeXBenchCatalog();
+  xsd::Schema target = datagen::MakeXBenchOrder();
+
+  auto aggregate = [&](CompositeMatcher::Aggregation aggregation) {
+    CompositeMatcher::Options options;
+    options.aggregation = aggregation;
+    if (aggregation == CompositeMatcher::Aggregation::kWeighted) {
+      options.weights = {0.7, 0.3};
+    }
+    CompositeMatcher composite({&linguistic, &structural}, options);
+    return composite.Similarity(source, target);
+  };
+  SimilarityMatrix max_m = aggregate(CompositeMatcher::Aggregation::kMax);
+  SimilarityMatrix min_m = aggregate(CompositeMatcher::Aggregation::kMin);
+  SimilarityMatrix avg_m = aggregate(CompositeMatcher::Aggregation::kAverage);
+  SimilarityMatrix weighted_m =
+      aggregate(CompositeMatcher::Aggregation::kWeighted);
+  for (size_t i = 0; i < max_m.source_count(); ++i) {
+    for (size_t j = 0; j < max_m.target_count(); ++j) {
+      EXPECT_LE(min_m.at(i, j), avg_m.at(i, j) + 1e-12);
+      EXPECT_LE(avg_m.at(i, j), max_m.at(i, j) + 1e-12);
+      EXPECT_LE(min_m.at(i, j), weighted_m.at(i, j) + 1e-12);
+      EXPECT_LE(weighted_m.at(i, j), max_m.at(i, j) + 1e-12);
+    }
+  }
+}
+
+TEST(MatrixQMatchTest, RawQomUnaffectedByLabelGate) {
+  // Similarity() exposes raw QoM even for pairs the gate suppresses.
+  core::QMatch matcher;
+  xsd::Schema library = datagen::MakeLibrary();
+  xsd::Schema human = datagen::MakeHuman();
+  SimilarityMatrix matrix = matcher.Similarity(library, human);
+  EXPECT_GT(matrix.MaxValue(), 0.4)
+      << "structural evidence must appear in the raw matrix";
+  EXPECT_TRUE(matcher.Match(library, human).correspondences.empty())
+      << "...even though the gate suppresses the mappings";
+}
+
+}  // namespace
+}  // namespace qmatch::match

@@ -1,0 +1,196 @@
+// Unit tests for the properties-axis matcher.
+
+#include <gtest/gtest.h>
+
+#include "match/property_matcher.h"
+#include "xsd/builder.h"
+
+namespace qmatch::match {
+namespace {
+
+using xsd::Compositor;
+using xsd::NodeKind;
+using xsd::Occurs;
+using xsd::Schema;
+using xsd::SchemaBuilder;
+using xsd::SchemaNode;
+using xsd::XsdType;
+
+// Builds two single-child schemas so `order`/`ordered` are initialised by
+// Finalize, and returns the leaf nodes for comparison.
+struct LeafPair {
+  Schema source_schema;
+  Schema target_schema;
+  const SchemaNode* source;
+  const SchemaNode* target;
+};
+
+LeafPair MakeLeaves(XsdType source_type, XsdType target_type,
+                    Occurs source_occurs = {}, Occurs target_occurs = {}) {
+  SchemaBuilder sb("s");
+  SchemaNode* sroot = sb.Root("root");
+  SchemaNode* sleaf = sb.Element(sroot, "leaf", source_type, source_occurs);
+  (void)sleaf;
+  Schema source = std::move(sb).Build();
+
+  SchemaBuilder tb("t");
+  SchemaNode* troot = tb.Root("root");
+  tb.Element(troot, "leaf", target_type, target_occurs);
+  Schema target = std::move(tb).Build();
+
+  LeafPair pair{std::move(source), std::move(target), nullptr, nullptr};
+  pair.source = pair.source_schema.root()->child(0);
+  pair.target = pair.target_schema.root()->child(0);
+  return pair;
+}
+
+TEST(PropertyMatcherTest, IdenticalPropertiesAreExact) {
+  LeafPair pair = MakeLeaves(XsdType::kInt, XsdType::kInt);
+  PropertyMatch pm = MatchProperties(*pair.source, *pair.target);
+  EXPECT_EQ(pm.cls, PropertyMatchClass::kExact);
+  EXPECT_DOUBLE_EQ(pm.score, 1.0);
+  for (const PropertyVerdict& v : pm.verdicts) {
+    EXPECT_EQ(v.cls, PropertyMatchClass::kExact) << v.property;
+  }
+}
+
+TEST(PropertyMatcherTest, TypeGeneralizationIsRelaxed) {
+  LeafPair pair = MakeLeaves(XsdType::kInteger, XsdType::kInt);
+  PropertyMatch pm = MatchProperties(*pair.source, *pair.target);
+  EXPECT_EQ(pm.cls, PropertyMatchClass::kRelaxed);
+  EXPECT_LT(pm.score, 1.0);
+  EXPECT_GT(pm.score, 0.5);
+}
+
+TEST(PropertyMatcherTest, UnrelatedTypesScoreLowButConsensusHolds) {
+  LeafPair pair = MakeLeaves(XsdType::kString, XsdType::kDate);
+  PropertyMatch pm = MatchProperties(*pair.source, *pair.target);
+  // One hard conflict (type) among five compared properties.
+  EXPECT_EQ(pm.cls, PropertyMatchClass::kRelaxed);
+  EXPECT_NEAR(pm.score, 4.0 / 5.0, 1e-12);
+}
+
+TEST(PropertyMatcherTest, MinOccursGeneralizationIsRelaxed) {
+  // minOccurs=0 generalises minOccurs=1 (the paper's example).
+  LeafPair pair =
+      MakeLeaves(XsdType::kInt, XsdType::kInt, Occurs{0, 1}, Occurs{1, 1});
+  PropertyMatch pm = MatchProperties(*pair.source, *pair.target);
+  EXPECT_EQ(pm.cls, PropertyMatchClass::kRelaxed);
+  bool found = false;
+  for (const PropertyVerdict& v : pm.verdicts) {
+    if (v.property == "minOccurs") {
+      EXPECT_EQ(v.cls, PropertyMatchClass::kRelaxed);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PropertyMatcherTest, UnboundedMaxOccursIsRelaxed) {
+  LeafPair pair = MakeLeaves(XsdType::kInt, XsdType::kInt,
+                             Occurs{1, Occurs::kUnbounded}, Occurs{1, 1});
+  PropertyMatch pm = MatchProperties(*pair.source, *pair.target);
+  EXPECT_EQ(pm.cls, PropertyMatchClass::kRelaxed);
+}
+
+TEST(PropertyMatcherTest, OrderDifferenceIsRelaxedUnderSequence) {
+  // Two-children schemas: compare first child of source with second child
+  // of target — same label/type but different sibling positions.
+  SchemaBuilder sb("s");
+  SchemaNode* sroot = sb.Root("root", Compositor::kSequence);
+  sb.Element(sroot, "x", XsdType::kInt);
+  sb.Element(sroot, "y", XsdType::kInt);
+  Schema source = std::move(sb).Build();
+
+  PropertyMatch pm =
+      MatchProperties(*source.root()->child(0), *source.root()->child(1));
+  EXPECT_EQ(pm.cls, PropertyMatchClass::kRelaxed);
+  for (const PropertyVerdict& v : pm.verdicts) {
+    if (v.property == "order") {
+      EXPECT_EQ(v.cls, PropertyMatchClass::kRelaxed);
+    }
+  }
+}
+
+TEST(PropertyMatcherTest, OrderVacuousUnderAll) {
+  SchemaBuilder sb("s");
+  SchemaNode* sroot = sb.Root("root", Compositor::kAll);
+  sb.Element(sroot, "x", XsdType::kInt);
+  sb.Element(sroot, "y", XsdType::kInt);
+  Schema source = std::move(sb).Build();
+
+  PropertyMatch pm =
+      MatchProperties(*source.root()->child(0), *source.root()->child(1));
+  EXPECT_EQ(pm.cls, PropertyMatchClass::kExact);
+}
+
+TEST(PropertyMatcherTest, KindMismatchIsRelaxed) {
+  SchemaBuilder sb("s");
+  SchemaNode* sroot = sb.Root("root");
+  sb.Element(sroot, "id", XsdType::kString);
+  sb.Attribute(sroot, "id", XsdType::kString, /*required=*/true);
+  Schema source = std::move(sb).Build();
+
+  PropertyMatch pm =
+      MatchProperties(*source.root()->child(0), *source.root()->child(1));
+  EXPECT_EQ(pm.cls, PropertyMatchClass::kRelaxed);
+}
+
+TEST(PropertyMatcherTest, UnknownTypesCompareByName) {
+  SchemaNode a("a");
+  a.set_type(XsdType::kUnknown, "PersonType");
+  SchemaNode b("b");
+  b.set_type(XsdType::kUnknown, "PersonType");
+  SchemaNode c("c");
+  c.set_type(XsdType::kUnknown, "OtherType");
+
+  PropertyMatchOptions type_only;
+  type_only.compare_kind = false;
+  type_only.compare_order = false;
+  type_only.compare_occurs = false;
+  EXPECT_EQ(MatchProperties(a, b, type_only).cls, PropertyMatchClass::kExact);
+  EXPECT_EQ(MatchProperties(a, c, type_only).cls, PropertyMatchClass::kNone);
+}
+
+TEST(PropertyMatcherTest, DisabledComparisonsVacuouslyExact) {
+  LeafPair pair = MakeLeaves(XsdType::kString, XsdType::kDate);
+  PropertyMatchOptions none;
+  none.compare_kind = false;
+  none.compare_type = false;
+  none.compare_order = false;
+  none.compare_occurs = false;
+  PropertyMatch pm = MatchProperties(*pair.source, *pair.target, none);
+  EXPECT_EQ(pm.cls, PropertyMatchClass::kExact);
+  EXPECT_DOUBLE_EQ(pm.score, 1.0);
+  EXPECT_TRUE(pm.verdicts.empty());
+}
+
+TEST(PropertyMatcherTest, NillableComparedWhenEnabled) {
+  SchemaNode a("a");
+  a.set_nillable(true);
+  SchemaNode b("b");
+  PropertyMatchOptions options;
+  options.compare_nillable = true;
+  PropertyMatch pm = MatchProperties(a, b, options);
+  bool found = false;
+  for (const PropertyVerdict& v : pm.verdicts) {
+    if (v.property == "nillable") {
+      EXPECT_EQ(v.cls, PropertyMatchClass::kRelaxed);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PropertyMatcherTest, ScoreUsesRelaxedCredit) {
+  LeafPair pair =
+      MakeLeaves(XsdType::kInt, XsdType::kInt, Occurs{0, 1}, Occurs{1, 1});
+  PropertyMatchOptions options;
+  options.relaxed_credit = 0.25;
+  PropertyMatch pm = MatchProperties(*pair.source, *pair.target, options);
+  // kind/type/order/maxOccurs exact (4 x 1.0), minOccurs relaxed (0.25) / 5.
+  EXPECT_NEAR(pm.score, (4.0 + 0.25) / 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qmatch::match

@@ -1,0 +1,158 @@
+// Unit tests for the Zhang-Shasha tree edit distance.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/corpus.h"
+#include "datagen/generator.h"
+#include "match/tree_edit_distance.h"
+#include "xsd/builder.h"
+
+namespace qmatch::match {
+namespace {
+
+using xsd::Schema;
+using xsd::SchemaBuilder;
+using xsd::SchemaNode;
+using xsd::XsdType;
+
+Schema Chain(const std::vector<std::string>& labels) {
+  SchemaBuilder b("chain");
+  SchemaNode* cur = b.Root(labels.front());
+  for (size_t i = 1; i < labels.size(); ++i) {
+    cur = b.Element(cur, labels[i]);
+  }
+  return std::move(b).Build();
+}
+
+TEST(TedTest, IdenticalTreesHaveZeroDistance) {
+  Schema a = datagen::MakePO1();
+  Schema b = datagen::MakePO1();
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a.root(), *b.root()), 0.0);
+  EXPECT_DOUBLE_EQ(TedSimilarity(*a.root(), *b.root()), 1.0);
+}
+
+TEST(TedTest, SingleRename) {
+  Schema a = Chain({"r", "x"});
+  Schema b = Chain({"r", "y"});
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a.root(), *b.root()), 1.0);
+}
+
+TEST(TedTest, SingleInsertDelete) {
+  Schema a = Chain({"r"});
+  Schema b = Chain({"r", "x"});
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a.root(), *b.root()), 1.0);
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*b.root(), *a.root()), 1.0);
+}
+
+TEST(TedTest, DistanceBetweenDisjointTrees) {
+  Schema a = Chain({"a", "b", "c"});
+  Schema b = Chain({"x", "y", "z"});
+  // Three renames suffice (same shape).
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a.root(), *b.root()), 3.0);
+}
+
+TEST(TedTest, SiblingVsChain) {
+  // r(x, y) vs r -> x -> y : moving y under x costs delete+insert = 2
+  // under unit costs (no move operation).
+  SchemaBuilder sb("s");
+  SchemaNode* sroot = sb.Root("r");
+  sb.Element(sroot, "x");
+  sb.Element(sroot, "y");
+  Schema siblings = std::move(sb).Build();
+  Schema chain = Chain({"r", "x", "y"});
+  double d = TreeEditDistance(*siblings.root(), *chain.root());
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 2.0);
+}
+
+TEST(TedTest, LabelsCaseAndConventionInsensitive) {
+  Schema a = Chain({"Root", "OrderNo"});
+  Schema b = Chain({"root", "order_no"});
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a.root(), *b.root()), 0.0);
+}
+
+TEST(TedTest, StructuralCostModelIgnoresLabels) {
+  Schema a = Chain({"a", "b"});
+  Schema b = Chain({"x", "y"});
+  TedOptions structural;
+  structural.rename = TedOptions::RenameCost::kStructural;
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a.root(), *b.root(), structural), 0.0);
+}
+
+TEST(TedTest, StructuralCostModelSeesTypes) {
+  SchemaBuilder ab("a");
+  SchemaNode* ar = ab.Root("r");
+  ab.Element(ar, "x", XsdType::kInt);
+  Schema a = std::move(ab).Build();
+  SchemaBuilder bb("b");
+  SchemaNode* br = bb.Root("r");
+  bb.Element(br, "x", XsdType::kString);
+  Schema b = std::move(bb).Build();
+  TedOptions structural;
+  structural.rename = TedOptions::RenameCost::kStructural;
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a.root(), *b.root(), structural), 1.0);
+}
+
+TEST(TedTest, CustomCostsScale) {
+  Schema a = Chain({"r"});
+  Schema b = Chain({"r", "x"});
+  TedOptions expensive;
+  expensive.insert_cost = 3.0;
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a.root(), *b.root(), expensive), 3.0);
+}
+
+TEST(TedTest, SimilarityClampedToUnitInterval) {
+  Schema a = Chain({"a"});
+  Schema b = Chain({"x", "y", "z", "w"});
+  double sim = TedSimilarity(*a.root(), *b.root());
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+}
+
+// --- Metric properties over random trees --------------------------------
+
+class TedPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+Schema RandomTree(uint64_t seed, size_t count) {
+  datagen::GeneratorOptions options;
+  options.element_count = count;
+  options.max_depth = 4;
+  options.min_fanout = 1;
+  options.max_fanout = 3;
+  options.seed = seed;
+  options.name = "T";
+  return datagen::GenerateSchema(options);
+}
+
+TEST_P(TedPropertyTest, IdentityAndSymmetry) {
+  Schema a = RandomTree(GetParam(), 12);
+  Schema b = RandomTree(GetParam() + 1000, 14);
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a.root(), *a.root()), 0.0);
+  EXPECT_DOUBLE_EQ(TreeEditDistance(*a.root(), *b.root()),
+                   TreeEditDistance(*b.root(), *a.root()));
+}
+
+TEST_P(TedPropertyTest, TriangleInequality) {
+  Schema a = RandomTree(GetParam(), 8);
+  Schema b = RandomTree(GetParam() + 1, 10);
+  Schema c = RandomTree(GetParam() + 2, 9);
+  double ab = TreeEditDistance(*a.root(), *b.root());
+  double bc = TreeEditDistance(*b.root(), *c.root());
+  double ac = TreeEditDistance(*a.root(), *c.root());
+  EXPECT_LE(ac, ab + bc + 1e-9);
+}
+
+TEST_P(TedPropertyTest, BoundedBySizes) {
+  Schema a = RandomTree(GetParam() + 5, 10);
+  Schema b = RandomTree(GetParam() + 6, 13);
+  double d = TreeEditDistance(*a.root(), *b.root());
+  EXPECT_LE(d, static_cast<double>(a.NodeCount() + b.NodeCount()));
+  EXPECT_GE(d, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TedPropertyTest,
+                         ::testing::Values(100u, 200u, 300u, 400u, 500u));
+
+}  // namespace
+}  // namespace qmatch::match

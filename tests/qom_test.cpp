@@ -1,0 +1,170 @@
+// Unit tests for the QoM taxonomy and the weight model.
+
+#include <gtest/gtest.h>
+
+#include "qom/taxonomy.h"
+#include "qom/weights.h"
+
+namespace qmatch::qom {
+namespace {
+
+// --- Taxonomy: the full classification table of Section 2.2 -----------
+
+TEST(TaxonomyTest, TotalExactRequiresEverythingExact) {
+  EXPECT_EQ(Categorize(AxisMatch::kExact, AxisMatch::kExact, AxisMatch::kExact,
+                       Coverage::kTotal, /*children_all_exact=*/true),
+            MatchCategory::kTotalExact);
+}
+
+TEST(TaxonomyTest, RelaxedAtomicAxisDemotesToTotalRelaxed) {
+  // "total relaxed if there is one or more relaxed match along any one of
+  // the atomic valued axes" (Section 2.2).
+  EXPECT_EQ(Categorize(AxisMatch::kRelaxed, AxisMatch::kExact,
+                       AxisMatch::kExact, Coverage::kTotal, true),
+            MatchCategory::kTotalRelaxed);
+  EXPECT_EQ(Categorize(AxisMatch::kExact, AxisMatch::kRelaxed,
+                       AxisMatch::kExact, Coverage::kTotal, true),
+            MatchCategory::kTotalRelaxed);
+  EXPECT_EQ(Categorize(AxisMatch::kExact, AxisMatch::kExact, AxisMatch::kNone,
+                       Coverage::kTotal, true),
+            MatchCategory::kTotalRelaxed);
+}
+
+TEST(TaxonomyTest, RelaxedChildDemotesToTotalRelaxed) {
+  EXPECT_EQ(Categorize(AxisMatch::kExact, AxisMatch::kExact, AxisMatch::kExact,
+                       Coverage::kTotal, /*children_all_exact=*/false),
+            MatchCategory::kTotalRelaxed);
+}
+
+TEST(TaxonomyTest, PartialExact) {
+  EXPECT_EQ(Categorize(AxisMatch::kExact, AxisMatch::kExact, AxisMatch::kExact,
+                       Coverage::kPartial, true),
+            MatchCategory::kPartialExact);
+}
+
+TEST(TaxonomyTest, PartialRelaxed) {
+  EXPECT_EQ(Categorize(AxisMatch::kRelaxed, AxisMatch::kExact,
+                       AxisMatch::kExact, Coverage::kPartial, true),
+            MatchCategory::kPartialRelaxed);
+  EXPECT_EQ(Categorize(AxisMatch::kExact, AxisMatch::kExact, AxisMatch::kExact,
+                       Coverage::kPartial, false),
+            MatchCategory::kPartialRelaxed);
+}
+
+TEST(TaxonomyTest, NoCoverageIsNoMatch) {
+  EXPECT_EQ(Categorize(AxisMatch::kExact, AxisMatch::kExact, AxisMatch::kExact,
+                       Coverage::kNone, false),
+            MatchCategory::kNoMatch);
+  EXPECT_EQ(Categorize(AxisMatch::kNone, AxisMatch::kNone, AxisMatch::kNone,
+                       Coverage::kNone, false),
+            MatchCategory::kNoMatch);
+}
+
+TEST(TaxonomyTest, RankOrdersGoodness) {
+  // "a total exact is clearly a better match than a total relaxed or the
+  // other classifications" (Section 3).
+  EXPECT_GT(CategoryRank(MatchCategory::kTotalExact),
+            CategoryRank(MatchCategory::kTotalRelaxed));
+  EXPECT_GT(CategoryRank(MatchCategory::kTotalRelaxed),
+            CategoryRank(MatchCategory::kPartialExact));
+  EXPECT_GT(CategoryRank(MatchCategory::kPartialExact),
+            CategoryRank(MatchCategory::kPartialRelaxed));
+  EXPECT_GT(CategoryRank(MatchCategory::kPartialRelaxed),
+            CategoryRank(MatchCategory::kNoMatch));
+}
+
+TEST(TaxonomyTest, NamesAreStable) {
+  EXPECT_EQ(MatchCategoryName(MatchCategory::kTotalExact), "total exact");
+  EXPECT_EQ(MatchCategoryName(MatchCategory::kPartialRelaxed),
+            "partial relaxed");
+  EXPECT_EQ(AxisMatchName(AxisMatch::kRelaxed), "relaxed");
+  EXPECT_EQ(CoverageName(Coverage::kPartial), "partial");
+}
+
+// Exhaustive sweep: the category must always be consistent with coverage.
+class TaxonomySweepTest
+    : public ::testing::TestWithParam<std::tuple<AxisMatch, AxisMatch,
+                                                 AxisMatch, Coverage, bool>> {};
+
+TEST_P(TaxonomySweepTest, CoverageConsistency) {
+  auto [label, props, level, coverage, all_exact] = GetParam();
+  MatchCategory category = Categorize(label, props, level, coverage, all_exact);
+  switch (coverage) {
+    case Coverage::kNone:
+      EXPECT_EQ(category, MatchCategory::kNoMatch);
+      break;
+    case Coverage::kPartial:
+      EXPECT_TRUE(category == MatchCategory::kPartialExact ||
+                  category == MatchCategory::kPartialRelaxed);
+      break;
+    case Coverage::kTotal:
+      EXPECT_TRUE(category == MatchCategory::kTotalExact ||
+                  category == MatchCategory::kTotalRelaxed);
+      break;
+  }
+  // Exact categories require every input exact.
+  if (category == MatchCategory::kTotalExact ||
+      category == MatchCategory::kPartialExact) {
+    EXPECT_EQ(label, AxisMatch::kExact);
+    EXPECT_EQ(props, AxisMatch::kExact);
+    EXPECT_EQ(level, AxisMatch::kExact);
+    EXPECT_TRUE(all_exact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, TaxonomySweepTest,
+    ::testing::Combine(
+        ::testing::Values(AxisMatch::kNone, AxisMatch::kRelaxed,
+                          AxisMatch::kExact),
+        ::testing::Values(AxisMatch::kNone, AxisMatch::kRelaxed,
+                          AxisMatch::kExact),
+        ::testing::Values(AxisMatch::kNone, AxisMatch::kRelaxed,
+                          AxisMatch::kExact),
+        ::testing::Values(Coverage::kNone, Coverage::kPartial,
+                          Coverage::kTotal),
+        ::testing::Bool()));
+
+// --- Weights ------------------------------------------------------------
+
+TEST(WeightsTest, PaperDefaultsValidate) {
+  EXPECT_TRUE(kPaperWeights.Validate().ok());
+  EXPECT_TRUE(kUniformWeights.Validate().ok());
+  EXPECT_DOUBLE_EQ(kPaperWeights.label, 0.3);
+  EXPECT_DOUBLE_EQ(kPaperWeights.properties, 0.2);
+  EXPECT_DOUBLE_EQ(kPaperWeights.level, 0.1);
+  EXPECT_DOUBLE_EQ(kPaperWeights.children, 0.4);
+}
+
+TEST(WeightsTest, DefaultConstructedIsPaper) {
+  Weights w;
+  EXPECT_EQ(w, kPaperWeights);
+}
+
+TEST(WeightsTest, ValidateRejectsBadSums) {
+  Weights w{0.5, 0.5, 0.5, 0.5};
+  EXPECT_FALSE(w.Validate().ok());
+  Weights negative{-0.1, 0.5, 0.3, 0.3};
+  EXPECT_FALSE(negative.Validate().ok());
+}
+
+TEST(WeightsTest, NormalizedSumsToOne) {
+  Weights w{2.0, 1.0, 1.0, 4.0};
+  Weights n = w.Normalized();
+  EXPECT_NEAR(n.Sum(), 1.0, 1e-12);
+  EXPECT_NEAR(n.label, 0.25, 1e-12);
+  EXPECT_NEAR(n.children, 0.5, 1e-12);
+  EXPECT_TRUE(n.Validate().ok());
+  // Zero weights stay unchanged (no division by zero).
+  Weights zero{0, 0, 0, 0};
+  EXPECT_EQ(zero.Normalized(), zero);
+}
+
+TEST(WeightsTest, ToStringShowsAllAxes) {
+  std::string s = kPaperWeights.ToString();
+  EXPECT_NE(s.find("L=0.300"), std::string::npos);
+  EXPECT_NE(s.find("C=0.400"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qmatch::qom

@@ -1,0 +1,89 @@
+// Unit tests for the XML text cursor.
+
+#include <gtest/gtest.h>
+
+#include "xml/cursor.h"
+
+namespace qmatch::xml {
+namespace {
+
+TEST(TextCursorTest, PeekAndAdvance) {
+  TextCursor cursor("ab");
+  EXPECT_FALSE(cursor.AtEnd());
+  EXPECT_EQ(cursor.Peek(), 'a');
+  EXPECT_EQ(cursor.PeekAt(1), 'b');
+  EXPECT_EQ(cursor.PeekAt(2), '\0');
+  EXPECT_EQ(cursor.Advance(), 'a');
+  EXPECT_EQ(cursor.Advance(), 'b');
+  EXPECT_TRUE(cursor.AtEnd());
+  EXPECT_EQ(cursor.Peek(), '\0');
+  EXPECT_EQ(cursor.Advance(), '\0');  // safe past the end
+}
+
+TEST(TextCursorTest, LineAndColumnTracking) {
+  TextCursor cursor("ab\ncd\n\ne");
+  EXPECT_EQ(cursor.line(), 1u);
+  EXPECT_EQ(cursor.column(), 1u);
+  cursor.Advance();  // a
+  cursor.Advance();  // b
+  EXPECT_EQ(cursor.column(), 3u);
+  cursor.Advance();  // \n
+  EXPECT_EQ(cursor.line(), 2u);
+  EXPECT_EQ(cursor.column(), 1u);
+  cursor.Advance();  // c
+  cursor.Advance();  // d
+  cursor.Advance();  // \n
+  cursor.Advance();  // \n (empty line)
+  EXPECT_EQ(cursor.line(), 4u);
+  EXPECT_NE(cursor.Location().find("line 4"), std::string::npos);
+}
+
+TEST(TextCursorTest, ConsumeMatchesPrefixOnly) {
+  TextCursor cursor("<?xml rest");
+  EXPECT_FALSE(cursor.Consume("<?XML"));
+  EXPECT_EQ(cursor.pos(), 0u);
+  EXPECT_TRUE(cursor.Consume("<?xml"));
+  EXPECT_EQ(cursor.pos(), 5u);
+  EXPECT_TRUE(cursor.LookingAt(" rest"));
+  EXPECT_FALSE(cursor.Consume(" rest extra beyond end"));
+}
+
+TEST(TextCursorTest, SkipWhitespaceCountsAll) {
+  TextCursor cursor("  \t\n\r x");
+  EXPECT_EQ(cursor.SkipWhitespace(), 6u);
+  EXPECT_EQ(cursor.Peek(), 'x');
+  EXPECT_EQ(cursor.SkipWhitespace(), 0u);
+}
+
+TEST(TextCursorTest, ReadUntilStopsBeforeDelimiter) {
+  TextCursor cursor("hello-->tail");
+  std::string_view chunk;
+  ASSERT_TRUE(cursor.ReadUntil("-->", &chunk));
+  EXPECT_EQ(chunk, "hello");
+  EXPECT_TRUE(cursor.LookingAt("-->"));
+}
+
+TEST(TextCursorTest, ReadUntilMissingDelimiterFails) {
+  TextCursor cursor("no terminator here");
+  std::string_view chunk;
+  EXPECT_FALSE(cursor.ReadUntil("-->", &chunk));
+}
+
+TEST(TextCursorTest, ReadUntilTracksLines) {
+  TextCursor cursor("a\nb\nc]]>d");
+  std::string_view chunk;
+  ASSERT_TRUE(cursor.ReadUntil("]]>", &chunk));
+  EXPECT_EQ(chunk, "a\nb\nc");
+  EXPECT_EQ(cursor.line(), 3u);
+}
+
+TEST(TextCursorTest, EmptyInput) {
+  TextCursor cursor("");
+  EXPECT_TRUE(cursor.AtEnd());
+  EXPECT_EQ(cursor.SkipWhitespace(), 0u);
+  EXPECT_FALSE(cursor.Consume("x"));
+  EXPECT_TRUE(cursor.Consume(""));
+}
+
+}  // namespace
+}  // namespace qmatch::xml

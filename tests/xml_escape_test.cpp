@@ -1,0 +1,104 @@
+// Unit tests for XML escaping and entity decoding.
+
+#include <gtest/gtest.h>
+
+#include "xml/escape.h"
+
+namespace qmatch::xml {
+namespace {
+
+TEST(EscapeTextTest, EscapesMarkupCharacters) {
+  EXPECT_EQ(EscapeText("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+  EXPECT_EQ(EscapeText("plain"), "plain");
+  EXPECT_EQ(EscapeText(""), "");
+  // Quotes are legal in text content.
+  EXPECT_EQ(EscapeText("\"'"), "\"'");
+}
+
+TEST(EscapeAttributeTest, EscapesQuotesAndWhitespaceControls) {
+  EXPECT_EQ(EscapeAttribute("a\"b"), "a&quot;b");
+  EXPECT_EQ(EscapeAttribute("a\tb\nc\rd"), "a&#9;b&#10;c&#13;d");
+  EXPECT_EQ(EscapeAttribute("<&>"), "&lt;&amp;&gt;");
+}
+
+TEST(DecodeEntitiesTest, PredefinedEntities) {
+  Result<std::string> r = DecodeEntities("&lt;&gt;&amp;&apos;&quot;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "<>&'\"");
+}
+
+TEST(DecodeEntitiesTest, PassthroughWithoutEntities) {
+  Result<std::string> r = DecodeEntities("no entities here");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "no entities here");
+}
+
+TEST(DecodeEntitiesTest, DecimalCharacterReference) {
+  Result<std::string> r = DecodeEntities("&#65;&#66;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "AB");
+}
+
+TEST(DecodeEntitiesTest, HexCharacterReference) {
+  Result<std::string> r = DecodeEntities("&#x41;&#X42;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "AB");
+}
+
+TEST(DecodeEntitiesTest, Utf8TwoByte) {
+  Result<std::string> r = DecodeEntities("&#233;");  // é
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "\xC3\xA9");
+}
+
+TEST(DecodeEntitiesTest, Utf8ThreeByte) {
+  Result<std::string> r = DecodeEntities("&#x20AC;");  // €
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "\xE2\x82\xAC");
+}
+
+TEST(DecodeEntitiesTest, Utf8FourByte) {
+  Result<std::string> r = DecodeEntities("&#x1F600;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(DecodeEntitiesTest, RoundtripWithEscape) {
+  const std::string original = "a<b&c>\"quoted\"";
+  Result<std::string> r = DecodeEntities(EscapeText(original));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, original);
+}
+
+struct BadEntityCase {
+  const char* name;
+  const char* input;
+};
+
+class DecodeEntitiesErrorTest : public ::testing::TestWithParam<BadEntityCase> {};
+
+TEST_P(DecodeEntitiesErrorTest, RejectsMalformedInput) {
+  Result<std::string> r = DecodeEntities(GetParam().input);
+  EXPECT_FALSE(r.ok()) << "input: " << GetParam().input;
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, DecodeEntitiesErrorTest,
+    ::testing::Values(
+        BadEntityCase{"unterminated", "abc&amp"},
+        BadEntityCase{"empty", "&;"},
+        BadEntityCase{"unknown", "&unknown;"},
+        BadEntityCase{"empty_charref", "&#;"},
+        BadEntityCase{"empty_hex", "&#x;"},
+        BadEntityCase{"nondigit", "&#12a;"},
+        BadEntityCase{"hex_in_decimal", "&#xZZ;"},
+        BadEntityCase{"out_of_range", "&#x110000;"},
+        BadEntityCase{"surrogate", "&#xD800;"},
+        BadEntityCase{"huge", "&#99999999999;"}),
+    [](const ::testing::TestParamInfo<BadEntityCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace qmatch::xml

@@ -1,0 +1,292 @@
+// Unit tests for the XML parser and DOM.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "xml/parser.h"
+
+namespace qmatch::xml {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  Result<XmlDocument> doc = Parse("<root/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_NE(doc->root(), nullptr);
+  EXPECT_EQ(doc->root()->name(), "root");
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(XmlParserTest, DeclarationIsParsed) {
+  Result<XmlDocument> doc =
+      Parse("<?xml version=\"1.1\" encoding=\"ISO-8859-1\"?><r/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->version(), "1.1");
+  EXPECT_EQ(doc->encoding(), "ISO-8859-1");
+}
+
+TEST(XmlParserTest, DefaultDeclaration) {
+  Result<XmlDocument> doc = Parse("<r/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->version(), "1.0");
+  EXPECT_EQ(doc->encoding(), "UTF-8");
+}
+
+TEST(XmlParserTest, NestedElementsPreserveOrder) {
+  Result<XmlDocument> doc = Parse("<a><b/><c/><b/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  std::vector<XmlElement*> children = doc->root()->ChildElements();
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0]->name(), "b");
+  EXPECT_EQ(children[1]->name(), "c");
+  EXPECT_EQ(children[2]->name(), "b");
+  EXPECT_EQ(doc->root()->ChildElementsNamed("b").size(), 2u);
+}
+
+TEST(XmlParserTest, AttributesWithBothQuoteStyles) {
+  Result<XmlDocument> doc = Parse(R"(<e a="1" b='two' c="x y"/>)");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->AttributeOr("a", ""), "1");
+  EXPECT_EQ(doc->root()->AttributeOr("b", ""), "two");
+  EXPECT_EQ(doc->root()->AttributeOr("c", ""), "x y");
+  EXPECT_EQ(doc->root()->AttributeOr("missing", "dflt"), "dflt");
+  EXPECT_EQ(doc->root()->attributes().size(), 3u);
+}
+
+TEST(XmlParserTest, AttributeEntitiesDecoded) {
+  Result<XmlDocument> doc = Parse(R"(<e a="&lt;x&gt; &amp; &quot;y&quot;"/>)");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->AttributeOr("a", ""), "<x> & \"y\"");
+}
+
+TEST(XmlParserTest, TextContentDecoded) {
+  Result<XmlDocument> doc = Parse("<e>a &amp; b &#33;</e>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->InnerText(), "a & b !");
+}
+
+TEST(XmlParserTest, MixedContent) {
+  Result<XmlDocument> doc = Parse("<e>pre<child/>post</e>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->InnerText(), "prepost");
+  EXPECT_EQ(doc->root()->ChildElements().size(), 1u);
+}
+
+TEST(XmlParserTest, CdataPreservedVerbatim) {
+  Result<XmlDocument> doc = Parse("<e><![CDATA[<not & parsed>]]></e>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->InnerText(), "<not & parsed>");
+}
+
+TEST(XmlParserTest, CommentsSkippedEverywhere) {
+  Result<XmlDocument> doc =
+      Parse("<!-- top --><e><!-- in -->x<!-- out --></e><!-- tail -->");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->InnerText(), "x");
+}
+
+TEST(XmlParserTest, ProcessingInstructionsSkipped) {
+  Result<XmlDocument> doc = Parse("<?pi stuff?><e><?inner?>y</e>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->InnerText(), "y");
+}
+
+TEST(XmlParserTest, DoctypeWithInternalSubsetSkipped) {
+  Result<XmlDocument> doc =
+      Parse("<!DOCTYPE r [ <!ELEMENT r (#PCDATA)> ]><r>t</r>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->InnerText(), "t");
+}
+
+TEST(XmlParserTest, Utf8BomAccepted) {
+  Result<XmlDocument> doc = Parse("\xEF\xBB\xBF<r/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+}
+
+TEST(XmlParserTest, QualifiedNamesSplit) {
+  Result<XmlDocument> doc =
+      Parse(R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>)");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->LocalName(), "schema");
+  EXPECT_EQ(doc->root()->Prefix(), "xs");
+}
+
+TEST(XmlParserTest, NamespaceResolutionWalksAncestors) {
+  Result<XmlDocument> doc = Parse(
+      R"(<a xmlns:p="urn:outer" xmlns="urn:default">
+           <b xmlns:p="urn:inner"><c/></b><d/>
+         </a>)");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const XmlElement* b = doc->root()->FirstChildElement("b");
+  ASSERT_NE(b, nullptr);
+  const XmlElement* c = b->FirstChildElement("c");
+  ASSERT_NE(c, nullptr);
+  const XmlElement* d = doc->root()->FirstChildElement("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(*c->ResolveNamespacePrefix("p"), "urn:inner");
+  EXPECT_EQ(*d->ResolveNamespacePrefix("p"), "urn:outer");
+  EXPECT_EQ(*c->ResolveNamespacePrefix(""), "urn:default");
+  EXPECT_EQ(c->ResolveNamespacePrefix("unbound"), nullptr);
+}
+
+TEST(XmlParserTest, ParentPointersAreSet) {
+  Result<XmlDocument> doc = Parse("<a><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  const XmlElement* b = doc->root()->FirstChildElement("b");
+  const XmlElement* c = b->FirstChildElement("c");
+  EXPECT_EQ(c->parent(), b);
+  EXPECT_EQ(b->parent(), doc->root());
+  EXPECT_EQ(doc->root()->parent(), nullptr);
+}
+
+TEST(XmlParserTest, CountsAndDepth) {
+  Result<XmlDocument> doc = Parse("<a><b><c/><d/></b><e/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->CountDescendantElements(), 5u);
+  EXPECT_EQ(doc->root()->MaxDepth(), 2u);
+}
+
+TEST(XmlParserTest, ParseExpectingRootMatches) {
+  EXPECT_TRUE(ParseExpectingRoot("<schema/>", "schema").ok());
+  Result<XmlDocument> wrong = ParseExpectingRoot("<other/>", "schema");
+  EXPECT_FALSE(wrong.ok());
+}
+
+TEST(XmlParserTest, ErrorsIncludeLocation) {
+  Result<XmlDocument> doc = Parse("<a>\n  <b>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos)
+      << doc.status();
+}
+
+TEST(XmlParserTest, DeepNestingParses) {
+  std::string text;
+  const int depth = 200;
+  for (int i = 0; i < depth; ++i) text += "<d>";
+  text += "x";
+  for (int i = 0; i < depth; ++i) text += "</d>";
+  Result<XmlDocument> doc = Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->root()->MaxDepth(), static_cast<size_t>(depth - 1));
+}
+
+struct BadXmlCase {
+  const char* name;
+  const char* input;
+};
+
+class XmlParserErrorTest : public ::testing::TestWithParam<BadXmlCase> {};
+
+TEST_P(XmlParserErrorTest, RejectsMalformedDocument) {
+  Result<XmlDocument> doc = Parse(GetParam().input);
+  EXPECT_FALSE(doc.ok()) << "input: " << GetParam().input;
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XmlParserErrorTest,
+    ::testing::Values(
+        BadXmlCase{"empty", ""},
+        BadXmlCase{"text_only", "hello"},
+        BadXmlCase{"unclosed_root", "<a>"},
+        BadXmlCase{"mismatched_tags", "<a></b>"},
+        BadXmlCase{"crossed_tags", "<a><b></a></b>"},
+        BadXmlCase{"two_roots", "<a/><b/>"},
+        BadXmlCase{"trailing_text", "<a/>junk"},
+        BadXmlCase{"duplicate_attribute", "<a x=\"1\" x=\"2\"/>"},
+        BadXmlCase{"unquoted_attribute", "<a x=1/>"},
+        BadXmlCase{"missing_attr_value", "<a x=/>"},
+        BadXmlCase{"lt_in_attribute", "<a x=\"<\"/>"},
+        BadXmlCase{"unterminated_comment", "<a><!-- oops</a>"},
+        BadXmlCase{"double_dash_comment", "<a><!-- x -- y --></a>"},
+        BadXmlCase{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadXmlCase{"unterminated_pi", "<a><?pi x</a>"},
+        BadXmlCase{"unterminated_doctype", "<!DOCTYPE r [<a/>"},
+        BadXmlCase{"bad_entity_in_text", "<a>&nope;</a>"},
+        BadXmlCase{"bad_name_start", "<1a/>"},
+        BadXmlCase{"stray_end_tag", "</a>"},
+        BadXmlCase{"markup_decl_in_content", "<a><!ELEMENT x></a>"}),
+    [](const ::testing::TestParamInfo<BadXmlCase>& info) {
+      return info.param.name;
+    });
+
+// --- Robustness: the parser must never crash, only return a status ------
+
+class XmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlFuzzTest, RandomBytesNeverCrash) {
+  Random rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    size_t length = rng.Uniform(120);
+    std::string input;
+    for (size_t i = 0; i < length; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    Result<XmlDocument> doc = Parse(input);  // must not crash or hang
+    if (doc.ok()) {
+      EXPECT_NE(doc->root(), nullptr);
+    }
+  }
+}
+
+TEST_P(XmlFuzzTest, MutatedValidDocumentsNeverCrash) {
+  Random rng(GetParam() + 999);
+  const std::string base =
+      R"(<?xml version="1.0"?><a x="1"><!--c--><b>t&amp;u</b><c><![CDATA[z]]></c></a>)";
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = base;
+    size_t mutations = 1 + rng.Uniform(4);
+    for (size_t k = 0; k < mutations; ++k) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // flip a byte
+          mutated[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:  // delete a byte
+          mutated.erase(pos, 1);
+          break;
+        default:  // duplicate a byte
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    Result<XmlDocument> doc = Parse(mutated);
+    (void)doc;  // either outcome is fine; crashing is not
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest,
+                         ::testing::Values(7u, 8u, 9u, 10u));
+
+// --- DOM mutation helpers ---------------------------------------------
+
+TEST(XmlDomTest, SetAttributeReplaces) {
+  XmlElement e("e");
+  e.SetAttribute("k", "v1");
+  e.SetAttribute("k", "v2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+  EXPECT_EQ(*e.FindAttribute("k"), "v2");
+  EXPECT_TRUE(e.RemoveAttribute("k"));
+  EXPECT_FALSE(e.RemoveAttribute("k"));
+  EXPECT_FALSE(e.HasAttribute("k"));
+}
+
+TEST(XmlDomTest, AddChildElementChains) {
+  XmlElement root("root");
+  XmlElement* child = root.AddChildElement("child");
+  child->AddText("hello");
+  EXPECT_EQ(root.ChildElements().size(), 1u);
+  EXPECT_EQ(root.FirstChildElement("child")->InnerText(), "hello");
+  EXPECT_EQ(root.FirstChildElement(), child);
+  EXPECT_EQ(root.FirstChildElement("nope"), nullptr);
+}
+
+TEST(XmlDomTest, LocalNameAndPrefixOfUnprefixed) {
+  EXPECT_EQ(XmlElement::LocalNameOf("plain"), "plain");
+  EXPECT_EQ(XmlElement::PrefixOf("plain"), "");
+  EXPECT_EQ(XmlElement::LocalNameOf("a:b"), "b");
+  EXPECT_EQ(XmlElement::PrefixOf("a:b"), "a");
+}
+
+}  // namespace
+}  // namespace qmatch::xml

@@ -1,0 +1,121 @@
+// Unit tests for the XML writer, including parse/write/parse roundtrips.
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace qmatch::xml {
+namespace {
+
+TEST(XmlWriterTest, EmptyElementSelfCloses) {
+  XmlDocument doc;
+  doc.set_root(std::make_unique<XmlElement>("r"));
+  WriteOptions compact;
+  compact.indent = 0;
+  compact.declaration = false;
+  EXPECT_EQ(ToString(doc, compact), "<r/>");
+}
+
+TEST(XmlWriterTest, DeclarationEmitted) {
+  XmlDocument doc;
+  doc.set_root(std::make_unique<XmlElement>("r"));
+  std::string out = ToString(doc);
+  EXPECT_EQ(out, "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<r/>\n");
+}
+
+TEST(XmlWriterTest, AttributesEscaped) {
+  XmlDocument doc;
+  auto root = std::make_unique<XmlElement>("r");
+  root->SetAttribute("a", "x \"y\" <z> & w");
+  doc.set_root(std::move(root));
+  WriteOptions compact;
+  compact.indent = 0;
+  compact.declaration = false;
+  EXPECT_EQ(ToString(doc, compact),
+            "<r a=\"x &quot;y&quot; &lt;z&gt; &amp; w\"/>");
+}
+
+TEST(XmlWriterTest, TextEscaped) {
+  XmlDocument doc;
+  auto root = std::make_unique<XmlElement>("r");
+  root->AddText("a < b & c");
+  doc.set_root(std::move(root));
+  WriteOptions compact;
+  compact.indent = 0;
+  compact.declaration = false;
+  EXPECT_EQ(ToString(doc, compact), "<r>a &lt; b &amp; c</r>");
+}
+
+TEST(XmlWriterTest, CdataReemitted) {
+  XmlDocument doc;
+  auto root = std::make_unique<XmlElement>("r");
+  root->AddText("<raw>", /*is_cdata=*/true);
+  doc.set_root(std::move(root));
+  WriteOptions compact;
+  compact.indent = 0;
+  compact.declaration = false;
+  EXPECT_EQ(ToString(doc, compact), "<r><![CDATA[<raw>]]></r>");
+}
+
+TEST(XmlWriterTest, IndentationOfElementOnlyContent) {
+  Result<XmlDocument> doc = Parse("<a><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  WriteOptions options;
+  options.declaration = false;
+  EXPECT_EQ(ToString(*doc, options),
+            "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+}
+
+TEST(XmlWriterTest, MixedContentStaysInline) {
+  Result<XmlDocument> doc = Parse("<a>x<b/>y</a>");
+  ASSERT_TRUE(doc.ok());
+  WriteOptions options;
+  options.declaration = false;
+  EXPECT_EQ(ToString(*doc, options), "<a>x<b/>y</a>\n");
+}
+
+// Normalised comparison of two elements for roundtrip checks.
+void ExpectSameTree(const XmlElement& a, const XmlElement& b) {
+  EXPECT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.attributes().size(), b.attributes().size());
+  for (size_t i = 0; i < a.attributes().size(); ++i) {
+    EXPECT_EQ(a.attributes()[i].name, b.attributes()[i].name);
+    EXPECT_EQ(a.attributes()[i].value, b.attributes()[i].value);
+  }
+  EXPECT_EQ(a.InnerText(), b.InnerText());
+  std::vector<const XmlElement*> ca = a.ChildElements();
+  std::vector<const XmlElement*> cb = b.ChildElements();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (size_t i = 0; i < ca.size(); ++i) ExpectSameTree(*ca[i], *cb[i]);
+}
+
+class XmlRoundtripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundtripTest, ParseWriteParsePreservesTree) {
+  Result<XmlDocument> first = Parse(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status();
+  // Compact mode: exact text preservation (indented mode may add
+  // whitespace-only text nodes semantically irrelevant to schemas).
+  WriteOptions compact;
+  compact.indent = 0;
+  std::string text = ToString(*first, compact);
+  Result<XmlDocument> second = Parse(text);
+  ASSERT_TRUE(second.ok()) << second.status() << "\nserialized: " << text;
+  ExpectSameTree(*first->root(), *second->root());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, XmlRoundtripTest,
+    ::testing::Values(
+        "<r/>",
+        "<r a=\"1\" b=\"two &amp; three\"/>",
+        "<a><b/><c><d x=\"y\"/></c></a>",
+        "<a>text &amp; entities &lt;here&gt;</a>",
+        "<a>mixed <b>bold</b> tail</a>",
+        "<a><![CDATA[<literal>&stuff;]]></a>",
+        R"(<xs:schema xmlns:xs="urn:x"><xs:element name="e"/></xs:schema>)",
+        "<r><deep><deeper><deepest>leaf</deepest></deeper></deep></r>"));
+
+}  // namespace
+}  // namespace qmatch::xml

@@ -1,0 +1,126 @@
+// Unit tests for the XPath-lite selector.
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/xpath.h"
+
+namespace qmatch::xml {
+namespace {
+
+XmlDocument Doc() {
+  constexpr const char* kXml = R"(<store>
+    <book isbn="111"><title>Alpha</title><price>10</price></book>
+    <book isbn="222"><title>Beta</title><price>20</price></book>
+    <magazine><title>Gamma</title></magazine>
+    <section>
+      <book isbn="333"><title>Delta</title></book>
+    </section>
+  </store>)";
+  Result<XmlDocument> doc = Parse(kXml);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return std::move(doc).value();
+}
+
+TEST(XPathTest, RootStep) {
+  XmlDocument doc = Doc();
+  Result<std::vector<const XmlElement*>> hits = SelectElements(doc, "/store");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], doc.root());
+  EXPECT_TRUE(SelectElements(doc, "/wrong")->empty());
+}
+
+TEST(XPathTest, ChildSteps) {
+  XmlDocument doc = Doc();
+  Result<std::vector<const XmlElement*>> books =
+      SelectElements(doc, "/store/book");
+  ASSERT_TRUE(books.ok());
+  EXPECT_EQ(books->size(), 2u);  // the nested one is NOT a direct child
+  Result<std::vector<std::string>> titles =
+      SelectValues(doc, "/store/book/title/text()");
+  ASSERT_TRUE(titles.ok());
+  EXPECT_EQ(*titles, (std::vector<std::string>{"Alpha", "Beta"}));
+}
+
+TEST(XPathTest, PositionalPredicate) {
+  XmlDocument doc = Doc();
+  Result<std::vector<std::string>> second =
+      SelectValues(doc, "/store/book[2]/title");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, (std::vector<std::string>{"Beta"}));
+  EXPECT_TRUE(SelectValues(doc, "/store/book[9]/title")->empty());
+}
+
+TEST(XPathTest, Wildcard) {
+  XmlDocument doc = Doc();
+  Result<std::vector<const XmlElement*>> all = SelectElements(doc, "/store/*");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 4u);  // book, book, magazine, section
+  Result<std::vector<std::string>> titles =
+      SelectValues(doc, "/store/*/title/text()");
+  ASSERT_TRUE(titles.ok());
+  EXPECT_EQ(titles->size(), 3u);
+}
+
+TEST(XPathTest, DescendantStep) {
+  XmlDocument doc = Doc();
+  Result<std::vector<const XmlElement*>> books = SelectElements(doc, "//book");
+  ASSERT_TRUE(books.ok());
+  EXPECT_EQ(books->size(), 3u);  // includes the nested one
+  Result<std::vector<std::string>> titles =
+      SelectValues(doc, "/store//title/text()");
+  ASSERT_TRUE(titles.ok());
+  EXPECT_EQ(titles->size(), 4u);
+}
+
+TEST(XPathTest, AttributeTerminal) {
+  XmlDocument doc = Doc();
+  Result<std::vector<std::string>> isbns =
+      SelectValues(doc, "/store/book/@isbn");
+  ASSERT_TRUE(isbns.ok());
+  EXPECT_EQ(*isbns, (std::vector<std::string>{"111", "222"}));
+  // Missing attribute yields no values, not empty strings.
+  EXPECT_TRUE(SelectValues(doc, "/store/magazine/@isbn")->empty());
+}
+
+TEST(XPathTest, SelectFirst) {
+  XmlDocument doc = Doc();
+  Result<XPath> compiled = XPath::Compile("//title");
+  ASSERT_TRUE(compiled.ok());
+  const XmlElement* first = compiled->SelectFirst(doc);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->InnerText(), "Alpha");
+  Result<XPath> none = XPath::Compile("/store/nothing");
+  EXPECT_EQ(none->SelectFirst(doc), nullptr);
+}
+
+TEST(XPathTest, CompileErrors) {
+  const char* bad[] = {
+      "",                  // empty
+      "relative/path",     // not absolute
+      "/a/",               // trailing slash
+      "/a/@",              // empty attribute
+      "/a/@x/b",           // attribute not terminal
+      "/a/text()/b",       // text() not terminal
+      "/a/b[",             // unterminated predicate
+      "/a/b[]",            // empty predicate
+      "/a/b[zero]",        // non-numeric predicate
+      "/a/b[0]",           // positions are 1-based
+      "/[1]",              // predicate without name
+      "/@attr",            // no element step at all
+  };
+  for (const char* expression : bad) {
+    EXPECT_FALSE(XPath::Compile(expression).ok()) << expression;
+  }
+}
+
+TEST(XPathTest, EmptyDocument) {
+  XmlDocument doc;
+  Result<XPath> compiled = XPath::Compile("/a/b");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(compiled->Select(doc).empty());
+}
+
+}  // namespace
+}  // namespace qmatch::xml

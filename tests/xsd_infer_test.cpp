@@ -1,0 +1,214 @@
+// Unit tests for schema inference from XML instance documents.
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xsd/infer.h"
+
+namespace qmatch::xsd {
+namespace {
+
+TEST(InferValueTypeTest, Literals) {
+  EXPECT_EQ(InferValueType("42"), XsdType::kInt);
+  EXPECT_EQ(InferValueType("-7"), XsdType::kInt);
+  EXPECT_EQ(InferValueType("3.25"), XsdType::kDecimal);
+  EXPECT_EQ(InferValueType("true"), XsdType::kBoolean);
+  EXPECT_EQ(InferValueType("false"), XsdType::kBoolean);
+  EXPECT_EQ(InferValueType("1988"), XsdType::kGYear);
+  EXPECT_EQ(InferValueType("2004-01-02"), XsdType::kDate);
+  EXPECT_EQ(InferValueType("2004-01-02T10:30:00"), XsdType::kDateTime);
+  EXPECT_EQ(InferValueType("http://example.com/x"), XsdType::kAnyUri);
+  EXPECT_EQ(InferValueType("hello world"), XsdType::kString);
+  EXPECT_EQ(InferValueType(""), XsdType::kString);
+  EXPECT_EQ(InferValueType("12a"), XsdType::kString);
+}
+
+TEST(InferTest, SimpleDocument) {
+  Result<Schema> schema = InferSchemaFromXml(
+      "<person><name>Ann</name><age>31</age></person>");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->label(), "person");
+  ASSERT_EQ(schema->root()->child_count(), 2u);
+  EXPECT_EQ(schema->root()->child(0)->label(), "name");
+  EXPECT_EQ(schema->root()->child(0)->type(), XsdType::kString);
+  EXPECT_EQ(schema->root()->child(1)->label(), "age");
+  EXPECT_EQ(schema->root()->child(1)->type(), XsdType::kInt);
+}
+
+TEST(InferTest, RepeatedSiblingsBecomeUnbounded) {
+  Result<Schema> schema = InferSchemaFromXml(
+      "<list><item>1</item><item>2</item><item>3</item></list>");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ(schema->root()->child_count(), 1u);
+  const SchemaNode* item = schema->root()->child(0);
+  EXPECT_TRUE(item->occurs().unbounded());
+  EXPECT_EQ(item->occurs().min, 1);
+}
+
+TEST(InferTest, MissingChildBecomesOptional) {
+  Result<Schema> schema = InferSchemaFromXml(R"(
+    <books>
+      <book><title>A</title><isbn>1</isbn></book>
+      <book><title>B</title></book>
+    </books>)");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const SchemaNode* book = schema->root()->child(0);
+  ASSERT_NE(book->FindChild("title"), nullptr);
+  ASSERT_NE(book->FindChild("isbn"), nullptr);
+  EXPECT_EQ(book->FindChild("title")->occurs().min, 1);
+  EXPECT_EQ(book->FindChild("isbn")->occurs().min, 0)
+      << "absent in one instance";
+}
+
+TEST(InferTest, StructuresOfInstancesAreUnioned) {
+  Result<Schema> schema = InferSchemaFromXml(R"(
+    <root>
+      <entry><a>1</a></entry>
+      <entry><b>2</b></entry>
+    </root>)");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const SchemaNode* entry = schema->root()->child(0);
+  EXPECT_NE(entry->FindChild("a"), nullptr);
+  EXPECT_NE(entry->FindChild("b"), nullptr);
+}
+
+TEST(InferTest, TypesWidenAcrossValues) {
+  Result<Schema> schema = InferSchemaFromXml(R"(
+    <root><v>1</v><v>2.5</v></root>)");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->child(0)->type(), XsdType::kDecimal);
+
+  Result<Schema> mixed = InferSchemaFromXml(R"(
+    <root><v>1</v><v>hello</v></root>)");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed->root()->child(0)->type(), XsdType::kString);
+}
+
+TEST(InferTest, AttributesBecomeAttributeNodes) {
+  Result<Schema> schema = InferSchemaFromXml(
+      R"(<e id="7" note="x"><child>t</child></e>)");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const SchemaNode* id = schema->root()->FindChild("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->kind(), NodeKind::kAttribute);
+  EXPECT_EQ(id->type(), XsdType::kInt);
+}
+
+TEST(InferTest, XmlnsAttributesSkipped) {
+  Result<Schema> schema = InferSchemaFromXml(
+      R"(<e xmlns="urn:x" xmlns:p="urn:y" real="1"/>)");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->child_count(), 1u);
+  EXPECT_EQ(schema->root()->child(0)->label(), "real");
+}
+
+TEST(InferTest, AttributesCanBeExcluded) {
+  InferOptions options;
+  options.include_attributes = false;
+  Result<Schema> schema =
+      InferSchemaFromXml(R"(<e id="7">text</e>)", options);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->root()->IsLeaf());
+}
+
+TEST(InferTest, TypeInferenceCanBeDisabled) {
+  InferOptions options;
+  options.infer_types = false;
+  Result<Schema> schema =
+      InferSchemaFromXml("<e><n>42</n></e>", options);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->root()->child(0)->type(), XsdType::kString);
+}
+
+TEST(InferTest, OptionalAttribute) {
+  Result<Schema> schema = InferSchemaFromXml(R"(
+    <root>
+      <item id="1">a</item>
+      <item>b</item>
+    </root>)");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const SchemaNode* item = schema->root()->child(0);
+  const SchemaNode* id = item->FindChild("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->occurs().min, 0);
+}
+
+TEST(InferTest, DocumentOrderPreserved) {
+  Result<Schema> schema = InferSchemaFromXml(
+      "<r><z>1</z><a>2</a><m>3</m></r>");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->root()->child(0)->label(), "z");
+  EXPECT_EQ(schema->root()->child(1)->label(), "a");
+  EXPECT_EQ(schema->root()->child(2)->label(), "m");
+}
+
+TEST(InferTest, SchemaNameDefaultsToRoot) {
+  Result<Schema> schema = InferSchemaFromXml("<catalog/>");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->name(), "catalog");
+  InferOptions named;
+  named.schema_name = "WebSource";
+  Result<Schema> renamed = InferSchemaFromXml("<catalog/>", named);
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(renamed->name(), "WebSource");
+}
+
+TEST(InferTest, MalformedXmlRejected) {
+  EXPECT_FALSE(InferSchemaFromXml("<unclosed").ok());
+}
+
+TEST(InferTest, MultiDocumentAggregation) {
+  Result<xml::XmlDocument> a = xml::Parse("<r><x>1</x><y>2</y></r>");
+  Result<xml::XmlDocument> b = xml::Parse("<r><x>3</x></r>");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<Schema> schema = InferSchemaFromDocuments({&*a, &*b});
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  // x present in both documents -> required; y in one -> optional.
+  EXPECT_EQ(schema->root()->FindChild("x")->occurs().min, 1);
+  EXPECT_EQ(schema->root()->FindChild("y")->occurs().min, 0);
+}
+
+TEST(InferTest, MultiDocumentTypeWidening) {
+  Result<xml::XmlDocument> a = xml::Parse("<r><v>1</v></r>");
+  Result<xml::XmlDocument> b = xml::Parse("<r><v>2.5</v></r>");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<Schema> schema = InferSchemaFromDocuments({&*a, &*b});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->root()->child(0)->type(), XsdType::kDecimal);
+}
+
+TEST(InferTest, MultiDocumentMismatchedRootsRejected) {
+  Result<xml::XmlDocument> a = xml::Parse("<r/>");
+  Result<xml::XmlDocument> b = xml::Parse("<other/>");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<Schema> schema = InferSchemaFromDocuments({&*a, &*b});
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InferTest, MultiDocumentEmptyListRejected) {
+  EXPECT_FALSE(InferSchemaFromDocuments({}).ok());
+}
+
+TEST(InferTest, NestedRepeatsAndDepth) {
+  Result<Schema> schema = InferSchemaFromXml(R"(
+    <orders>
+      <order>
+        <lines><line><sku>A-1</sku><qty>2</qty></line>
+               <line><sku>B-2</sku><qty>1</qty></line></lines>
+      </order>
+      <order>
+        <lines><line><sku>C-3</sku><qty>9</qty></line></lines>
+      </order>
+    </orders>)");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->MaxDepth(), 4u);
+  const SchemaNode* line = schema->FindByPath("/orders/order/lines/line");
+  ASSERT_NE(line, nullptr);
+  EXPECT_TRUE(line->occurs().unbounded());
+  EXPECT_EQ(schema->FindByPath("/orders/order/lines/line/qty")->type(),
+            XsdType::kInt);
+}
+
+}  // namespace
+}  // namespace qmatch::xsd

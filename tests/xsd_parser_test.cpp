@@ -1,0 +1,402 @@
+// Unit tests for the XSD parser: XSD text -> schema tree.
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "xsd/parser.h"
+
+namespace qmatch::xsd {
+namespace {
+
+constexpr const char* kPrefix =
+    R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">)";
+
+std::string Wrap(const std::string& body) {
+  return std::string(kPrefix) + body + "</xs:schema>";
+}
+
+TEST(XsdParserTest, SimpleTypedElement) {
+  Result<Schema> schema =
+      ParseSchema(Wrap(R"(<xs:element name="age" type="xs:int"/>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->label(), "age");
+  EXPECT_EQ(schema->root()->type(), XsdType::kInt);
+  EXPECT_TRUE(schema->root()->IsLeaf());
+  EXPECT_EQ(schema->name(), "age");
+}
+
+TEST(XsdParserTest, InlineComplexTypeSequence) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="person">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element name="name" type="xs:string"/>
+          <xs:element name="age" type="xs:int"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ(schema->root()->child_count(), 2u);
+  EXPECT_EQ(schema->root()->compositor(), Compositor::kSequence);
+  EXPECT_EQ(schema->root()->child(0)->label(), "name");
+  EXPECT_EQ(schema->root()->child(0)->type(), XsdType::kString);
+  EXPECT_TRUE(schema->root()->child(0)->ordered());
+  EXPECT_EQ(schema->root()->child(1)->order(), 1);
+}
+
+TEST(XsdParserTest, ChoiceAndAllCompositors) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="e">
+      <xs:complexType>
+        <xs:choice>
+          <xs:element name="x" type="xs:string"/>
+          <xs:element name="y" type="xs:string"/>
+        </xs:choice>
+      </xs:complexType>
+    </xs:element>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->compositor(), Compositor::kChoice);
+  EXPECT_FALSE(schema->root()->child(0)->ordered());
+}
+
+TEST(XsdParserTest, MinMaxOccursParsed) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="list">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element name="opt" type="xs:string" minOccurs="0"/>
+          <xs:element name="many" type="xs:string" minOccurs="2" maxOccurs="unbounded"/>
+          <xs:element name="five" type="xs:string" maxOccurs="5"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->child(0)->occurs(), (Occurs{0, 1}));
+  EXPECT_EQ(schema->root()->child(1)->occurs(),
+            (Occurs{2, Occurs::kUnbounded}));
+  EXPECT_EQ(schema->root()->child(2)->occurs(), (Occurs{1, 5}));
+}
+
+TEST(XsdParserTest, NamedComplexTypeResolved) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="order" type="OrderType"/>
+    <xs:complexType name="OrderType">
+      <xs:sequence>
+        <xs:element name="id" type="xs:int"/>
+      </xs:sequence>
+    </xs:complexType>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ(schema->root()->child_count(), 1u);
+  EXPECT_EQ(schema->root()->child(0)->label(), "id");
+  EXPECT_EQ(schema->root()->type_name(), "OrderType");
+}
+
+TEST(XsdParserTest, NamedSimpleTypeChainsToBuiltin) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="score" type="Score"/>
+    <xs:simpleType name="Score">
+      <xs:restriction base="Points"/>
+    </xs:simpleType>
+    <xs:simpleType name="Points">
+      <xs:restriction base="xs:int"/>
+    </xs:simpleType>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->type(), XsdType::kInt);
+  EXPECT_EQ(schema->root()->type_name(), "Score");
+}
+
+TEST(XsdParserTest, SimpleTypeListAndUnion) {
+  Result<Schema> list = ParseSchema(Wrap(R"(
+    <xs:element name="nums">
+      <xs:simpleType><xs:list itemType="xs:int"/></xs:simpleType>
+    </xs:element>)"));
+  ASSERT_TRUE(list.ok()) << list.status();
+  EXPECT_EQ(list->root()->type(), XsdType::kInt);
+
+  Result<Schema> u = ParseSchema(Wrap(R"(
+    <xs:element name="mix">
+      <xs:simpleType><xs:union memberTypes="xs:date xs:string"/></xs:simpleType>
+    </xs:element>)"));
+  ASSERT_TRUE(u.ok()) << u.status();
+  EXPECT_EQ(u->root()->type(), XsdType::kDate);
+}
+
+TEST(XsdParserTest, ElementRefResolved) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="root">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element ref="shared" minOccurs="0"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>
+    <xs:element name="shared" type="xs:string"/>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ(schema->root()->child_count(), 1u);
+  EXPECT_EQ(schema->root()->child(0)->label(), "shared");
+  EXPECT_EQ(schema->root()->child(0)->type(), XsdType::kString);
+  // Occurs from the reference site wins.
+  EXPECT_EQ(schema->root()->child(0)->occurs().min, 0);
+}
+
+TEST(XsdParserTest, AttributesBecomeChildren) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="e">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element name="child" type="xs:string"/>
+        </xs:sequence>
+        <xs:attribute name="id" type="xs:ID" use="required"/>
+        <xs:attribute name="note" type="xs:string"/>
+      </xs:complexType>
+    </xs:element>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ(schema->root()->child_count(), 3u);
+  const SchemaNode* id = schema->root()->FindChild("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->kind(), NodeKind::kAttribute);
+  EXPECT_EQ(id->type(), XsdType::kId);
+  EXPECT_EQ(id->occurs(), (Occurs{1, 1}));  // required
+  EXPECT_EQ(schema->root()->FindChild("note")->occurs(), (Occurs{0, 1}));
+}
+
+TEST(XsdParserTest, AttributesCanBeExcluded) {
+  ParseOptions options;
+  options.include_attributes = false;
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="e">
+      <xs:complexType>
+        <xs:attribute name="id" type="xs:ID"/>
+      </xs:complexType>
+    </xs:element>)"),
+                                      options);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(schema->root()->IsLeaf());
+}
+
+TEST(XsdParserTest, GroupAndAttributeGroupRefs) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="e">
+      <xs:complexType>
+        <xs:group ref="body"/>
+        <xs:attributeGroup ref="common"/>
+      </xs:complexType>
+    </xs:element>
+    <xs:group name="body">
+      <xs:sequence>
+        <xs:element name="x" type="xs:string"/>
+        <xs:element name="y" type="xs:int"/>
+      </xs:sequence>
+    </xs:group>
+    <xs:attributeGroup name="common">
+      <xs:attribute name="lang" type="xs:language"/>
+    </xs:attributeGroup>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->child_count(), 3u);
+  EXPECT_NE(schema->root()->FindChild("x"), nullptr);
+  EXPECT_NE(schema->root()->FindChild("lang"), nullptr);
+  EXPECT_EQ(schema->root()->compositor(), Compositor::kSequence);
+}
+
+TEST(XsdParserTest, ComplexContentExtensionInheritsBase) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="e" type="Derived"/>
+    <xs:complexType name="Base">
+      <xs:sequence><xs:element name="inherited" type="xs:string"/></xs:sequence>
+    </xs:complexType>
+    <xs:complexType name="Derived">
+      <xs:complexContent>
+        <xs:extension base="Base">
+          <xs:sequence><xs:element name="own" type="xs:int"/></xs:sequence>
+        </xs:extension>
+      </xs:complexContent>
+    </xs:complexType>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_NE(schema->root()->FindChild("inherited"), nullptr);
+  EXPECT_NE(schema->root()->FindChild("own"), nullptr);
+}
+
+TEST(XsdParserTest, SimpleContentExtension) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="price">
+      <xs:complexType>
+        <xs:simpleContent>
+          <xs:extension base="xs:decimal">
+            <xs:attribute name="currency" type="xs:string"/>
+          </xs:extension>
+        </xs:simpleContent>
+      </xs:complexType>
+    </xs:element>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->type(), XsdType::kDecimal);
+  EXPECT_NE(schema->root()->FindChild("currency"), nullptr);
+}
+
+TEST(XsdParserTest, NestedCompositorsFlatten) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="e">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element name="a" type="xs:string"/>
+          <xs:choice>
+            <xs:element name="b" type="xs:string"/>
+            <xs:element name="c" type="xs:string"/>
+          </xs:choice>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->child_count(), 3u);
+}
+
+TEST(XsdParserTest, RecursiveTypeTruncated) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="tree" type="TreeType"/>
+    <xs:complexType name="TreeType">
+      <xs:sequence>
+        <xs:element name="value" type="xs:string"/>
+        <xs:element name="child" type="TreeType" minOccurs="0"/>
+      </xs:sequence>
+    </xs:complexType>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  // One expansion, then the nested "child" becomes an unexpanded leaf.
+  const SchemaNode* child = schema->root()->FindChild("child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_TRUE(child->IsLeaf());
+  EXPECT_EQ(child->type_name(), "TreeType");
+}
+
+TEST(XsdParserTest, RecursiveElementRefTruncated) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="node">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element ref="node" minOccurs="0"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ(schema->root()->child_count(), 1u);
+  EXPECT_TRUE(schema->root()->child(0)->IsLeaf());
+}
+
+TEST(XsdParserTest, NillableDefaultFixedCarried) {
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="e">
+      <xs:complexType>
+        <xs:sequence>
+          <xs:element name="a" type="xs:string" nillable="true" default="x"/>
+          <xs:element name="b" type="xs:string" fixed="y"/>
+        </xs:sequence>
+      </xs:complexType>
+    </xs:element>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(schema->root()->child(0)->nillable());
+  EXPECT_EQ(schema->root()->child(0)->default_value().value(), "x");
+  EXPECT_EQ(schema->root()->child(1)->fixed_value().value(), "y");
+}
+
+TEST(XsdParserTest, RootElementSelection) {
+  ParseOptions options;
+  options.root_element = "second";
+  Result<Schema> schema = ParseSchema(Wrap(R"(
+    <xs:element name="first" type="xs:string"/>
+    <xs:element name="second" type="xs:int"/>)"),
+                                      options);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->label(), "second");
+}
+
+TEST(XsdParserTest, TargetNamespaceCarried) {
+  Result<Schema> schema = ParseSchema(
+      R"(<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"
+                    targetNamespace="urn:test">
+           <xs:element name="e" type="xs:string"/>
+         </xs:schema>)");
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->target_namespace(), "urn:test");
+}
+
+TEST(XsdParserTest, UnknownUserTypeKept) {
+  Result<Schema> schema =
+      ParseSchema(Wrap(R"(<xs:element name="e" type="Mystery"/>)"));
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->root()->type(), XsdType::kUnknown);
+  EXPECT_EQ(schema->root()->type_name(), "Mystery");
+}
+
+TEST(XsdParserTest, PaperSchemasParse) {
+  Result<Schema> po1 = ParseSchema(datagen::PO1Xsd());
+  ASSERT_TRUE(po1.ok()) << po1.status();
+  EXPECT_EQ(po1->ElementCount(), 10u);
+  EXPECT_EQ(po1->MaxDepth(), 3u);
+
+  Result<Schema> po2 = ParseSchema(datagen::PO2Xsd());
+  ASSERT_TRUE(po2.ok()) << po2.status();
+  EXPECT_EQ(po2->ElementCount(), 9u);
+}
+
+struct BadXsdCase {
+  const char* name;
+  const char* body;
+};
+
+class XsdParserErrorTest : public ::testing::TestWithParam<BadXsdCase> {};
+
+TEST_P(XsdParserErrorTest, RejectsInvalidSchemas) {
+  Result<Schema> schema = ParseSchema(Wrap(GetParam().body));
+  EXPECT_FALSE(schema.ok()) << GetParam().body;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Invalid, XsdParserErrorTest,
+    ::testing::Values(
+        BadXsdCase{"no_global_element", R"(<xs:complexType name="T"/>)"},
+        BadXsdCase{"element_without_name", R"(<xs:element type="xs:int"/>)"},
+        BadXsdCase{"dangling_element_ref",
+                   R"(<xs:element name="e"><xs:complexType><xs:sequence>
+                      <xs:element ref="missing"/>
+                      </xs:sequence></xs:complexType></xs:element>)"},
+        BadXsdCase{"dangling_group_ref",
+                   R"(<xs:element name="e"><xs:complexType>
+                      <xs:group ref="missing"/>
+                      </xs:complexType></xs:element>)"},
+        BadXsdCase{"dangling_attribute_ref",
+                   R"(<xs:element name="e"><xs:complexType>
+                      <xs:attribute ref="missing"/>
+                      </xs:complexType></xs:element>)"},
+        BadXsdCase{"bad_min_occurs",
+                   R"(<xs:element name="e"><xs:complexType><xs:sequence>
+                      <xs:element name="x" type="xs:int" minOccurs="abc"/>
+                      </xs:sequence></xs:complexType></xs:element>)"},
+        BadXsdCase{"max_less_than_min",
+                   R"(<xs:element name="e"><xs:complexType><xs:sequence>
+                      <xs:element name="x" type="xs:int" minOccurs="3" maxOccurs="2"/>
+                      </xs:sequence></xs:complexType></xs:element>)"}),
+    [](const ::testing::TestParamInfo<BadXsdCase>& info) {
+      return info.param.name;
+    });
+
+TEST(XsdParserTest, NonSchemaRootRejected) {
+  Result<Schema> schema = ParseSchema("<notschema/>");
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(XsdParserTest, MalformedXmlRejected) {
+  Result<Schema> schema = ParseSchema("<xs:schema><unclosed");
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kParseError);
+}
+
+TEST(XsdParserTest, MissingRootElementOptionRejected) {
+  ParseOptions options;
+  options.root_element = "nope";
+  Result<Schema> schema =
+      ParseSchema(Wrap(R"(<xs:element name="e" type="xs:int"/>)"), options);
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qmatch::xsd

@@ -1,0 +1,165 @@
+// Unit tests for the schema tree model and builder.
+
+#include <gtest/gtest.h>
+
+#include "xsd/builder.h"
+#include "xsd/schema.h"
+
+namespace qmatch::xsd {
+namespace {
+
+Schema MakeSample() {
+  // root
+  // ├ a (int)
+  // └ b
+  //   ├ c (string)
+  //   └ @id (ID attribute)
+  SchemaBuilder builder("sample");
+  SchemaNode* root = builder.Root("root");
+  builder.Element(root, "a", XsdType::kInt);
+  SchemaNode* b = builder.Element(root, "b");
+  builder.Element(b, "c", XsdType::kString);
+  builder.Attribute(b, "id", XsdType::kId, /*required=*/true);
+  return std::move(builder).Build();
+}
+
+TEST(SchemaTest, CountsAndDepth) {
+  Schema schema = MakeSample();
+  EXPECT_EQ(schema.NodeCount(), 5u);
+  EXPECT_EQ(schema.ElementCount(), 4u);  // attribute not counted
+  EXPECT_EQ(schema.MaxDepth(), 2u);
+  EXPECT_EQ(schema.name(), "sample");
+}
+
+TEST(SchemaTest, LevelsAssignedByFinalize) {
+  Schema schema = MakeSample();
+  EXPECT_EQ(schema.root()->level(), 0u);
+  EXPECT_EQ(schema.root()->child(0)->level(), 1u);
+  EXPECT_EQ(schema.root()->child(1)->child(0)->level(), 2u);
+}
+
+TEST(SchemaTest, OrderAssignedUnderSequence) {
+  Schema schema = MakeSample();
+  const SchemaNode* a = schema.root()->child(0);
+  const SchemaNode* b = schema.root()->child(1);
+  EXPECT_EQ(a->order(), 0);
+  EXPECT_EQ(b->order(), 1);
+  EXPECT_TRUE(a->ordered());  // root compositor defaults to sequence
+}
+
+TEST(SchemaTest, OrderNotSemanticUnderAll) {
+  SchemaBuilder builder("s");
+  SchemaNode* root = builder.Root("root", Compositor::kAll);
+  builder.Element(root, "x");
+  builder.Element(root, "y");
+  Schema schema = std::move(builder).Build();
+  EXPECT_FALSE(schema.root()->child(0)->ordered());
+}
+
+TEST(SchemaTest, PathsIncludeAttributesWithAt) {
+  Schema schema = MakeSample();
+  const SchemaNode* attr = schema.root()->child(1)->child(1);
+  ASSERT_EQ(attr->kind(), NodeKind::kAttribute);
+  EXPECT_EQ(attr->Path(), "/root/b/@id");
+  EXPECT_EQ(schema.root()->Path(), "/root");
+  EXPECT_EQ(schema.root()->child(1)->child(0)->Path(), "/root/b/c");
+}
+
+TEST(SchemaTest, FindByPath) {
+  Schema schema = MakeSample();
+  const SchemaNode* c = schema.FindByPath("/root/b/c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->label(), "c");
+  EXPECT_EQ(schema.FindByPath("/root/b/@id")->kind(), NodeKind::kAttribute);
+  EXPECT_EQ(schema.FindByPath("/nope"), nullptr);
+}
+
+TEST(SchemaTest, AllNodesIsPreorder) {
+  Schema schema = MakeSample();
+  std::vector<const SchemaNode*> nodes = std::as_const(schema).AllNodes();
+  ASSERT_EQ(nodes.size(), 5u);
+  EXPECT_EQ(nodes[0]->label(), "root");
+  EXPECT_EQ(nodes[1]->label(), "a");
+  EXPECT_EQ(nodes[2]->label(), "b");
+  EXPECT_EQ(nodes[3]->label(), "c");
+  EXPECT_EQ(nodes[4]->label(), "id");
+}
+
+TEST(SchemaTest, SubtreeSizeAndHeight) {
+  Schema schema = MakeSample();
+  EXPECT_EQ(schema.root()->SubtreeSize(), 5u);
+  EXPECT_EQ(schema.root()->Height(), 2u);
+  EXPECT_EQ(schema.root()->child(0)->Height(), 0u);
+  EXPECT_TRUE(schema.root()->child(0)->IsLeaf());
+  EXPECT_FALSE(schema.root()->IsLeaf());
+}
+
+TEST(SchemaTest, FindChildByLabel) {
+  Schema schema = MakeSample();
+  EXPECT_NE(schema.root()->FindChild("a"), nullptr);
+  EXPECT_EQ(schema.root()->FindChild("zzz"), nullptr);
+}
+
+TEST(SchemaTest, CloneIsDeepAndEqualShaped) {
+  Schema schema = MakeSample();
+  Schema copy = schema.Clone();
+  EXPECT_EQ(copy.NodeCount(), schema.NodeCount());
+  EXPECT_EQ(copy.MaxDepth(), schema.MaxDepth());
+  EXPECT_EQ(copy.name(), schema.name());
+  // Mutating the copy must not affect the original.
+  copy.root()->child(0)->set_label("renamed");
+  EXPECT_EQ(schema.root()->child(0)->label(), "a");
+  // Types, occurs and kinds survive the clone.
+  const SchemaNode* attr = copy.FindByPath("/root/b/@id");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->type(), XsdType::kId);
+  EXPECT_EQ(attr->occurs().min, 1);
+}
+
+TEST(SchemaTest, OccursDefaultsAndUnbounded) {
+  Occurs dflt;
+  EXPECT_EQ(dflt.min, 1);
+  EXPECT_EQ(dflt.max, 1);
+  EXPECT_FALSE(dflt.unbounded());
+  Occurs unbounded{0, Occurs::kUnbounded};
+  EXPECT_TRUE(unbounded.unbounded());
+  EXPECT_EQ(dflt, (Occurs{1, 1}));
+  EXPECT_FALSE(dflt == unbounded);
+}
+
+TEST(SchemaTest, EmptySchemaIsWellBehaved) {
+  Schema schema;
+  EXPECT_EQ(schema.root(), nullptr);
+  EXPECT_EQ(schema.NodeCount(), 0u);
+  EXPECT_EQ(schema.ElementCount(), 0u);
+  EXPECT_EQ(schema.MaxDepth(), 0u);
+  EXPECT_TRUE(schema.AllNodes().empty());
+  EXPECT_EQ(schema.FindByPath("/x"), nullptr);
+}
+
+TEST(SchemaTest, TypeNameDefaultsToBuiltinName) {
+  SchemaNode node("n");
+  node.set_type(XsdType::kInt);
+  EXPECT_EQ(node.type_name(), "int");
+  node.set_type(XsdType::kUnknown, "MyType");
+  EXPECT_EQ(node.type_name(), "MyType");
+}
+
+TEST(SchemaTest, DebugAndTreeStringsMentionLabels) {
+  Schema schema = MakeSample();
+  std::string tree = schema.ToTreeString();
+  EXPECT_NE(tree.find("root"), std::string::npos);
+  EXPECT_NE(tree.find("@id"), std::string::npos);
+  EXPECT_NE(schema.root()->DebugString().find("level=0"), std::string::npos);
+}
+
+TEST(SchemaTest, TakeRootDetaches) {
+  Schema schema = MakeSample();
+  std::unique_ptr<SchemaNode> root = schema.TakeRoot();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(schema.root(), nullptr);
+  EXPECT_EQ(root->SubtreeSize(), 5u);
+}
+
+}  // namespace
+}  // namespace qmatch::xsd

@@ -1,0 +1,82 @@
+// Unit tests for schema statistics.
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "datagen/generator.h"
+#include "xsd/builder.h"
+#include "xsd/stats.h"
+
+namespace qmatch::xsd {
+namespace {
+
+TEST(StatsTest, EmptySchema) {
+  Schema schema;
+  SchemaStats stats = ComputeStats(schema);
+  EXPECT_EQ(stats.node_count, 0u);
+  EXPECT_EQ(stats.max_depth, 0u);
+}
+
+TEST(StatsTest, HandComputedSmallTree) {
+  SchemaBuilder b("s");
+  SchemaNode* root = b.Root("root");
+  b.Element(root, "a", XsdType::kInt);
+  SchemaNode* inner = b.Element(root, "inner");
+  b.Element(inner, "b", XsdType::kString, Occurs{0, 1});
+  b.Element(inner, "c", XsdType::kString, Occurs{1, Occurs::kUnbounded});
+  b.Attribute(inner, "id", XsdType::kId, /*required=*/true);
+  Schema schema = std::move(b).Build();
+
+  SchemaStats stats = ComputeStats(schema);
+  EXPECT_EQ(stats.node_count, 6u);
+  EXPECT_EQ(stats.element_count, 5u);
+  EXPECT_EQ(stats.attribute_count, 1u);
+  EXPECT_EQ(stats.leaf_count, 4u);   // a, b, c, @id
+  EXPECT_EQ(stats.inner_count, 2u);  // root, inner
+  EXPECT_EQ(stats.max_depth, 2u);
+  EXPECT_EQ(stats.max_fanout, 3u);   // inner has 3 children
+  EXPECT_NEAR(stats.average_fanout, (2 + 3) / 2.0, 1e-12);
+  EXPECT_EQ(stats.optional_count, 1u);   // b
+  EXPECT_EQ(stats.repeating_count, 1u);  // c
+  EXPECT_EQ(stats.type_histogram.at("int"), 1u);
+  EXPECT_EQ(stats.type_histogram.at("string"), 2u);
+  EXPECT_EQ(stats.type_histogram.at("ID"), 1u);
+  // Tokens: root, a, inner, b, c, id = 6 distinct.
+  EXPECT_EQ(stats.distinct_tokens, 6u);
+}
+
+TEST(StatsTest, MatchesSchemaAccessors) {
+  for (const datagen::CorpusEntry& entry : datagen::Corpus()) {
+    Schema schema = entry.make();
+    SchemaStats stats = ComputeStats(schema);
+    EXPECT_EQ(stats.node_count, schema.NodeCount()) << entry.name;
+    EXPECT_EQ(stats.element_count, schema.ElementCount()) << entry.name;
+    EXPECT_EQ(stats.max_depth, schema.MaxDepth()) << entry.name;
+    EXPECT_EQ(stats.leaf_count + stats.inner_count, stats.node_count);
+  }
+}
+
+TEST(StatsTest, GeneratorHonoursStatsInvariants) {
+  datagen::GeneratorOptions options;
+  options.element_count = 200;
+  options.max_depth = 5;
+  options.min_fanout = 2;
+  options.max_fanout = 6;
+  options.seed = 31;
+  Schema schema = datagen::GenerateSchema(options);
+  SchemaStats stats = ComputeStats(schema);
+  EXPECT_EQ(stats.element_count, 200u);
+  EXPECT_LE(stats.max_depth, 5u);
+  EXPECT_GE(stats.average_fanout, 1.0);
+  EXPECT_GT(stats.distinct_tokens, 10u);
+}
+
+TEST(StatsTest, ToStringMentionsKeyNumbers) {
+  SchemaStats stats = ComputeStats(datagen::MakePO1());
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("nodes=10"), std::string::npos) << s;
+  EXPECT_NE(s.find("types:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qmatch::xsd

@@ -1,0 +1,196 @@
+// Unit and property tests for document-vs-schema validation.
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus.h"
+#include "datagen/docgen.h"
+#include "datagen/generator.h"
+#include "xml/parser.h"
+#include "xsd/builder.h"
+#include "xsd/validate.h"
+
+namespace qmatch::xsd {
+namespace {
+
+Schema PersonSchema() {
+  SchemaBuilder b("person");
+  SchemaNode* root = b.Root("person");
+  b.Element(root, "name", XsdType::kString);
+  b.Element(root, "age", XsdType::kInt);
+  b.Element(root, "email", XsdType::kString, Occurs{0, 1});
+  b.Element(root, "phone", XsdType::kString, Occurs{0, 3});
+  b.Attribute(root, "id", XsdType::kInt, /*required=*/true);
+  return std::move(b).Build();
+}
+
+std::vector<Violation> Check(const char* xml, const Schema& schema,
+                             const ValidateOptions& options = {}) {
+  Result<xml::XmlDocument> doc = xml::Parse(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return Validate(*doc, schema, options);
+}
+
+TEST(ValidateTest, ConformingDocumentIsClean) {
+  Schema schema = PersonSchema();
+  std::vector<Violation> v = Check(
+      R"(<person id="7"><name>Ann</name><age>33</age>
+         <phone>555-1</phone><phone>555-2</phone></person>)",
+      schema);
+  EXPECT_TRUE(v.empty()) << v.front().ToString();
+}
+
+TEST(ValidateTest, WrongRoot) {
+  Schema schema = PersonSchema();
+  std::vector<Violation> v = Check("<human/>", schema);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, Violation::Kind::kWrongRoot);
+}
+
+TEST(ValidateTest, MissingRequiredChildAndAttribute) {
+  Schema schema = PersonSchema();
+  std::vector<Violation> v = Check("<person><name>Ann</name></person>", schema);
+  bool missing_age = false;
+  bool missing_id = false;
+  for (const Violation& violation : v) {
+    if (violation.kind == Violation::Kind::kMissingChild &&
+        violation.where == "/person/age") {
+      missing_age = true;
+    }
+    if (violation.kind == Violation::Kind::kMissingAttribute &&
+        violation.where == "/person/@id") {
+      missing_id = true;
+    }
+  }
+  EXPECT_TRUE(missing_age);
+  EXPECT_TRUE(missing_id);
+}
+
+TEST(ValidateTest, UnknownElementAndAttribute) {
+  Schema schema = PersonSchema();
+  std::vector<Violation> v = Check(
+      R"(<person id="1" hobby="chess"><name>A</name><age>1</age>
+         <salary>9</salary></person>)",
+      schema);
+  bool unknown_element = false;
+  bool unknown_attribute = false;
+  for (const Violation& violation : v) {
+    if (violation.kind == Violation::Kind::kUnknownElement) {
+      unknown_element = true;
+    }
+    if (violation.kind == Violation::Kind::kUnknownAttribute) {
+      unknown_attribute = true;
+    }
+  }
+  EXPECT_TRUE(unknown_element);
+  EXPECT_TRUE(unknown_attribute);
+
+  // Open-content mode tolerates both.
+  ValidateOptions open;
+  open.allow_undeclared = true;
+  EXPECT_TRUE(Check(
+                  R"(<person id="1" hobby="chess"><name>A</name><age>1</age>
+                     <salary>9</salary></person>)",
+                  schema, open)
+                  .empty());
+}
+
+TEST(ValidateTest, OccurrenceBounds) {
+  Schema schema = PersonSchema();
+  std::vector<Violation> v = Check(
+      R"(<person id="1"><name>A</name><age>1</age>
+         <phone>1</phone><phone>2</phone><phone>3</phone><phone>4</phone>
+         </person>)",
+      schema);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, Violation::Kind::kTooManyOccurrences);
+  EXPECT_EQ(v[0].where, "/person/phone");
+}
+
+TEST(ValidateTest, TypeMismatch) {
+  Schema schema = PersonSchema();
+  std::vector<Violation> v = Check(
+      R"(<person id="x"><name>A</name><age>not-a-number</age></person>)",
+      schema);
+  size_t type_errors = 0;
+  for (const Violation& violation : v) {
+    if (violation.kind == Violation::Kind::kTypeMismatch) ++type_errors;
+  }
+  EXPECT_EQ(type_errors, 2u) << "both @id and age are malformed";
+
+  ValidateOptions lax;
+  lax.check_types = false;
+  EXPECT_TRUE(Check(R"(<person id="x"><name>A</name><age>nope</age></person>)",
+                    schema, lax)
+                  .empty());
+}
+
+TEST(ValidateTest, FixedValueEnforced) {
+  SchemaBuilder b("s");
+  SchemaNode* root = b.Root("root");
+  b.Element(root, "version", XsdType::kString)->set_fixed_value("1.0");
+  Schema schema = std::move(b).Build();
+  EXPECT_TRUE(Check("<root><version>1.0</version></root>", schema).empty());
+  std::vector<Violation> v =
+      Check("<root><version>2.0</version></root>", schema);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, Violation::Kind::kFixedValueMismatch);
+}
+
+TEST(ValidateTest, MaxViolationsCapsOutput) {
+  Schema schema = PersonSchema();
+  ValidateOptions capped;
+  capped.max_violations = 1;
+  std::vector<Violation> v = Check("<person/>", schema, capped);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(ValidateTest, ViolationToStringIsReadable) {
+  Schema schema = PersonSchema();
+  std::vector<Violation> v = Check("<human/>", schema);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].ToString().find("wrong root"), std::string::npos);
+}
+
+// --- Property: generated documents validate against their schema --------
+
+class ValidatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValidatePropertyTest, GeneratedDocumentsConform) {
+  datagen::GeneratorOptions gen;
+  gen.element_count = 50;
+  gen.max_depth = 4;
+  gen.attribute_probability = 0.3;
+  gen.seed = GetParam();
+  gen.name = "Conf";
+  Schema schema = datagen::GenerateSchema(gen);
+
+  datagen::DocGenOptions docgen;
+  docgen.seed = GetParam() + 1;
+  docgen.max_repeat = 3;
+  xml::XmlDocument doc = datagen::GenerateDocument(schema, docgen);
+
+  std::vector<Violation> violations = Validate(doc, schema);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: "
+      << violations.front().ToString();
+}
+
+TEST_P(ValidatePropertyTest, CorpusDocumentsConform) {
+  // Every corpus schema round-trips through the document generator.
+  for (const datagen::CorpusEntry& entry : datagen::Corpus()) {
+    if (entry.name == "PDB") continue;  // large; covered by generated case
+    Schema schema = entry.make();
+    datagen::DocGenOptions docgen;
+    docgen.seed = GetParam();
+    xml::XmlDocument doc = datagen::GenerateDocument(schema, docgen);
+    std::vector<Violation> violations = Validate(doc, schema);
+    EXPECT_TRUE(violations.empty())
+        << entry.name << ": " << violations.front().ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidatePropertyTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace qmatch::xsd

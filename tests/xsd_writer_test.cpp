@@ -1,0 +1,146 @@
+// Unit tests for schema -> XSD serialization, including the parse/write
+// round-trip property over the whole corpus.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/corpus.h"
+#include "xsd/builder.h"
+#include "datagen/generator.h"
+#include "xsd/parser.h"
+#include "xsd/writer.h"
+
+namespace qmatch::xsd {
+namespace {
+
+TEST(XsdWriterTest, LeafElement) {
+  SchemaBuilder b("s");
+  b.Root("age")->set_type(XsdType::kInt);
+  Schema schema = std::move(b).Build();
+  std::string text = ToXsd(schema);
+  EXPECT_NE(text.find("<xs:element name=\"age\" type=\"xs:int\"/>"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("xmlns:xs=\"http://www.w3.org/2001/XMLSchema\""),
+            std::string::npos);
+}
+
+TEST(XsdWriterTest, OccursAttributesEmitted) {
+  SchemaBuilder b("s");
+  SchemaNode* root = b.Root("root");
+  b.Element(root, "opt", XsdType::kString, Occurs{0, 1});
+  b.Element(root, "many", XsdType::kString, Occurs{1, Occurs::kUnbounded});
+  b.Element(root, "plain", XsdType::kString);
+  Schema schema = std::move(b).Build();
+  std::string text = ToXsd(schema);
+  EXPECT_NE(text.find("minOccurs=\"0\""), std::string::npos);
+  EXPECT_NE(text.find("maxOccurs=\"unbounded\""), std::string::npos);
+  // Default occurs emits nothing.
+  EXPECT_NE(text.find("<xs:element name=\"plain\" type=\"xs:string\"/>"),
+            std::string::npos)
+      << text;
+}
+
+TEST(XsdWriterTest, AttributesWithUse) {
+  SchemaBuilder b("s");
+  SchemaNode* root = b.Root("root");
+  b.Element(root, "child", XsdType::kString);
+  b.Attribute(root, "id", XsdType::kId, /*required=*/true);
+  b.Attribute(root, "note", XsdType::kString, /*required=*/false);
+  Schema schema = std::move(b).Build();
+  std::string text = ToXsd(schema);
+  EXPECT_NE(text.find("use=\"required\""), std::string::npos);
+  EXPECT_NE(text.find("<xs:attribute name=\"note\" type=\"xs:string\"/>"),
+            std::string::npos)
+      << text;
+}
+
+TEST(XsdWriterTest, ChoiceCompositorPreserved) {
+  SchemaBuilder b("s");
+  SchemaNode* root = b.Root("root", Compositor::kChoice);
+  b.Element(root, "x", XsdType::kString);
+  b.Element(root, "y", XsdType::kString);
+  Schema schema = std::move(b).Build();
+  std::string text = ToXsd(schema);
+  EXPECT_NE(text.find("<xs:choice>"), std::string::npos);
+}
+
+TEST(XsdWriterTest, CustomPrefix) {
+  SchemaBuilder b("s");
+  b.Root("e")->set_type(XsdType::kString);
+  Schema schema = std::move(b).Build();
+  XsdWriteOptions options;
+  options.prefix = "xsd";
+  std::string text = ToXsd(schema, options);
+  EXPECT_NE(text.find("<xsd:element"), std::string::npos);
+  EXPECT_NE(text.find("xmlns:xsd="), std::string::npos);
+}
+
+TEST(XsdWriterTest, TargetNamespaceCarried) {
+  SchemaBuilder b("s");
+  b.Root("e");
+  Schema schema = std::move(b).Build();
+  schema.set_target_namespace("urn:test");
+  std::string text = ToXsd(schema);
+  EXPECT_NE(text.find("targetNamespace=\"urn:test\""), std::string::npos);
+}
+
+// --- Round trip: every corpus schema survives write -> parse ----------
+
+void ExpectEquivalentNodes(const SchemaNode& a, const SchemaNode& b) {
+  EXPECT_EQ(a.label(), b.label());
+  EXPECT_EQ(a.kind(), b.kind());
+  EXPECT_EQ(a.occurs(), b.occurs()) << a.Path();
+  EXPECT_EQ(a.level(), b.level());
+  EXPECT_EQ(a.nillable(), b.nillable());
+  if (a.IsLeaf() && a.kind() == NodeKind::kElement) {
+    EXPECT_EQ(a.type(), b.type()) << a.Path();
+  }
+  ASSERT_EQ(a.child_count(), b.child_count()) << a.Path();
+  for (size_t i = 0; i < a.child_count(); ++i) {
+    ExpectEquivalentNodes(*a.child(i), *b.child(i));
+  }
+}
+
+class XsdRoundtripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(XsdRoundtripTest, WriteThenParseReproducesTree) {
+  const datagen::CorpusEntry* entry = nullptr;
+  for (const datagen::CorpusEntry& e : datagen::Corpus()) {
+    if (e.name == GetParam()) entry = &e;
+  }
+  ASSERT_NE(entry, nullptr);
+  Schema original = entry->make();
+  std::string text = ToXsd(original);
+  Result<Schema> reparsed = ParseSchema(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+  EXPECT_EQ(reparsed->NodeCount(), original.NodeCount());
+  EXPECT_EQ(reparsed->MaxDepth(), original.MaxDepth());
+  ExpectEquivalentNodes(*original.root(), *reparsed->root());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, XsdRoundtripTest,
+                         ::testing::Values("PO1", "PO2", "Article", "Book",
+                                           "DCMDItem", "DCMDOrder", "Library",
+                                           "Human", "XBenchCatalog",
+                                           "XBenchOrder", "PIR", "PDB"));
+
+TEST(XsdRoundtripTest, GeneratedSchemasRoundtrip) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    datagen::GeneratorOptions options;
+    options.element_count = 120;
+    options.max_depth = 5;
+    options.attribute_probability = 0.3;
+    options.seed = seed;
+    options.name = "Gen";
+    Schema original = datagen::GenerateSchema(options);
+    Result<Schema> reparsed = ParseSchema(ToXsd(original));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_EQ(reparsed->NodeCount(), original.NodeCount());
+    ExpectEquivalentNodes(*original.root(), *reparsed->root());
+  }
+}
+
+}  // namespace
+}  // namespace qmatch::xsd
