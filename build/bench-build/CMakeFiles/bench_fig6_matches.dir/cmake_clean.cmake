@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_matches"
+  "../bench/bench_fig6_matches.pdb"
+  "CMakeFiles/bench_fig6_matches.dir/bench_fig6_matches.cpp.o"
+  "CMakeFiles/bench_fig6_matches.dir/bench_fig6_matches.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_matches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_extremes"
+  "../bench/bench_fig9_extremes.pdb"
+  "CMakeFiles/bench_fig9_extremes.dir/bench_fig9_extremes.cpp.o"
+  "CMakeFiles/bench_fig9_extremes.dir/bench_fig9_extremes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_extremes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

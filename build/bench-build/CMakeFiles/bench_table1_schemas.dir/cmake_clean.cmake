@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_schemas"
+  "../bench/bench_table1_schemas.pdb"
+  "CMakeFiles/bench_table1_schemas.dir/bench_table1_schemas.cpp.o"
+  "CMakeFiles/bench_table1_schemas.dir/bench_table1_schemas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_schemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_weights"
+  "../bench/bench_table2_weights.pdb"
+  "CMakeFiles/bench_table2_weights.dir/bench_table2_weights.cpp.o"
+  "CMakeFiles/bench_table2_weights.dir/bench_table2_weights.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_match.dir/document_match.cpp.o"
+  "CMakeFiles/document_match.dir/document_match.cpp.o.d"
+  "document_match"
+  "document_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

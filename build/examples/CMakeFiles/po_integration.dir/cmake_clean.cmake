@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/po_integration.dir/po_integration.cpp.o"
+  "CMakeFiles/po_integration.dir/po_integration.cpp.o.d"
+  "po_integration"
+  "po_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/po_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmatch_cli.dir/qmatch_cli.cpp.o"
+  "CMakeFiles/qmatch_cli.dir/qmatch_cli.cpp.o.d"
+  "qmatch_cli"
+  "qmatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/file_util.cc" "src/CMakeFiles/qmatch.dir/common/file_util.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/common/file_util.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/qmatch.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/qmatch.dir/common/random.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/qmatch.dir/common/status.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/qmatch.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/qmatch.cc" "src/CMakeFiles/qmatch.dir/core/qmatch.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/core/qmatch.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/CMakeFiles/qmatch.dir/core/tuner.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/core/tuner.cc.o.d"
+  "/root/repo/src/datagen/corpus.cc" "src/CMakeFiles/qmatch.dir/datagen/corpus.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/datagen/corpus.cc.o.d"
+  "/root/repo/src/datagen/docgen.cc" "src/CMakeFiles/qmatch.dir/datagen/docgen.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/datagen/docgen.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "src/CMakeFiles/qmatch.dir/datagen/generator.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/datagen/generator.cc.o.d"
+  "/root/repo/src/datagen/perturb.cc" "src/CMakeFiles/qmatch.dir/datagen/perturb.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/datagen/perturb.cc.o.d"
+  "/root/repo/src/eval/gold.cc" "src/CMakeFiles/qmatch.dir/eval/gold.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/eval/gold.cc.o.d"
+  "/root/repo/src/eval/match_report.cc" "src/CMakeFiles/qmatch.dir/eval/match_report.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/eval/match_report.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/qmatch.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/rank.cc" "src/CMakeFiles/qmatch.dir/eval/rank.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/eval/rank.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/qmatch.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/eval/report.cc.o.d"
+  "/root/repo/src/lingua/default_thesaurus.cc" "src/CMakeFiles/qmatch.dir/lingua/default_thesaurus.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/lingua/default_thesaurus.cc.o.d"
+  "/root/repo/src/lingua/name_match.cc" "src/CMakeFiles/qmatch.dir/lingua/name_match.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/lingua/name_match.cc.o.d"
+  "/root/repo/src/lingua/string_sim.cc" "src/CMakeFiles/qmatch.dir/lingua/string_sim.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/lingua/string_sim.cc.o.d"
+  "/root/repo/src/lingua/thesaurus.cc" "src/CMakeFiles/qmatch.dir/lingua/thesaurus.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/lingua/thesaurus.cc.o.d"
+  "/root/repo/src/lingua/thesaurus_io.cc" "src/CMakeFiles/qmatch.dir/lingua/thesaurus_io.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/lingua/thesaurus_io.cc.o.d"
+  "/root/repo/src/lingua/tokenize.cc" "src/CMakeFiles/qmatch.dir/lingua/tokenize.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/lingua/tokenize.cc.o.d"
+  "/root/repo/src/match/assignment.cc" "src/CMakeFiles/qmatch.dir/match/assignment.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/match/assignment.cc.o.d"
+  "/root/repo/src/match/composite_matcher.cc" "src/CMakeFiles/qmatch.dir/match/composite_matcher.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/match/composite_matcher.cc.o.d"
+  "/root/repo/src/match/cupid_matcher.cc" "src/CMakeFiles/qmatch.dir/match/cupid_matcher.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/match/cupid_matcher.cc.o.d"
+  "/root/repo/src/match/instance_matcher.cc" "src/CMakeFiles/qmatch.dir/match/instance_matcher.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/match/instance_matcher.cc.o.d"
+  "/root/repo/src/match/linguistic_matcher.cc" "src/CMakeFiles/qmatch.dir/match/linguistic_matcher.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/match/linguistic_matcher.cc.o.d"
+  "/root/repo/src/match/matcher.cc" "src/CMakeFiles/qmatch.dir/match/matcher.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/match/matcher.cc.o.d"
+  "/root/repo/src/match/property_matcher.cc" "src/CMakeFiles/qmatch.dir/match/property_matcher.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/match/property_matcher.cc.o.d"
+  "/root/repo/src/match/similarity_matrix.cc" "src/CMakeFiles/qmatch.dir/match/similarity_matrix.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/match/similarity_matrix.cc.o.d"
+  "/root/repo/src/match/structural_matcher.cc" "src/CMakeFiles/qmatch.dir/match/structural_matcher.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/match/structural_matcher.cc.o.d"
+  "/root/repo/src/match/tree_edit_distance.cc" "src/CMakeFiles/qmatch.dir/match/tree_edit_distance.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/match/tree_edit_distance.cc.o.d"
+  "/root/repo/src/qom/taxonomy.cc" "src/CMakeFiles/qmatch.dir/qom/taxonomy.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/qom/taxonomy.cc.o.d"
+  "/root/repo/src/qom/weights.cc" "src/CMakeFiles/qmatch.dir/qom/weights.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/qom/weights.cc.o.d"
+  "/root/repo/src/xml/cursor.cc" "src/CMakeFiles/qmatch.dir/xml/cursor.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xml/cursor.cc.o.d"
+  "/root/repo/src/xml/dom.cc" "src/CMakeFiles/qmatch.dir/xml/dom.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xml/dom.cc.o.d"
+  "/root/repo/src/xml/escape.cc" "src/CMakeFiles/qmatch.dir/xml/escape.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xml/escape.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/qmatch.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/writer.cc" "src/CMakeFiles/qmatch.dir/xml/writer.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xml/writer.cc.o.d"
+  "/root/repo/src/xml/xpath.cc" "src/CMakeFiles/qmatch.dir/xml/xpath.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xml/xpath.cc.o.d"
+  "/root/repo/src/xsd/builder.cc" "src/CMakeFiles/qmatch.dir/xsd/builder.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xsd/builder.cc.o.d"
+  "/root/repo/src/xsd/infer.cc" "src/CMakeFiles/qmatch.dir/xsd/infer.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xsd/infer.cc.o.d"
+  "/root/repo/src/xsd/parser.cc" "src/CMakeFiles/qmatch.dir/xsd/parser.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xsd/parser.cc.o.d"
+  "/root/repo/src/xsd/schema.cc" "src/CMakeFiles/qmatch.dir/xsd/schema.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xsd/schema.cc.o.d"
+  "/root/repo/src/xsd/stats.cc" "src/CMakeFiles/qmatch.dir/xsd/stats.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xsd/stats.cc.o.d"
+  "/root/repo/src/xsd/types.cc" "src/CMakeFiles/qmatch.dir/xsd/types.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xsd/types.cc.o.d"
+  "/root/repo/src/xsd/validate.cc" "src/CMakeFiles/qmatch.dir/xsd/validate.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xsd/validate.cc.o.d"
+  "/root/repo/src/xsd/writer.cc" "src/CMakeFiles/qmatch.dir/xsd/writer.cc.o" "gcc" "src/CMakeFiles/qmatch.dir/xsd/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

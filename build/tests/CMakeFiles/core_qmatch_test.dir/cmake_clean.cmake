@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_qmatch_test.dir/core_qmatch_test.cpp.o"
+  "CMakeFiles/core_qmatch_test.dir/core_qmatch_test.cpp.o.d"
+  "core_qmatch_test"
+  "core_qmatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_qmatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tuner_test.dir/core_tuner_test.cpp.o"
+  "CMakeFiles/core_tuner_test.dir/core_tuner_test.cpp.o.d"
+  "core_tuner_test"
+  "core_tuner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

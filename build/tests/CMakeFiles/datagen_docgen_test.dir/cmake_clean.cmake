@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_docgen_test.dir/datagen_docgen_test.cpp.o"
+  "CMakeFiles/datagen_docgen_test.dir/datagen_docgen_test.cpp.o.d"
+  "datagen_docgen_test"
+  "datagen_docgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_docgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lingua_name_match_test.dir/lingua_name_match_test.cpp.o"
+  "CMakeFiles/lingua_name_match_test.dir/lingua_name_match_test.cpp.o.d"
+  "lingua_name_match_test"
+  "lingua_name_match_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lingua_name_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

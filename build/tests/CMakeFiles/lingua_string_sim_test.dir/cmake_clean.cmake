@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lingua_string_sim_test.dir/lingua_string_sim_test.cpp.o"
+  "CMakeFiles/lingua_string_sim_test.dir/lingua_string_sim_test.cpp.o.d"
+  "lingua_string_sim_test"
+  "lingua_string_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lingua_string_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lingua_thesaurus_test.dir/lingua_thesaurus_test.cpp.o"
+  "CMakeFiles/lingua_thesaurus_test.dir/lingua_thesaurus_test.cpp.o.d"
+  "lingua_thesaurus_test"
+  "lingua_thesaurus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lingua_thesaurus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

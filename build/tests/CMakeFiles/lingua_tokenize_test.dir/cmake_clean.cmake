@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lingua_tokenize_test.dir/lingua_tokenize_test.cpp.o"
+  "CMakeFiles/lingua_tokenize_test.dir/lingua_tokenize_test.cpp.o.d"
+  "lingua_tokenize_test"
+  "lingua_tokenize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lingua_tokenize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_baselines_test.dir/match_baselines_test.cpp.o"
+  "CMakeFiles/match_baselines_test.dir/match_baselines_test.cpp.o.d"
+  "match_baselines_test"
+  "match_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

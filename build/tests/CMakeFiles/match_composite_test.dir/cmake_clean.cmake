@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_composite_test.dir/match_composite_test.cpp.o"
+  "CMakeFiles/match_composite_test.dir/match_composite_test.cpp.o.d"
+  "match_composite_test"
+  "match_composite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_composite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_cupid_test.dir/match_cupid_test.cpp.o"
+  "CMakeFiles/match_cupid_test.dir/match_cupid_test.cpp.o.d"
+  "match_cupid_test"
+  "match_cupid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_cupid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_instance_test.dir/match_instance_test.cpp.o"
+  "CMakeFiles/match_instance_test.dir/match_instance_test.cpp.o.d"
+  "match_instance_test"
+  "match_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_matrix_test.dir/match_matrix_test.cpp.o"
+  "CMakeFiles/match_matrix_test.dir/match_matrix_test.cpp.o.d"
+  "match_matrix_test"
+  "match_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_property_test.dir/match_property_test.cpp.o"
+  "CMakeFiles/match_property_test.dir/match_property_test.cpp.o.d"
+  "match_property_test"
+  "match_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_ted_test.dir/match_ted_test.cpp.o"
+  "CMakeFiles/match_ted_test.dir/match_ted_test.cpp.o.d"
+  "match_ted_test"
+  "match_ted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_ted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

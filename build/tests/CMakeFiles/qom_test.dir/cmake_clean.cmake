@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qom_test.dir/qom_test.cpp.o"
+  "CMakeFiles/qom_test.dir/qom_test.cpp.o.d"
+  "qom_test"
+  "qom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_cursor_test.dir/xml_cursor_test.cpp.o"
+  "CMakeFiles/xml_cursor_test.dir/xml_cursor_test.cpp.o.d"
+  "xml_cursor_test"
+  "xml_cursor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_xpath_test.dir/xml_xpath_test.cpp.o"
+  "CMakeFiles/xml_xpath_test.dir/xml_xpath_test.cpp.o.d"
+  "xml_xpath_test"
+  "xml_xpath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_xpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

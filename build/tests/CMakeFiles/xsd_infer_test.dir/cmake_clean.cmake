@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_infer_test.dir/xsd_infer_test.cpp.o"
+  "CMakeFiles/xsd_infer_test.dir/xsd_infer_test.cpp.o.d"
+  "xsd_infer_test"
+  "xsd_infer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_infer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_parser_test.dir/xsd_parser_test.cpp.o"
+  "CMakeFiles/xsd_parser_test.dir/xsd_parser_test.cpp.o.d"
+  "xsd_parser_test"
+  "xsd_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

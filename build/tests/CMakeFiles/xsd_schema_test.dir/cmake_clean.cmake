@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_schema_test.dir/xsd_schema_test.cpp.o"
+  "CMakeFiles/xsd_schema_test.dir/xsd_schema_test.cpp.o.d"
+  "xsd_schema_test"
+  "xsd_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

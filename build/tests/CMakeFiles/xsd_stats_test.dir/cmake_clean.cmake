@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_stats_test.dir/xsd_stats_test.cpp.o"
+  "CMakeFiles/xsd_stats_test.dir/xsd_stats_test.cpp.o.d"
+  "xsd_stats_test"
+  "xsd_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

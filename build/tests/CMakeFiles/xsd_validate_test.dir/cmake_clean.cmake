@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_validate_test.dir/xsd_validate_test.cpp.o"
+  "CMakeFiles/xsd_validate_test.dir/xsd_validate_test.cpp.o.d"
+  "xsd_validate_test"
+  "xsd_validate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_validate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_writer_test.dir/xsd_writer_test.cpp.o"
+  "CMakeFiles/xsd_writer_test.dir/xsd_writer_test.cpp.o.d"
+  "xsd_writer_test"
+  "xsd_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
