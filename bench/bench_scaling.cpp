@@ -3,10 +3,21 @@
 // swept over sizes and the hybrid's runtime is reported per node pair.
 // If the claim holds, ns/pair stays roughly flat as n·m grows by orders
 // of magnitude.
+//
+// The *_Threads benchmarks sweep the MatchEngine over 1/2/4/8 threads on
+// the paper's largest workload (the PIR×PDB protein pair, 231×3753
+// elements) and on a corpus batch — the wall-clock speedup columns for the
+// parallel engine. Caching is disabled so every iteration measures a full
+// table fill; correspondences are bit-identical at every thread count
+// (enforced separately by core_engine_test).
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "core/engine.h"
 #include "core/qmatch.h"
+#include "datagen/corpus.h"
 #include "datagen/generator.h"
 #include "datagen/perturb.h"
 
@@ -49,6 +60,73 @@ BENCHMARK(BM_HybridScaling)
     ->Arg(400)
     ->Arg(800)
     ->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+// One large match (PIR 231 x PDB 3753 elements), row-parallel table fill.
+void BM_EnginePirPdb_Threads(benchmark::State& state) {
+  static const xsd::Schema* pir = new xsd::Schema(datagen::MakePir());
+  static const xsd::Schema* pdb = new xsd::Schema(datagen::MakePdb());
+  core::MatchEngineOptions options;
+  options.threads = static_cast<size_t>(state.range(0));
+  options.cache_capacity = 0;  // measure the fill, not the cache
+  core::MatchEngine engine(options);
+  for (auto _ : state) {
+    MatchResult result = engine.Match(*pir, *pdb);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs"] = static_cast<double>(pir->NodeCount()) *
+                            static_cast<double>(pdb->NodeCount());
+  state.counters["threads"] = static_cast<double>(engine.threads());
+}
+
+BENCHMARK(BM_EnginePirPdb_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// A corpus batch (32 generated pairs) fanned out across the pool — the
+// schema_search / repository-ranking workload shape.
+void BM_EngineCorpus_Threads(benchmark::State& state) {
+  static const std::vector<std::pair<xsd::Schema, xsd::Schema>>* pairs = [] {
+    auto* built = new std::vector<std::pair<xsd::Schema, xsd::Schema>>();
+    for (uint64_t k = 0; k < 32; ++k) {
+      datagen::GeneratorOptions options;
+      options.seed = 500 + k;
+      options.element_count = 120;
+      options.max_depth = 6;
+      options.domain = datagen::Domain::kProtein;
+      options.name = "Corpus";
+      xsd::Schema source = datagen::GenerateSchema(options);
+      datagen::PerturbOptions perturb;
+      perturb.seed = 600 + k;
+      xsd::Schema target = datagen::Perturb(source, perturb, nullptr);
+      built->emplace_back(std::move(source), std::move(target));
+    }
+    return built;
+  }();
+  std::vector<core::MatchJob> jobs;
+  for (const auto& [source, target] : *pairs) {
+    jobs.push_back(core::MatchJob{&source, &target});
+  }
+  core::MatchEngineOptions options;
+  options.threads = static_cast<size_t>(state.range(0));
+  options.cache_capacity = 0;
+  core::MatchEngine engine(options);
+  for (auto _ : state) {
+    std::vector<MatchResult> results = engine.MatchAll(jobs);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+  state.counters["threads"] = static_cast<double>(engine.threads());
+}
+
+BENCHMARK(BM_EngineCorpus_Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

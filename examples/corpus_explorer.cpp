@@ -13,7 +13,7 @@
 #include <memory>
 #include <string>
 
-#include "core/qmatch.h"
+#include "core/engine.h"
 #include "datagen/corpus.h"
 #include "eval/metrics.h"
 #include "lingua/default_thesaurus.h"
@@ -39,7 +39,9 @@ std::unique_ptr<Matcher> MakeMatcher(const std::string& algo,
   }
   core::QMatchConfig config;
   config.threshold = threshold;
-  return std::make_unique<core::QMatch>(config);
+  // The engine is a Matcher too: hybrid matches get the parallel table
+  // fill (and result caching) transparently.
+  return std::make_unique<core::MatchEngine>(config);
 }
 
 const datagen::CorpusEntry* FindSchema(const std::string& name) {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI driver: configure + build + run the full test suite, then (optionally)
+# the sanitizer configurations.
+#
+# Usage:
+#   scripts/ci.sh            # default build + ctest
+#   scripts/ci.sh tsan       # ThreadSanitizer build; runs the concurrency tests
+#   scripts/ci.sh asan       # Address+UB sanitizer build; runs the full suite
+#   scripts/ci.sh all        # all of the above
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MODE="${1:-default}"
+JOBS="${JOBS:-$(nproc)}"
+
+run_default() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure
+}
+
+run_tsan() {
+  # ThreadSanitizer: the parallel engine and thread pool must be race-free.
+  # Only the concurrency-relevant tests run here — TSan slows everything
+  # ~10x, and the rest of the suite is single-threaded.
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" \
+        --target common_thread_pool_test core_engine_test
+  ctest --test-dir build-tsan --output-on-failure \
+        -R 'common_thread_pool_test|core_engine_test'
+}
+
+run_asan() {
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}"
+  ctest --test-dir build-asan --output-on-failure
+}
+
+case "${MODE}" in
+  default) run_default ;;
+  tsan)    run_tsan ;;
+  asan)    run_asan ;;
+  all)     run_default; run_tsan; run_asan ;;
+  *) echo "unknown mode '${MODE}' (default|tsan|asan|all)" >&2; exit 2 ;;
+esac

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace qmatch {
+
+ThreadPool::ThreadPool(size_t worker_count) {
+  workers_.reserve(worker_count);
+  for (size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back(
+        [this](std::stop_token stop) { WorkerLoop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (std::jthread& worker : workers_) worker.request_stop();
+  cv_.notify_all();
+  // jthread destructors join.
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(const std::stop_token& stop) {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested with nothing to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+/// Shared state of one ParallelFor call. Helpers copy the shared_ptr (and
+/// the loop body), so a helper task that only gets scheduled after the
+/// call has returned still touches valid memory — it sees `next >= n` and
+/// exits without running anything.
+struct ThreadPool::LoopState {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t total = 0;
+  std::function<void(size_t)> fn;
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  void Drain() {
+    size_t finished = 0;
+    while (true) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      fn(i);
+      ++finished;
+    }
+    if (finished == 0) return;
+    const size_t completed =
+        done.fetch_add(finished, std::memory_order_acq_rel) + finished;
+    if (completed == total) {
+      // Lock before notifying so the waiter cannot test the predicate
+      // between our fetch_add and the notify and then sleep forever.
+      std::lock_guard<std::mutex> lock(mutex);
+      cv.notify_all();
+    }
+  }
+};
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<LoopState>();
+  state->total = n;
+  state->fn = fn;
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) >= state->total;
+  });
+}
+
+}  // namespace qmatch

@@ -1,0 +1,64 @@
+#ifndef QMATCH_COMMON_THREAD_POOL_H_
+#define QMATCH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qmatch {
+
+/// A fixed-size worker pool: `worker_count` std::jthread workers pulling
+/// from one condition_variable-guarded task queue (no work stealing — the
+/// queue is the single point of coordination, which keeps the pool simple
+/// and the scheduling auditable).
+///
+/// `ParallelFor` is the primitive the match engine builds on: the calling
+/// thread *participates* in the loop, so
+///  - a pool with 0 workers degrades to a plain sequential loop (the
+///    engine's threads=1 mode shares every line of code with threads=N);
+///  - calling ParallelFor from inside a pool task cannot deadlock — the
+///    caller drains the remaining indices itself even when no worker is
+///    free to help.
+class ThreadPool {
+ public:
+  /// Spawns exactly `worker_count` workers (0 is valid: everything then
+  /// runs inline on the calling thread).
+  explicit ThreadPool(size_t worker_count);
+
+  /// Requests stop and joins all workers; queued tasks that have not
+  /// started are discarded.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task. The task must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(0), fn(1), ..., fn(n-1) across the pool plus the calling
+  /// thread and returns when every index has completed. Indices are
+  /// claimed atomically, so each runs exactly once; completion order is
+  /// unspecified — callers get determinism by writing to disjoint,
+  /// index-addressed slots.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct LoopState;
+
+  void WorkerLoop(const std::stop_token& stop);
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace qmatch
+
+#endif  // QMATCH_COMMON_THREAD_POOL_H_

@@ -1,0 +1,243 @@
+#include "core/engine.h"
+
+#include <bit>
+#include <utility>
+
+namespace qmatch::core {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void HashInt(uint64_t value, uint64_t& h) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (byte * 8)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+void HashDouble(double value, uint64_t& h) {
+  HashInt(std::bit_cast<uint64_t>(value), h);
+}
+
+/// Hashes every field of the configuration that influences match output.
+/// The thesaurus is deliberately absent: it is fixed per engine instance
+/// and the cache never outlives the engine.
+uint64_t HashConfig(const QMatchConfig& config) {
+  uint64_t h = kFnvOffset;
+  HashDouble(config.weights.label, h);
+  HashDouble(config.weights.properties, h);
+  HashDouble(config.weights.level, h);
+  HashDouble(config.weights.children, h);
+  HashDouble(config.threshold, h);
+  HashInt(static_cast<uint64_t>(config.child_accumulation), h);
+  HashInt(static_cast<uint64_t>(config.level_mode), h);
+  HashInt(config.require_label_evidence ? 1u : 0u, h);
+  HashDouble(config.ambiguity_margin, h);
+  HashInt(static_cast<uint64_t>(config.assignment), h);
+  HashDouble(config.leaf_to_inner_children_credit, h);
+  const lingua::NameMatchOptions& name = config.name_options;
+  HashDouble(name.synonym_score, h);
+  HashDouble(name.hypernym_score, h);
+  HashDouble(name.acronym_score, h);
+  HashDouble(name.abbreviation_score, h);
+  HashDouble(name.fuzzy_floor, h);
+  HashDouble(name.exact_threshold, h);
+  HashDouble(name.relaxed_threshold, h);
+  const match::PropertyMatchOptions& prop = config.property_options;
+  HashInt(prop.compare_kind ? 1u : 0u, h);
+  HashInt(prop.compare_type ? 1u : 0u, h);
+  HashInt(prop.compare_order ? 1u : 0u, h);
+  HashInt(prop.compare_occurs ? 1u : 0u, h);
+  HashInt(prop.compare_nillable ? 1u : 0u, h);
+  HashDouble(prop.relaxed_credit, h);
+  return h;
+}
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+MatchEngine::MatchEngine(MatchEngineOptions options)
+    : MatchEngine(QMatchConfig{}, std::move(options)) {}
+
+MatchEngine::MatchEngine(QMatchConfig config, MatchEngineOptions options)
+    : matcher_(std::move(config)),
+      threads_(ResolveThreads(options.threads)),
+      options_(options) {
+  config_hash_ = HashConfig(matcher_.config());
+  // The calling thread participates in every ParallelFor, so `threads`
+  // total parallelism needs threads-1 pool workers.
+  pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+}
+
+MatchEngine::MatchEngine(QMatchConfig config, const lingua::Thesaurus* thesaurus,
+                         MatchEngineOptions options)
+    : matcher_(std::move(config), thesaurus),
+      threads_(ResolveThreads(options.threads)),
+      options_(options) {
+  config_hash_ = HashConfig(matcher_.config());
+  pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+}
+
+MatchEngine::~MatchEngine() = default;
+
+MatchEngine::CacheKey MatchEngine::MakeKey(const xsd::Schema& source,
+                                           const xsd::Schema& target) const {
+  return CacheKey{xsd::SchemaFingerprint(source), xsd::SchemaFingerprint(target),
+                  config_hash_};
+}
+
+bool MatchEngine::CacheLookup(const CacheKey& key, const xsd::Schema& source,
+                              const xsd::Schema& target,
+                              MatchResult* out) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_index_.find(key);
+  if (it == cache_index_.end()) {
+    ++cache_stats_.misses;
+    return false;
+  }
+  const CacheEntry& entry = *it->second;
+  MatchResult result;
+  result.algorithm = entry.algorithm;
+  result.schema_qom = entry.schema_qom;
+  result.correspondences.reserve(entry.correspondences.size());
+  for (const CachedCorrespondence& c : entry.correspondences) {
+    const xsd::SchemaNode* s = source.FindByPath(c.source_path);
+    const xsd::SchemaNode* t = target.FindByPath(c.target_path);
+    if (s == nullptr || t == nullptr) {
+      // Fingerprint collision or a path the caller's schema cannot
+      // resolve: treat as a miss and recompute rather than return a
+      // result pointing into the wrong trees.
+      ++cache_stats_.misses;
+      return false;
+    }
+    result.correspondences.push_back(Correspondence{s, t, c.score});
+  }
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  ++cache_stats_.hits;
+  *out = std::move(result);
+  return true;
+}
+
+void MatchEngine::CacheStore(const CacheKey& key,
+                             const MatchResult& result) const {
+  CacheEntry entry;
+  entry.key = key;
+  entry.algorithm = result.algorithm;
+  entry.schema_qom = result.schema_qom;
+  entry.correspondences.reserve(result.correspondences.size());
+  for (const Correspondence& c : result.correspondences) {
+    entry.correspondences.push_back(
+        CachedCorrespondence{c.source->Path(), c.target->Path(), c.score});
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    *it->second = std::move(entry);
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.push_front(std::move(entry));
+  cache_index_[key] = cache_lru_.begin();
+  while (cache_lru_.size() > options_.cache_capacity) {
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+    ++cache_stats_.evictions;
+  }
+  cache_stats_.entries = cache_lru_.size();
+}
+
+MatchResult MatchEngine::MatchUncached(const xsd::Schema& source,
+                                       const xsd::Schema& target,
+                                       ThreadPool* pool) const {
+  return matcher_.Match(source, target, pool);
+}
+
+MatchResult MatchEngine::Match(const xsd::Schema& source,
+                               const xsd::Schema& target) const {
+  const bool cached = options_.cache_capacity > 0;
+  CacheKey key;
+  if (cached) {
+    key = MakeKey(source, target);
+    MatchResult hit;
+    if (CacheLookup(key, source, target, &hit)) return hit;
+  }
+  const size_t pairs = source.NodeCount() * target.NodeCount();
+  ThreadPool* pool =
+      (threads_ > 1 && pairs >= options_.min_parallel_pairs) ? pool_.get()
+                                                             : nullptr;
+  MatchResult result = MatchUncached(source, target, pool);
+  if (cached) CacheStore(key, result);
+  return result;
+}
+
+match::SimilarityMatrix MatchEngine::Similarity(
+    const xsd::Schema& source, const xsd::Schema& target) const {
+  const size_t pairs = source.NodeCount() * target.NodeCount();
+  ThreadPool* pool =
+      (threads_ > 1 && pairs >= options_.min_parallel_pairs) ? pool_.get()
+                                                             : nullptr;
+  return matcher_.Similarity(source, target, pool);
+}
+
+std::vector<MatchResult> MatchEngine::MatchAll(
+    const std::vector<MatchJob>& jobs) const {
+  std::vector<MatchResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  if (jobs.size() == 1) {
+    // A single job gets the row-parallel fill instead of job fan-out.
+    results[0] = Match(*jobs[0].source, *jobs[0].target);
+    return results;
+  }
+  // Fan jobs out across the pool; each job fills its own table
+  // sequentially (the batch already saturates the workers, and one table
+  // per thread keeps memory locality). Determinism: slot i is written by
+  // exactly one task and holds the result of jobs[i] no matter which
+  // worker ran it or in what order.
+  pool_->ParallelFor(jobs.size(), [&](size_t i) {
+    const bool cached = options_.cache_capacity > 0;
+    CacheKey key;
+    if (cached) {
+      key = MakeKey(*jobs[i].source, *jobs[i].target);
+      if (CacheLookup(key, *jobs[i].source, *jobs[i].target, &results[i])) {
+        return;
+      }
+    }
+    results[i] = MatchUncached(*jobs[i].source, *jobs[i].target, nullptr);
+    if (cached) CacheStore(key, results[i]);
+  });
+  return results;
+}
+
+std::vector<MatchResult> MatchEngine::MatchOneToMany(
+    const xsd::Schema& query,
+    const std::vector<const xsd::Schema*>& candidates) const {
+  std::vector<MatchJob> jobs;
+  jobs.reserve(candidates.size());
+  for (const xsd::Schema* candidate : candidates) {
+    jobs.push_back(MatchJob{&query, candidate});
+  }
+  return MatchAll(jobs);
+}
+
+MatchEngineCacheStats MatchEngine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MatchEngineCacheStats stats = cache_stats_;
+  stats.entries = cache_lru_.size();
+  return stats;
+}
+
+void MatchEngine::ClearCache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_lru_.clear();
+  cache_index_.clear();
+  cache_stats_ = MatchEngineCacheStats{};
+}
+
+}  // namespace qmatch::core

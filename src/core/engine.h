@@ -1,0 +1,154 @@
+#ifndef QMATCH_CORE_ENGINE_H_
+#define QMATCH_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/qmatch.h"
+#include "match/matcher.h"
+#include "xsd/schema.h"
+
+namespace qmatch::core {
+
+/// Tuning knobs for the parallel batch-match engine.
+struct MatchEngineOptions {
+  /// Total worker parallelism including the calling thread; 0 picks the
+  /// hardware concurrency. threads=1 is the sequential reference path.
+  size_t threads = 0;
+
+  /// Capacity (entries) of the bounded LRU result cache; 0 disables
+  /// caching. One entry stores the correspondences of one
+  /// (source fingerprint, target fingerprint, config) triple by path, so
+  /// repeated corpus queries — the schema_search workload — skip the
+  /// O(n·m) table entirely and only rehydrate node pointers.
+  size_t cache_capacity = 128;
+
+  /// Pairwise tables with fewer than this many (source, target) pairs are
+  /// filled sequentially even when workers are available: below this size
+  /// the fan-out overhead dominates the table fill.
+  size_t min_parallel_pairs = 2048;
+};
+
+/// Observability counters of the result cache.
+struct MatchEngineCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  size_t entries = 0;
+};
+
+/// One unit of corpus work: match *source against *target. Both schemas
+/// must outlive the returned results.
+struct MatchJob {
+  const xsd::Schema* source = nullptr;
+  const xsd::Schema* target = nullptr;
+};
+
+/// MatchEngine — the production front door to QMatch for corpus-scale
+/// workloads. Wraps one QMatch configuration with
+///
+///  1. a fixed ThreadPool that fans a batch of (source, target) pairs out
+///     across workers with deterministic, input-ordered results
+///     (`MatchAll`, `MatchOneToMany`);
+///  2. a row-parallel fill of the inner pairwise-QoM table for a single
+///     large match (`Match`), sharded by source level so the bottom-up
+///     memoisation is preserved — output is bit-identical to the
+///     sequential path for every thread count (proven by
+///     tests/core_engine_test.cpp, including under ThreadSanitizer);
+///  3. a bounded LRU cache keyed on (schema fingerprint pair, config
+///     hash), so repeated queries against a repository skip recomputation.
+///
+/// The engine is itself a `Matcher`, so it drops into every API that
+/// consumes one (eval::RankSchemas, the composite matcher, the CLI).
+/// All public methods are safe to call concurrently.
+class MatchEngine : public Matcher {
+ public:
+  explicit MatchEngine(MatchEngineOptions options = {});
+  explicit MatchEngine(QMatchConfig config, MatchEngineOptions options = {});
+  /// `thesaurus` is borrowed (may be null) and must outlive the engine.
+  MatchEngine(QMatchConfig config, const lingua::Thesaurus* thesaurus,
+              MatchEngineOptions options);
+  ~MatchEngine() override;
+
+  std::string_view name() const override { return "hybrid"; }
+
+  const QMatchConfig& config() const { return matcher_.config(); }
+
+  /// Resolved total parallelism (>= 1).
+  size_t threads() const { return threads_; }
+
+  /// Matches one pair, using the row-parallel table fill for large tables
+  /// and serving/filling the result cache.
+  MatchResult Match(const xsd::Schema& source,
+                    const xsd::Schema& target) const override;
+
+  /// Raw pairwise QoM matrix, row-parallel for large tables (uncached —
+  /// the matrix dominates the recomputation cost anyway).
+  match::SimilarityMatrix Similarity(const xsd::Schema& source,
+                                     const xsd::Schema& target) const override;
+
+  /// Matches every job, fanning jobs out across the pool. results[i]
+  /// always corresponds to jobs[i] and every result is bit-identical to a
+  /// sequential `QMatch::Match` on the same pair, regardless of thread
+  /// count or completion order.
+  std::vector<MatchResult> MatchAll(const std::vector<MatchJob>& jobs) const;
+
+  /// Convenience fan-out of one query against a candidate repository —
+  /// the paper's Section 1 retrieval scenario.
+  std::vector<MatchResult> MatchOneToMany(
+      const xsd::Schema& query,
+      const std::vector<const xsd::Schema*>& candidates) const;
+
+  MatchEngineCacheStats cache_stats() const;
+  void ClearCache();
+
+ private:
+  struct CacheKey {
+    uint64_t source_fp = 0;
+    uint64_t target_fp = 0;
+    uint64_t config_hash = 0;
+    friend auto operator<=>(const CacheKey&, const CacheKey&) = default;
+  };
+  /// Cached results store paths, not node pointers: a later call may pass
+  /// different Schema objects with the same fingerprint, so pointers are
+  /// rehydrated against the caller's schemas on every hit.
+  struct CachedCorrespondence {
+    std::string source_path;
+    std::string target_path;
+    double score = 0.0;
+  };
+  struct CacheEntry {
+    CacheKey key;
+    std::string algorithm;
+    double schema_qom = 0.0;
+    std::vector<CachedCorrespondence> correspondences;
+  };
+
+  MatchResult MatchUncached(const xsd::Schema& source,
+                            const xsd::Schema& target, ThreadPool* pool) const;
+  bool CacheLookup(const CacheKey& key, const xsd::Schema& source,
+                   const xsd::Schema& target, MatchResult* out) const;
+  void CacheStore(const CacheKey& key, const MatchResult& result) const;
+  CacheKey MakeKey(const xsd::Schema& source, const xsd::Schema& target) const;
+
+  QMatch matcher_;
+  uint64_t config_hash_ = 0;
+  size_t threads_ = 1;
+  MatchEngineOptions options_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex cache_mutex_;
+  mutable std::list<CacheEntry> cache_lru_;  // front = most recent
+  mutable std::map<CacheKey, std::list<CacheEntry>::iterator> cache_index_;
+  mutable MatchEngineCacheStats cache_stats_;
+};
+
+}  // namespace qmatch::core
+
+#endif  // QMATCH_CORE_ENGINE_H_

@@ -109,6 +109,12 @@ std::map<qom::MatchCategory, size_t> QMatch::Analysis::CategoryHistogram()
 
 QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
                                  const xsd::Schema& target) const {
+  return Analyze(source, target, nullptr);
+}
+
+QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
+                                 const xsd::Schema& target,
+                                 ThreadPool* pool) const {
   Analysis analysis;
   analysis.source_schema_ = &source;
   analysis.target_schema_ = &target;
@@ -136,18 +142,18 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
   std::vector<std::string> target_labels;
   target_labels.reserve(m);
   for (const xsd::SchemaNode* t : tgt) target_labels.push_back(t->label());
-  const lingua::PairwiseLabelScorer label_scorer(name_matcher, source_labels,
-                                                 target_labels);
+  lingua::PairwiseLabelScorer label_scorer(name_matcher, source_labels,
+                                           target_labels);
   auto label_match = [&](size_t i, size_t j) {
     return label_scorer.Match(i, j);
   };
 
-  // Bottom-up over both trees: reverse preorder guarantees all child pairs
-  // are evaluated before their parents (the recursive TreeMatch of Fig. 3,
-  // memoised into an O(n·m) table).
-  for (size_t i = n; i-- > 0;) {
-    const xsd::SchemaNode* s = src[i];
-    for (size_t j = m; j-- > 0;) {
+  // One (source, target) pair of the QoM table. Reads only pairs of
+  // strictly deeper source nodes (the children of `src[i]`), so any
+  // schedule that fills deeper source levels first is valid.
+  auto compute_pair = [&](size_t i, size_t j) {
+    {
+      const xsd::SchemaNode* s = src[i];
       const xsd::SchemaNode* t = tgt[j];
       PairQoM& pair = at(i, j);
 
@@ -267,6 +273,34 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
           qom::Categorize(pair.label_cls, pair.properties_cls, pair.level_cls,
                           pair.coverage, pair.children_all_exact);
     }
+  };
+
+  if (pool == nullptr || pool->worker_count() == 0) {
+    // Bottom-up over both trees: reverse preorder guarantees all child
+    // pairs are evaluated before their parents (the recursive TreeMatch of
+    // Fig. 3, memoised into an O(n·m) table).
+    for (size_t i = n; i-- > 0;) {
+      for (size_t j = m; j-- > 0;) compute_pair(i, j);
+    }
+  } else {
+    // Row-parallel fill, sharded by source *level*: rows within one level
+    // never read each other (a pair depends only on child pairs, and
+    // children live on strictly deeper levels), so levels run deepest
+    // first with a barrier between them and rows fan out inside a level.
+    // Each pair runs the identical arithmetic as the sequential branch,
+    // so the table is bit-identical for any worker count.
+    label_scorer.Precompute();  // freeze the shared token cache (see lingua)
+    size_t max_level = 0;
+    for (const xsd::SchemaNode* s : src) max_level = std::max(max_level, s->level());
+    std::vector<std::vector<size_t>> rows_by_level(max_level + 1);
+    for (size_t i = 0; i < n; ++i) rows_by_level[src[i]->level()].push_back(i);
+    for (size_t level = max_level + 1; level-- > 0;) {
+      const std::vector<size_t>& rows = rows_by_level[level];
+      pool->ParallelFor(rows.size(), [&](size_t r) {
+        const size_t i = rows[r];
+        for (size_t j = m; j-- > 0;) compute_pair(i, j);
+      });
+    }
   }
 
   // Correspondences: extracted from the QoM table per the configured
@@ -292,18 +326,31 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
 
 MatchResult QMatch::Match(const xsd::Schema& source,
                           const xsd::Schema& target) const {
-  return Analyze(source, target).result();
+  return Match(source, target, nullptr);
+}
+
+MatchResult QMatch::Match(const xsd::Schema& source, const xsd::Schema& target,
+                          ThreadPool* pool) const {
+  Analysis analysis = Analyze(source, target, pool);
+  return std::move(analysis.result_);
 }
 
 match::SimilarityMatrix QMatch::Similarity(const xsd::Schema& source,
                                            const xsd::Schema& target) const {
-  Analysis analysis = Analyze(source, target);
+  return Similarity(source, target, nullptr);
+}
+
+match::SimilarityMatrix QMatch::Similarity(const xsd::Schema& source,
+                                           const xsd::Schema& target,
+                                           ThreadPool* pool) const {
+  Analysis analysis = Analyze(source, target, pool);
   match::SimilarityMatrix matrix(analysis.source_nodes_,
                                  analysis.target_nodes_);
   const size_t m = analysis.target_nodes_.size();
   for (size_t i = 0; i < analysis.source_nodes_.size(); ++i) {
+    double* row = matrix.row(i);
     for (size_t j = 0; j < m; ++j) {
-      matrix.set(i, j, analysis.table_[i * m + j].qom);
+      row[j] = analysis.table_[i * m + j].qom;
     }
   }
   return matrix;

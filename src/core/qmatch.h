@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "lingua/thesaurus.h"
 #include "match/matcher.h"
@@ -69,10 +70,26 @@ class QMatch : public Matcher {
   MatchResult Match(const xsd::Schema& source,
                     const xsd::Schema& target) const override;
 
+  /// Same as Match, filling the pairwise QoM table across `pool` (nullptr
+  /// or an empty pool = sequential). Bit-identical to the sequential path
+  /// for every pool size: the table is sharded by source row within one
+  /// source *level* at a time, which preserves the bottom-up memoisation
+  /// (a pair only reads child pairs, and children live on deeper levels
+  /// that are fully filled before the level starts), and each pair's
+  /// arithmetic is untouched. See DESIGN.md "Parallel execution model".
+  MatchResult Match(const xsd::Schema& source, const xsd::Schema& target,
+                    ThreadPool* pool) const;
+
   /// The raw weighted QoM per pair (Eq. 1), before the label-evidence gate
   /// and mapping selection.
   match::SimilarityMatrix Similarity(const xsd::Schema& source,
                                      const xsd::Schema& target) const override;
+
+  /// Pool-parallel variant of Similarity (same determinism contract as the
+  /// three-argument Match).
+  match::SimilarityMatrix Similarity(const xsd::Schema& source,
+                                     const xsd::Schema& target,
+                                     ThreadPool* pool) const;
 
   /// Full per-pair analysis of one match run. The returned object borrows
   /// nodes from both schemas, which must outlive it.
@@ -116,6 +133,11 @@ class QMatch : public Matcher {
   };
 
   Analysis Analyze(const xsd::Schema& source, const xsd::Schema& target) const;
+
+  /// Pool-parallel variant (nullptr = sequential; see the three-argument
+  /// Match for the determinism contract).
+  Analysis Analyze(const xsd::Schema& source, const xsd::Schema& target,
+                   ThreadPool* pool) const;
 
  private:
   QMatchConfig config_;

@@ -187,6 +187,15 @@ PairwiseLabelScorer::PairwiseLabelScorer(
   token_exact_cache_.assign(token_sim_cache_.size(), 0);
 }
 
+void PairwiseLabelScorer::Precompute() {
+  bool exact = false;
+  for (size_t s = 0; s < source_tokens_.size(); ++s) {
+    for (size_t t = 0; t < target_tokens_.size(); ++t) {
+      CachedTokenSimilarity(s, t, &exact);
+    }
+  }
+}
+
 double PairwiseLabelScorer::CachedTokenSimilarity(size_t source_token,
                                                   size_t target_token,
                                                   bool* exact_kind) const {

@@ -103,6 +103,11 @@ class PairwiseLabelScorer {
   /// Label match of source label #i vs target label #j.
   LabelMatch Match(size_t i, size_t j) const;
 
+  /// Eagerly fills the whole token-similarity cache. After this call
+  /// `Match` performs no writes, so concurrent calls from many threads are
+  /// safe (the parallel table fill calls this once before fanning out).
+  void Precompute();
+
  private:
   struct InternedLabel {
     std::string canonical;

@@ -42,6 +42,15 @@ class SimilarityMatrix {
     values_[i * targets_.size() + j] = value;
   }
 
+  /// Direct access to source row `i` (`target_count()` doubles). Rows are
+  /// disjoint slices of one allocation, so concurrent fills of *different*
+  /// rows need no synchronisation — the thread-safe fill path the parallel
+  /// match engine uses.
+  double* row(size_t i) { return values_.data() + i * targets_.size(); }
+  const double* row(size_t i) const {
+    return values_.data() + i * targets_.size();
+  }
+
   /// True when both matrices cover the same node lists (same order).
   bool SameShape(const SimilarityMatrix& other) const {
     return sources_ == other.sources_ && targets_ == other.targets_;

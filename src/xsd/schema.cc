@@ -221,4 +221,46 @@ std::string Schema::ToTreeString() const {
   return out;
 }
 
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void HashBytes(std::string_view bytes, uint64_t& h) {
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+}
+
+void HashInt(uint64_t value, uint64_t& h) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (value >> (byte * 8)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+void HashNode(const SchemaNode& node, uint64_t& h) {
+  HashBytes(node.label(), h);
+  HashInt(static_cast<uint64_t>(node.kind()), h);
+  HashInt(static_cast<uint64_t>(node.type()), h);
+  HashBytes(node.type_name(), h);
+  HashInt(static_cast<uint64_t>(static_cast<int64_t>(node.occurs().min)), h);
+  HashInt(static_cast<uint64_t>(static_cast<int64_t>(node.occurs().max)), h);
+  HashInt(static_cast<uint64_t>(node.compositor()), h);
+  HashInt(node.nillable() ? 1u : 0u, h);
+  HashBytes(node.default_value().value_or(""), h);
+  HashBytes(node.fixed_value().value_or(""), h);
+  HashInt(node.child_count(), h);
+  for (const auto& child : node.children()) HashNode(*child, h);
+}
+
+}  // namespace
+
+uint64_t SchemaFingerprint(const Schema& schema) {
+  uint64_t h = kFnvOffset;
+  if (schema.root() != nullptr) HashNode(*schema.root(), h);
+  return h;
+}
+
 }  // namespace qmatch::xsd

@@ -1,6 +1,7 @@
 #ifndef QMATCH_XSD_SCHEMA_H_
 #define QMATCH_XSD_SCHEMA_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -208,6 +209,14 @@ class Schema {
   std::string target_namespace_;
   std::unique_ptr<SchemaNode> root_;
 };
+
+/// Deterministic 64-bit structural fingerprint of a schema tree: an FNV-1a
+/// hash over a canonical preorder serialisation of every node's label,
+/// kind, type, occurrence constraints, compositor and value facets. Two
+/// schemas that would produce identical match behaviour hash equally
+/// regardless of object identity; the match engine's result cache keys on
+/// (source fingerprint, target fingerprint, config hash).
+uint64_t SchemaFingerprint(const Schema& schema);
 
 }  // namespace qmatch::xsd
 

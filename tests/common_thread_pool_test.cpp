@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace qmatch {
+namespace {
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool ran = false;
+  pool.Submit([&] {
+    std::lock_guard<std::mutex> lock(mutex);
+    ran = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30), [&] { return ran; }));
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A ParallelFor issued from inside a pool task must complete even when
+  // every worker is busy — the calling task drains the indices itself.
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, DeterministicResultSlots) {
+  // The canonical usage pattern: each index writes its own slot, so the
+  // output is identical no matter how indices interleave across workers.
+  std::vector<uint64_t> reference(5000);
+  std::iota(reference.begin(), reference.end(), 17u);
+  for (size_t workers : {0u, 1u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    std::vector<uint64_t> out(reference.size(), 0);
+    pool.ParallelFor(out.size(),
+                     [&](size_t i) { out[i] = 17u + static_cast<uint64_t>(i); });
+    EXPECT_EQ(out, reference) << "workers=" << workers;
+  }
+}
+
+TEST(ThreadPoolTest, ManySmallLoopsBackToBack) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(7, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 1400u);
+}
+
+}  // namespace
+}  // namespace qmatch

@@ -1,0 +1,115 @@
+// Golden regression tests: the exact correspondences, per-pair scores,
+// root QoM and quality-vs-gold metrics of the default QMatch configuration
+// on the five paper domains are snapshotted under data/expected/*.qom.
+// Any behaviour change — intended or not — shows up as a readable diff.
+//
+// To regenerate after an *intentional* scoring change:
+//   ./golden_regression_test --update-golden
+// then review the data/expected diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+#include "core/qmatch.h"
+#include "datagen/corpus.h"
+#include "eval/metrics.h"
+
+#ifndef QMATCH_SOURCE_DIR
+#error "build must define QMATCH_SOURCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace qmatch {
+
+// Set from main before InitGoogleTest; not in the anonymous namespace so
+// main (outside qmatch) can name it.
+bool g_update_golden = false;
+
+namespace {
+
+std::string GoldenPath(const std::string& task_name) {
+  return std::string(QMATCH_SOURCE_DIR) + "/data/expected/" + task_name +
+         ".qom";
+}
+
+/// Renders the full observable outcome of one match task. Scores print
+/// with 12 significant digits — far below the bit-identity the engine
+/// differential tests enforce, but tight enough that any real scoring
+/// change moves the snapshot.
+std::string Snapshot(const datagen::MatchTask& task) {
+  const xsd::Schema source = task.source();
+  const xsd::Schema target = task.target();
+  const core::QMatch matcher;
+  const MatchResult result = matcher.Match(source, target);
+  const eval::QualityMetrics metrics = eval::Evaluate(result, task.gold());
+
+  std::string out;
+  out += StrFormat("# QMatch golden snapshot — task %s (default config)\n",
+                   task.name.c_str());
+  out += StrFormat("schema %s -> %s\n", source.name().c_str(),
+                   target.name().c_str());
+  out += StrFormat("schema_qom %.12g\n", result.schema_qom);
+  out += StrFormat(
+      "quality precision=%.6f recall=%.6f overall=%.6f f1=%.6f (%zu/%zu/%zu)\n",
+      metrics.precision, metrics.recall, metrics.overall, metrics.f1,
+      metrics.true_positives, metrics.returned, metrics.real);
+  out += StrFormat("correspondences %zu\n", result.correspondences.size());
+  // MatchResult order is deterministic (assignment iterates sources in
+  // preorder), so the snapshot needs no extra sorting.
+  for (const Correspondence& c : result.correspondences) {
+    out += StrFormat("%s -> %s %.12g\n", c.source->Path().c_str(),
+                     c.target->Path().c_str(), c.score);
+  }
+  return out;
+}
+
+class GoldenRegressionTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(GoldenRegressionTest, MatchesSnapshot) {
+  const datagen::MatchTask& task = datagen::Tasks()[GetParam()];
+  const std::string snapshot = Snapshot(task);
+  const std::string path = GoldenPath(task.name);
+  if (g_update_golden) {
+    ASSERT_TRUE(WriteFile(path, snapshot).ok()) << path;
+    std::printf("updated %s\n", path.c_str());
+    return;
+  }
+  Result<std::string> golden = ReadFile(path);
+  ASSERT_TRUE(golden.ok())
+      << path << " missing — run golden_regression_test --update-golden "
+      << "and commit data/expected/";
+  EXPECT_EQ(golden.value(), snapshot)
+      << "snapshot drift for task " << task.name
+      << "; if intentional, regenerate with --update-golden and review the "
+      << "data/expected diff";
+}
+
+std::string TaskName(const testing::TestParamInfo<size_t>& info) {
+  return datagen::Tasks()[info.param].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperDomains, GoldenRegressionTest,
+                         testing::Range<size_t>(0, 5), TaskName);
+
+TEST(GoldenRegressionSetupTest, CoversTheFivePaperDomains) {
+  ASSERT_EQ(datagen::Tasks().size(), 5u);
+  for (const datagen::MatchTask& task : datagen::Tasks()) {
+    EXPECT_FALSE(task.gold().empty()) << task.name;
+  }
+}
+
+}  // namespace
+}  // namespace qmatch
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      qmatch::g_update_golden = true;
+    }
+  }
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
