@@ -7,6 +7,9 @@
 //   corpus_explorer --task <name> [algo]     # run a task and score vs gold
 //
 // algo: hybrid (default) | linguistic | structural
+//
+// Any position also accepts --metrics-out=<file> / --trace-out=<file> to
+// dump engine metrics (JSON) and a chrome://tracing trace at exit.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +22,7 @@
 #include "lingua/default_thesaurus.h"
 #include "match/linguistic_matcher.h"
 #include "match/structural_matcher.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -69,6 +73,26 @@ int ListEverything() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip the observability flags wherever they appear; the remaining
+  // positional arguments keep their usual meaning. Files are written on
+  // every exit path (RAII), so even usage errors dump partial metrics.
+  obs::CliSink obs_sink;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (!obs_sink.TryParse(argv[i])) argv[kept++] = argv[i];
+  }
+  argc = kept;
+  struct ObsWriter {
+    obs::CliSink& sink;
+    ~ObsWriter() {
+      Status status = sink.Write();
+      if (!status.ok()) {
+        std::fprintf(stderr, "obs output failed: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+  } obs_writer{obs_sink};
+
   if (argc < 2) return ListEverything();
 
   std::string first = argv[1];

@@ -8,13 +8,14 @@
 // cache makes repeated queries against the same repository near-free (the
 // second pass below is served entirely from cache).
 //
-// Run: ./schema_search
+// Run: ./schema_search [--metrics-out=<file>] [--trace-out=<file>]
 
 #include <algorithm>
 #include <cstdio>
 
 #include "core/engine.h"
 #include "datagen/corpus.h"
+#include "obs/obs.h"
 #include "xsd/infer.h"
 
 namespace {
@@ -36,8 +37,16 @@ constexpr const char* kShopXml = R"(<shop>
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace qmatch;
+
+  obs::CliSink obs_sink;
+  for (int i = 1; i < argc; ++i) {
+    if (!obs_sink.TryParse(argv[i])) {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
 
   // Build the repository: corpus schemas + schemas inferred from raw XML.
   struct Source {
@@ -97,5 +106,11 @@ int main() {
   core::MatchEngineCacheStats stats = engine.cache_stats();
   std::printf("engine: %zu threads, cache %zu hits / %zu misses\n",
               engine.threads(), stats.hits, stats.misses);
+  Status obs_status = obs_sink.Write();
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "obs output failed: %s\n",
+                 obs_status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

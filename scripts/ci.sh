@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
 # CI driver: configure + build + run the full test suite, then (optionally)
-# the sanitizer configurations.
+# the sanitizer and coverage configurations.
 #
 # Usage:
 #   scripts/ci.sh            # default build + ctest
 #   scripts/ci.sh tsan       # ThreadSanitizer build; runs the concurrency tests
-#   scripts/ci.sh asan       # Address+UB sanitizer build; runs the full suite
+#   scripts/ci.sh asan       # Address+UB sanitizer build; full suite + fuzz
+#   scripts/ci.sh obs-off    # QMATCH_OBS=OFF build; full suite (kill switch)
+#   scripts/ci.sh coverage   # --coverage build; enforces the line floor
 #   scripts/ci.sh all        # all of the above
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 MODE="${1:-default}"
 JOBS="${JOBS:-$(nproc)}"
+
+# Line-coverage floor (percent) enforced per instrumented directory.
+COVERAGE_FLOOR=70
+COVERAGE_DIRS=(src/core src/obs)
 
 run_default() {
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
@@ -20,28 +26,111 @@ run_default() {
 }
 
 run_tsan() {
-  # ThreadSanitizer: the parallel engine and thread pool must be race-free.
-  # Only the concurrency-relevant tests run here — TSan slows everything
-  # ~10x, and the rest of the suite is single-threaded.
+  # ThreadSanitizer: the parallel engine, thread pool (incl. the soak
+  # layer), and the sharded metric/tracer paths must be race-free. Only the
+  # concurrency-relevant tests run here — TSan slows everything ~10x, and
+  # the rest of the suite is single-threaded.
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DQMATCH_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" \
-        --target common_thread_pool_test core_engine_test
+        --target common_thread_pool_test common_thread_pool_soak_test \
+                 core_engine_test obs_test
+  TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure \
-        -R 'common_thread_pool_test|core_engine_test'
+        -R 'common_thread_pool_test|common_thread_pool_soak_test|core_engine_test|obs_test'
 }
 
 run_asan() {
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DQMATCH_SANITIZE=address
   cmake --build build-asan -j "${JOBS}"
+  # halt_on_error turns any ASan/UBSan report into a nonzero exit, so a
+  # leak or UB hit anywhere in the suite fails CI rather than scrolling by.
+  local san_opts="halt_on_error=1:abort_on_error=1:detect_leaks=1"
+  ASAN_OPTIONS="${san_opts}" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir build-asan --output-on-failure
+  # The fuzz layer is where memory bugs actually surface; run it explicitly
+  # (it is part of the suite above too — this guarantees it even when the
+  # suite selection changes) and fail on any sanitizer report.
+  ASAN_OPTIONS="${san_opts}" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-asan --output-on-failure -L fuzz
+}
+
+run_obs_off() {
+  # The observability kill switch: everything must still compile, link and
+  # pass with every instrumentation hook compiled down to a no-op.
+  cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release -DQMATCH_OBS=OFF
+  cmake --build build-obs-off -j "${JOBS}"
+  ctest --test-dir build-obs-off --output-on-failure
+}
+
+# Prints "<percent> <dir>" per coverage directory, aggregated over the .cc
+# files compiled into the qmatch library. Prefers gcovr when installed;
+# otherwise falls back to parsing `gcov -n` summaries (the container ships
+# plain gcov only).
+report_coverage() {
+  local builddir="$1" objroot dir
+  objroot="${builddir}/src/CMakeFiles/qmatch.dir"
+  for dir in "${COVERAGE_DIRS[@]}"; do
+    local subdir="${objroot}/${dir#src/}"
+    if [[ ! -d "${subdir}" ]]; then
+      echo "0 ${dir} (no coverage data at ${subdir})"
+      continue
+    fi
+    find "${subdir}" -name '*.gcda' -print0 | sort -z | \
+      xargs -0 -r gcov -n 2>/dev/null | \
+      awk -v dir="${dir}" '
+        /^File / { f = $0; sub(/^File /, "", f); gsub(/\047/, "", f) }
+        /^Lines executed:/ {
+          if (f ~ ("(^|/)" dir "/") && f ~ /\.cc$/) {
+            pct = $0; sub(/^Lines executed:/, "", pct); sub(/%.*/, "", pct)
+            n = $0; sub(/.* of /, "", n)
+            covered += pct * n / 100.0; total += n
+          }
+          f = ""
+        }
+        END { printf "%.1f %s (%d/%d lines)\n",
+                     (total ? 100.0 * covered / total : 0), dir,
+                     covered, total }'
+  done
+}
+
+run_coverage() {
+  cmake -B build-cov -S . -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS=--coverage -DCMAKE_EXE_LINKER_FLAGS=--coverage
+  cmake --build build-cov -j "${JOBS}"
+  ctest --test-dir build-cov --output-on-failure
+
+  if command -v gcovr >/dev/null 2>&1; then
+    local filters=()
+    local dir
+    for dir in "${COVERAGE_DIRS[@]}"; do filters+=(--filter "${dir}/"); done
+    gcovr --root . "${filters[@]}" --fail-under-line "${COVERAGE_FLOOR}" \
+          --print-summary build-cov
+    return
+  fi
+
+  echo "gcovr not found; using gcov fallback"
+  local failed=0 line pct
+  while IFS= read -r line; do
+    echo "coverage: ${line}"
+    pct="${line%% *}"
+    if awk -v p="${pct}" -v floor="${COVERAGE_FLOOR}" \
+           'BEGIN { exit !(p + 0 < floor) }'; then
+      echo "coverage: FAILED floor of ${COVERAGE_FLOOR}% on: ${line}" >&2
+      failed=1
+    fi
+  done < <(report_coverage build-cov)
+  return "${failed}"
 }
 
 case "${MODE}" in
-  default) run_default ;;
-  tsan)    run_tsan ;;
-  asan)    run_asan ;;
-  all)     run_default; run_tsan; run_asan ;;
-  *) echo "unknown mode '${MODE}' (default|tsan|asan|all)" >&2; exit 2 ;;
+  default)  run_default ;;
+  tsan)     run_tsan ;;
+  asan)     run_asan ;;
+  obs-off)  run_obs_off ;;
+  coverage) run_coverage ;;
+  all)      run_default; run_tsan; run_asan; run_obs_off; run_coverage ;;
+  *) echo "unknown mode '${MODE}' (default|tsan|asan|obs-off|coverage|all)" >&2
+     exit 2 ;;
 esac

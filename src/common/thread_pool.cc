@@ -1,8 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 #include <memory>
 #include <utility>
+
+#include "obs/obs.h"
 
 namespace qmatch {
 
@@ -17,28 +20,58 @@ ThreadPool::ThreadPool(size_t worker_count) {
 ThreadPool::~ThreadPool() {
   for (std::jthread& worker : workers_) worker.request_stop();
   cv_.notify_all();
-  // jthread destructors join.
+  workers_.clear();  // joins
+  // With every worker joined there is no concurrency left: whatever is
+  // still queued was never started, and the gauge accounting is exact.
+  if (!queue_.empty()) {
+    QMATCH_GAUGE_ADD("threadpool.queue_depth",
+                     -static_cast<int64_t>(queue_.size()));
+    queue_.clear();
+  }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  Task queued{std::move(task), 0};
+  QMATCH_OBS_ONLY(queued.enqueue_ns = obs::MonotonicNowNs();)
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
+  QMATCH_GAUGE_ADD("threadpool.queue_depth", 1);
+  QMATCH_COUNTER_ADD("threadpool.tasks_submitted", 1);
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop(const std::stop_token& stop) {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, stop, [this] { return !queue_.empty(); });
-      if (queue_.empty()) return;  // stop requested with nothing to run
+      // Exit on stop even with work queued: the destructor's contract is
+      // that unstarted tasks are discarded (and it settles the gauge for
+      // them after joining).
+      if (stop.stop_requested() || queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    QMATCH_GAUGE_ADD("threadpool.queue_depth", -1);
+#if QMATCH_OBS_ENABLED
+    const uint64_t start_ns = obs::MonotonicNowNs();
+    QMATCH_HISTOGRAM_OBSERVE("threadpool.task_wait_ns",
+                             start_ns - task.enqueue_ns);
+#endif
+    try {
+      task.fn();
+    } catch (...) {
+      // Submit's contract says tasks should not throw; containing the
+      // exception here (instead of std::terminate via jthread) keeps one
+      // bad task from taking the process down. ParallelFor never reaches
+      // this path — its Drain captures exceptions itself.
+      QMATCH_COUNTER_ADD("threadpool.task_exceptions", 1);
+    }
+    QMATCH_HISTOGRAM_OBSERVE("threadpool.task_run_ns",
+                             obs::MonotonicNowNs() - start_ns);
   }
 }
 
@@ -53,13 +86,20 @@ struct ThreadPool::LoopState {
   std::function<void(size_t)> fn;
   std::mutex mutex;
   std::condition_variable cv;
+  /// First exception thrown by any fn(i); rethrown on the calling thread.
+  std::exception_ptr error;  // guarded by `mutex`
 
   void Drain() {
     size_t finished = 0;
     while (true) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) break;
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
       ++finished;
     }
     if (finished == 0) return;
@@ -77,7 +117,21 @@ struct ThreadPool::LoopState {
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    // Sequential degradation keeps the full exception contract: every
+    // index runs, the first exception is rethrown afterwards. Callers see
+    // identical behaviour at any worker count.
+    std::exception_ptr error;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) {
+      QMATCH_COUNTER_ADD("threadpool.parallel_for_exceptions", 1);
+      std::rethrow_exception(error);
+    }
     return;
   }
   auto state = std::make_shared<LoopState>();
@@ -92,6 +146,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   state->cv.wait(lock, [&] {
     return state->done.load(std::memory_order_acquire) >= state->total;
   });
+  if (state->error) {
+    QMATCH_COUNTER_ADD("threadpool.parallel_for_exceptions", 1);
+    std::rethrow_exception(state->error);
+  }
 }
 
 }  // namespace qmatch

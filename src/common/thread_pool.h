@@ -38,7 +38,11 @@ class ThreadPool {
 
   size_t worker_count() const { return workers_.size(); }
 
-  /// Enqueues a fire-and-forget task. The task must not throw.
+  /// Enqueues a fire-and-forget task. A task that throws is contained: the
+  /// exception is swallowed by the worker (counted in the
+  /// `threadpool.task_exceptions` metric) rather than terminating the
+  /// process, but there is no channel to report it — prefer exception-free
+  /// tasks.
   void Submit(std::function<void()> task);
 
   /// Runs fn(0), fn(1), ..., fn(n-1) across the pool plus the calling
@@ -46,16 +50,28 @@ class ThreadPool {
   /// claimed atomically, so each runs exactly once; completion order is
   /// unspecified — callers get determinism by writing to disjoint,
   /// index-addressed slots.
+  ///
+  /// Exception safety: a throwing fn(i) does not lose indices or deadlock
+  /// the loop. Every index still runs (later indices are unaffected), and
+  /// the first captured exception is rethrown on the calling thread once
+  /// all n indices have completed. Subsequent exceptions are dropped.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
   struct LoopState;
 
+  /// One queued unit: the callable plus its enqueue timestamp (feeds the
+  /// task-wait-time histogram; 0 when observability is compiled out).
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop(const std::stop_token& stop);
 
   std::mutex mutex_;
   std::condition_variable_any cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::jthread> workers_;
 };
 

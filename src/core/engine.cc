@@ -3,6 +3,8 @@
 #include <bit>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace qmatch::core {
 
 namespace {
@@ -100,6 +102,7 @@ bool MatchEngine::CacheLookup(const CacheKey& key, const xsd::Schema& source,
   auto it = cache_index_.find(key);
   if (it == cache_index_.end()) {
     ++cache_stats_.misses;
+    QMATCH_COUNTER_ADD("engine.cache.misses", 1);
     return false;
   }
   const CacheEntry& entry = *it->second;
@@ -115,12 +118,17 @@ bool MatchEngine::CacheLookup(const CacheKey& key, const xsd::Schema& source,
       // resolve: treat as a miss and recompute rather than return a
       // result pointing into the wrong trees.
       ++cache_stats_.misses;
+      QMATCH_COUNTER_ADD("engine.cache.misses", 1);
+      QMATCH_COUNTER_ADD("engine.cache.rehydration_failures", 1);
       return false;
     }
     result.correspondences.push_back(Correspondence{s, t, c.score});
   }
   cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
   ++cache_stats_.hits;
+  QMATCH_COUNTER_ADD("engine.cache.hits", 1);
+  QMATCH_COUNTER_ADD("engine.cache.rehydrated_correspondences",
+                     result.correspondences.size());
   *out = std::move(result);
   return true;
 }
@@ -149,8 +157,10 @@ void MatchEngine::CacheStore(const CacheKey& key,
     cache_index_.erase(cache_lru_.back().key);
     cache_lru_.pop_back();
     ++cache_stats_.evictions;
+    QMATCH_COUNTER_ADD("engine.cache.evictions", 1);
   }
   cache_stats_.entries = cache_lru_.size();
+  QMATCH_GAUGE_SET("engine.cache.entries", cache_lru_.size());
 }
 
 MatchResult MatchEngine::MatchUncached(const xsd::Schema& source,
@@ -161,6 +171,9 @@ MatchResult MatchEngine::MatchUncached(const xsd::Schema& source,
 
 MatchResult MatchEngine::Match(const xsd::Schema& source,
                                const xsd::Schema& target) const {
+  QMATCH_SPAN(span, "engine.match");
+  QMATCH_SPAN_ARG(span, "source_nodes", source.NodeCount());
+  QMATCH_SPAN_ARG(span, "target_nodes", target.NodeCount());
   const bool cached = options_.cache_capacity > 0;
   CacheKey key;
   if (cached) {
@@ -200,6 +213,9 @@ std::vector<MatchResult> MatchEngine::MatchAll(
   // per thread keeps memory locality). Determinism: slot i is written by
   // exactly one task and holds the result of jobs[i] no matter which
   // worker ran it or in what order.
+  QMATCH_SPAN(span, "engine.match_all");
+  QMATCH_SPAN_ARG(span, "jobs", jobs.size());
+  QMATCH_OBS_ONLY(const uint64_t fanout_start_ns = obs::MonotonicNowNs();)
   pool_->ParallelFor(jobs.size(), [&](size_t i) {
     const bool cached = options_.cache_capacity > 0;
     CacheKey key;
@@ -212,6 +228,9 @@ std::vector<MatchResult> MatchEngine::MatchAll(
     results[i] = MatchUncached(*jobs[i].source, *jobs[i].target, nullptr);
     if (cached) CacheStore(key, results[i]);
   });
+  QMATCH_HISTOGRAM_OBSERVE("engine.batch_fanout_ns",
+                           obs::MonotonicNowNs() - fanout_start_ns);
+  QMATCH_COUNTER_ADD("engine.batch_jobs", jobs.size());
   return results;
 }
 

@@ -6,8 +6,47 @@
 #include "common/string_util.h"
 #include "lingua/default_thesaurus.h"
 #include "lingua/name_match.h"
+#include "obs/obs.h"
 
 namespace qmatch::core {
+
+#if QMATCH_OBS_ENABLED
+namespace {
+
+/// Thread-local accumulator for the per-axis TreeMatch timings. Axis
+/// timings are *sampled* (every kTreeMatchSampleEvery-th pair takes clock
+/// readings around each axis block) so the instrumented table fill stays
+/// within the < 2% overhead budget; memo-lookup counts are exact. Each
+/// worker flushes its accumulator to the registry once per source row.
+constexpr size_t kTreeMatchSampleEvery = 64;
+
+struct TreeMatchAccum {
+  uint64_t label_ns = 0;
+  uint64_t properties_ns = 0;
+  uint64_t level_ns = 0;
+  uint64_t children_ns = 0;
+  uint64_t sampled_pairs = 0;
+  uint64_t memo_lookups = 0;          // child-pair table reads (memo hits)
+  uint64_t contributing_children = 0; // lookups that cleared the threshold
+
+  void Flush() {
+    if (sampled_pairs == 0 && memo_lookups == 0) return;
+    QMATCH_COUNTER_ADD("qmatch.treematch.axis_label_ns", label_ns);
+    QMATCH_COUNTER_ADD("qmatch.treematch.axis_properties_ns", properties_ns);
+    QMATCH_COUNTER_ADD("qmatch.treematch.axis_level_ns", level_ns);
+    QMATCH_COUNTER_ADD("qmatch.treematch.axis_children_ns", children_ns);
+    QMATCH_COUNTER_ADD("qmatch.treematch.sampled_pairs", sampled_pairs);
+    QMATCH_COUNTER_ADD("qmatch.treematch.memo_lookups", memo_lookups);
+    QMATCH_COUNTER_ADD("qmatch.treematch.contributing_children",
+                       contributing_children);
+    *this = TreeMatchAccum{};
+  }
+};
+
+thread_local TreeMatchAccum t_treematch_accum;
+
+}  // namespace
+#endif  // QMATCH_OBS_ENABLED
 
 std::string PairQoM::ToString() const {
   return StrFormat(
@@ -127,6 +166,11 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
   const auto& tgt = analysis.target_nodes_;
   const size_t n = src.size();
   const size_t m = tgt.size();
+  QMATCH_SPAN(treematch_span, "qmatch.treematch");
+  QMATCH_SPAN_ARG(treematch_span, "source_nodes", n);
+  QMATCH_SPAN_ARG(treematch_span, "target_nodes", m);
+  QMATCH_COUNTER_ADD("qmatch.treematch.tables", 1);
+  QMATCH_COUNTER_ADD("qmatch.treematch.pairs", n * m);
   for (size_t i = 0; i < n; ++i) analysis.source_index_[src[i]] = i;
   for (size_t j = 0; j < m; ++j) analysis.target_index_[tgt[j]] = j;
   analysis.table_.assign(n * m, PairQoM{});
@@ -156,6 +200,20 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
       const xsd::SchemaNode* s = src[i];
       const xsd::SchemaNode* t = tgt[j];
       PairQoM& pair = at(i, j);
+#if QMATCH_OBS_ENABLED
+      // Sampled per-axis timing: clock reads bracket each axis block on
+      // every kTreeMatchSampleEvery-th pair only (deterministic choice, so
+      // parallel runs sample the same pairs).
+      TreeMatchAccum& obs_accum = t_treematch_accum;  // one TLS lookup
+      const bool obs_sampled = ((i * m + j) % kTreeMatchSampleEvery) == 0;
+      uint64_t obs_mark = obs_sampled ? obs::MonotonicNowNs() : 0;
+      auto obs_lap = [&obs_mark, obs_sampled](uint64_t* into) {
+        if (!obs_sampled) return;
+        const uint64_t now = obs::MonotonicNowNs();
+        *into += now - obs_mark;
+        obs_mark = now;
+      };
+#endif
 
       // --- Children axis (Eq. 3-5) ---------------------------------
       if (s->IsLeaf() && t->IsLeaf()) {
@@ -179,6 +237,12 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
         double qom_sum = 0.0;
         double matched = 0.0;
         bool all_exact = true;
+        // Both accumulation modes read every (source child, target child)
+        // table cell, and `matched` counts exactly the children that
+        // contribute — so the memoisation/contribution counters fall out
+        // arithmetically, once per pair, off the inner loops.
+        QMATCH_OBS_ONLY(obs_accum.memo_lookups +=
+                        uint64_t{s->child_count()} * t->child_count();)
         if (config_.child_accumulation ==
             QMatchConfig::ChildAccumulation::kBestMatch) {
           for (const auto& sc : s->children()) {
@@ -219,6 +283,8 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
             }
           }
         }
+        QMATCH_OBS_ONLY(obs_accum.contributing_children +=
+                        static_cast<uint64_t>(matched);)
         double rw = qom_sum / child_total;   // Eq. 3
         double rs = matched / child_total;   // Eq. 4
         pair.children = std::min(1.0, (rw + rs) / 2.0);  // Eq. 5
@@ -233,17 +299,26 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
         }
         pair.children_all_exact = all_exact;
       }
+#if QMATCH_OBS_ENABLED
+      obs_lap(&obs_accum.children_ns);
+#endif
 
       // --- Label axis -----------------------------------------------
       lingua::LabelMatch lm = label_match(i, j);
       pair.label = lm.cls == lingua::LabelMatchClass::kNone ? 0.0 : lm.score;
       pair.label_cls = ToAxisMatch(lm.cls);
+#if QMATCH_OBS_ENABLED
+      obs_lap(&obs_accum.label_ns);
+#endif
 
       // --- Properties axis ------------------------------------------
       match::PropertyMatch pm =
           match::MatchProperties(*s, *t, config_.property_options);
       pair.properties = pm.score;
       pair.properties_cls = ToAxisMatch(pm.cls);
+#if QMATCH_OBS_ENABLED
+      obs_lap(&obs_accum.properties_ns);
+#endif
 
       // --- Level axis -------------------------------------------------
       if (s->level() == t->level()) {
@@ -265,6 +340,11 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
         }
       }
 
+#if QMATCH_OBS_ENABLED
+      obs_lap(&obs_accum.level_ns);
+      if (obs_sampled) ++obs_accum.sampled_pairs;
+#endif
+
       // --- Weighted total (Eq. 1/6) and taxonomy category -------------
       const qom::Weights& w = config_.weights;
       pair.qom = w.label * pair.label + w.properties * pair.properties +
@@ -275,12 +355,30 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
     }
   };
 
+#if QMATCH_OBS_ENABLED
+  // Once per completed source row: record the row's recursion depth (the
+  // source node's level — the memo table stands in for the paper's
+  // recursive TreeMatch, so level = recursion depth) and flush the
+  // thread-local axis accumulator to the process registry.
+  auto obs_row_done = [&src](size_t i) {
+    static obs::Histogram& depth_hist = obs::Registry::Global().GetHistogram(
+        "qmatch.treematch.recursion_depth",
+        obs::Histogram::ExponentialBounds(1.0, 2.0, 8),
+        "TreeMatch recursion depth (source node level) per table row");
+    depth_hist.Observe(static_cast<double>(src[i]->level()));
+    t_treematch_accum.Flush();
+  };
+#endif
+
   if (pool == nullptr || pool->worker_count() == 0) {
     // Bottom-up over both trees: reverse preorder guarantees all child
     // pairs are evaluated before their parents (the recursive TreeMatch of
     // Fig. 3, memoised into an O(n·m) table).
     for (size_t i = n; i-- > 0;) {
       for (size_t j = m; j-- > 0;) compute_pair(i, j);
+#if QMATCH_OBS_ENABLED
+      obs_row_done(i);
+#endif
     }
   } else {
     // Row-parallel fill, sharded by source *level*: rows within one level
@@ -299,6 +397,9 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
       pool->ParallelFor(rows.size(), [&](size_t r) {
         const size_t i = rows[r];
         for (size_t j = m; j-- > 0;) compute_pair(i, j);
+#if QMATCH_OBS_ENABLED
+        obs_row_done(i);
+#endif
       });
     }
   }

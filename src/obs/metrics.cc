@@ -1,0 +1,310 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace qmatch::obs {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next_id{0};
+  thread_local const size_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id & (kMetricShards - 1);
+}
+
+// --- Histogram -----------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds,
+                     std::string help)
+    : name_(std::move(name)), help_(std::move(help)), bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (Shard& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::LatencyBoundsNs() {
+  // 1us, 4us, ..., ~17s: covers everything from one table cell to a full
+  // corpus batch in 13 buckets.
+  return ExponentialBounds(1e3, 4.0, 13);
+}
+
+void Histogram::Observe(double value) noexcept {
+  Shard& shard = shards_[ThisThreadShard()];
+  // First bound >= value; everything above the last bound lands in the
+  // overflow cell.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Scrape() const {
+  Snapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.bucket_counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    snapshot.count += shard.count.load(std::memory_order_relaxed);
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < shard.buckets.size(); ++b) {
+      snapshot.bucket_counts[b] +=
+          shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() noexcept {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    for (std::atomic<uint64_t>& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// --- Registry ------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name),
+                                                std::string(help)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name),
+                                              std::string(help)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> bounds,
+                                  std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::LatencyBoundsNs();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name),
+                                                  std::move(bounds),
+                                                  std::string(help)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<const Counter*> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Counter*> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.push_back(counter.get());
+  return out;
+}
+
+std::vector<const Gauge*> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Gauge*> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) out.push_back(gauge.get());
+  return out;
+}
+
+std::vector<const Histogram*> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Histogram*> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back(histogram.get());
+  }
+  return out;
+}
+
+// --- Exporters -----------------------------------------------------------
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; dots become underscores.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Formats a double the way JSON expects (no inf/nan — callers guarantee
+/// finite values; bucket +Inf is spelled as a string elsewhere).
+std::string Num(double value) {
+  // %.17g round-trips doubles exactly and never produces a locale comma.
+  return StrFormat("%.17g", value);
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string Registry::PrometheusText() const {
+  std::string out;
+  for (const Counter* counter : counters()) {
+    const std::string name = PromName(counter->name());
+    if (!counter->help().empty()) {
+      out += "# HELP " + name + " " + counter->help() + "\n";
+    }
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + StrFormat("%llu", static_cast<unsigned long long>(
+                                              counter->Value())) +
+           "\n";
+  }
+  for (const Gauge* gauge : gauges()) {
+    const std::string name = PromName(gauge->name());
+    if (!gauge->help().empty()) {
+      out += "# HELP " + name + " " + gauge->help() + "\n";
+    }
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + StrFormat("%lld", static_cast<long long>(
+                                              gauge->Value())) +
+           "\n";
+    out += name + "_max " +
+           StrFormat("%lld", static_cast<long long>(gauge->Max())) + "\n";
+  }
+  for (const Histogram* histogram : histograms()) {
+    const std::string name = PromName(histogram->name());
+    if (!histogram->help().empty()) {
+      out += "# HELP " + name + " " + histogram->help() + "\n";
+    }
+    out += "# TYPE " + name + " histogram\n";
+    const Histogram::Snapshot snap = histogram->Scrape();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < snap.bounds.size(); ++b) {
+      cumulative += snap.bucket_counts[b];
+      out += name + "_bucket{le=\"" + Num(snap.bounds[b]) + "\"} " +
+             StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
+             "\n";
+    }
+    cumulative += snap.bucket_counts.back();
+    out += name + "_bucket{le=\"+Inf\"} " +
+           StrFormat("%llu", static_cast<unsigned long long>(cumulative)) +
+           "\n";
+    out += name + "_sum " + Num(snap.sum) + "\n";
+    out += name + "_count " +
+           StrFormat("%llu", static_cast<unsigned long long>(snap.count)) +
+           "\n";
+  }
+  return out;
+}
+
+std::string Registry::JsonText() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const Counter* counter : counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(counter->name(), &out);
+    out += ": " + StrFormat("%llu", static_cast<unsigned long long>(
+                                        counter->Value()));
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const Gauge* gauge : gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(gauge->name(), &out);
+    out += ": {\"value\": " +
+           StrFormat("%lld", static_cast<long long>(gauge->Value())) +
+           ", \"max\": " +
+           StrFormat("%lld", static_cast<long long>(gauge->Max())) + "}";
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const Histogram* histogram : histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const Histogram::Snapshot snap = histogram->Scrape();
+    out += "    ";
+    AppendJsonString(histogram->name(), &out);
+    out += ": {\"count\": " +
+           StrFormat("%llu", static_cast<unsigned long long>(snap.count)) +
+           ", \"sum\": " + Num(snap.sum) + ", \"buckets\": [";
+    for (size_t b = 0; b < snap.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += "{\"le\": " + Num(snap.bounds[b]) + ", \"count\": " +
+             StrFormat("%llu",
+                       static_cast<unsigned long long>(snap.bucket_counts[b])) +
+             "}";
+    }
+    out += "], \"inf_count\": " +
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(snap.bucket_counts.back())) +
+           "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace qmatch::obs

@@ -1,0 +1,48 @@
+#include "obs/obs.h"
+
+#include "common/file_util.h"
+
+namespace qmatch::obs {
+
+std::string CombinedJson() {
+  std::string out = "{\n\"obs_enabled\": ";
+  out += QMATCH_OBS_ENABLED ? "true" : "false";
+  out += ",\n\"metrics\": ";
+  std::string metrics = Registry::Global().JsonText();
+  // JsonText ends with a newline; splice it in as a nested value.
+  while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+  out += metrics;
+  out += ",\n\"spans\": ";
+  std::string spans = Tracer::Global().StatsJson();
+  while (!spans.empty() && spans.back() == '\n') spans.pop_back();
+  out += spans;
+  out += "\n}\n";
+  return out;
+}
+
+bool CliSink::TryParse(std::string_view arg) {
+  constexpr std::string_view kMetricsFlag = "--metrics-out=";
+  constexpr std::string_view kTraceFlag = "--trace-out=";
+  if (arg.substr(0, kMetricsFlag.size()) == kMetricsFlag) {
+    metrics_path = std::string(arg.substr(kMetricsFlag.size()));
+    return true;
+  }
+  if (arg.substr(0, kTraceFlag.size()) == kTraceFlag) {
+    trace_path = std::string(arg.substr(kTraceFlag.size()));
+    return true;
+  }
+  return false;
+}
+
+Status CliSink::Write() const {
+  if (!metrics_path.empty()) {
+    QMATCH_RETURN_IF_ERROR(WriteFile(metrics_path, CombinedJson()));
+  }
+  if (!trace_path.empty()) {
+    QMATCH_RETURN_IF_ERROR(
+        WriteFile(trace_path, Tracer::Global().ChromeTraceJson()));
+  }
+  return Status::OK();
+}
+
+}  // namespace qmatch::obs

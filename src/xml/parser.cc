@@ -4,12 +4,18 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "obs/obs.h"
 #include "xml/cursor.h"
 #include "xml/escape.h"
 
 namespace qmatch::xml {
 
 namespace {
+
+/// Hard cap on element nesting. The parser is recursive-descent, so
+/// unbounded nesting (a hostile or fuzzed input) would otherwise exhaust
+/// the stack; past this depth parsing fails with a Status instead.
+constexpr size_t kMaxElementDepth = 512;
 
 bool IsNameStartChar(char c) {
   return IsAsciiAlpha(c) || c == '_' || c == ':' ||
@@ -180,6 +186,15 @@ class Parser {
   }
 
   Result<std::unique_ptr<XmlElement>> ParseElement() {
+    if (depth_ >= kMaxElementDepth) {
+      return Error("element nesting deeper than " +
+                   std::to_string(kMaxElementDepth));
+    }
+    ++depth_;
+    struct DepthGuard {
+      size_t& depth;
+      ~DepthGuard() { --depth; }
+    } guard{depth_};
     if (!cursor_.Consume("<")) return Error("expected '<'");
     QMATCH_ASSIGN_OR_RETURN(std::string name, ParseName());
     auto element = std::make_unique<XmlElement>(name);
@@ -278,13 +293,38 @@ class Parser {
   }
 
   TextCursor cursor_;
+  size_t depth_ = 0;  // current element nesting depth
 };
+
+#if QMATCH_OBS_ENABLED
+size_t CountElements(const XmlElement& element) {
+  size_t count = 1;
+  for (const XmlChild& child : element.children()) {
+    if (const auto* e = std::get_if<std::unique_ptr<XmlElement>>(&child)) {
+      count += CountElements(**e);
+    }
+  }
+  return count;
+}
+#endif
 
 }  // namespace
 
 Result<XmlDocument> Parse(std::string_view input) {
+  QMATCH_SPAN(span, "xml.parse");
+  QMATCH_SPAN_ARG(span, "bytes", input.size());
+  QMATCH_COUNTER_ADD("xml.parse.documents", 1);
+  QMATCH_COUNTER_ADD("xml.parse.bytes", input.size());
   Parser parser(input);
-  return parser.ParseDocument();
+  Result<XmlDocument> result = parser.ParseDocument();
+#if QMATCH_OBS_ENABLED
+  if (result.ok()) {
+    QMATCH_COUNTER_ADD("xml.parse.nodes", CountElements(*result.value().root()));
+  } else {
+    QMATCH_COUNTER_ADD("xml.parse.errors", 1);
+  }
+#endif
+  return result;
 }
 
 Result<XmlDocument> ParseExpectingRoot(std::string_view input,

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "obs/obs.h"
 #include "xml/parser.h"
 
 namespace qmatch::xsd {
@@ -514,15 +515,28 @@ class XsdTreeBuilder {
 
 Result<Schema> ParseSchemaDocument(const xml::XmlDocument& doc,
                                    const ParseOptions& options) {
+  QMATCH_SPAN(span, "xsd.parse");
+  QMATCH_COUNTER_ADD("xsd.parse.documents", 1);
   if (doc.root() == nullptr) {
+    QMATCH_COUNTER_ADD("xsd.parse.errors", 1);
     return Status::ParseError("empty XML document");
   }
   if (doc.root()->LocalName() != "schema") {
+    QMATCH_COUNTER_ADD("xsd.parse.errors", 1);
     return Status::ParseError("root element is <" + doc.root()->name() +
                               ">, expected an XSD <schema>");
   }
   XsdTreeBuilder builder(*doc.root(), options);
-  return builder.Build();
+  Result<Schema> result = builder.Build();
+#if QMATCH_OBS_ENABLED
+  if (result.ok()) {
+    QMATCH_COUNTER_ADD("xsd.parse.nodes", result.value().NodeCount());
+    QMATCH_SPAN_ARG(span, "nodes", result.value().NodeCount());
+  } else {
+    QMATCH_COUNTER_ADD("xsd.parse.errors", 1);
+  }
+#endif
+  return result;
 }
 
 Result<Schema> ParseSchema(std::string_view xsd_text,

@@ -207,14 +207,19 @@ std::vector<Violation> Validate(const xml::XmlDocument& doc,
     return violations;
   }
   if (doc.root()->LocalName() != schema.root()->label()) {
+    // Built via += (not `"/" + std::string(...)`): GCC 12's -Wrestrict
+    // false-positives on the rvalue operator+ overload at -O2 (PR105329).
+    std::string root_path = "/";
+    root_path += doc.root()->name();
     violations.push_back(
-        {Violation::Kind::kWrongRoot, "/" + std::string(doc.root()->name()),
+        {Violation::Kind::kWrongRoot, std::move(root_path),
          "expected root '" + schema.root()->label() + "'"});
     return violations;
   }
+  std::string schema_root_path = "/";
+  schema_root_path += schema.root()->label();
   Validator validator(options, &violations);
-  validator.ValidateElement(*doc.root(), *schema.root(),
-                            "/" + schema.root()->label());
+  validator.ValidateElement(*doc.root(), *schema.root(), schema_root_path);
   return violations;
 }
 
