@@ -6,7 +6,10 @@
 #   scripts/ci.sh            # default build + ctest
 #   scripts/ci.sh tsan       # ThreadSanitizer build; runs the concurrency tests
 #   scripts/ci.sh asan       # Address+UB sanitizer build; full suite + fuzz
+#   scripts/ci.sh ubsan      # UBSan-only build; full suite
 #   scripts/ci.sh obs-off    # QMATCH_OBS=OFF build; full suite (kill switch)
+#   scripts/ci.sh fault-off  # QMATCH_FAULT=OFF build; full suite (kill switch)
+#   scripts/ci.sh chaos      # chaos suite under ASan and TSan, fixed seeds
 #   scripts/ci.sh coverage   # --coverage build; enforces the line floor
 #   scripts/ci.sh all        # all of the above
 set -euo pipefail
@@ -56,12 +59,54 @@ run_asan() {
   ctest --test-dir build-asan --output-on-failure -L fuzz
 }
 
+run_ubsan() {
+  # UBSan on its own (the address pairing in run_asan can mask some UB
+  # reports, and the lean instrumentation is fast enough for everything).
+  cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=undefined
+  cmake --build build-ubsan -j "${JOBS}"
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-ubsan --output-on-failure
+}
+
+# Chaos suite: seeded fault schedules over the engine/corpus pipeline,
+# under both ASan (leaks/UAF on degraded paths) and TSan (races between
+# the fill, the canceller and the failpoint registry). The seed set is
+# pinned so CI failures reproduce locally with the same env var.
+CHAOS_SEEDS="${QMATCH_CHAOS_SEEDS:-1,2,3,4,5}"
+
+run_chaos() {
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" --target chaos_engine_test
+  QMATCH_CHAOS_SEEDS="${CHAOS_SEEDS}" \
+  ASAN_OPTIONS="halt_on_error=1:abort_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-asan --output-on-failure -C chaos -L chaos
+
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" --target chaos_engine_test
+  QMATCH_CHAOS_SEEDS="${CHAOS_SEEDS}" \
+  TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -C chaos -L chaos
+}
+
 run_obs_off() {
   # The observability kill switch: everything must still compile, link and
   # pass with every instrumentation hook compiled down to a no-op.
   cmake -B build-obs-off -S . -DCMAKE_BUILD_TYPE=Release -DQMATCH_OBS=OFF
   cmake --build build-obs-off -j "${JOBS}"
   ctest --test-dir build-obs-off --output-on-failure
+}
+
+run_fault_off() {
+  # The fault-injection kill switch: with every failpoint compiled down to
+  # a no-op the library must still build warning-clean and pass the suite
+  # (the chaos binary itself is not built in this configuration).
+  cmake -B build-fault-off -S . -DCMAKE_BUILD_TYPE=Release -DQMATCH_FAULT=OFF
+  cmake --build build-fault-off -j "${JOBS}"
+  ctest --test-dir build-fault-off --output-on-failure
 }
 
 # Prints "<percent> <dir>" per coverage directory, aggregated over the .cc
@@ -125,12 +170,17 @@ run_coverage() {
 }
 
 case "${MODE}" in
-  default)  run_default ;;
-  tsan)     run_tsan ;;
-  asan)     run_asan ;;
-  obs-off)  run_obs_off ;;
-  coverage) run_coverage ;;
-  all)      run_default; run_tsan; run_asan; run_obs_off; run_coverage ;;
-  *) echo "unknown mode '${MODE}' (default|tsan|asan|obs-off|coverage|all)" >&2
+  default)   run_default ;;
+  tsan)      run_tsan ;;
+  asan)      run_asan ;;
+  ubsan)     run_ubsan ;;
+  obs-off)   run_obs_off ;;
+  fault-off) run_fault_off ;;
+  chaos)     run_chaos ;;
+  coverage)  run_coverage ;;
+  all)       run_default; run_tsan; run_asan; run_ubsan; run_obs_off
+             run_fault_off; run_chaos; run_coverage ;;
+  *) echo "unknown mode '${MODE}'" \
+          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|coverage|all)" >&2
      exit 2 ;;
 esac

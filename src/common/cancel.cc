@@ -1,0 +1,17 @@
+#include "common/cancel.h"
+
+namespace qmatch {
+
+std::string_view StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kDeadlineExceeded:
+      return "deadline exceeded";
+  }
+  return "unknown";
+}
+
+}  // namespace qmatch

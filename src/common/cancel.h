@@ -1,0 +1,103 @@
+#ifndef QMATCH_COMMON_CANCEL_H_
+#define QMATCH_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <string_view>
+
+namespace qmatch {
+
+/// Cooperative cancellation flag shared between a requester and the worker
+/// threads executing the request. Thread-safe; the checking side is one
+/// acquire load.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  /// Re-arms the token for reuse across requests (tests mostly).
+  void Reset() noexcept { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// An absolute point on the steady clock by which a request must finish.
+/// Default-constructed deadlines are unbounded (never expire).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unbounded.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `budget` from now.
+  static Deadline After(Clock::duration budget) {
+    return Deadline(Clock::now() + budget);
+  }
+
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+
+  /// False for the unbounded deadline — bounded() gates every clock read,
+  /// so requests without a deadline never pay for one.
+  bool bounded() const { return bounded_; }
+
+  bool Expired() const { return bounded_ && Clock::now() >= when_; }
+
+  /// Time left before expiry: zero when expired, duration::max() when
+  /// unbounded.
+  Clock::duration Remaining() const {
+    if (!bounded_) return Clock::duration::max();
+    const Clock::time_point now = Clock::now();
+    return now >= when_ ? Clock::duration::zero() : when_ - now;
+  }
+
+  Clock::time_point when() const { return when_; }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when), bounded_(true) {}
+
+  Clock::time_point when_ = Clock::time_point::max();
+  bool bounded_ = false;
+};
+
+/// Why a cooperative computation stopped early.
+enum class StopReason {
+  kNone = 0,
+  kCancelled,
+  kDeadlineExceeded,
+};
+
+std::string_view StopReasonName(StopReason reason);
+
+/// Per-request execution control plumbed from the engine's public API down
+/// into the TreeMatch table fill. Checked cooperatively at node-pair
+/// granularity; both members are optional (null token / unbounded deadline
+/// make Check() trivially cheap).
+struct ExecControl {
+  Deadline deadline;
+  const CancellationToken* cancel = nullptr;
+
+  /// True when a Check() can ever return non-kNone — callers skip the
+  /// checking machinery entirely otherwise.
+  bool active() const { return cancel != nullptr || deadline.bounded(); }
+
+  /// Polls both stop sources. Cancellation wins over an expired deadline
+  /// (the requester's explicit signal is the stronger statement of intent).
+  StopReason Check() const {
+    if (cancel != nullptr && cancel->cancelled()) return StopReason::kCancelled;
+    if (deadline.Expired()) return StopReason::kDeadlineExceeded;
+    return StopReason::kNone;
+  }
+};
+
+}  // namespace qmatch
+
+#endif  // QMATCH_COMMON_CANCEL_H_

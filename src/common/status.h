@@ -20,6 +20,11 @@ enum class StatusCode {
   kOutOfRange = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  /// The request's deadline expired before the work completed; any partial
+  /// result accompanying this status is a subset of the full answer.
+  kDeadlineExceeded = 9,
+  /// The request was cooperatively cancelled via a CancellationToken.
+  kCancelled = 10,
 };
 
 /// Returns the canonical lower-case name of a status code ("parse error").
@@ -68,6 +73,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

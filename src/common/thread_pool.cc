@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "obs/obs.h"
 
 namespace qmatch {
@@ -62,6 +63,10 @@ void ThreadPool::WorkerLoop(const std::stop_token& stop) {
                              start_ns - task.enqueue_ns);
 #endif
     try {
+      // Chaos hook: a kThrow action here exercises the containment path
+      // below; for ParallelFor helper tasks the caller then drains the
+      // helper's share itself, so no index is ever lost.
+      QMATCH_FAILPOINT("threadpool.task");
       task.fn();
     } catch (...) {
       // Submit's contract says tasks should not throw; containing the
@@ -142,13 +147,22 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     Submit([state] { state->Drain(); });
   }
   state->Drain();
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) >= state->total;
-  });
-  if (state->error) {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) >= state->total;
+    });
+    // Take the exception out of the shared state before rethrowing: a
+    // helper's Task object (and with it the last LoopState reference) can
+    // be destroyed on its worker thread after the caller has already
+    // resumed, and the exception object must not be freed over there
+    // while this thread is still reading e.what() from it.
+    error = std::exchange(state->error, nullptr);
+  }
+  if (error) {
     QMATCH_COUNTER_ADD("threadpool.parallel_for_exceptions", 1);
-    std::rethrow_exception(state->error);
+    std::rethrow_exception(std::move(error));
   }
 }
 

@@ -1,8 +1,14 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <bit>
+#include <exception>
+#include <thread>
 #include <utility>
 
+#include "common/file_util.h"
+#include "common/random.h"
+#include "fault/failpoint.h"
 #include "obs/obs.h"
 
 namespace qmatch::core {
@@ -63,6 +69,43 @@ size_t ResolveThreads(size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = kFnvOffset;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+Status StopStatus(StopReason reason, const std::string& what) {
+  return reason == StopReason::kCancelled
+             ? Status::Cancelled(what + ": request cancelled")
+             : Status::DeadlineExceeded(what + ": request deadline exceeded");
+}
+
+/// Every typed request (direct or per corpus entry) is tallied exactly once
+/// here, so `engine.requests` always equals the sum of the four outcome
+/// counters — the accounting invariant the chaos suite asserts.
+void CountRequestOutcome(const Status& status) {
+  (void)status;  // only read by the obs hooks, which compile away with them
+  QMATCH_COUNTER_ADD("engine.requests", 1);
+  switch (status.code()) {
+    case StatusCode::kOk:
+      QMATCH_COUNTER_ADD("engine.requests_ok", 1);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      QMATCH_COUNTER_ADD("engine.requests_deadline_exceeded", 1);
+      break;
+    case StatusCode::kCancelled:
+      QMATCH_COUNTER_ADD("engine.requests_cancelled", 1);
+      break;
+    default:
+      QMATCH_COUNTER_ADD("engine.requests_error", 1);
+      break;
+  }
+}
+
 }  // namespace
 
 MatchEngine::MatchEngine(MatchEngineOptions options)
@@ -98,6 +141,12 @@ MatchEngine::CacheKey MatchEngine::MakeKey(const xsd::Schema& source,
 bool MatchEngine::CacheLookup(const CacheKey& key, const xsd::Schema& source,
                               const xsd::Schema& target,
                               MatchResult* out) const {
+  // A poisoned lookup degrades to a miss: the caller recomputes and the
+  // answer stays correct — the cache is an accelerator, never an oracle.
+  if (QMATCH_FAILPOINT_FIRED("engine.cache.lookup")) {
+    QMATCH_COUNTER_ADD("engine.cache.fault_misses", 1);
+    return false;
+  }
   std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = cache_index_.find(key);
   if (it == cache_index_.end()) {
@@ -135,6 +184,12 @@ bool MatchEngine::CacheLookup(const CacheKey& key, const xsd::Schema& source,
 
 void MatchEngine::CacheStore(const CacheKey& key,
                              const MatchResult& result) const {
+  // A failed store is dropped silently (the entry is recomputed next time);
+  // correctness never depends on the store landing.
+  if (QMATCH_FAILPOINT_FIRED("engine.cache.store")) {
+    QMATCH_COUNTER_ADD("engine.cache.dropped_stores", 1);
+    return;
+  }
   CacheEntry entry;
   entry.key = key;
   entry.algorithm = result.algorithm;
@@ -232,6 +287,198 @@ std::vector<MatchResult> MatchEngine::MatchAll(
                            obs::MonotonicNowNs() - fanout_start_ns);
   QMATCH_COUNTER_ADD("engine.batch_jobs", jobs.size());
   return results;
+}
+
+EngineMatchResult MatchEngine::Match(const xsd::Schema& source,
+                                     const xsd::Schema& target,
+                                     const EngineRequestOptions& options) const {
+  QMATCH_SPAN(span, "engine.match_request");
+  QMATCH_SPAN_ARG(span, "source_nodes", source.NodeCount());
+  QMATCH_SPAN_ARG(span, "target_nodes", target.NodeCount());
+  EngineMatchResult out;
+  out.total_rows = source.NodeCount();
+  const ExecControl control{options.deadline, options.cancel};
+  const bool cached = options_.cache_capacity > 0;
+  CacheKey key;
+  if (cached) {
+    key = MakeKey(source, target);
+    MatchResult hit;
+    if (CacheLookup(key, source, target, &hit)) {
+      // A hit is instant and complete, so it is served even when the
+      // envelope has already tripped — strictly better than a partial.
+      out.result = std::move(hit);
+      out.completed_rows = out.total_rows;
+      CountRequestOutcome(out.status);
+      return out;
+    }
+  }
+  const size_t pairs = source.NodeCount() * target.NodeCount();
+  ThreadPool* pool =
+      (threads_ > 1 && pairs >= options_.min_parallel_pairs) ? pool_.get()
+                                                             : nullptr;
+  try {
+    QMatch::Analysis analysis =
+        matcher_.Analyze(source, target, pool, &control);
+    out.completed_rows = analysis.completed_rows();
+    out.total_rows = analysis.total_rows();
+    switch (analysis.stop_reason()) {
+      case StopReason::kNone:
+        out.result = analysis.TakeResult();
+        if (cached) CacheStore(key, out.result);
+        break;
+      case StopReason::kCancelled:
+      case StopReason::kDeadlineExceeded:
+        out.status = StopStatus(analysis.stop_reason(), "match");
+        out.result = analysis.TakeResult();
+        QMATCH_COUNTER_ADD("engine.partial_correspondences",
+                           out.result.correspondences.size());
+        break;
+    }
+  } catch (const std::exception& e) {
+    // A throwing failpoint (or any other internal throw) still produces a
+    // typed response — no request escapes the status contract.
+    out.status = Status::Internal(std::string("match failed: ") + e.what());
+    out.result = MatchResult{};
+    out.completed_rows = 0;
+  }
+  CountRequestOutcome(out.status);
+  return out;
+}
+
+std::vector<EngineMatchResult> MatchEngine::MatchAll(
+    const std::vector<MatchJob>& jobs,
+    const EngineRequestOptions& options) const {
+  std::vector<EngineMatchResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  QMATCH_SPAN(span, "engine.match_all_request");
+  QMATCH_SPAN_ARG(span, "jobs", jobs.size());
+  // Same determinism contract as the untyped MatchAll: slot i holds the
+  // result of jobs[i] regardless of scheduling. The typed Match never
+  // throws, so the fan-out completes even when every job degrades.
+  pool_->ParallelFor(jobs.size(), [&](size_t i) {
+    results[i] = Match(*jobs[i].source, *jobs[i].target, options);
+  });
+  return results;
+}
+
+namespace {
+
+/// Loads one corpus file, retrying transient (kIoError) failures with
+/// seeded jittered exponential backoff. The `engine.corpus.load` failpoint
+/// injects exactly such transient failures ahead of the real read.
+Result<std::string> LoadCorpusFile(const std::string& path,
+                                   const CorpusMatchOptions& options,
+                                   const ExecControl& control,
+                                   size_t* attempts_out) {
+  const size_t max_attempts = std::max<size_t>(1, options.max_load_attempts);
+  Status last = Status::IoError(path + ": no load attempt ran");
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    *attempts_out = attempt + 1;
+    const StopReason stopped = control.Check();
+    if (stopped != StopReason::kNone) return StopStatus(stopped, path);
+    if (QMATCH_FAILPOINT_FIRED("engine.corpus.load")) {
+      last = Status::IoError(path + ": injected transient load failure");
+    } else {
+      Result<std::string> text = ReadFile(path);
+      if (text.ok()) return text;
+      last = text.status();
+    }
+    QMATCH_COUNTER_ADD("engine.corpus.load_failures", 1);
+    // Only I/O failures are presumed transient; anything else is final.
+    if (last.code() != StatusCode::kIoError) return last;
+    if (attempt + 1 >= max_attempts) break;
+    QMATCH_COUNTER_ADD("engine.corpus.load_retries", 1);
+    // Backoff for attempt k: base * 2^k jittered to [50%, 100%], capped,
+    // and clamped so a sleep can never outlive the request deadline. The
+    // jitter stream is seeded per (seed, path, attempt): deterministic to
+    // replay, decorrelated across files so retries do not stampede.
+    Random jitter(options.backoff_seed ^ HashBytes(path) ^
+                  (0x9E3779B97F4A7C15ULL * (attempt + 1)));
+    const auto shift = std::min<size_t>(attempt, 10);
+    auto backoff = std::min<std::chrono::milliseconds>(
+        options.backoff_base * (uint64_t{1} << shift), options.backoff_cap);
+    auto backoff_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(backoff);
+    if (backoff_ns.count() > 0) {
+      const uint64_t span_ns = static_cast<uint64_t>(backoff_ns.count());
+      auto sleep_ns = std::chrono::nanoseconds(
+          static_cast<int64_t>(span_ns / 2 + jitter.Uniform(span_ns / 2 + 1)));
+      const auto remaining = control.deadline.Remaining();
+      if (remaining < sleep_ns) {
+        sleep_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            remaining);
+      }
+      if (sleep_ns.count() > 0) std::this_thread::sleep_for(sleep_ns);
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+CorpusMatchResult MatchEngine::MatchCorpus(
+    const xsd::Schema& query, const std::vector<std::string>& paths,
+    const CorpusMatchOptions& options) const {
+  QMATCH_SPAN(span, "engine.match_corpus");
+  QMATCH_SPAN_ARG(span, "paths", paths.size());
+  QMATCH_COUNTER_ADD("engine.corpus.requests", 1);
+  CorpusMatchResult out;
+  out.entries.resize(paths.size());
+  if (paths.empty()) return out;
+  const ExecControl control{options.request.deadline, options.request.cancel};
+  // One corpus entry, start to finish: load (with retry), parse, match.
+  // Failures are contained per entry — a poisoned file degrades its own
+  // slot and nothing else. Entries that fail before reaching the typed
+  // Match are tallied here so the request accounting stays exact.
+  auto process = [&](size_t i) {
+    CorpusEntryResult& entry = out.entries[i];
+    entry.path = paths[i];
+    try {
+      const StopReason stopped = control.Check();
+      if (stopped != StopReason::kNone) {
+        entry.status = StopStatus(stopped, paths[i]);
+        CountRequestOutcome(entry.status);
+        return;
+      }
+      Result<std::string> text =
+          LoadCorpusFile(paths[i], options, control, &entry.load_attempts);
+      if (!text.ok()) {
+        entry.status = text.status();
+        CountRequestOutcome(entry.status);
+        return;
+      }
+      Result<xsd::Schema> schema =
+          xsd::ParseSchema(*text, options.parse);
+      if (!schema.ok()) {
+        entry.status = schema.status().WithContext(paths[i]);
+        CountRequestOutcome(entry.status);
+        return;
+      }
+      // The entry owns the schema so the correspondences (which point into
+      // its node tree) outlive this task.
+      entry.schema = std::move(*schema);
+      EngineMatchResult match = Match(query, entry.schema, options.request);
+      entry.status = std::move(match.status);
+      entry.result = std::move(match.result);
+      entry.completed_rows = match.completed_rows;
+      entry.total_rows = match.total_rows;
+    } catch (const std::exception& e) {
+      entry.status =
+          Status::Internal(paths[i] + ": corpus entry failed: " + e.what());
+      CountRequestOutcome(entry.status);
+    }
+  };
+  pool_->ParallelFor(paths.size(), process);
+  for (const CorpusEntryResult& entry : out.entries) {
+    if (entry.ok()) {
+      ++out.ok;
+    } else {
+      ++out.degraded;
+      QMATCH_COUNTER_ADD("engine.corpus.degraded_entries", 1);
+    }
+  }
+  QMATCH_COUNTER_ADD("engine.corpus.entries", out.entries.size());
+  return out;
 }
 
 std::vector<MatchResult> MatchEngine::MatchOneToMany(

@@ -1,6 +1,7 @@
 #ifndef QMATCH_CORE_ENGINE_H_
 #define QMATCH_CORE_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -9,9 +10,12 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/qmatch.h"
 #include "match/matcher.h"
+#include "xsd/parser.h"
 #include "xsd/schema.h"
 
 namespace qmatch::core {
@@ -48,6 +52,81 @@ struct MatchEngineCacheStats {
 struct MatchJob {
   const xsd::Schema* source = nullptr;
   const xsd::Schema* target = nullptr;
+};
+
+/// Per-request robustness envelope: a deadline for the whole request and an
+/// optional cancellation token, both polled cooperatively down to
+/// node-pair granularity inside TreeMatch. Default = unbounded,
+/// uncancellable (the classic run-to-completion behaviour).
+struct EngineRequestOptions {
+  Deadline deadline;
+  const CancellationToken* cancel = nullptr;
+};
+
+/// Typed outcome of one deadline/cancellation-aware match. `status` is the
+/// request's type: OK, kDeadlineExceeded, kCancelled, or a load/parse/
+/// internal error. A degraded request still carries whatever completed —
+/// `result.correspondences` is always a subset of what the fault-free,
+/// unbounded run would report (the monotone partial-result contract,
+/// DESIGN.md §10).
+struct EngineMatchResult {
+  Status status;
+  MatchResult result;
+  /// Table-fill progress: completed_rows == total_rows iff the pairwise
+  /// QoM table ran to completion (then status is OK or a load error).
+  size_t completed_rows = 0;
+  size_t total_rows = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Options of MatchCorpus — corpus loading plus the request envelope.
+struct CorpusMatchOptions {
+  /// Budget/cancellation shared by every schema in the corpus request.
+  EngineRequestOptions request;
+
+  /// XSD parse options applied to each loaded file.
+  xsd::ParseOptions parse;
+
+  /// Total load attempts per file (1 = no retry). Only kIoError failures
+  /// are retried — transient by assumption (NFS blips, the
+  /// `engine.corpus.load` failpoint); parse errors are deterministic and
+  /// never retried.
+  size_t max_load_attempts = 3;
+
+  /// Exponential backoff between load attempts: attempt k sleeps
+  /// base * 2^k, jittered to [50%, 100%] on a seeded stream and capped —
+  /// deterministic for a given (seed, path, attempt), never past the
+  /// request deadline.
+  std::chrono::milliseconds backoff_base{1};
+  std::chrono::milliseconds backoff_cap{50};
+  uint64_t backoff_seed = 0x51D3CAFEULL;
+};
+
+/// Outcome of one corpus file inside a MatchCorpus request.
+struct CorpusEntryResult {
+  std::string path;
+  Status status;  ///< OK | kIoError | kParseError | kDeadlineExceeded | kCancelled | kInternal
+  /// The parsed candidate schema, owned here because `result`'s
+  /// correspondences point into its node tree (moving a Schema keeps node
+  /// addresses stable, so vector growth in `entries` is safe). Empty
+  /// (null root) when loading or parsing failed.
+  xsd::Schema schema;
+  MatchResult result;
+  size_t completed_rows = 0;
+  size_t total_rows = 0;
+  size_t load_attempts = 0;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Aggregate result of MatchCorpus: entries[i] always corresponds to
+/// paths[i], every entry carries a typed status, and the tallies account
+/// for every request (ok + degraded == entries.size()).
+struct CorpusMatchResult {
+  std::vector<CorpusEntryResult> entries;
+  size_t ok = 0;
+  size_t degraded = 0;  ///< deadline + cancelled + load/parse errors
 };
 
 /// MatchEngine — the production front door to QMatch for corpus-scale
@@ -104,6 +183,32 @@ class MatchEngine : public Matcher {
   std::vector<MatchResult> MatchOneToMany(
       const xsd::Schema& query,
       const std::vector<const xsd::Schema*>& candidates) const;
+
+  /// Deadline/cancellation-aware single match. Never blocks past the
+  /// deadline (modulo one node-pair of slack): the TreeMatch table fill
+  /// polls the envelope at node-pair granularity and returns a typed
+  /// partial result instead of running to completion. A FailpointException
+  /// or other internal throw is converted to a kInternal status — the
+  /// request always returns, typed. Degraded results are never cached.
+  EngineMatchResult Match(const xsd::Schema& source, const xsd::Schema& target,
+                          const EngineRequestOptions& options) const;
+
+  /// Batch fan-out with a shared request envelope: results[i] corresponds
+  /// to jobs[i] and each carries its own typed status (a deadline trips
+  /// jobs still running; completed jobs keep their full results).
+  std::vector<EngineMatchResult> MatchAll(
+      const std::vector<MatchJob>& jobs,
+      const EngineRequestOptions& options) const;
+
+  /// The production corpus entry point: loads, parses and matches `query`
+  /// against every schema file in `paths`, fanning entries across the
+  /// pool. Transient (kIoError) load failures are retried with seeded,
+  /// jittered exponential backoff; parse failures, deadline expiry and
+  /// cancellation degrade that entry to a typed status without disturbing
+  /// the others. entries[i] always corresponds to paths[i].
+  CorpusMatchResult MatchCorpus(const xsd::Schema& query,
+                                const std::vector<std::string>& paths,
+                                const CorpusMatchOptions& options = {}) const;
 
   MatchEngineCacheStats cache_stats() const;
   void ClearCache();

@@ -1,9 +1,11 @@
 #include "core/qmatch.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "lingua/default_thesaurus.h"
 #include "lingua/name_match.h"
 #include "obs/obs.h"
@@ -148,12 +150,18 @@ std::map<qom::MatchCategory, size_t> QMatch::Analysis::CategoryHistogram()
 
 QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
                                  const xsd::Schema& target) const {
-  return Analyze(source, target, nullptr);
+  return Analyze(source, target, nullptr, nullptr);
 }
 
 QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
                                  const xsd::Schema& target,
                                  ThreadPool* pool) const {
+  return Analyze(source, target, pool, nullptr);
+}
+
+QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
+                                 const xsd::Schema& target, ThreadPool* pool,
+                                 const ExecControl* control) const {
   Analysis analysis;
   analysis.source_schema_ = &source;
   analysis.target_schema_ = &target;
@@ -370,15 +378,48 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
   };
 #endif
 
+  // Cooperative stop machinery. `stop` latches the first StopReason any
+  // worker observes; every worker polls it (one relaxed load) per pair, so
+  // a tripped deadline/cancellation drains the fill within one pair per
+  // worker. With no active control the whole block is one branch per pair
+  // and the fill is byte-for-byte the uncontrolled path.
+  const bool controlled = control != nullptr && control->active();
+  std::atomic<int> stop{0};  // 0 = running, else static_cast<int>(StopReason)
+  std::vector<char> row_done(n, 0);
+  auto should_stop = [&]() -> bool {
+    if (!controlled) return false;
+    if (stop.load(std::memory_order_relaxed) != 0) return true;
+    const StopReason reason = control->Check();
+    if (reason == StopReason::kNone) return false;
+    int expected = 0;
+    stop.compare_exchange_strong(expected, static_cast<int>(reason),
+                                 std::memory_order_relaxed);
+    return true;
+  };
+  // One full table row; marks the row complete only after every cell is
+  // computed, so partial-result extraction below can trust row_done[i].
+  // The `treematch.pair` failpoint is the chaos suite's hook for making a
+  // single pair slow (kDelay) — which is exactly what the deadline check
+  // must bound.
+  auto fill_row = [&](size_t i) {
+    for (size_t j = m; j-- > 0;) {
+      if (should_stop()) return;
+      compute_pair(i, j);
+      QMATCH_FAILPOINT("treematch.pair");
+    }
+    row_done[i] = 1;
+#if QMATCH_OBS_ENABLED
+    obs_row_done(i);
+#endif
+  };
+
   if (pool == nullptr || pool->worker_count() == 0) {
     // Bottom-up over both trees: reverse preorder guarantees all child
     // pairs are evaluated before their parents (the recursive TreeMatch of
     // Fig. 3, memoised into an O(n·m) table).
     for (size_t i = n; i-- > 0;) {
-      for (size_t j = m; j-- > 0;) compute_pair(i, j);
-#if QMATCH_OBS_ENABLED
-      obs_row_done(i);
-#endif
+      if (stop.load(std::memory_order_relaxed) != 0) break;
+      fill_row(i);
     }
   } else {
     // Row-parallel fill, sharded by source *level*: rows within one level
@@ -393,35 +434,82 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
     std::vector<std::vector<size_t>> rows_by_level(max_level + 1);
     for (size_t i = 0; i < n; ++i) rows_by_level[src[i]->level()].push_back(i);
     for (size_t level = max_level + 1; level-- > 0;) {
+      if (stop.load(std::memory_order_relaxed) != 0) break;
       const std::vector<size_t>& rows = rows_by_level[level];
       pool->ParallelFor(rows.size(), [&](size_t r) {
-        const size_t i = rows[r];
-        for (size_t j = m; j-- > 0;) compute_pair(i, j);
-#if QMATCH_OBS_ENABLED
-        obs_row_done(i);
-#endif
+        if (stop.load(std::memory_order_relaxed) != 0) return;
+        fill_row(rows[r]);
       });
     }
   }
 
-  // Correspondences: extracted from the QoM table per the configured
-  // assignment strategy (default: best target per source node, the set P
-  // evaluated in Section 5). Pairs without label evidence are never
-  // reported (see QMatchConfig).
-  match::AssignmentInput assignment_input;
-  assignment_input.sources = &src;
-  assignment_input.targets = &tgt;
-  assignment_input.score = [&](size_t i, size_t j) { return at(i, j).qom; };
-  if (config_.require_label_evidence) {
-    assignment_input.eligible = [&](size_t i, size_t j) {
-      return at(i, j).label_cls != qom::AxisMatch::kNone;
-    };
+  analysis.stop_reason_ =
+      static_cast<StopReason>(stop.load(std::memory_order_relaxed));
+  size_t completed = 0;
+  for (size_t i = 0; i < n; ++i) completed += row_done[i] != 0 ? 1u : 0u;
+  analysis.completed_rows_ = completed;
+
+  if (analysis.stop_reason_ == StopReason::kNone) {
+    // Correspondences: extracted from the QoM table per the configured
+    // assignment strategy (default: best target per source node, the set P
+    // evaluated in Section 5). Pairs without label evidence are never
+    // reported (see QMatchConfig).
+    match::AssignmentInput assignment_input;
+    assignment_input.sources = &src;
+    assignment_input.targets = &tgt;
+    assignment_input.score = [&](size_t i, size_t j) { return at(i, j).qom; };
+    if (config_.require_label_evidence) {
+      assignment_input.eligible = [&](size_t i, size_t j) {
+        return at(i, j).label_cls != qom::AxisMatch::kNone;
+      };
+    }
+    assignment_input.threshold = config_.threshold;
+    assignment_input.ambiguity_margin = config_.ambiguity_margin;
+    analysis.result_.correspondences =
+        match::SelectCorrespondences(assignment_input, config_.assignment);
+    analysis.result_.schema_qom = at(0, 0).qom;
+    return analysis;
   }
-  assignment_input.threshold = config_.threshold;
-  assignment_input.ambiguity_margin = config_.ambiguity_margin;
-  analysis.result_.correspondences =
-      match::SelectCorrespondences(assignment_input, config_.assignment);
-  analysis.result_.schema_qom = at(0, 0).qom;
+
+  // Stopped early: extract the monotone partial result. Completed rows are
+  // bit-identical to the uninterrupted run (a row only reads strictly
+  // deeper rows, which were complete before it started), and kBestPerSource
+  // decides each source node from its own row alone — so restricting the
+  // assignment to completed rows reproduces exactly the correspondences the
+  // full run reports for those sources. The injective strategies compete
+  // across rows and cannot be restricted soundly; they report nothing.
+  QMATCH_COUNTER_ADD("qmatch.treematch.stopped_tables", 1);
+  if (config_.assignment == match::AssignmentStrategy::kBestPerSource &&
+      completed > 0) {
+    std::vector<const xsd::SchemaNode*> done_sources;
+    std::vector<size_t> done_rows;
+    done_sources.reserve(completed);
+    done_rows.reserve(completed);
+    for (size_t i = 0; i < n; ++i) {
+      if (row_done[i] != 0) {
+        done_sources.push_back(src[i]);
+        done_rows.push_back(i);
+      }
+    }
+    match::AssignmentInput partial_input;
+    partial_input.sources = &done_sources;
+    partial_input.targets = &tgt;
+    partial_input.score = [&](size_t i, size_t j) {
+      return at(done_rows[i], j).qom;
+    };
+    if (config_.require_label_evidence) {
+      partial_input.eligible = [&](size_t i, size_t j) {
+        return at(done_rows[i], j).label_cls != qom::AxisMatch::kNone;
+      };
+    }
+    partial_input.threshold = config_.threshold;
+    partial_input.ambiguity_margin = config_.ambiguity_margin;
+    analysis.result_.correspondences =
+        match::SelectCorrespondences(partial_input, config_.assignment);
+  }
+  // The schema-level QoM lives in the root pair, which is computed last;
+  // report it only when that row actually finished.
+  if (row_done[0] != 0) analysis.result_.schema_qom = at(0, 0).qom;
   return analysis;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
 #include "lingua/thesaurus.h"
@@ -98,6 +99,11 @@ class QMatch : public Matcher {
     /// The standard result (schema QoM + correspondences).
     const MatchResult& result() const { return result_; }
 
+    /// Moves the result out, leaving the analysis without one — the
+    /// engine's typed-request path uses this to avoid copying the
+    /// correspondence vector.
+    MatchResult TakeResult() { return std::move(result_); }
+
     /// The QoM decomposition of a specific node pair, or nullptr when
     /// either node is not part of the analysed schemas.
     const PairQoM* Pair(const xsd::SchemaNode* source,
@@ -120,6 +126,17 @@ class QMatch : public Matcher {
     /// omitted.
     std::map<qom::MatchCategory, size_t> CategoryHistogram() const;
 
+    /// Why the table fill stopped early (kNone = ran to completion). Only
+    /// ever non-kNone when an ExecControl was passed to Analyze.
+    StopReason stop_reason() const { return stop_reason_; }
+
+    /// Source rows whose entire table row was computed. Equal to
+    /// total_rows() on a completed run; on a stopped run, correspondences
+    /// are extracted from these rows only (see DESIGN.md §10 for the
+    /// partial-result contract).
+    size_t completed_rows() const { return completed_rows_; }
+    size_t total_rows() const { return source_nodes_.size(); }
+
    private:
     friend class QMatch;
     std::vector<const xsd::SchemaNode*> source_nodes_;
@@ -130,6 +147,8 @@ class QMatch : public Matcher {
     MatchResult result_;
     const xsd::Schema* source_schema_ = nullptr;
     const xsd::Schema* target_schema_ = nullptr;
+    StopReason stop_reason_ = StopReason::kNone;
+    size_t completed_rows_ = 0;
   };
 
   Analysis Analyze(const xsd::Schema& source, const xsd::Schema& target) const;
@@ -138,6 +157,18 @@ class QMatch : public Matcher {
   /// Match for the determinism contract).
   Analysis Analyze(const xsd::Schema& source, const xsd::Schema& target,
                    ThreadPool* pool) const;
+
+  /// Deadline/cancellation-aware variant: `control` (nullable) is polled at
+  /// node-pair granularity during the table fill. When it trips, the fill
+  /// stops cooperatively and the returned Analysis carries stop_reason()
+  /// plus a *monotone partial result*: correspondences are extracted only
+  /// from fully completed source rows, whose cells are bit-identical to the
+  /// uninterrupted run's, so every reported pair is one the fault-free run
+  /// would also report (kBestPerSource only — the injective strategies need
+  /// the whole table, so a stopped run reports no correspondences there).
+  /// A null or inactive `control` is byte-for-byte the plain Analyze.
+  Analysis Analyze(const xsd::Schema& source, const xsd::Schema& target,
+                   ThreadPool* pool, const ExecControl* control) const;
 
  private:
   QMatchConfig config_;

@@ -1,0 +1,121 @@
+#include "fault/failpoint.h"
+
+#include <thread>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace qmatch::fault {
+
+std::string_view FaultActionName(FaultAction action) {
+  switch (action) {
+    case FaultAction::kError:
+      return "error";
+    case FaultAction::kDelay:
+      return "delay";
+    case FaultAction::kThrow:
+      return "throw";
+  }
+  return "unknown";
+}
+
+Status Failpoint::Evaluate() {
+  FaultSpec fired_spec;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // armed_ may have flipped between the call site's fast-path check and
+    // acquiring the lock; a disarmed failpoint must not count hits.
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    ++hits_;
+    bool eligible =
+        spec_.fire_on_nth_hit == 0 || hits_ == spec_.fire_on_nth_hit;
+    if (eligible && fires_ >= spec_.max_fires) eligible = false;
+    if (eligible && spec_.probability < 1.0) {
+      eligible = rng_.Bernoulli(spec_.probability);
+    }
+    if (!eligible) return Status::OK();
+    ++fires_;
+    fired_spec = spec_;
+  }
+  QMATCH_COUNTER_ADD("fault.fires", 1);
+  switch (fired_spec.action) {
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(fired_spec.delay);
+      return Status::OK();
+    case FaultAction::kThrow:
+      throw FailpointException(fired_spec.message.empty()
+                                   ? "failpoint '" + name_ + "' fired"
+                                   : fired_spec.message);
+    case FaultAction::kError:
+      break;
+  }
+  return Status(fired_spec.code,
+                fired_spec.message.empty()
+                    ? "failpoint '" + name_ + "' fired"
+                    : fired_spec.message);
+}
+
+FailpointStats Failpoint::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return FailpointStats{hits_, fires_};
+}
+
+void Failpoint::Arm(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_ = Random(spec.seed);
+  hits_ = 0;
+  fires_ = 0;
+  spec_ = std::move(spec);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+Failpoint& FaultRegistry::Get(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    it = points_
+             .emplace(std::string(name),
+                      std::make_unique<Failpoint>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+void FaultRegistry::Arm(std::string_view name, FaultSpec spec) {
+  Get(name).Arm(std::move(spec));
+}
+
+void FaultRegistry::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(name);
+  if (it != points_.end()) it->second->Disarm();
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, point] : points_) point->Disarm();
+}
+
+FailpointStats FaultRegistry::Stats(std::string_view name) {
+  return Get(name).stats();
+}
+
+std::vector<std::string> FaultRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+}  // namespace qmatch::fault

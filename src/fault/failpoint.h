@@ -1,0 +1,233 @@
+#ifndef QMATCH_FAULT_FAILPOINT_H_
+#define QMATCH_FAULT_FAILPOINT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+/// Compile-time kill switch for the fault-injection framework, mirroring
+/// QMATCH_OBS_ENABLED. The build defines QMATCH_FAULT_ENABLED=0
+/// (cmake -DQMATCH_FAULT=OFF) to macro-noop every QMATCH_FAILPOINT site:
+/// no registry lookups, no atomic loads — production builds carry zero
+/// fault-injection code. The fault classes themselves always compile.
+#ifndef QMATCH_FAULT_ENABLED
+#define QMATCH_FAULT_ENABLED 1
+#endif
+
+namespace qmatch::fault {
+
+/// What an armed failpoint does when it fires.
+enum class FaultAction {
+  /// Surface a non-OK Status at QMATCH_FAILPOINT_RETURN /
+  /// QMATCH_FAILPOINT_FIRED sites (plain QMATCH_FAILPOINT sites ignore it).
+  kError,
+  /// Sleep for `FaultSpec::delay` — simulates a slow dependency; never
+  /// produces an error.
+  kDelay,
+  /// Throw FailpointException — exercises the exception containment of the
+  /// thread pool and the engine's typed-status contract.
+  kThrow,
+};
+
+std::string_view FaultActionName(FaultAction action);
+
+/// Arming parameters of one failpoint. Every random decision derives from
+/// `seed` through a private PRNG stream, so a schedule replays exactly
+/// given the same hit sequence.
+struct FaultSpec {
+  FaultAction action = FaultAction::kError;
+
+  /// Chance that an eligible hit fires (evaluated on the seeded stream).
+  double probability = 1.0;
+
+  /// Seed of this failpoint's private PRNG stream.
+  uint64_t seed = 0x5EEDF417ULL;
+
+  /// 0 = every hit is eligible; N > 0 = only the Nth hit since arming
+  /// (1-based) is eligible — "fail exactly the third lookup".
+  uint64_t fire_on_nth_hit = 0;
+
+  /// Firing stops (the failpoint stays armed but inert) after this many
+  /// fires — "the first two loads fail, the retry succeeds".
+  uint64_t max_fires = UINT64_MAX;
+
+  /// Sleep duration of the kDelay action.
+  std::chrono::milliseconds delay{0};
+
+  /// Status code / message of the kError action (and the exception text of
+  /// kThrow). Empty message = "failpoint '<name>' fired".
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+/// Hit/fire accounting of one failpoint since it was last armed. Hits are
+/// only counted while armed — a disarmed failpoint is a single relaxed
+/// atomic load at the call site.
+struct FailpointStats {
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+/// Thrown by the kThrow action.
+class FailpointException : public std::runtime_error {
+ public:
+  explicit FailpointException(std::string message)
+      : std::runtime_error(std::move(message)) {}
+};
+
+/// One named injection site. Call sites hold a stable reference (via the
+/// QMATCH_FAILPOINT macros' function-local static) and test the `armed()`
+/// fast path before paying for Evaluate().
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Fast-path test: false means the failpoint is inert and Evaluate()
+  /// must be skipped (one relaxed load, the entire disarmed cost).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Full evaluation of an armed failpoint: counts the hit, rolls the
+  /// seeded dice, and on fire performs the action — sleeps (kDelay),
+  /// throws (kThrow), or returns the configured non-OK Status (kError).
+  /// Returns OK when the failpoint did not fire or fired with kDelay.
+  Status Evaluate();
+
+  FailpointStats stats() const;
+
+ private:
+  friend class FaultRegistry;
+
+  void Arm(FaultSpec spec);
+  void Disarm();
+
+  std::string name_;
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  FaultSpec spec_;         // guarded by mutex_
+  Random rng_{0};          // guarded by mutex_
+  uint64_t hits_ = 0;      // guarded by mutex_
+  uint64_t fires_ = 0;     // guarded by mutex_
+};
+
+/// Process-wide failpoint registry. `Get` returns a stable reference that
+/// lives as long as the process (same contract as obs::Registry), so call
+/// sites cache it in a function-local static and never touch the registry
+/// lock again. Tests arm/disarm by name, typically via ScopedFailpoint.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Global();
+
+  FaultRegistry() = default;
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  /// Returns (creating on demand, disarmed) the named failpoint.
+  Failpoint& Get(std::string_view name);
+
+  /// Arms `name` with `spec`, resetting its hit/fire counters and seeding
+  /// its PRNG stream from `spec.seed`.
+  void Arm(std::string_view name, FaultSpec spec);
+
+  /// Disarms `name` (a no-op for unknown names). Stats survive until the
+  /// next Arm so tests can assert on them after the run.
+  void Disarm(std::string_view name);
+
+  /// Disarms every registered failpoint — chaos-test teardown.
+  void DisarmAll();
+
+  FailpointStats Stats(std::string_view name);
+
+  /// Names of every failpoint that has ever been referenced (armed or
+  /// not), sorted — the failpoint catalog.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_;
+};
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor so a failing assertion cannot leak an armed failpoint into
+/// the next test.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, FaultSpec spec) : name_(std::move(name)) {
+    FaultRegistry::Global().Arm(name_, std::move(spec));
+  }
+  ~ScopedFailpoint() { FaultRegistry::Global().Disarm(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+  FailpointStats stats() const { return FaultRegistry::Global().Stats(name_); }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace qmatch::fault
+
+#if QMATCH_FAULT_ENABLED
+
+/// Marks an injection site. An armed failpoint may sleep or throw here; a
+/// fired kError action is ignored (use the _RETURN/_FIRED forms where an
+/// error can be surfaced). `name` must be a string literal.
+#define QMATCH_FAILPOINT(name)                                   \
+  do {                                                           \
+    static ::qmatch::fault::Failpoint& _qm_failpoint =           \
+        ::qmatch::fault::FaultRegistry::Global().Get(name);      \
+    if (_qm_failpoint.armed()) (void)_qm_failpoint.Evaluate();   \
+  } while (0)
+
+/// Injection site in a function returning Status or Result<T>: a fired
+/// kError action returns the configured Status from the enclosing function.
+#define QMATCH_FAILPOINT_RETURN(name)                            \
+  do {                                                           \
+    static ::qmatch::fault::Failpoint& _qm_failpoint =           \
+        ::qmatch::fault::FaultRegistry::Global().Get(name);      \
+    if (_qm_failpoint.armed()) {                                 \
+      ::qmatch::Status _qm_failpoint_status =                    \
+          _qm_failpoint.Evaluate();                              \
+      if (!_qm_failpoint_status.ok()) return _qm_failpoint_status; \
+    }                                                            \
+  } while (0)
+
+/// Expression form: true when the failpoint fired with the kError action —
+/// for sites that degrade gracefully instead of propagating a Status (the
+/// engine result cache treats a fired lookup as a miss).
+#define QMATCH_FAILPOINT_FIRED(name)                             \
+  ([]() -> bool {                                                \
+    static ::qmatch::fault::Failpoint& _qm_failpoint =           \
+        ::qmatch::fault::FaultRegistry::Global().Get(name);      \
+    return _qm_failpoint.armed() && !_qm_failpoint.Evaluate().ok(); \
+  }())
+
+#else  // !QMATCH_FAULT_ENABLED
+
+#define QMATCH_FAILPOINT(name) \
+  do {                         \
+  } while (0)
+#define QMATCH_FAILPOINT_RETURN(name) \
+  do {                                \
+  } while (0)
+#define QMATCH_FAILPOINT_FIRED(name) (false)
+
+#endif  // QMATCH_FAULT_ENABLED
+
+#endif  // QMATCH_FAULT_FAILPOINT_H_

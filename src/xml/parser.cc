@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "obs/obs.h"
 #include "xml/cursor.h"
 #include "xml/escape.h"
@@ -313,6 +314,7 @@ size_t CountElements(const XmlElement& element) {
 Result<XmlDocument> Parse(std::string_view input) {
   QMATCH_SPAN(span, "xml.parse");
   QMATCH_SPAN_ARG(span, "bytes", input.size());
+  QMATCH_FAILPOINT_RETURN("xml.parse");
   QMATCH_COUNTER_ADD("xml.parse.documents", 1);
   QMATCH_COUNTER_ADD("xml.parse.bytes", input.size());
   Parser parser(input);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "fault/failpoint.h"
 #include "obs/obs.h"
 #include "xml/parser.h"
 
@@ -517,6 +518,7 @@ Result<Schema> ParseSchemaDocument(const xml::XmlDocument& doc,
                                    const ParseOptions& options) {
   QMATCH_SPAN(span, "xsd.parse");
   QMATCH_COUNTER_ADD("xsd.parse.documents", 1);
+  QMATCH_FAILPOINT_RETURN("xsd.parse");
   if (doc.root() == nullptr) {
     QMATCH_COUNTER_ADD("xsd.parse.errors", 1);
     return Status::ParseError("empty XML document");

@@ -1,0 +1,104 @@
+// Unit tests for the cooperative cancellation/deadline primitives
+// (common/cancel.h): token semantics, deadline arithmetic, and the
+// ExecControl polling contract (cancellation wins over deadline).
+
+#include "common/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace qmatch {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(CancellationTokenTest, StartsClearAndLatchesOnCancel) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, CancelIsVisibleAcrossThreads) {
+  CancellationToken token;
+  std::thread canceller([&] { token.Cancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(DeadlineTest, DefaultIsUnbounded) {
+  const Deadline unbounded;
+  EXPECT_FALSE(unbounded.bounded());
+  EXPECT_FALSE(unbounded.Expired());
+  EXPECT_EQ(unbounded.Remaining(), Deadline::Clock::duration::max());
+  EXPECT_FALSE(Deadline::Infinite().bounded());
+}
+
+TEST(DeadlineTest, AfterExpiresOnceTheBudgetElapses) {
+  const Deadline deadline = Deadline::After(milliseconds(30));
+  EXPECT_TRUE(deadline.bounded());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.Remaining(), Deadline::Clock::duration::zero());
+  std::this_thread::sleep_for(milliseconds(40));
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.Remaining(), Deadline::Clock::duration::zero());
+}
+
+TEST(DeadlineTest, AtPinsAnAbsoluteTimePoint) {
+  const auto when = Deadline::Clock::now() - milliseconds(1);
+  const Deadline past = Deadline::At(when);
+  EXPECT_TRUE(past.bounded());
+  EXPECT_TRUE(past.Expired());
+  EXPECT_EQ(past.when(), when);
+}
+
+TEST(StopReasonTest, NamesAreStable) {
+  EXPECT_EQ(StopReasonName(StopReason::kNone), "none");
+  EXPECT_EQ(StopReasonName(StopReason::kCancelled), "cancelled");
+  EXPECT_EQ(StopReasonName(StopReason::kDeadlineExceeded),
+            "deadline exceeded");
+}
+
+TEST(ExecControlTest, InactiveByDefaultAndChecksClean) {
+  const ExecControl control;
+  EXPECT_FALSE(control.active());
+  EXPECT_EQ(control.Check(), StopReason::kNone);
+}
+
+TEST(ExecControlTest, ActiveWithEitherMember) {
+  CancellationToken token;
+  const ExecControl with_token{Deadline(), &token};
+  EXPECT_TRUE(with_token.active());
+  const ExecControl with_deadline{Deadline::After(milliseconds(100)), nullptr};
+  EXPECT_TRUE(with_deadline.active());
+}
+
+TEST(ExecControlTest, ReportsCancellationAndDeadline) {
+  CancellationToken token;
+  ExecControl control{Deadline::After(milliseconds(100)), &token};
+  EXPECT_EQ(control.Check(), StopReason::kNone);
+  token.Cancel();
+  EXPECT_EQ(control.Check(), StopReason::kCancelled);
+
+  const ExecControl expired{Deadline::At(Deadline::Clock::now()), nullptr};
+  EXPECT_EQ(expired.Check(), StopReason::kDeadlineExceeded);
+}
+
+TEST(ExecControlTest, CancellationWinsOverExpiredDeadline) {
+  // Both tripped: the requester's explicit signal is reported, so the
+  // caller sees kCancelled — never a spurious deadline status after they
+  // gave up on the request themselves.
+  CancellationToken token;
+  token.Cancel();
+  const ExecControl control{Deadline::At(Deadline::Clock::now()), &token};
+  EXPECT_EQ(control.Check(), StopReason::kCancelled);
+}
+
+}  // namespace
+}  // namespace qmatch

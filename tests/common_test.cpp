@@ -68,6 +68,41 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "parse error");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "deadline exceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
+}
+
+TEST(StatusTest, RobustnessFactoriesSetCodeAndMessage) {
+  // The typed-request outcomes of the fault-injection layer: requests that
+  // ran out of budget or were cancelled are statuses, not exceptions.
+  const Status deadline = Status::DeadlineExceeded("match timed out");
+  EXPECT_FALSE(deadline.ok());
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "deadline exceeded: match timed out");
+  const Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "cancelled: caller gave up");
+  // WithContext (how corpus entries attach their path) preserves the code.
+  EXPECT_EQ(deadline.WithContext("PO1.xsd").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.WithContext("PO1.xsd").message(),
+            "PO1.xsd: match timed out");
+}
+
+TEST(ResultTest, PropagatesRobustnessStatuses) {
+  // Result<T> carries the new codes like any other error — nothing in the
+  // propagation path special-cases them.
+  Result<int> degraded = Status::DeadlineExceeded("slow");
+  ASSERT_FALSE(degraded.ok());
+  EXPECT_EQ(degraded.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(degraded.value_or(-1), -1);
+  auto f = [&]() -> Result<int> {
+    QMATCH_ASSIGN_OR_RETURN(int v, Result<int>(Status::Cancelled("stop")));
+    return v;
+  };
+  EXPECT_EQ(f().status().code(), StatusCode::kCancelled);
 }
 
 // --- Result ----------------------------------------------------------------

@@ -1,0 +1,325 @@
+// Error-path tests for the typed MatchEngine request API: status
+// propagation through the corpus batch fan-out when individual schemas
+// fail to load or parse (ISSUE 3 satellite c), transient-failure retry
+// with seeded backoff, and the deadline/cancellation partial-result
+// contract at the API boundary.
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/file_util.h"
+#include "common/status.h"
+#include "datagen/corpus.h"
+#include "fault/failpoint.h"
+
+namespace qmatch::core {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr char kGoodXsd[] = R"(<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="PurchaseOrder">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="City" type="xs:string"/>
+        <xs:element name="Street" type="xs:string"/>
+        <xs:element name="Zip" type="xs:integer"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+)";
+
+constexpr char kMalformedXml[] = "<xs:schema><unclosed";
+
+constexpr char kNotASchema[] = R"(<?xml version="1.0"?>
+<catalog><item/></catalog>
+)";
+
+/// Writes `contents` under a unique name in the test temp dir and returns
+/// the path. Files are tiny and the dir is per-run, so no cleanup needed.
+std::string WriteTempSchema(const std::string& name,
+                            const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "qmatch_corpus_" + name;
+  EXPECT_TRUE(WriteFile(path, contents).ok()) << path;
+  return path;
+}
+
+MatchEngineOptions EngineOptions(size_t threads, size_t cache_capacity = 0) {
+  MatchEngineOptions options;
+  options.threads = threads;
+  options.cache_capacity = cache_capacity;
+  options.min_parallel_pairs = 1;
+  return options;
+}
+
+class EngineCorpusTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(EngineCorpusTest, AllGoodEntriesSucceedAndAccountingBalances) {
+  const std::vector<std::string> paths = {
+      WriteTempSchema("good_a.xsd", kGoodXsd),
+      WriteTempSchema("good_b.xsd", kGoodXsd)};
+  const xsd::Schema query = datagen::MakePO1();
+  for (size_t threads : {1u, 4u}) {
+    MatchEngine engine(EngineOptions(threads));
+    const CorpusMatchResult result = engine.MatchCorpus(query, paths);
+    ASSERT_EQ(result.entries.size(), paths.size());
+    EXPECT_EQ(result.ok, paths.size());
+    EXPECT_EQ(result.degraded, 0u);
+    for (size_t i = 0; i < paths.size(); ++i) {
+      const CorpusEntryResult& entry = result.entries[i];
+      EXPECT_EQ(entry.path, paths[i]);
+      EXPECT_TRUE(entry.ok()) << entry.status;
+      EXPECT_EQ(entry.load_attempts, 1u);
+      EXPECT_EQ(entry.completed_rows, entry.total_rows);
+      EXPECT_GT(entry.total_rows, 0u);
+      EXPECT_GT(entry.result.schema_qom, 0.0);
+    }
+  }
+}
+
+TEST_F(EngineCorpusTest, OneBadSchemaDegradesOnlyItsOwnSlot) {
+  // The satellite-c scenario: a corpus where one file is malformed XML,
+  // one is valid XML but not an XSD, and one does not exist. Each failure
+  // must surface as the right typed Status in its own slot — with the
+  // file's path in the message — while the good entries are unaffected.
+  const std::vector<std::string> paths = {
+      WriteTempSchema("ok1.xsd", kGoodXsd),
+      WriteTempSchema("broken.xsd", kMalformedXml),
+      WriteTempSchema("catalog.xml", kNotASchema),
+      ::testing::TempDir() + "qmatch_corpus_missing.xsd",
+      WriteTempSchema("ok2.xsd", kGoodXsd)};
+  const xsd::Schema query = datagen::MakePO1();
+  MatchEngine engine(EngineOptions(4));
+  CorpusMatchOptions options;
+  options.backoff_base = milliseconds(0);  // keep the missing-file retries fast
+  const CorpusMatchResult result = engine.MatchCorpus(query, paths, options);
+  ASSERT_EQ(result.entries.size(), 5u);
+  EXPECT_EQ(result.ok, 2u);
+  EXPECT_EQ(result.degraded, 3u);
+
+  EXPECT_TRUE(result.entries[0].ok()) << result.entries[0].status;
+  EXPECT_TRUE(result.entries[4].ok()) << result.entries[4].status;
+
+  const CorpusEntryResult& malformed = result.entries[1];
+  EXPECT_EQ(malformed.status.code(), StatusCode::kParseError);
+  EXPECT_NE(malformed.status.message().find("broken.xsd"), std::string::npos)
+      << malformed.status;
+  // Parse errors are deterministic: exactly one load attempt, no retry.
+  EXPECT_EQ(malformed.load_attempts, 1u);
+  EXPECT_TRUE(malformed.result.correspondences.empty());
+
+  const CorpusEntryResult& not_schema = result.entries[2];
+  EXPECT_EQ(not_schema.status.code(), StatusCode::kParseError);
+  EXPECT_NE(not_schema.status.message().find("catalog.xml"),
+            std::string::npos);
+
+  const CorpusEntryResult& missing = result.entries[3];
+  EXPECT_EQ(missing.status.code(), StatusCode::kIoError);
+  // kIoError is presumed transient, so the full retry budget is spent.
+  EXPECT_EQ(missing.load_attempts, options.max_load_attempts);
+}
+
+#if QMATCH_FAULT_ENABLED
+
+TEST_F(EngineCorpusTest, TransientLoadFailuresAreRetriedToSuccess) {
+  // First two loads fail (injected), the third succeeds: the entry must
+  // come back OK with load_attempts == 3.
+  const std::vector<std::string> paths = {
+      WriteTempSchema("transient.xsd", kGoodXsd)};
+  fault::FaultSpec spec;
+  spec.action = fault::FaultAction::kError;
+  spec.max_fires = 2;
+  fault::ScopedFailpoint armed("engine.corpus.load", spec);
+  const xsd::Schema query = datagen::MakePO1();
+  MatchEngine engine(EngineOptions(1));
+  CorpusMatchOptions options;
+  options.max_load_attempts = 3;
+  options.backoff_base = milliseconds(1);
+  const CorpusMatchResult result = engine.MatchCorpus(query, paths, options);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_TRUE(result.entries[0].ok()) << result.entries[0].status;
+  EXPECT_EQ(result.entries[0].load_attempts, 3u);
+  EXPECT_EQ(armed.stats().fires, 2u);
+}
+
+TEST_F(EngineCorpusTest, RetryBudgetExhaustionSurfacesIoError) {
+  const std::vector<std::string> paths = {
+      WriteTempSchema("always_failing.xsd", kGoodXsd)};
+  fault::FaultSpec spec;
+  spec.action = fault::FaultAction::kError;
+  fault::ScopedFailpoint armed("engine.corpus.load", spec);
+  const xsd::Schema query = datagen::MakePO1();
+  MatchEngine engine(EngineOptions(1));
+  CorpusMatchOptions options;
+  options.max_load_attempts = 4;
+  options.backoff_base = milliseconds(0);
+  const CorpusMatchResult result = engine.MatchCorpus(query, paths, options);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].status.code(), StatusCode::kIoError);
+  EXPECT_EQ(result.entries[0].load_attempts, 4u);
+  EXPECT_EQ(result.degraded, 1u);
+}
+
+TEST_F(EngineCorpusTest, ParserFailpointPropagatesThroughCorpus) {
+  // A fault injected at the XSD parser entry must surface as that entry's
+  // status (with path context), exactly like an organic parse failure.
+  const std::vector<std::string> paths = {
+      WriteTempSchema("poisoned_parse.xsd", kGoodXsd)};
+  fault::FaultSpec spec;
+  spec.action = fault::FaultAction::kError;
+  spec.code = StatusCode::kParseError;
+  spec.message = "injected parse failure";
+  fault::ScopedFailpoint armed("xsd.parse", spec);
+  const xsd::Schema query = datagen::MakePO1();
+  MatchEngine engine(EngineOptions(1));
+  const CorpusMatchResult result = engine.MatchCorpus(query, paths);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].status.code(), StatusCode::kParseError);
+  EXPECT_NE(result.entries[0].status.message().find("injected parse failure"),
+            std::string::npos);
+  EXPECT_NE(result.entries[0].status.message().find("poisoned_parse.xsd"),
+            std::string::npos);
+}
+
+TEST_F(EngineCorpusTest, DroppedCacheStoreOnlyCostsRecomputation) {
+  fault::FaultSpec spec;
+  spec.action = fault::FaultAction::kError;
+  fault::ScopedFailpoint armed("engine.cache.store", spec);
+  MatchEngine engine(EngineOptions(1, /*cache_capacity=*/8));
+  const xsd::Schema source = datagen::MakePO1();
+  const xsd::Schema target = datagen::MakePO2();
+  const MatchResult first = engine.Match(source, target);
+  const MatchResult second = engine.Match(source, target);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);  // nothing ever landed
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+  EXPECT_EQ(first.ToString(), second.ToString());
+}
+
+#endif  // QMATCH_FAULT_ENABLED
+
+TEST_F(EngineCorpusTest, PreCancelledRequestReturnsTypedEmptyResult) {
+  const xsd::Schema source = datagen::MakePO1();
+  const xsd::Schema target = datagen::MakePO2();
+  MatchEngine engine(EngineOptions(2));
+  CancellationToken token;
+  token.Cancel();
+  EngineRequestOptions options;
+  options.cancel = &token;
+  const EngineMatchResult result = engine.Match(source, target, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.completed_rows, 0u);
+  EXPECT_EQ(result.total_rows, source.NodeCount());
+  EXPECT_TRUE(result.result.correspondences.empty());
+}
+
+TEST_F(EngineCorpusTest, ExpiredDeadlineReturnsTypedEmptyResult) {
+  const xsd::Schema source = datagen::MakePO1();
+  const xsd::Schema target = datagen::MakePO2();
+  MatchEngine engine(EngineOptions(1));
+  EngineRequestOptions options;
+  options.deadline = Deadline::At(Deadline::Clock::now() - milliseconds(1));
+  const EngineMatchResult result = engine.Match(source, target, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.completed_rows, 0u);
+  EXPECT_TRUE(result.result.correspondences.empty());
+}
+
+TEST_F(EngineCorpusTest, UnboundedRequestMatchesUntypedPathExactly) {
+  const xsd::Schema source = datagen::MakePO1();
+  const xsd::Schema target = datagen::MakePO2();
+  MatchEngine engine(EngineOptions(2));
+  const MatchResult reference = engine.Match(source, target);
+  const EngineMatchResult typed =
+      engine.Match(source, target, EngineRequestOptions{});
+  EXPECT_TRUE(typed.ok());
+  EXPECT_EQ(typed.completed_rows, typed.total_rows);
+  EXPECT_EQ(typed.result.ToString(), reference.ToString());
+}
+
+TEST_F(EngineCorpusTest, TypedMatchAllKeepsInputOrderUnderCancellation) {
+  std::vector<xsd::Schema> sources;
+  std::vector<xsd::Schema> targets;
+  for (int i = 0; i < 6; ++i) {
+    sources.push_back(datagen::MakePO1());
+    targets.push_back(datagen::MakePO2());
+  }
+  std::vector<MatchJob> jobs;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    jobs.push_back(MatchJob{&sources[i], &targets[i]});
+  }
+  MatchEngine engine(EngineOptions(4));
+  CancellationToken token;
+  token.Cancel();
+  EngineRequestOptions options;
+  options.cancel = &token;
+  const std::vector<EngineMatchResult> results = engine.MatchAll(jobs, options);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (const EngineMatchResult& result : results) {
+    EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
+    EXPECT_TRUE(result.result.correspondences.empty());
+  }
+}
+
+TEST_F(EngineCorpusTest, CancelledCorpusRequestTypesEveryEntry) {
+  const std::vector<std::string> paths = {
+      WriteTempSchema("cancelled_a.xsd", kGoodXsd),
+      WriteTempSchema("cancelled_b.xsd", kGoodXsd)};
+  const xsd::Schema query = datagen::MakePO1();
+  MatchEngine engine(EngineOptions(2));
+  CancellationToken token;
+  token.Cancel();
+  CorpusMatchOptions options;
+  options.request.cancel = &token;
+  const CorpusMatchResult result = engine.MatchCorpus(query, paths, options);
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.ok, 0u);
+  EXPECT_EQ(result.degraded, 2u);
+  for (const CorpusEntryResult& entry : result.entries) {
+    EXPECT_EQ(entry.status.code(), StatusCode::kCancelled);
+  }
+}
+
+TEST_F(EngineCorpusTest, EmptyCorpusIsAnEmptySuccess) {
+  MatchEngine engine(EngineOptions(1));
+  const xsd::Schema query = datagen::MakePO1();
+  const CorpusMatchResult result = engine.MatchCorpus(query, {});
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_EQ(result.ok, 0u);
+  EXPECT_EQ(result.degraded, 0u);
+}
+
+TEST_F(EngineCorpusTest, CorpusEntriesOwnTheirSchemas) {
+  // The correspondences of each entry point into that entry's schema tree;
+  // moving the aggregate around must keep them valid (Schema is movable
+  // with stable node addresses).
+  const std::vector<std::string> paths = {
+      WriteTempSchema("owned.xsd", kGoodXsd)};
+  const xsd::Schema query = datagen::MakePO1();
+  MatchEngine engine(EngineOptions(1));
+  CorpusMatchResult result = engine.MatchCorpus(query, paths);
+  ASSERT_EQ(result.entries.size(), 1u);
+  ASSERT_TRUE(result.entries[0].ok());
+  const CorpusMatchResult moved = std::move(result);
+  const CorpusEntryResult& entry = moved.entries[0];
+  ASSERT_NE(entry.schema.root(), nullptr);
+  for (const Correspondence& c : entry.result.correspondences) {
+    // Target pointers resolve inside the entry-owned schema.
+    ASSERT_NE(c.target, nullptr);
+    EXPECT_EQ(entry.schema.FindByPath(c.target->Path()), c.target);
+  }
+}
+
+}  // namespace
+}  // namespace qmatch::core

@@ -7,11 +7,19 @@
 // scripts/ci.sh asan/tsan — run this same binary, which is where memory
 // errors would surface.)
 //
-// Every mutation is derived from a fixed seed, so a failure reproduces
-// exactly from the test log's (file, strategy, iteration) triple.
+// Every mutation is derived from a fixed base seed, so a failure
+// reproduces exactly. Reproducibility machinery (ISSUE 3 satellite):
+//  * QMATCH_FUZZ_SEED overrides the base seed, so a logged failure
+//    replays with `QMATCH_FUZZ_SEED=<seed> ./xml_fuzz_test`;
+//  * each mutant is written to a temp repro file *before* it is fed to
+//    the parsers — a crash or sanitizer abort leaves the offending input
+//    (plus a manifest naming the base seed and the file/strategy/
+//    iteration cell) on disk; both are deleted on a clean run.
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -42,6 +50,41 @@ std::string LoadSchema(const std::string& file) {
       ReadFile(std::string(QMATCH_SOURCE_DIR) + "/data/schemas/" + file);
   EXPECT_TRUE(text.ok()) << file << ": " << text.status();
   return text.ok() ? std::move(text).value() : std::string();
+}
+
+/// Base seed of the mutation streams; QMATCH_FUZZ_SEED replays a failure.
+uint64_t BaseSeed() {
+  const char* env = std::getenv("QMATCH_FUZZ_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xF00DF00DULL;
+}
+
+std::string ReproDocPath() {
+  return ::testing::TempDir() + "qmatch_fuzz_repro.xml";
+}
+std::string ReproManifestPath() {
+  return ::testing::TempDir() + "qmatch_fuzz_repro.txt";
+}
+
+/// Persists the mutant about to be digested. Written before the parsers
+/// run so that a crash (which never returns control to the test) still
+/// leaves the exact offending bytes and their provenance on disk.
+void WriteRepro(const std::string& mutant, uint64_t base_seed,
+                const std::string& file, const char* strategy,
+                size_t iteration) {
+  (void)WriteFile(ReproDocPath(), mutant);
+  (void)WriteFile(ReproManifestPath(),
+                  "QMATCH_FUZZ_SEED=" + std::to_string(base_seed) +
+                      " file=" + file + " strategy=" + strategy +
+                      " iteration=" + std::to_string(iteration) +
+                      " doc=" + ReproDocPath() + "\n");
+}
+
+void RemoveRepro() {
+  std::remove(ReproDocPath().c_str());
+  std::remove(ReproManifestPath().c_str());
 }
 
 // Feeds one input through both parsers. The assertions are implicit — a
@@ -123,6 +166,10 @@ TEST(XmlFuzzTest, MutatedCorpusNeverCrashesParsers) {
       {"splice", SpliceTags, 25},
       {"noise", ByteNoise, 40},
   };
+  const uint64_t base_seed = BaseSeed();
+  // Logged up front so even a hard crash's log names the seed to replay.
+  std::printf("[fuzz] base seed %llu (override with QMATCH_FUZZ_SEED)\n",
+              static_cast<unsigned long long>(base_seed));
   size_t rejected = 0;
   size_t accepted = 0;
   uint64_t file_index = 0;
@@ -131,24 +178,33 @@ TEST(XmlFuzzTest, MutatedCorpusNeverCrashesParsers) {
     ASSERT_FALSE(base.empty()) << file;
     uint64_t strategy_index = 0;
     for (const Strategy& strategy : kStrategies) {
-      // Seed from (file, strategy) so each cell of the matrix is an
-      // independent, reproducible stream.
-      Random rng(0xF00DF00DULL + file_index * 131 + strategy_index * 7);
+      // Seed from (base seed, file, strategy) so each cell of the matrix
+      // is an independent, reproducible stream.
+      Random rng(base_seed + file_index * 131 + strategy_index * 7);
       for (size_t iteration = 0; iteration < strategy.iterations;
            ++iteration) {
         const std::string mutant = strategy.mutate(base, rng);
         SCOPED_TRACE(file + "/" + strategy.name + "/#" +
                      std::to_string(iteration));
+        WriteRepro(mutant, base_seed, file, strategy.name, iteration);
         if (Digest(mutant)) {
           ++accepted;
         } else {
           ++rejected;
+        }
+        if (::testing::Test::HasFailure()) {
+          // Keep the repro files and stop: everything after this input is
+          // noise. The manifest pins seed + cell for replay.
+          FAIL() << "fuzz failure; repro kept at " << ReproDocPath()
+                 << " (manifest " << ReproManifestPath()
+                 << "); replay with QMATCH_FUZZ_SEED=" << base_seed;
         }
       }
       ++strategy_index;
     }
     ++file_index;
   }
+  RemoveRepro();
   // Sanity: the mutator is doing real damage (plenty of rejects) and the
   // parser is not rejecting everything blindly (truncation at a late
   // offset etc. can stay well-formed).
