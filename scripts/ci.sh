@@ -10,6 +10,7 @@
 #   scripts/ci.sh obs-off    # QMATCH_OBS=OFF build; full suite (kill switch)
 #   scripts/ci.sh fault-off  # QMATCH_FAULT=OFF build; full suite (kill switch)
 #   scripts/ci.sh chaos      # chaos suite under ASan and TSan, fixed seeds
+#   scripts/ci.sh stress     # overload suite under ASan and TSan + load bench
 #   scripts/ci.sh coverage   # --coverage build; enforces the line floor
 #   scripts/ci.sh all        # all of the above
 set -euo pipefail
@@ -90,6 +91,36 @@ run_chaos() {
   QMATCH_CHAOS_SEEDS="${CHAOS_SEEDS}" \
   TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -C chaos -L chaos
+}
+
+# Overload/stress suite: admission control, memory budgets and the
+# degradation ladder (everything labelled "overload") under both ASan
+# (leaks on shed/exhausted paths) and TSan (races between admitters,
+# releasers and the pressure reads), then the offered-load bench, whose
+# table is the shed-rate/goodput column for EXPERIMENTS.md: throughput and
+# shed rate at 1x, 4x and 16x of the configured admission capacity.
+run_stress() {
+  local overload_targets=(common_memory_budget_test common_admission_test
+                          core_overload_test core_engine_cache_soak_test)
+
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" --target "${overload_targets[@]}"
+  ASAN_OPTIONS="halt_on_error=1:abort_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-asan --output-on-failure -L overload
+
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" --target "${overload_targets[@]}"
+  TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -L overload
+
+  # The load table runs uninstrumented: sanitizer slowdowns would distort
+  # the throughput column.
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}" --target bench_overload
+  ./build/bench/bench_overload
 }
 
 run_obs_off() {
@@ -177,10 +208,11 @@ case "${MODE}" in
   obs-off)   run_obs_off ;;
   fault-off) run_fault_off ;;
   chaos)     run_chaos ;;
+  stress)    run_stress ;;
   coverage)  run_coverage ;;
   all)       run_default; run_tsan; run_asan; run_ubsan; run_obs_off
-             run_fault_off; run_chaos; run_coverage ;;
+             run_fault_off; run_chaos; run_stress; run_coverage ;;
   *) echo "unknown mode '${MODE}'" \
-          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|coverage|all)" >&2
+          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|stress|coverage|all)" >&2
      exit 2 ;;
 esac

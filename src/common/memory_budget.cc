@@ -1,0 +1,64 @@
+#include "common/memory_budget.h"
+
+#include <string>
+
+#include "fault/failpoint.h"
+
+namespace qmatch {
+
+Status MemoryBudget::TryCharge(uint64_t bytes, std::string_view what) {
+  if (QMATCH_FAILPOINT_FIRED("budget.charge")) {
+    return Status::ResourceExhausted(std::string(what) +
+                                     ": injected budget exhaustion");
+  }
+  if (bytes == 0) return Status::OK();
+  uint64_t prior = used_.fetch_add(bytes, std::memory_order_relaxed);
+  if (limit_ != 0 && prior + bytes > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        std::string(what) + ": memory budget exceeded (requested " +
+        std::to_string(bytes) + " bytes, used " + std::to_string(prior) +
+        " of " + std::to_string(limit_) + ")");
+  }
+  if (parent_ != nullptr) {
+    Status parent_status = parent_->TryCharge(bytes, what);
+    if (!parent_status.ok()) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return parent_status;
+    }
+  }
+  uint64_t now = prior + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryBudget::Release(uint64_t bytes) noexcept {
+  if (bytes == 0) return;
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+double MemoryBudget::Pressure() const {
+  if (limit_ == 0) return 0.0;
+  double ratio = static_cast<double>(used()) / static_cast<double>(limit_);
+  if (ratio < 0.0) return 0.0;
+  if (ratio > 1.0) return 1.0;
+  return ratio;
+}
+
+Status ScopedCharge::Add(uint64_t bytes, std::string_view what) {
+  if (budget_ == nullptr) return Status::OK();
+  QMATCH_RETURN_IF_ERROR(budget_->TryCharge(bytes, what));
+  charged_ += bytes;
+  return Status::OK();
+}
+
+void ScopedCharge::Reset() noexcept {
+  if (budget_ != nullptr && charged_ != 0) budget_->Release(charged_);
+  charged_ = 0;
+}
+
+}  // namespace qmatch

@@ -1,0 +1,110 @@
+#ifndef QMATCH_COMMON_MEMORY_BUDGET_H_
+#define QMATCH_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace qmatch {
+
+/// A hierarchical memory-accounting arena (process → request). Components
+/// that allocate proportionally to their input — the XML/XSD parsers, the
+/// pairwise QoM memo table — charge their estimated footprint before
+/// allocating and release it when the transient structures die. A charge
+/// that would exceed the budget's limit (or any ancestor's) fails with a
+/// typed `kResourceExhausted` Status instead of letting the allocation OOM
+/// the process.
+///
+/// The accounting is advisory, not an allocator: callers charge estimates
+/// up front, so the arena bounds *admitted* memory, and a small transient
+/// overshoot between concurrent charges is possible (charges are one
+/// fetch_add plus a limit check, no lock). A limit of 0 means unlimited —
+/// the arena still tracks `used`/`peak` for the pressure signal.
+///
+/// Thread-safe. A child budget must not outlive its parent.
+class MemoryBudget {
+ public:
+  /// `limit_bytes` 0 = unlimited. `parent` (borrowed, nullable) receives
+  /// every charge/release too, so a request-level budget rolls up into the
+  /// process-level one.
+  explicit MemoryBudget(uint64_t limit_bytes, MemoryBudget* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Attempts to charge `bytes` against this budget and every ancestor.
+  /// On failure nothing is charged anywhere and the Status names `what`
+  /// plus the requested/used/limit byte counts. The `budget.charge`
+  /// failpoint injects exhaustion here (chaos/unit tests).
+  Status TryCharge(uint64_t bytes, std::string_view what);
+
+  /// Returns `bytes` to this budget and every ancestor. Must pair with a
+  /// successful TryCharge of the same amount.
+  void Release(uint64_t bytes) noexcept;
+
+  uint64_t limit() const { return limit_; }
+  bool unlimited() const { return limit_ == 0; }
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  /// High-water mark of `used` since construction.
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Budget watermark in [0, 1]: used/limit, clamped; 0 when unlimited.
+  /// One input of the engine's degradation-ladder pressure signal.
+  double Pressure() const;
+
+ private:
+  const uint64_t limit_;  // 0 = unlimited
+  MemoryBudget* const parent_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// RAII accumulator over one budget: `Add` charges incrementally (the
+/// parsers charge per node), the destructor releases everything charged.
+/// A null budget makes every operation a no-op, so call sites stay
+/// unconditional.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  explicit ScopedCharge(MemoryBudget* budget) : budget_(budget) {}
+
+  ScopedCharge(ScopedCharge&& other) noexcept
+      : budget_(other.budget_), charged_(other.charged_) {
+    other.budget_ = nullptr;
+    other.charged_ = 0;
+  }
+  ScopedCharge& operator=(ScopedCharge&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      budget_ = other.budget_;
+      charged_ = other.charged_;
+      other.budget_ = nullptr;
+      other.charged_ = 0;
+    }
+    return *this;
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  ~ScopedCharge() { Reset(); }
+
+  /// Charges `bytes` more; on failure the previous charges stay (released
+  /// by the destructor as usual) and the caller aborts its work.
+  Status Add(uint64_t bytes, std::string_view what);
+
+  /// Releases everything charged so far.
+  void Reset() noexcept;
+
+  uint64_t charged() const { return charged_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t charged_ = 0;
+};
+
+}  // namespace qmatch
+
+#endif  // QMATCH_COMMON_MEMORY_BUDGET_H_

@@ -25,6 +25,14 @@ enum class StatusCode {
   kDeadlineExceeded = 9,
   /// The request was cooperatively cancelled via a CancellationToken.
   kCancelled = 10,
+  /// A resource limit (memory budget, input-size/node-count/depth cap) was
+  /// hit before the work completed. The typed alternative to OOM: the
+  /// request is rejected, the process survives.
+  kResourceExhausted = 11,
+  /// The system refused to admit the request because it is at capacity
+  /// (admission queue full, or a circuit breaker is open). The request was
+  /// shed before any work ran — retrying later may succeed.
+  kOverloaded = 12,
 };
 
 /// Returns the canonical lower-case name of a status code ("parse error").
@@ -79,6 +87,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

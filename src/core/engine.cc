@@ -100,6 +100,12 @@ void CountRequestOutcome(const Status& status) {
     case StatusCode::kCancelled:
       QMATCH_COUNTER_ADD("engine.requests_cancelled", 1);
       break;
+    case StatusCode::kOverloaded:
+      QMATCH_COUNTER_ADD("engine.requests_overloaded", 1);
+      break;
+    case StatusCode::kResourceExhausted:
+      QMATCH_COUNTER_ADD("engine.requests_resource_exhausted", 1);
+      break;
     default:
       QMATCH_COUNTER_ADD("engine.requests_error", 1);
       break;
@@ -114,7 +120,9 @@ MatchEngine::MatchEngine(MatchEngineOptions options)
 MatchEngine::MatchEngine(QMatchConfig config, MatchEngineOptions options)
     : matcher_(std::move(config)),
       threads_(ResolveThreads(options.threads)),
-      options_(options) {
+      options_(options),
+      admission_(options.overload.admission),
+      process_budget_(options.overload.process_budget_bytes) {
   config_hash_ = HashConfig(matcher_.config());
   // The calling thread participates in every ParallelFor, so `threads`
   // total parallelism needs threads-1 pool workers.
@@ -125,7 +133,9 @@ MatchEngine::MatchEngine(QMatchConfig config, const lingua::Thesaurus* thesaurus
                          MatchEngineOptions options)
     : matcher_(std::move(config), thesaurus),
       threads_(ResolveThreads(options.threads)),
-      options_(options) {
+      options_(options),
+      admission_(options.overload.admission),
+      process_budget_(options.overload.process_budget_bytes) {
   config_hash_ = HashConfig(matcher_.config());
   pool_ = std::make_unique<ThreadPool>(threads_ - 1);
 }
@@ -237,6 +247,11 @@ MatchResult MatchEngine::Match(const xsd::Schema& source,
     if (CacheLookup(key, source, target, &hit)) return hit;
   }
   const size_t pairs = source.NodeCount() * target.NodeCount();
+  // The untyped API has no deadline to bound a queue wait and no way to
+  // return a typed shed, so it applies pure backpressure: block until
+  // capacity frees up. Callers that want load shedding use the typed Match.
+  AdmissionPermit permit;
+  admission_.AdmitBlocking(std::max<uint64_t>(1, pairs), &permit);
   ThreadPool* pool =
       (threads_ > 1 && pairs >= options_.min_parallel_pairs) ? pool_.get()
                                                              : nullptr;
@@ -280,6 +295,11 @@ std::vector<MatchResult> MatchEngine::MatchAll(
         return;
       }
     }
+    AdmissionPermit permit;
+    admission_.AdmitBlocking(
+        std::max<uint64_t>(1, jobs[i].source->NodeCount() *
+                                  jobs[i].target->NodeCount()),
+        &permit);
     results[i] = MatchUncached(*jobs[i].source, *jobs[i].target, nullptr);
     if (cached) CacheStore(key, results[i]);
   });
@@ -313,18 +333,72 @@ EngineMatchResult MatchEngine::Match(const xsd::Schema& source,
     }
   }
   const size_t pairs = source.NodeCount() * target.NodeCount();
+  const OverloadOptions& overload = options_.overload;
+
+  // Admission: over-capacity requests queue (FIFO, up to the deadline) or
+  // are shed with a typed kOverloaded before any matching work runs.
+  AdmissionPermit permit;
+  {
+    Status admitted =
+        admission_.Admit(std::max<uint64_t>(1, pairs), control, &permit);
+    if (!admitted.ok()) {
+      out.status = std::move(admitted);
+      CountRequestOutcome(out.status);
+      return out;
+    }
+  }
+
+  // Degradation ladder: the pressure signal picks the rung, unless the
+  // request pins one explicitly.
+  const double pressure = Pressure();
+  QMATCH_GAUGE_SET("engine.pressure_permille",
+                   static_cast<uint64_t>(pressure * 1000.0));
+  MatchMode mode = MatchMode::kFull;
+  if (options.force_mode.has_value()) {
+    mode = *options.force_mode;
+  } else if (pressure >= overload.label_only_pressure) {
+    mode = MatchMode::kLabelOnly;
+  } else if (pressure >= overload.capped_depth_pressure) {
+    mode = MatchMode::kCappedDepth;
+  }
+  if (mode == MatchMode::kCappedDepth) {
+    QMATCH_COUNTER_ADD("engine.degraded.capped_depth", 1);
+  } else if (mode == MatchMode::kLabelOnly) {
+    QMATCH_COUNTER_ADD("engine.degraded.label_only", 1);
+  }
+
+  // Memory budget: the pairwise table is this request's dominant
+  // allocation; charge it (request budget rolls up into the process one)
+  // and reject with a typed kResourceExhausted instead of OOMing.
+  MemoryBudget request_budget(overload.request_budget_bytes, &process_budget_);
+  ScopedCharge table_charge(&request_budget);
+  {
+    Status charged = table_charge.Add(
+        std::max<uint64_t>(1, pairs) * sizeof(PairQoM), "pairwise QoM table");
+    if (!charged.ok()) {
+      out.status = std::move(charged);
+      CountRequestOutcome(out.status);
+      return out;
+    }
+  }
+
+  TreeMatchOptions tree;
+  tree.mode = mode;
+  tree.children_depth_cap = overload.children_depth_cap;
   ThreadPool* pool =
       (threads_ > 1 && pairs >= options_.min_parallel_pairs) ? pool_.get()
                                                              : nullptr;
   try {
     QMatch::Analysis analysis =
-        matcher_.Analyze(source, target, pool, &control);
+        matcher_.Analyze(source, target, pool, &control, tree);
     out.completed_rows = analysis.completed_rows();
     out.total_rows = analysis.total_rows();
     switch (analysis.stop_reason()) {
       case StopReason::kNone:
         out.result = analysis.TakeResult();
-        if (cached) CacheStore(key, out.result);
+        // Only full-fidelity answers enter the cache: a degraded result
+        // must never be served later as if it were the real one.
+        if (cached && mode == MatchMode::kFull) CacheStore(key, out.result);
         break;
       case StopReason::kCancelled:
       case StopReason::kDeadlineExceeded:
@@ -433,6 +507,47 @@ CorpusMatchResult MatchEngine::MatchCorpus(
   auto process = [&](size_t i) {
     CorpusEntryResult& entry = out.entries[i];
     entry.path = paths[i];
+    // Per-entry circuit breaker: an entry that repeatedly failed (load,
+    // parse or internal) across requests is rejected up front instead of
+    // burning retries on it again. Deadline/cancellation/shed outcomes are
+    // the request's fault, not the entry's, and leave the breaker alone.
+    CircuitBreaker* breaker;
+    {
+      std::lock_guard<std::mutex> lock(breaker_mutex_);
+      breaker = &breakers_
+                     .try_emplace(paths[i],
+                                  CircuitBreakerOptions{
+                                      options_.overload.breaker_failure_threshold,
+                                      options_.overload.breaker_cooldown})
+                     .first->second;
+    }
+    if (!breaker->Allow()) {
+      entry.status = Status::Overloaded(paths[i] + ": circuit breaker open");
+      CountRequestOutcome(entry.status);
+      QMATCH_COUNTER_ADD("engine.corpus.breaker_rejections", 1);
+      return;
+    }
+    // Reports the entry's final outcome to its breaker on every exit path.
+    struct BreakerRecord {
+      CircuitBreaker* breaker;
+      const Status* status;
+      ~BreakerRecord() {
+        switch (status->code()) {
+          case StatusCode::kOk:
+            breaker->RecordSuccess();
+            break;
+          case StatusCode::kIoError:
+          case StatusCode::kParseError:
+          case StatusCode::kInternal:
+          case StatusCode::kResourceExhausted:
+            breaker->RecordFailure();
+            break;
+          default:
+            breaker->RecordNeutral();
+            break;
+        }
+      }
+    } breaker_record{breaker, &entry.status};
     try {
       const StopReason stopped = control.Check();
       if (stopped != StopReason::kNone) {
@@ -490,6 +605,10 @@ std::vector<MatchResult> MatchEngine::MatchOneToMany(
     jobs.push_back(MatchJob{&query, candidate});
   }
   return MatchAll(jobs);
+}
+
+double MatchEngine::Pressure() const {
+  return std::max(admission_.Pressure(), process_budget_.Pressure());
 }
 
 MatchEngineCacheStats MatchEngine::cache_stats() const {

@@ -7,10 +7,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/admission.h"
 #include "common/cancel.h"
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/qmatch.h"
@@ -19,6 +22,40 @@
 #include "xsd/schema.h"
 
 namespace qmatch::core {
+
+/// Overload-protection knobs: admission control, memory budgets and the
+/// pressure-driven degradation ladder. Every default leaves the mechanism
+/// off, so an unconfigured engine behaves bit-identically to one built
+/// before this layer existed.
+struct OverloadOptions {
+  /// Admission control over typed requests (cost = |Ns|·|Nt| node pairs).
+  /// Disabled while `admission.max_inflight_cost` is 0.
+  AdmissionOptions admission;
+
+  /// Process-wide memory budget shared by every request (0 = unlimited).
+  uint64_t process_budget_bytes = 0;
+
+  /// Per-request memory budget, charged into the process budget
+  /// (0 = unlimited). Bounds one request's pairwise table + parse arena.
+  uint64_t request_budget_bytes = 0;
+
+  /// Degradation ladder thresholds on the pressure signal
+  /// (max of admission pressure and process-budget watermark, in [0, 1]):
+  /// pressure >= capped_depth_pressure degrades to kCappedDepth,
+  /// >= label_only_pressure to kLabelOnly. A threshold > 1 disables that
+  /// rung.
+  double capped_depth_pressure = 0.75;
+  double label_only_pressure = 0.90;
+
+  /// Subtree-depth cap of the kCappedDepth rung (see TreeMatchOptions).
+  size_t children_depth_cap = 3;
+
+  /// Per-corpus-entry circuit breaker (see CircuitBreaker): consecutive
+  /// load/parse/internal failures before the entry stops being admitted,
+  /// and how long it stays open.
+  int breaker_failure_threshold = 3;
+  std::chrono::milliseconds breaker_cooldown{250};
+};
 
 /// Tuning knobs for the parallel batch-match engine.
 struct MatchEngineOptions {
@@ -37,6 +74,10 @@ struct MatchEngineOptions {
   /// filled sequentially even when workers are available: below this size
   /// the fan-out overhead dominates the table fill.
   size_t min_parallel_pairs = 2048;
+
+  /// Overload protection (admission, budgets, degradation). All off by
+  /// default.
+  OverloadOptions overload;
 };
 
 /// Observability counters of the result cache.
@@ -61,6 +102,11 @@ struct MatchJob {
 struct EngineRequestOptions {
   Deadline deadline;
   const CancellationToken* cancel = nullptr;
+
+  /// Pins the degradation mode instead of letting the pressure signal pick
+  /// it — tests and quality experiments use this to get a deterministic
+  /// degraded run; production callers normally leave it unset.
+  std::optional<MatchMode> force_mode;
 };
 
 /// Typed outcome of one deadline/cancellation-aware match. `status` is the
@@ -213,6 +259,15 @@ class MatchEngine : public Matcher {
   MatchEngineCacheStats cache_stats() const;
   void ClearCache();
 
+  /// Live load signal in [0, 1]: max of admission pressure (cost/queue
+  /// fill) and the process-budget watermark. Drives the degradation
+  /// ladder; also exported as the `engine.pressure_permille` gauge.
+  double Pressure() const;
+
+  /// Read-only access to the overload-protection state (tests, benches).
+  const AdmissionController& admission() const { return admission_; }
+  const MemoryBudget& process_budget() const { return process_budget_; }
+
  private:
   struct CacheKey {
     uint64_t source_fp = 0;
@@ -247,6 +302,14 @@ class MatchEngine : public Matcher {
   size_t threads_ = 1;
   MatchEngineOptions options_;
   mutable std::unique_ptr<ThreadPool> pool_;
+
+  mutable AdmissionController admission_;
+  mutable MemoryBudget process_budget_;
+  mutable std::mutex breaker_mutex_;
+  /// Per-corpus-path circuit breakers, created on first use and persistent
+  /// across MatchCorpus requests (that persistence is the point: repeated
+  /// failures across requests open the circuit).
+  mutable std::map<std::string, CircuitBreaker> breakers_;
 
   mutable std::mutex cache_mutex_;
   mutable std::list<CacheEntry> cache_lru_;  // front = most recent

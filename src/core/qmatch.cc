@@ -162,11 +162,44 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
 QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
                                  const xsd::Schema& target, ThreadPool* pool,
                                  const ExecControl* control) const {
+  return Analyze(source, target, pool, control, TreeMatchOptions{});
+}
+
+QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
+                                 const xsd::Schema& target, ThreadPool* pool,
+                                 const ExecControl* control,
+                                 const TreeMatchOptions& tree) const {
   Analysis analysis;
   analysis.source_schema_ = &source;
   analysis.target_schema_ = &target;
   analysis.result_.algorithm = std::string(name());
+  analysis.result_.mode = tree.mode;
   if (source.root() == nullptr || target.root() == nullptr) return analysis;
+
+  // Degradation ladder (see MatchMode). kLabelOnly drops the children axis
+  // and renormalizes the remaining weight mass per Eq. 6/7, so the weighted
+  // total still spans [0, 1]; the label/property/level axis *values* are
+  // computed by exactly the code the full run uses, and stay bit-identical.
+  // kCappedDepth treats nodes at the cap or deeper as leaves on the
+  // children axis only. kFull leaves every branch byte-for-byte unchanged.
+  const bool label_only = tree.mode == MatchMode::kLabelOnly;
+  const bool capped = tree.mode == MatchMode::kCappedDepth;
+  qom::Weights weights = config_.weights;
+  if (label_only) {
+    const double rest = weights.label + weights.properties + weights.level;
+    if (rest > 0.0) {
+      weights.label /= rest;
+      weights.properties /= rest;
+      weights.level /= rest;
+    } else {
+      weights.label = weights.properties = weights.level = 1.0 / 3.0;
+    }
+    weights.children = 0.0;
+  }
+  auto effective_leaf = [&](const xsd::SchemaNode* node) {
+    return node->IsLeaf() ||
+           (capped && node->level() >= tree.children_depth_cap);
+  };
 
   analysis.source_nodes_ = source.AllNodes();
   analysis.target_nodes_ = target.AllNodes();
@@ -224,19 +257,25 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
 #endif
 
       // --- Children axis (Eq. 3-5) ---------------------------------
-      if (s->IsLeaf() && t->IsLeaf()) {
+      if (label_only) {
+        // Degraded mode: the axis is not evaluated at all — its weight
+        // mass was renormalized away above.
+        pair.children = 0.0;
+        pair.coverage = qom::Coverage::kNone;
+        pair.children_all_exact = false;
+      } else if (effective_leaf(s) && effective_leaf(t)) {
         // Leaves match exactly by default along the children axis (the
         // constant C of Eq. 2).
         pair.children = 1.0;
         pair.coverage = qom::Coverage::kTotal;
         pair.children_all_exact = true;
-      } else if (s->IsLeaf()) {
+      } else if (effective_leaf(s)) {
         // No source children to cover: vacuously total, never exact, and
         // only partial credit (see QMatchConfig).
         pair.children = config_.leaf_to_inner_children_credit;
         pair.coverage = qom::Coverage::kTotal;
         pair.children_all_exact = false;
-      } else if (t->IsLeaf()) {
+      } else if (effective_leaf(t)) {
         pair.children = 0.0;
         pair.coverage = qom::Coverage::kNone;
         pair.children_all_exact = false;
@@ -354,7 +393,7 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
 #endif
 
       // --- Weighted total (Eq. 1/6) and taxonomy category -------------
-      const qom::Weights& w = config_.weights;
+      const qom::Weights& w = weights;
       pair.qom = w.label * pair.label + w.properties * pair.properties +
                  w.level * pair.level + w.children * pair.children;
       pair.category =

@@ -35,6 +35,15 @@ struct PairQoM {
   std::string ToString() const;
 };
 
+/// Degradation controls for one TreeMatch evaluation (see MatchMode). The
+/// default (kFull) is byte-for-byte the undegraded algorithm.
+struct TreeMatchOptions {
+  MatchMode mode = MatchMode::kFull;
+  /// kCappedDepth only: nodes at this level or deeper are treated as
+  /// leaves on the children axis (their subtrees are not recursed into).
+  size_t children_depth_cap = 3;
+};
+
 /// QMatch — the paper's hybrid match algorithm (Section 4, Fig. 3).
 ///
 /// A recursive depth-first evaluation that combines the linguistic label
@@ -169,6 +178,18 @@ class QMatch : public Matcher {
   /// A null or inactive `control` is byte-for-byte the plain Analyze.
   Analysis Analyze(const xsd::Schema& source, const xsd::Schema& target,
                    ThreadPool* pool, const ExecControl* control) const;
+
+  /// Degradation-aware variant: `tree.mode` selects the rung of the
+  /// overload ladder. kLabelOnly skips the children axis entirely and
+  /// renormalizes the remaining weights per Eq. 6/7 (the label, property
+  /// and level axis values stay bit-identical to the full run — only the
+  /// weighting and the dropped axis change). kCappedDepth treats nodes at
+  /// `tree.children_depth_cap` or deeper as leaves on the children axis.
+  /// The result records the active mode. kFull is byte-for-byte the
+  /// four-argument Analyze.
+  Analysis Analyze(const xsd::Schema& source, const xsd::Schema& target,
+                   ThreadPool* pool, const ExecControl* control,
+                   const TreeMatchOptions& tree) const;
 
  private:
   QMatchConfig config_;

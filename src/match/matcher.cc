@@ -6,6 +6,18 @@
 
 namespace qmatch {
 
+std::string_view MatchModeName(MatchMode mode) {
+  switch (mode) {
+    case MatchMode::kFull:
+      return "full";
+    case MatchMode::kCappedDepth:
+      return "capped-depth";
+    case MatchMode::kLabelOnly:
+      return "label-only";
+  }
+  return "unknown";
+}
+
 bool MatchResult::Contains(std::string_view source_path,
                            std::string_view target_path) const {
   for (const Correspondence& c : correspondences) {

@@ -10,6 +10,26 @@
 
 namespace qmatch {
 
+/// Degradation level a match result was computed at. Under overload the
+/// engine walks a ladder from the full hybrid QoM down to the cheap axes
+/// only; results carry their mode so callers (and goldens) can tell a
+/// degraded answer from a full one.
+enum class MatchMode {
+  /// Full QoM per Eq. 1: label + properties + level + recursive children.
+  kFull = 0,
+  /// Children axis evaluated only above a depth cap; deeper subtrees score
+  /// as leaves. Cheaper than full, structurally aware near the root.
+  kCappedDepth = 1,
+  /// Children axis skipped entirely; the remaining label/property/level
+  /// weights are renormalized per Eq. 6/7 (CUPID-style structural-free
+  /// matching as the last rung before shedding).
+  kLabelOnly = 2,
+};
+
+/// Canonical lower-case name of a match mode ("full", "capped-depth",
+/// "label-only").
+std::string_view MatchModeName(MatchMode mode);
+
 /// One discovered node-to-node match: a source node, the target node it was
 /// mapped to, and the algorithm's confidence/QoM score in [0, 1].
 struct Correspondence {
@@ -26,6 +46,10 @@ struct MatchResult {
   std::string algorithm;
   double schema_qom = 0.0;
   std::vector<Correspondence> correspondences;
+
+  /// Degradation level this result was computed at. kFull unless the
+  /// producer explicitly degraded (overload ladder or forced mode).
+  MatchMode mode = MatchMode::kFull;
 
   /// True if a correspondence with these endpoint paths was returned.
   bool Contains(std::string_view source_path,

@@ -13,10 +13,11 @@ namespace qmatch::xml {
 
 namespace {
 
-/// Hard cap on element nesting. The parser is recursive-descent, so
-/// unbounded nesting (a hostile or fuzzed input) would otherwise exhaust
-/// the stack; past this depth parsing fails with a Status instead.
-constexpr size_t kMaxElementDepth = 512;
+/// Estimated DOM footprint charged to the memory budget per element node:
+/// the XmlElement object plus typical name/attribute/child-vector storage.
+/// An estimate, not exact accounting — the budget bounds admitted parse
+/// memory to the right order of magnitude.
+constexpr size_t kApproxBytesPerNode = 512;
 
 bool IsNameStartChar(char c) {
   return IsAsciiAlpha(c) || c == '_' || c == ':' ||
@@ -30,7 +31,8 @@ bool IsNameChar(char c) {
 /// Recursive-descent XML parser over a TextCursor.
 class Parser {
  public:
-  explicit Parser(std::string_view input) : cursor_(input) {}
+  Parser(std::string_view input, const ParserOptions& options)
+      : cursor_(input), options_(options), charge_(options.budget) {}
 
   Result<XmlDocument> ParseDocument() {
     XmlDocument doc;
@@ -187,10 +189,19 @@ class Parser {
   }
 
   Result<std::unique_ptr<XmlElement>> ParseElement() {
-    if (depth_ >= kMaxElementDepth) {
-      return Error("element nesting deeper than " +
-                   std::to_string(kMaxElementDepth));
+    if (depth_ >= options_.max_depth) {
+      return Status::ResourceExhausted(
+          "element nesting deeper than " + std::to_string(options_.max_depth) +
+          " at " + cursor_.Location());
     }
+    if (nodes_ >= options_.max_nodes) {
+      return Status::ResourceExhausted(
+          "document has more than " + std::to_string(options_.max_nodes) +
+          " elements at " + cursor_.Location());
+    }
+    ++nodes_;
+    QMATCH_RETURN_IF_ERROR(
+        charge_.Add(kApproxBytesPerNode, "xml parse: element node"));
     ++depth_;
     struct DepthGuard {
       size_t& depth;
@@ -294,7 +305,10 @@ class Parser {
   }
 
   TextCursor cursor_;
-  size_t depth_ = 0;  // current element nesting depth
+  const ParserOptions& options_;
+  ScopedCharge charge_;  // released when the Parser dies (end of parse)
+  size_t depth_ = 0;     // current element nesting depth
+  size_t nodes_ = 0;     // element nodes created so far
 };
 
 #if QMATCH_OBS_ENABLED
@@ -312,12 +326,24 @@ size_t CountElements(const XmlElement& element) {
 }  // namespace
 
 Result<XmlDocument> Parse(std::string_view input) {
+  return Parse(input, ParserOptions{});
+}
+
+Result<XmlDocument> Parse(std::string_view input,
+                          const ParserOptions& options) {
   QMATCH_SPAN(span, "xml.parse");
   QMATCH_SPAN_ARG(span, "bytes", input.size());
   QMATCH_FAILPOINT_RETURN("xml.parse");
   QMATCH_COUNTER_ADD("xml.parse.documents", 1);
   QMATCH_COUNTER_ADD("xml.parse.bytes", input.size());
-  Parser parser(input);
+  if (input.size() > options.max_input_bytes) {
+    QMATCH_COUNTER_ADD("xml.parse.errors", 1);
+    return Status::ResourceExhausted(
+        "input of " + std::to_string(input.size()) +
+        " bytes exceeds max_input_bytes " +
+        std::to_string(options.max_input_bytes));
+  }
+  Parser parser(input, options);
   Result<XmlDocument> result = parser.ParseDocument();
 #if QMATCH_OBS_ENABLED
   if (result.ok()) {

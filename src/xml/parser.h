@@ -1,12 +1,36 @@
 #ifndef QMATCH_XML_PARSER_H_
 #define QMATCH_XML_PARSER_H_
 
+#include <cstddef>
 #include <string_view>
 
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "xml/dom.h"
 
 namespace qmatch::xml {
+
+/// Resource limits enforced while parsing. The defaults are generous but
+/// finite, so even callers that never think about limits cannot be OOMed
+/// by one hostile document; exceeding any cap fails with a typed
+/// `kResourceExhausted` Status (malformed input stays `kParseError`).
+struct ParserOptions {
+  /// Maximum accepted input size; checked before any parsing work.
+  size_t max_input_bytes = 64u << 20;  // 64 MiB
+
+  /// Maximum element nesting depth. The parser is recursive-descent, so
+  /// this also bounds stack use on hostile inputs.
+  size_t max_depth = 512;
+
+  /// Maximum number of element nodes in the document.
+  size_t max_nodes = 1u << 20;
+
+  /// Optional accounting arena (borrowed): the parser charges an estimate
+  /// of the DOM footprint per element while parsing and releases it when
+  /// the parse finishes, bounding in-flight parse memory. Null = no
+  /// accounting.
+  MemoryBudget* budget = nullptr;
+};
 
 /// Parses an XML 1.0 document from `input` into a DOM tree.
 ///
@@ -19,6 +43,10 @@ namespace qmatch::xml {
 ///
 /// Errors report the line/column where parsing failed.
 Result<XmlDocument> Parse(std::string_view input);
+
+/// As above, with explicit resource limits (see ParserOptions).
+Result<XmlDocument> Parse(std::string_view input,
+                          const ParserOptions& options);
 
 /// Convenience wrapper: parses and returns only the root element check —
 /// fails if the document's root local name is not `expected_root`.

@@ -15,11 +15,15 @@ namespace {
 
 constexpr std::string_view kXsdNamespace = "http://www.w3.org/2001/XMLSchema";
 
+/// Estimated footprint charged to the memory budget per SchemaNode: the
+/// node object plus typical label/type-name/child-vector storage.
+constexpr size_t kApproxBytesPerSchemaNode = 256;
+
 /// Converts one parsed XSD DOM into a Schema tree.
 class XsdTreeBuilder {
  public:
   XsdTreeBuilder(const xml::XmlElement& schema_el, const ParseOptions& options)
-      : schema_el_(schema_el), options_(options) {}
+      : schema_el_(schema_el), options_(options), charge_(options.budget) {}
 
   Result<Schema> Build() {
     IndexGlobals();
@@ -182,6 +186,18 @@ class XsdTreeBuilder {
     return XsdType::kAnySimpleType;
   }
 
+  /// Accounts for one SchemaNode about to be created: enforces the output
+  /// node cap and charges the memory budget.
+  Status CountNode() {
+    if (nodes_ >= options_.max_nodes) {
+      return Status::ResourceExhausted(
+          "schema expansion exceeds max_nodes " +
+          std::to_string(options_.max_nodes));
+    }
+    ++nodes_;
+    return charge_.Add(kApproxBytesPerSchemaNode, "xsd parse: schema node");
+  }
+
   Result<std::unique_ptr<SchemaNode>> BuildElement(const xml::XmlElement& decl,
                                                    size_t depth) {
     if (depth > options_.max_depth) {
@@ -196,6 +212,7 @@ class XsdTreeBuilder {
       }
       if (expanding_elements_.count(local) > 0) {
         // Recursive element reference: truncate into a typed leaf.
+        QMATCH_RETURN_IF_ERROR(CountNode());
         auto leaf = std::make_unique<SchemaNode>(local, NodeKind::kElement);
         leaf->set_type(XsdType::kUnknown, local);
         QMATCH_ASSIGN_OR_RETURN(Occurs occurs, ParseOccurs(decl));
@@ -226,6 +243,7 @@ class XsdTreeBuilder {
       }
     } guard{&expanding_elements_, name,
             expanding_elements_.insert(*name).second};
+    QMATCH_RETURN_IF_ERROR(CountNode());
     auto node = std::make_unique<SchemaNode>(*name, NodeKind::kElement);
     QMATCH_ASSIGN_OR_RETURN(Occurs occurs, ParseOccurs(decl));
     node->set_occurs(occurs);
@@ -453,6 +471,7 @@ class XsdTreeBuilder {
     if (name == nullptr) {
       return Status::ParseError("attribute declaration without name or ref");
     }
+    QMATCH_RETURN_IF_ERROR(CountNode());
     auto attr = std::make_unique<SchemaNode>(*name, NodeKind::kAttribute);
     // use= comes from the *reference site* when present, else the decl.
     std::string_view use = decl.AttributeOr("use", resolved->AttributeOr("use", "optional"));
@@ -510,6 +529,8 @@ class XsdTreeBuilder {
   std::set<std::string> expanding_types_;
   std::set<std::string> expanding_elements_;
   std::set<std::string> expanding_groups_;
+  ScopedCharge charge_;  // released when the builder dies (end of parse)
+  size_t nodes_ = 0;     // schema nodes created so far
 };
 
 }  // namespace
@@ -543,7 +564,18 @@ Result<Schema> ParseSchemaDocument(const xml::XmlDocument& doc,
 
 Result<Schema> ParseSchema(std::string_view xsd_text,
                            const ParseOptions& options) {
-  QMATCH_ASSIGN_OR_RETURN(xml::XmlDocument doc, xml::Parse(xsd_text));
+  if (xsd_text.size() > options.max_input_bytes) {
+    QMATCH_COUNTER_ADD("xsd.parse.errors", 1);
+    return Status::ResourceExhausted(
+        "XSD input of " + std::to_string(xsd_text.size()) +
+        " bytes exceeds max_input_bytes " +
+        std::to_string(options.max_input_bytes));
+  }
+  xml::ParserOptions xml_options;
+  xml_options.max_input_bytes = options.max_input_bytes;
+  xml_options.budget = options.budget;
+  QMATCH_ASSIGN_OR_RETURN(xml::XmlDocument doc,
+                          xml::Parse(xsd_text, xml_options));
   return ParseSchemaDocument(doc, options);
 }
 

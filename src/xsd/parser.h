@@ -1,9 +1,11 @@
 #ifndef QMATCH_XSD_PARSER_H_
 #define QMATCH_XSD_PARSER_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 
+#include "common/memory_budget.h"
 #include "common/result.h"
 #include "xml/dom.h"
 #include "xsd/schema.h"
@@ -22,6 +24,17 @@ struct ParseOptions {
   /// Expansion-depth guard against degenerate or recursive schemas. Named
   /// types that recurse are expanded once and then cut off into leaves.
   size_t max_depth = 64;
+  /// Maximum accepted XSD text size (ParseSchema only; kResourceExhausted
+  /// past it). Also forwarded to the underlying XML parse.
+  size_t max_input_bytes = 64u << 20;  // 64 MiB
+  /// Maximum number of schema nodes the expansion may produce — group/type
+  /// reuse can blow a small document up combinatorially, so the cap is on
+  /// the *output* tree, not the input (typed kResourceExhausted past it).
+  size_t max_nodes = 100000;
+  /// Optional accounting arena (borrowed): charged an estimate per schema
+  /// node while building, released when the parse finishes; also forwarded
+  /// to the underlying XML parse. Null = no accounting.
+  MemoryBudget* budget = nullptr;
 };
 
 /// Parses an XML Schema (XSD) document into a `Schema` tree.

@@ -239,6 +239,8 @@ TEST_F(ChaosEngineTest, SeededFaultSchedulesAlwaysReturnTypedStatuses) {
         registry.GetCounter("engine.requests_ok").Value() +
         registry.GetCounter("engine.requests_deadline_exceeded").Value() +
         registry.GetCounter("engine.requests_cancelled").Value() +
+        registry.GetCounter("engine.requests_overloaded").Value() +
+        registry.GetCounter("engine.requests_resource_exhausted").Value() +
         registry.GetCounter("engine.requests_error").Value();
 #endif
 
@@ -293,6 +295,8 @@ TEST_F(ChaosEngineTest, SeededFaultSchedulesAlwaysReturnTypedStatuses) {
         registry.GetCounter("engine.requests_ok").Value() +
         registry.GetCounter("engine.requests_deadline_exceeded").Value() +
         registry.GetCounter("engine.requests_cancelled").Value() +
+        registry.GetCounter("engine.requests_overloaded").Value() +
+        registry.GetCounter("engine.requests_resource_exhausted").Value() +
         registry.GetCounter("engine.requests_error").Value() -
         outcomes_before;
     EXPECT_EQ(requests_delta, paths.size());
@@ -433,6 +437,143 @@ TEST_F(ChaosEngineTest, ThrowingFailpointIsContainedAsInternalStatus) {
     EXPECT_TRUE(clean.ok()) << clean.status;
     EXPECT_EQ(clean.completed_rows, clean.total_rows);
   }
+}
+
+TEST_F(ChaosEngineTest, BurstBeyondCapacityShedsTypedAndAccountsExactlyOnce) {
+  // Overload scenario (ISSUE 4): a synchronized 16-way burst against an
+  // engine whose admission capacity admits one request at a time with a
+  // two-deep queue. Every request must come back with exactly one status
+  // from {OK, kOverloaded, kDeadlineExceeded, kResourceExhausted} — no
+  // hang, no crash, no untyped failure — and the obs outcome counters must
+  // account for each request exactly once.
+  datagen::GeneratorOptions gen;
+  gen.seed = 4242;
+  gen.element_count = 12;
+  gen.name = "ChaosBurstSource";
+  const xsd::Schema source = datagen::GenerateSchema(gen);
+  gen.seed = 4243;
+  gen.name = "ChaosBurstTarget";
+  const xsd::Schema target = datagen::GenerateSchema(gen);
+
+  // Slow the table fill so the burst actually overlaps.
+  fault::FaultSpec spec;
+  spec.action = fault::FaultAction::kDelay;
+  spec.delay = milliseconds(1);
+  fault::ScopedFailpoint armed("treematch.pair", spec);
+
+  MatchEngineOptions engine_options = EngineOptions(2);
+  engine_options.overload.admission.max_inflight_cost = 64;  // << one request
+  engine_options.overload.admission.max_queue_depth = 2;
+  MatchEngine engine(engine_options);
+
+  constexpr size_t kBurst = 16;
+#if QMATCH_OBS_ENABLED
+  obs::Registry& registry = obs::Registry::Global();
+  const uint64_t requests_before =
+      registry.GetCounter("engine.requests").Value();
+  const uint64_t outcomes_before =
+      registry.GetCounter("engine.requests_ok").Value() +
+      registry.GetCounter("engine.requests_deadline_exceeded").Value() +
+      registry.GetCounter("engine.requests_cancelled").Value() +
+      registry.GetCounter("engine.requests_overloaded").Value() +
+      registry.GetCounter("engine.requests_resource_exhausted").Value() +
+      registry.GetCounter("engine.requests_error").Value();
+#endif
+
+  std::vector<Status> statuses(kBurst);
+  std::atomic<size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kBurst);
+  for (size_t i = 0; i < kBurst; ++i) {
+    threads.emplace_back([&, i]() {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      EngineRequestOptions request;
+      request.deadline = Deadline::After(std::chrono::seconds(30));
+      statuses[i] = engine.Match(source, target, request).status;
+    });
+  }
+  while (ready.load() < kBurst) std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  size_t ok = 0, overloaded = 0, deadline = 0, exhausted = 0;
+  for (size_t i = 0; i < kBurst; ++i) {
+    switch (statuses[i].code()) {
+      case StatusCode::kOk: ++ok; break;
+      case StatusCode::kOverloaded: ++overloaded; break;
+      case StatusCode::kDeadlineExceeded: ++deadline; break;
+      case StatusCode::kResourceExhausted: ++exhausted; break;
+      default:
+        ADD_FAILURE() << "request " << i << " returned untyped status "
+                      << statuses[i];
+    }
+  }
+  EXPECT_EQ(ok + overloaded + deadline + exhausted, kBurst);
+  EXPECT_GE(ok, 1u) << "nothing got through a 16x burst";
+  EXPECT_GE(overloaded, 1u) << "a 16x burst over a 2-deep queue never shed";
+  EXPECT_GE(engine.admission().shed_total(), overloaded);
+  // The controller drained completely: no capacity or queue entries leak.
+  EXPECT_EQ(engine.admission().inflight_cost(), 0u);
+  EXPECT_EQ(engine.admission().queue_depth(), 0u);
+
+#if QMATCH_OBS_ENABLED
+  const uint64_t requests_delta =
+      registry.GetCounter("engine.requests").Value() - requests_before;
+  const uint64_t outcomes_delta =
+      registry.GetCounter("engine.requests_ok").Value() +
+      registry.GetCounter("engine.requests_deadline_exceeded").Value() +
+      registry.GetCounter("engine.requests_cancelled").Value() +
+      registry.GetCounter("engine.requests_overloaded").Value() +
+      registry.GetCounter("engine.requests_resource_exhausted").Value() +
+      registry.GetCounter("engine.requests_error").Value() -
+      outcomes_before;
+  EXPECT_EQ(requests_delta, kBurst);
+  EXPECT_EQ(outcomes_delta, requests_delta);
+#endif
+}
+
+TEST_F(ChaosEngineTest, DegradedResultsAreDeterministicForAFixedSeed) {
+  // Under saturation the ladder drops to label-only; two engines under the
+  // same pressure must produce bit-identical degraded results, and those
+  // must equal an explicitly forced label-only run — degradation is a
+  // deterministic function of (inputs, mode), not of scheduling noise.
+  datagen::GeneratorOptions gen;
+  gen.seed = 515;
+  gen.element_count = 14;
+  gen.name = "ChaosDegraded";
+  const xsd::Schema source = datagen::GenerateSchema(gen);
+  gen.seed = 516;
+  const xsd::Schema target = datagen::GenerateSchema(gen);
+
+  MatchEngineOptions saturated = EngineOptions(4);
+  saturated.overload.admission.max_inflight_cost = 4;  // pressure == 1.0
+
+  MatchEngine first(saturated);
+  MatchEngine second(saturated);
+  const EngineMatchResult a =
+      first.Match(source, target, EngineRequestOptions{});
+  const EngineMatchResult b =
+      second.Match(source, target, EngineRequestOptions{});
+  ASSERT_TRUE(a.ok()) << a.status;
+  ASSERT_TRUE(b.ok()) << b.status;
+  EXPECT_EQ(a.result.mode, MatchMode::kLabelOnly);
+  EXPECT_EQ(b.result.mode, MatchMode::kLabelOnly);
+  EXPECT_EQ(std::bit_cast<uint64_t>(a.result.schema_qom),
+            std::bit_cast<uint64_t>(b.result.schema_qom));
+  EXPECT_EQ(CorrespondenceMap(a.result), CorrespondenceMap(b.result));
+
+  // force_mode produces the same bits without any admission pressure.
+  MatchEngine unpressured(EngineOptions(4));
+  EngineRequestOptions forced;
+  forced.force_mode = MatchMode::kLabelOnly;
+  const EngineMatchResult c = unpressured.Match(source, target, forced);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.result.mode, MatchMode::kLabelOnly);
+  EXPECT_EQ(std::bit_cast<uint64_t>(c.result.schema_qom),
+            std::bit_cast<uint64_t>(a.result.schema_qom));
+  EXPECT_EQ(CorrespondenceMap(c.result), CorrespondenceMap(a.result));
 }
 
 TEST_F(ChaosEngineTest, ThreadPoolContainsThrowingTasks) {

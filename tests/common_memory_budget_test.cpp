@@ -1,0 +1,158 @@
+// Unit tests for the hierarchical memory-accounting arena: charge/release
+// pairing, typed kResourceExhausted on over-limit, parent rollback, peak
+// tracking, the pressure signal, ScopedCharge RAII, and the budget.charge
+// failpoint.
+
+#include "common/memory_budget.h"
+
+#include <thread>
+#include <vector>
+
+#include "fault/failpoint.h"
+#include "gtest/gtest.h"
+
+namespace qmatch {
+namespace {
+
+TEST(MemoryBudgetTest, ChargeAndReleaseBalance) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.TryCharge(400, "a").ok());
+  EXPECT_TRUE(budget.TryCharge(600, "b").ok());
+  EXPECT_EQ(budget.used(), 1000u);
+  budget.Release(400);
+  EXPECT_EQ(budget.used(), 600u);
+  budget.Release(600);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.peak(), 1000u);
+}
+
+TEST(MemoryBudgetTest, OverLimitIsTypedAndLeavesNothingCharged) {
+  MemoryBudget budget(1000);
+  ASSERT_TRUE(budget.TryCharge(900, "a").ok());
+  Status status = budget.TryCharge(200, "the straw");
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(status.message().find("the straw"), std::string::npos);
+  EXPECT_EQ(budget.used(), 900u);  // the failed charge was rolled back
+}
+
+TEST(MemoryBudgetTest, ZeroLimitIsUnlimitedButStillTracks) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_TRUE(budget.TryCharge(uint64_t{1} << 40, "huge").ok());
+  EXPECT_EQ(budget.used(), uint64_t{1} << 40);
+  EXPECT_EQ(budget.Pressure(), 0.0);
+  budget.Release(uint64_t{1} << 40);
+}
+
+TEST(MemoryBudgetTest, ChildChargesRollUpIntoParent) {
+  MemoryBudget parent(1000);
+  MemoryBudget child(800, &parent);
+  EXPECT_TRUE(child.TryCharge(500, "a").ok());
+  EXPECT_EQ(child.used(), 500u);
+  EXPECT_EQ(parent.used(), 500u);
+  child.Release(500);
+  EXPECT_EQ(parent.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, ParentRejectionRollsBackChild) {
+  MemoryBudget parent(400);
+  MemoryBudget child(800, &parent);  // child alone would allow it
+  Status status = child.TryCharge(500, "too big for parent");
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(child.used(), 0u);
+  EXPECT_EQ(parent.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, SiblingsCompeteForTheParent) {
+  MemoryBudget parent(1000);
+  MemoryBudget a(1000, &parent);
+  MemoryBudget b(1000, &parent);
+  EXPECT_TRUE(a.TryCharge(700, "a").ok());
+  EXPECT_EQ(b.TryCharge(700, "b").code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(b.TryCharge(300, "b fits").ok());
+}
+
+TEST(MemoryBudgetTest, PressureIsClampedRatio) {
+  MemoryBudget budget(1000);
+  EXPECT_EQ(budget.Pressure(), 0.0);
+  ASSERT_TRUE(budget.TryCharge(250, "a").ok());
+  EXPECT_DOUBLE_EQ(budget.Pressure(), 0.25);
+  ASSERT_TRUE(budget.TryCharge(750, "b").ok());
+  EXPECT_DOUBLE_EQ(budget.Pressure(), 1.0);
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesNeverExceedLimitAfterSettling) {
+  constexpr uint64_t kLimit = 10000;
+  MemoryBudget budget(kLimit);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget]() {
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        if (budget.TryCharge(7, "op").ok()) budget.Release(7);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_LE(budget.peak(), kLimit);
+}
+
+TEST(ScopedChargeTest, ReleasesEverythingOnDestruction) {
+  MemoryBudget budget(1000);
+  {
+    ScopedCharge charge(&budget);
+    EXPECT_TRUE(charge.Add(300, "a").ok());
+    EXPECT_TRUE(charge.Add(200, "b").ok());
+    EXPECT_EQ(charge.charged(), 500u);
+    EXPECT_EQ(budget.used(), 500u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(ScopedChargeTest, FailedAddKeepsPriorChargesUntilReset) {
+  MemoryBudget budget(400);
+  ScopedCharge charge(&budget);
+  ASSERT_TRUE(charge.Add(300, "a").ok());
+  EXPECT_EQ(charge.Add(300, "b").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.used(), 300u);
+  charge.Reset();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(ScopedChargeTest, NullBudgetIsANoOp) {
+  ScopedCharge charge;
+  EXPECT_TRUE(charge.Add(1 << 30, "ignored").ok());
+  EXPECT_EQ(charge.charged(), 0u);
+}
+
+TEST(ScopedChargeTest, MoveTransfersOwnershipOfTheCharge) {
+  MemoryBudget budget(1000);
+  ScopedCharge outer(&budget);
+  {
+    ScopedCharge inner(&budget);
+    ASSERT_TRUE(inner.Add(400, "a").ok());
+    outer = std::move(inner);
+  }
+  // inner's destruction must not have released outer's 400.
+  EXPECT_EQ(budget.used(), 400u);
+  outer.Reset();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+#if QMATCH_FAULT_ENABLED
+TEST(MemoryBudgetTest, ChargeFailpointInjectsExhaustion) {
+  MemoryBudget budget(1000000);
+  fault::FaultSpec spec;
+  spec.action = fault::FaultAction::kError;
+  fault::ScopedFailpoint fp("budget.charge", spec);
+  Status status = budget.TryCharge(1, "tiny");
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.used(), 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace qmatch

@@ -288,5 +288,63 @@ TEST(XmlDomTest, LocalNameAndPrefixOfUnprefixed) {
   EXPECT_EQ(XmlElement::PrefixOf("a:b"), "a");
 }
 
+// --- Resource caps (overload protection) ------------------------------
+
+TEST(XmlParserCapsTest, OversizedInputIsTypedResourceExhausted) {
+  ParserOptions options;
+  options.max_input_bytes = 16;
+  Result<XmlDocument> doc = Parse("<root>way past sixteen bytes</root>", options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(XmlParserCapsTest, DepthCapIsTypedResourceExhausted) {
+  std::string deep;
+  for (int i = 0; i < 20; ++i) deep += "<d>";
+  deep += "x";
+  for (int i = 0; i < 20; ++i) deep += "</d>";
+  ParserOptions options;
+  options.max_depth = 8;
+  Result<XmlDocument> doc = Parse(deep, options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+  // Within the cap the same document parses fine.
+  options.max_depth = 64;
+  EXPECT_TRUE(Parse(deep, options).ok());
+}
+
+TEST(XmlParserCapsTest, NodeCountCapIsTypedResourceExhausted) {
+  std::string wide = "<root>";
+  for (int i = 0; i < 32; ++i) wide += "<c/>";
+  wide += "</root>";
+  ParserOptions options;
+  options.max_nodes = 8;
+  Result<XmlDocument> doc = Parse(wide, options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+  options.max_nodes = 64;
+  EXPECT_TRUE(Parse(wide, options).ok());
+}
+
+TEST(XmlParserCapsTest, BudgetExhaustionSurfacesFromTheParser) {
+  MemoryBudget budget(600);  // roughly one element node's worth
+  ParserOptions options;
+  options.budget = &budget;
+  Result<XmlDocument> doc = Parse("<root><a/><b/><c/></root>", options);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+  // Every parser charge was released when the parse unwound.
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(XmlParserCapsTest, DefaultsParseRealDocumentsUnchanged) {
+  Result<XmlDocument> legacy = Parse("<r><a/><b/></r>");
+  Result<XmlDocument> with_options = Parse("<r><a/><b/></r>", ParserOptions{});
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(with_options.ok());
+  EXPECT_EQ(legacy->root()->ChildElements().size(),
+            with_options->root()->ChildElements().size());
+}
+
 }  // namespace
 }  // namespace qmatch::xml

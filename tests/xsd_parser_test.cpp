@@ -389,6 +389,61 @@ TEST(XsdParserTest, MalformedXmlRejected) {
   EXPECT_EQ(schema.status().code(), StatusCode::kParseError);
 }
 
+// --- Resource caps (overload protection) ------------------------------
+
+TEST(XsdParserCapsTest, OversizedInputIsTypedResourceExhausted) {
+  ParseOptions options;
+  options.max_input_bytes = 32;
+  Result<Schema> schema =
+      ParseSchema(Wrap(R"(<xs:element name="age" type="xs:int"/>)"), options);
+  ASSERT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(XsdParserCapsTest, OutputNodeCapBoundsSchemaExpansion) {
+  // Group/type reuse lets a small input expand combinatorially; the cap is
+  // therefore on the *output* tree, not the input text.
+  std::string body = R"(<xs:element name="root"><xs:complexType><xs:sequence>)";
+  for (int i = 0; i < 12; ++i) {
+    body += "<xs:element name=\"c" + std::to_string(i) +
+            "\" type=\"xs:string\"/>";
+  }
+  body += R"(</xs:sequence></xs:complexType></xs:element>)";
+  ParseOptions options;
+  options.max_nodes = 4;
+  Result<Schema> schema = ParseSchema(Wrap(body), options);
+  ASSERT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kResourceExhausted);
+  options.max_nodes = 100000;
+  EXPECT_TRUE(ParseSchema(Wrap(body), options).ok());
+}
+
+TEST(XsdParserCapsTest, BudgetChargesAreReleasedOnFailure) {
+  MemoryBudget budget(300);  // roughly one schema node's worth
+  ParseOptions options;
+  options.budget = &budget;
+  Result<Schema> schema = ParseSchema(
+      Wrap(R"(<xs:element name="root"><xs:complexType><xs:sequence>
+              <xs:element name="a" type="xs:int"/>
+              <xs:element name="b" type="xs:int"/>
+              </xs:sequence></xs:complexType></xs:element>)"),
+      options);
+  ASSERT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(XsdParserCapsTest, SuccessfulParseReleasesItsScratchAndRecordsPeak) {
+  MemoryBudget budget(1 << 20);
+  ParseOptions options;
+  options.budget = &budget;
+  Result<Schema> schema =
+      ParseSchema(Wrap(R"(<xs:element name="age" type="xs:int"/>)"), options);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(budget.used(), 0u);  // parse-time scratch is released on return
+  EXPECT_GT(budget.peak(), 0u);  // ...but the parse really was accounted
+}
+
 TEST(XsdParserTest, MissingRootElementOptionRejected) {
   ParseOptions options;
   options.root_element = "nope";
