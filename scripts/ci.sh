@@ -11,6 +11,7 @@
 #   scripts/ci.sh fault-off  # QMATCH_FAULT=OFF build; full suite (kill switch)
 #   scripts/ci.sh chaos      # chaos suite under ASan and TSan, fixed seeds
 #   scripts/ci.sh stress     # overload suite under ASan and TSan + load bench
+#   scripts/ci.sh recovery   # crash-point recovery suite under ASan and UBSan
 #   scripts/ci.sh coverage   # --coverage build; enforces the line floor
 #   scripts/ci.sh all        # all of the above
 set -euo pipefail
@@ -91,6 +92,26 @@ run_chaos() {
   QMATCH_CHAOS_SEEDS="${CHAOS_SEEDS}" \
   TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -C chaos -L chaos
+}
+
+# Crash-recovery suite: the persist_recovery_test harness enumerates every
+# persist.* failpoint hit in the save/compact sequence, kills the save
+# mid-flight and requires old-or-new recovered state. ASan catches
+# use-after-free/over-reads on the torn-state load paths; UBSan runs
+# separately because the address pairing can mask some UB reports.
+run_recovery() {
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" --target persist_recovery_test
+  ASAN_OPTIONS="halt_on_error=1:abort_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-asan --output-on-failure -C recovery -L recovery
+
+  cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=undefined
+  cmake --build build-ubsan -j "${JOBS}" --target persist_recovery_test
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-ubsan --output-on-failure -C recovery -L recovery
 }
 
 # Overload/stress suite: admission control, memory budgets and the
@@ -209,10 +230,12 @@ case "${MODE}" in
   fault-off) run_fault_off ;;
   chaos)     run_chaos ;;
   stress)    run_stress ;;
+  recovery)  run_recovery ;;
   coverage)  run_coverage ;;
   all)       run_default; run_tsan; run_asan; run_ubsan; run_obs_off
-             run_fault_off; run_chaos; run_stress; run_coverage ;;
+             run_fault_off; run_chaos; run_stress; run_recovery
+             run_coverage ;;
   *) echo "unknown mode '${MODE}'" \
-          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|stress|coverage|all)" >&2
+          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|stress|recovery|coverage|all)" >&2
      exit 2 ;;
 esac

@@ -212,4 +212,21 @@ CircuitBreaker::State CircuitBreaker::state() const {
   return state_;
 }
 
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+void CircuitBreaker::Restore(int consecutive_failures) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = consecutive_failures;
+  if (consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = std::chrono::steady_clock::now();
+  } else {
+    state_ = State::kClosed;
+  }
+  probe_inflight_ = false;
+}
+
 }  // namespace qmatch

@@ -171,6 +171,17 @@ class CircuitBreaker {
 
   State state() const;
 
+  /// Failure history for persistence (the engine journals it per corpus
+  /// entry).
+  int consecutive_failures() const;
+
+  /// Restores persisted failure history at warm start: sets the
+  /// consecutive-failure count and, when it is at or over the threshold,
+  /// opens the circuit with a fresh cooldown starting now (the persisted
+  /// open time is a steady-clock instant from a dead process — a fresh
+  /// cooldown is the conservative reading).
+  void Restore(int consecutive_failures);
+
  private:
   const CircuitBreakerOptions options_;
   mutable std::mutex mutex_;

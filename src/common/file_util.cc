@@ -4,13 +4,52 @@
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
+
+#include "fault/failpoint.h"
 
 namespace qmatch {
 
 namespace {
 std::string ErrnoMessage(const std::string& path) {
   return path + ": " + std::strerror(errno);
+}
+
+/// Closes (but never unlinks) the held fd — so a simulated crash (a
+/// throwing failpoint) releases the descriptor yet leaves whatever bytes
+/// made it to disk exactly as a real crash would.
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() {
+    int out = fd;
+    fd = -1;
+    return out;
+  }
+};
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
 }
 }  // namespace
 
@@ -47,9 +86,79 @@ Status WriteFile(const std::string& path, std::string_view contents) {
   return Status::OK();
 }
 
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  FdCloser file{::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                       0644)};
+  if (file.fd < 0) {
+    return Status::IoError(ErrnoMessage(tmp));
+  }
+  // The payload goes out in two halves around the torn-write failpoint: a
+  // kThrow action "crashes" with exactly half the bytes on disk (the temp
+  // file is abandoned torn, as a real crash would), a kError action is a
+  // graceful short write (cleaned up below).
+  const size_t half = contents.size() / 2;
+  if (!WriteAll(file.fd, contents.data(), half)) {
+    std::remove(tmp.c_str());
+    return Status::IoError(ErrnoMessage(tmp));
+  }
+  if (QMATCH_FAILPOINT_FIRED("persist.write")) {
+    std::remove(tmp.c_str());
+    return Status::IoError(tmp + ": injected short write");
+  }
+  if (!WriteAll(file.fd, contents.data() + half, contents.size() - half)) {
+    std::remove(tmp.c_str());
+    return Status::IoError(ErrnoMessage(tmp));
+  }
+  if (QMATCH_FAILPOINT_FIRED("persist.fsync")) {
+    std::remove(tmp.c_str());
+    return Status::IoError(tmp + ": injected fsync failure");
+  }
+  if (::fsync(file.fd) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(ErrnoMessage(tmp));
+  }
+  if (::close(file.release()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(ErrnoMessage(tmp));
+  }
+  if (QMATCH_FAILPOINT_FIRED("persist.rename")) {
+    std::remove(tmp.c_str());
+    return Status::IoError(path + ": injected rename failure");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(ErrnoMessage(path));
+  }
+  // Directory fsync makes the rename itself durable. The file content is
+  // already committed under the new name by this point, so a failure here
+  // is reported but cannot tear the file.
+  QMATCH_FAILPOINT("persist.fsync");
+  FdCloser dir{::open(DirName(path).c_str(), O_RDONLY | O_DIRECTORY)};
+  if (dir.fd < 0) {
+    return Status::IoError(ErrnoMessage(DirName(path)));
+  }
+  if (::fsync(dir.fd) != 0) {
+    return Status::IoError(ErrnoMessage(DirName(path)));
+  }
+  return Status::OK();
+}
+
 bool FileExists(const std::string& path) {
   struct stat st{};
   return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Status EnsureDir(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) return Status::OK();
+    return Status::IoError(path + ": exists but is not a directory");
+  }
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError(ErrnoMessage(path));
+  }
+  return Status::OK();
 }
 
 }  // namespace qmatch

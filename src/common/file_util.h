@@ -12,11 +12,31 @@ namespace qmatch {
 /// errno text) when the file cannot be opened or read.
 Result<std::string> ReadFile(const std::string& path);
 
-/// Writes `contents` to `path`, replacing any existing file.
+/// Writes `contents` to `path`, replacing any existing file. NOT crash
+/// safe: a crash mid-write can leave a torn file under the final name.
+/// Use WriteFileAtomic for anything a reader must never see half-written.
 Status WriteFile(const std::string& path, std::string_view contents);
+
+/// Crash-safe replacement of `path`: writes `contents` to a temp file in
+/// the same directory, fsyncs it, renames it over `path`, then fsyncs the
+/// directory. A reader (or a post-crash reload) sees either the previous
+/// file or the new one in full — never a prefix. On a graceful failure
+/// (disk full, permission) the temp file is removed and `path` is
+/// untouched; a crash can leave a stale `path + ".tmp"` behind, which the
+/// next successful write replaces and readers must ignore.
+///
+/// Failpoints (fault injection, see DESIGN.md §12): `persist.write` fires
+/// after half the payload is written (kError = graceful short write,
+/// kThrow = simulated crash leaving a torn temp file), `persist.fsync`
+/// before the file fsync, `persist.rename` before the rename.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
 /// True if a regular file exists at `path`.
 bool FileExists(const std::string& path);
+
+/// Creates `path` as a directory if it does not exist (single level, like
+/// mkdir(2)). OK when the directory already exists.
+Status EnsureDir(const std::string& path);
 
 }  // namespace qmatch
 

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "resource exhausted";
     case StatusCode::kOverloaded:
       return "overloaded";
+    case StatusCode::kDataLoss:
+      return "data loss";
   }
   return "unknown";
 }

@@ -33,6 +33,12 @@ enum class StatusCode {
   /// (admission queue full, or a circuit breaker is open). The request was
   /// shed before any work ran — retrying later may succeed.
   kOverloaded = 12,
+  /// Persisted state is unrecoverable: a snapshot or journal failed its
+  /// checksum/framing validation (bit rot, torn non-tail write, hostile
+  /// bytes). Distinct from kIoError (the bytes could not be read at all)
+  /// and never produced by a clean crash — a torn journal tail is
+  /// truncated silently, not reported as loss.
+  kDataLoss = 13,
 };
 
 /// Returns the canonical lower-case name of a status code ("parse error").
@@ -93,6 +99,9 @@ class Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -127,6 +127,7 @@ MatchEngine::MatchEngine(QMatchConfig config, MatchEngineOptions options)
   // The calling thread participates in every ParallelFor, so `threads`
   // total parallelism needs threads-1 pool workers.
   pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  InitPersist();
 }
 
 MatchEngine::MatchEngine(QMatchConfig config, const lingua::Thesaurus* thesaurus,
@@ -138,9 +139,153 @@ MatchEngine::MatchEngine(QMatchConfig config, const lingua::Thesaurus* thesaurus
       process_budget_(options.overload.process_budget_bytes) {
   config_hash_ = HashConfig(matcher_.config());
   pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  InitPersist();
 }
 
-MatchEngine::~MatchEngine() = default;
+MatchEngine::~MatchEngine() {
+  if (persist_ != nullptr) {
+    // Final compaction is best effort: persistence failpoints throw to
+    // simulate crashes, and a destructor must absorb that (or any real
+    // I/O throw) — the on-disk state stays consistent either way.
+    try {
+      (void)CompactPersist();
+    } catch (...) {
+    }
+  }
+}
+
+void MatchEngine::InitPersist() {
+  if (options_.persist_dir.empty()) return;
+  persist::StoreState state;
+  persist::LoadStats stats;
+  Result<std::unique_ptr<persist::PersistentStore>> store =
+      persist::PersistentStore::Open(options_.persist_dir, config_hash_,
+                                     &state, &stats);
+  if (!store.ok()) {
+    // Persistence is an accelerator, never a dependency: a store that
+    // cannot open leaves the engine fully functional, just cold.
+    QMATCH_COUNTER_ADD("persist.open_failures", 1);
+    return;
+  }
+  persist_ = std::move(*store);
+  persist_load_stats_ = stats;
+  size_t recovered = 0;
+  size_t dropped = 0;
+  if (options_.cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    // Decoded order is oldest-first (snapshot order, then journal replay),
+    // so pushing each record to the LRU front reproduces the recency order
+    // the previous process shut down with, and capacity eviction drops the
+    // oldest entries first.
+    for (const persist::CacheEntryRec& rec : state.cache_entries) {
+      if (rec.config_hash != config_hash_) {
+        // Written by a differently-configured engine: dropped, never
+        // trusted — even though the file-level fingerprint matched.
+        ++dropped;
+        continue;
+      }
+      CacheEntry entry;
+      entry.key = CacheKey{rec.source_fp, rec.target_fp, rec.config_hash};
+      entry.algorithm = rec.algorithm;
+      entry.schema_qom = rec.schema_qom;
+      entry.correspondences.reserve(rec.correspondences.size());
+      for (const persist::CorrespondenceRec& c : rec.correspondences) {
+        entry.correspondences.push_back(
+            CachedCorrespondence{c.source_path, c.target_path, c.score});
+      }
+      const CacheKey key = entry.key;
+      auto it = cache_index_.find(key);
+      if (it != cache_index_.end()) {
+        *it->second = std::move(entry);
+        cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+      } else {
+        cache_lru_.push_front(std::move(entry));
+        cache_index_[key] = cache_lru_.begin();
+      }
+      ++recovered;
+      while (cache_lru_.size() > options_.cache_capacity) {
+        cache_index_.erase(cache_lru_.back().key);
+        cache_lru_.pop_back();
+      }
+    }
+    cache_stats_.entries = cache_lru_.size();
+    QMATCH_GAUGE_SET("engine.cache.entries", cache_lru_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(breaker_mutex_);
+    for (const persist::CorpusEntryRec& rec : state.corpus_entries) {
+      corpus_index_[rec.path] = rec;
+      CircuitBreaker& breaker =
+          breakers_
+              .try_emplace(rec.path,
+                           CircuitBreakerOptions{
+                               options_.overload.breaker_failure_threshold,
+                               options_.overload.breaker_cooldown})
+              .first->second;
+      breaker.Restore(static_cast<int>(rec.breaker_failures));
+    }
+  }
+  QMATCH_COUNTER_ADD("persist.recovered_entries", recovered);
+  QMATCH_COUNTER_ADD("persist.dropped_entries", dropped);
+  QMATCH_COUNTER_ADD("persist.recovered_corpus_entries",
+                     state.corpus_entries.size());
+  (void)recovered;
+  (void)dropped;
+}
+
+persist::StoreState MatchEngine::SnapshotState() const {
+  persist::StoreState state;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    state.cache_entries.reserve(cache_lru_.size());
+    // Oldest first (see InitPersist): reverse LRU order.
+    for (auto it = cache_lru_.rbegin(); it != cache_lru_.rend(); ++it) {
+      persist::CacheEntryRec rec;
+      rec.source_fp = it->key.source_fp;
+      rec.target_fp = it->key.target_fp;
+      rec.config_hash = it->key.config_hash;
+      rec.algorithm = it->algorithm;
+      rec.schema_qom = it->schema_qom;
+      rec.correspondences.reserve(it->correspondences.size());
+      for (const CachedCorrespondence& c : it->correspondences) {
+        rec.correspondences.push_back(
+            persist::CorrespondenceRec{c.source_path, c.target_path, c.score});
+      }
+      state.cache_entries.push_back(std::move(rec));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(breaker_mutex_);
+    state.corpus_entries.reserve(corpus_index_.size());
+    for (const auto& [path, rec] : corpus_index_) {
+      persist::CorpusEntryRec fresh = rec;
+      // The live breaker count supersedes what the last journal append
+      // recorded (failures may have accrued since).
+      auto breaker = breakers_.find(path);
+      if (breaker != breakers_.end()) {
+        fresh.breaker_failures = static_cast<uint32_t>(
+            std::max(0, breaker->second.consecutive_failures()));
+      }
+      state.corpus_entries.push_back(std::move(fresh));
+    }
+  }
+  return state;
+}
+
+Status MatchEngine::CompactPersist() const {
+  if (persist_ == nullptr) return Status::OK();
+  return persist_->Compact(SnapshotState());
+}
+
+void MatchEngine::MaybeCompactPersist() const {
+  if (persist_ == nullptr || options_.persist_compact_interval == 0) return;
+  if (persist_->appends_since_compact() < options_.persist_compact_interval) {
+    return;
+  }
+  // Periodic compaction is opportunistic; a failed one just leaves the
+  // journal longer until the next interval (or shutdown) retries.
+  (void)CompactPersist();
+}
 
 MatchEngine::CacheKey MatchEngine::MakeKey(const xsd::Schema& source,
                                            const xsd::Schema& target) const {
@@ -209,23 +354,49 @@ void MatchEngine::CacheStore(const CacheKey& key,
     entry.correspondences.push_back(
         CachedCorrespondence{c.source->Path(), c.target->Path(), c.score});
   }
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  auto it = cache_index_.find(key);
-  if (it != cache_index_.end()) {
-    *it->second = std::move(entry);
-    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-    return;
+  persist::CacheEntryRec rec;
+  if (persist_ != nullptr) {
+    rec.source_fp = key.source_fp;
+    rec.target_fp = key.target_fp;
+    rec.config_hash = key.config_hash;
+    rec.algorithm = entry.algorithm;
+    rec.schema_qom = entry.schema_qom;
+    rec.correspondences.reserve(entry.correspondences.size());
+    for (const CachedCorrespondence& c : entry.correspondences) {
+      rec.correspondences.push_back(
+          persist::CorrespondenceRec{c.source_path, c.target_path, c.score});
+    }
   }
-  cache_lru_.push_front(std::move(entry));
-  cache_index_[key] = cache_lru_.begin();
-  while (cache_lru_.size() > options_.cache_capacity) {
-    cache_index_.erase(cache_lru_.back().key);
-    cache_lru_.pop_back();
-    ++cache_stats_.evictions;
-    QMATCH_COUNTER_ADD("engine.cache.evictions", 1);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+      *it->second = std::move(entry);
+      cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    } else {
+      cache_lru_.push_front(std::move(entry));
+      cache_index_[key] = cache_lru_.begin();
+      while (cache_lru_.size() > options_.cache_capacity) {
+        cache_index_.erase(cache_lru_.back().key);
+        cache_lru_.pop_back();
+        ++cache_stats_.evictions;
+        QMATCH_COUNTER_ADD("engine.cache.evictions", 1);
+      }
+      cache_stats_.entries = cache_lru_.size();
+      QMATCH_GAUGE_SET("engine.cache.entries", cache_lru_.size());
+    }
   }
-  cache_stats_.entries = cache_lru_.size();
-  QMATCH_GAUGE_SET("engine.cache.entries", cache_lru_.size());
+  if (persist_ != nullptr) {
+    // Journal outside the cache lock (the store serializes on its own
+    // mutex). CacheStore only ever sees full-fidelity results, so every
+    // append is a trustworthy upsert; a failed append is dropped — the
+    // entry is simply recomputed after the next restart.
+    Status appended = persist_->AppendCache(rec);
+    if (!appended.ok()) {
+      QMATCH_COUNTER_ADD("persist.append_dropped", 1);
+    }
+    MaybeCompactPersist();
+  }
 }
 
 MatchResult MatchEngine::MatchUncached(const xsd::Schema& source,
@@ -593,6 +764,44 @@ CorpusMatchResult MatchEngine::MatchCorpus(
     }
   }
   QMATCH_COUNTER_ADD("engine.corpus.entries", out.entries.size());
+  if (persist_ != nullptr) {
+    // Journal the corpus index: last-seen schema fingerprint and breaker
+    // failure count per path, appended only when something changed so a
+    // steady-state corpus query costs zero journal growth.
+    std::vector<persist::CorpusEntryRec> changed;
+    {
+      std::lock_guard<std::mutex> lock(breaker_mutex_);
+      for (const CorpusEntryResult& entry : out.entries) {
+        persist::CorpusEntryRec rec;
+        rec.path = entry.path;
+        auto prev = corpus_index_.find(entry.path);
+        if (prev != corpus_index_.end()) {
+          // A failed load/parse keeps the last-known fingerprint.
+          rec.schema_fp = prev->second.schema_fp;
+        }
+        if (entry.schema.root() != nullptr) {
+          rec.schema_fp = xsd::SchemaFingerprint(entry.schema);
+        }
+        auto breaker = breakers_.find(entry.path);
+        if (breaker != breakers_.end()) {
+          rec.breaker_failures = static_cast<uint32_t>(
+              std::max(0, breaker->second.consecutive_failures()));
+        }
+        if (prev == corpus_index_.end() || !(prev->second == rec)) {
+          corpus_index_[entry.path] = rec;
+          changed.push_back(std::move(rec));
+        }
+      }
+    }
+    for (const persist::CorpusEntryRec& rec : changed) {
+      Status appended = persist_->AppendCorpus(rec);
+      if (!appended.ok()) {
+        QMATCH_COUNTER_ADD("persist.append_dropped", 1);
+        break;
+      }
+    }
+    MaybeCompactPersist();
+  }
   return out;
 }
 

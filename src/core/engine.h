@@ -18,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "core/qmatch.h"
 #include "match/matcher.h"
+#include "persist/store.h"
 #include "xsd/parser.h"
 #include "xsd/schema.h"
 
@@ -78,6 +79,18 @@ struct MatchEngineOptions {
   /// Overload protection (admission, budgets, degradation). All off by
   /// default.
   OverloadOptions overload;
+
+  /// Directory of the crash-safe persistence layer (DESIGN.md §12). When
+  /// set, the result cache and the corpus index are journaled there and
+  /// reloaded on construction (warm start); recovered cache entries serve
+  /// bit-identical QoM to a fresh compute. Entries whose config fingerprint
+  /// does not match this engine's are dropped, never trusted. Empty (the
+  /// default) = persistence off.
+  std::string persist_dir;
+
+  /// Journal appends between automatic compactions of the journal into the
+  /// snapshot. 0 disables periodic compaction; shutdown still compacts.
+  size_t persist_compact_interval = 256;
 };
 
 /// Observability counters of the result cache.
@@ -205,6 +218,11 @@ class MatchEngine : public Matcher {
 
   const QMatchConfig& config() const { return matcher_.config(); }
 
+  /// Fingerprint of every config field that influences match output — the
+  /// cache key component and the persistence-layer trust boundary (records
+  /// from a differently-fingerprinted engine are dropped on load).
+  uint64_t config_hash() const { return config_hash_; }
+
   /// Resolved total parallelism (>= 1).
   size_t threads() const { return threads_; }
 
@@ -259,6 +277,22 @@ class MatchEngine : public Matcher {
   MatchEngineCacheStats cache_stats() const;
   void ClearCache();
 
+  /// True when `persist_dir` was set and the store opened successfully.
+  bool persist_enabled() const { return persist_ != nullptr; }
+
+  /// Accounting of the warm-start load: what was recovered, dropped
+  /// untrusted, or truncated as a torn journal tail. Zero-initialised when
+  /// persistence is off.
+  const persist::LoadStats& persist_load_stats() const {
+    return persist_load_stats_;
+  }
+
+  /// Compacts the persistence journal into a fresh snapshot of the current
+  /// in-memory state (cache + corpus index). No-op (OK) when persistence is
+  /// off. Runs automatically every `persist_compact_interval` journal
+  /// appends and once more at destruction.
+  Status CompactPersist() const;
+
   /// Live load signal in [0, 1]: max of admission pressure (cost/queue
   /// fill) and the process-budget watermark. Drives the degradation
   /// ladder; also exported as the `engine.pressure_permille` gauge.
@@ -297,6 +331,15 @@ class MatchEngine : public Matcher {
   void CacheStore(const CacheKey& key, const MatchResult& result) const;
   CacheKey MakeKey(const xsd::Schema& source, const xsd::Schema& target) const;
 
+  /// Opens the persistent store and warm-starts the cache, breakers and
+  /// corpus index from it. A store that cannot open leaves the engine fully
+  /// functional, just cold.
+  void InitPersist();
+  /// Full in-memory state as persistable records, cache in oldest-first
+  /// order so warm-start replay reproduces today's LRU recency.
+  persist::StoreState SnapshotState() const;
+  void MaybeCompactPersist() const;
+
   QMatch matcher_;
   uint64_t config_hash_ = 0;
   size_t threads_ = 1;
@@ -315,6 +358,15 @@ class MatchEngine : public Matcher {
   mutable std::list<CacheEntry> cache_lru_;  // front = most recent
   mutable std::map<CacheKey, std::list<CacheEntry>::iterator> cache_index_;
   mutable MatchEngineCacheStats cache_stats_;
+
+  /// Crash-safe persistence (null = off). The store has its own mutex;
+  /// lock order is always engine mutex -> store mutex, never the reverse.
+  mutable std::unique_ptr<persist::PersistentStore> persist_;
+  persist::LoadStats persist_load_stats_;
+  /// Last journaled record per corpus path — MatchCorpus appends an update
+  /// only when the fingerprint or breaker count actually changed. Guarded
+  /// by breaker_mutex_ (it shadows the breakers).
+  mutable std::map<std::string, persist::CorpusEntryRec> corpus_index_;
 };
 
 }  // namespace qmatch::core

@@ -35,12 +35,14 @@ bool CliSink::TryParse(std::string_view arg) {
 }
 
 Status CliSink::Write() const {
+  // Atomic replacement: a crash mid-export (or a concurrent scrape of the
+  // output path) must never observe a half-written JSON document.
   if (!metrics_path.empty()) {
-    QMATCH_RETURN_IF_ERROR(WriteFile(metrics_path, CombinedJson()));
+    QMATCH_RETURN_IF_ERROR(WriteFileAtomic(metrics_path, CombinedJson()));
   }
   if (!trace_path.empty()) {
     QMATCH_RETURN_IF_ERROR(
-        WriteFile(trace_path, Tracer::Global().ChromeTraceJson()));
+        WriteFileAtomic(trace_path, Tracer::Global().ChromeTraceJson()));
   }
   return Status::OK();
 }

@@ -1,0 +1,41 @@
+#include "persist/crc32.h"
+
+#include <array>
+
+namespace qmatch::persist {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  return kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view bytes) {
+  const std::array<uint32_t, 256>& table = Table();
+  crc = ~crc;
+  for (char c : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xffu];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(std::string_view bytes) { return Crc32Update(0, bytes); }
+
+}  // namespace qmatch::persist

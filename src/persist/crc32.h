@@ -1,0 +1,21 @@
+#ifndef QMATCH_PERSIST_CRC32_H_
+#define QMATCH_PERSIST_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace qmatch::persist {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/gzip checksum) of
+/// `bytes`. Every snapshot/journal record carries one so corruption —
+/// bit rot, torn non-tail writes, hostile bytes — is detected before a
+/// single decoded field is trusted.
+uint32_t Crc32(std::string_view bytes);
+
+/// Incremental form: feed `bytes` into a running checksum (`crc` starts at
+/// 0 and the return value is passed back in).
+uint32_t Crc32Update(uint32_t crc, std::string_view bytes);
+
+}  // namespace qmatch::persist
+
+#endif  // QMATCH_PERSIST_CRC32_H_

@@ -1,0 +1,244 @@
+#include "persist/snapshot.h"
+
+#include <utility>
+
+#include "persist/crc32.h"
+#include "persist/wire.h"
+
+namespace qmatch::persist {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 8 + 4 + 8 + 4;  // magic + version + fp + crc
+constexpr size_t kRecordFrameBytes = 4 + 4 + 4;  // type + length + crc
+
+std::string EncodeHeader(std::string_view magic, uint64_t config_fingerprint) {
+  Encoder enc;
+  std::string out(magic);
+  enc.PutU32(kFormatVersion);
+  enc.PutU64(config_fingerprint);
+  out += enc.bytes();
+  Encoder crc;
+  crc.PutU32(Crc32(out));
+  out += crc.bytes();
+  return out;
+}
+
+std::string FrameRecord(RecordType type, std::string payload) {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(type));
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  std::string out = enc.Take();
+  out += payload;
+  Encoder crc;
+  crc.PutU32(Crc32(out));
+  out += crc.bytes();
+  return out;
+}
+
+std::string EncodeCachePayload(const CacheEntryRec& entry) {
+  Encoder enc;
+  enc.PutU64(entry.source_fp);
+  enc.PutU64(entry.target_fp);
+  enc.PutU64(entry.config_hash);
+  enc.PutString(entry.algorithm);
+  enc.PutDouble(entry.schema_qom);
+  enc.PutU32(static_cast<uint32_t>(entry.correspondences.size()));
+  for (const CorrespondenceRec& c : entry.correspondences) {
+    enc.PutString(c.source_path);
+    enc.PutString(c.target_path);
+    enc.PutDouble(c.score);
+  }
+  return enc.Take();
+}
+
+std::string EncodeCorpusPayload(const CorpusEntryRec& entry) {
+  Encoder enc;
+  enc.PutString(entry.path);
+  enc.PutU64(entry.schema_fp);
+  enc.PutU32(entry.breaker_failures);
+  return enc.Take();
+}
+
+bool DecodeCachePayload(std::string_view payload, CacheEntryRec* out) {
+  Decoder dec(payload);
+  uint32_t count = 0;
+  if (!dec.GetU64(&out->source_fp) || !dec.GetU64(&out->target_fp) ||
+      !dec.GetU64(&out->config_hash) || !dec.GetString(&out->algorithm) ||
+      !dec.GetDouble(&out->schema_qom) || !dec.GetU32(&count)) {
+    return false;
+  }
+  // Cheap pre-check before reserving: each correspondence is at least two
+  // empty strings + a double, so a hostile count cannot force a giant
+  // allocation backed by nothing.
+  if (static_cast<size_t>(count) * (4 + 4 + 8) > dec.remaining()) return false;
+  out->correspondences.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CorrespondenceRec c;
+    if (!dec.GetString(&c.source_path) || !dec.GetString(&c.target_path) ||
+        !dec.GetDouble(&c.score)) {
+      return false;
+    }
+    out->correspondences.push_back(std::move(c));
+  }
+  return dec.remaining() == 0;
+}
+
+bool DecodeCorpusPayload(std::string_view payload, CorpusEntryRec* out) {
+  Decoder dec(payload);
+  return dec.GetString(&out->path) && dec.GetU64(&out->schema_fp) &&
+         dec.GetU32(&out->breaker_failures) && dec.remaining() == 0;
+}
+
+/// Validates the 24-byte header. On success sets *fingerprint_matches and
+/// advances nothing (caller slices past kHeaderBytes).
+Status DecodeHeader(std::string_view bytes, std::string_view magic,
+                    uint64_t config_fingerprint, bool* fingerprint_matches) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::DataLoss("persist header truncated");
+  }
+  if (bytes.substr(0, 8) != magic) {
+    return Status::DataLoss("persist header magic mismatch");
+  }
+  Decoder dec(bytes.substr(8));
+  uint32_t version = 0;
+  uint64_t fingerprint = 0;
+  uint32_t crc = 0;
+  (void)dec.GetU32(&version);
+  (void)dec.GetU64(&fingerprint);
+  (void)dec.GetU32(&crc);
+  if (crc != Crc32(bytes.substr(0, kHeaderBytes - 4))) {
+    return Status::DataLoss("persist header checksum mismatch");
+  }
+  if (version != kFormatVersion) {
+    return Status::DataLoss("persist format version unsupported");
+  }
+  *fingerprint_matches = fingerprint == config_fingerprint;
+  return Status::OK();
+}
+
+/// Walks the record stream shared by both files. `tolerate_torn_tail`
+/// selects the journal semantics (truncate the crash artefact) vs the
+/// snapshot semantics (any violation is corruption).
+Status DecodeRecords(std::string_view bytes, bool fingerprint_matches,
+                     bool tolerate_torn_tail, bool is_journal,
+                     StoreState* state, LoadStats* stats) {
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::string_view rest = bytes.substr(pos);
+    Decoder dec(rest);
+    uint32_t type = 0;
+    uint32_t length = 0;
+    if (!dec.GetU32(&type) || !dec.GetU32(&length)) {
+      if (tolerate_torn_tail) {
+        stats->truncated_tail_bytes += rest.size();
+        return Status::OK();
+      }
+      return Status::DataLoss("persist record header truncated");
+    }
+    if (length > kMaxPayloadBytes) {
+      return Status::DataLoss("persist record length implausible");
+    }
+    std::string_view payload;
+    uint32_t crc = 0;
+    if (!dec.GetBytes(length, &payload) || !dec.GetU32(&crc)) {
+      if (tolerate_torn_tail) {
+        stats->truncated_tail_bytes += rest.size();
+        return Status::OK();
+      }
+      return Status::DataLoss("persist record truncated");
+    }
+    if (crc != Crc32(rest.substr(0, 8 + length))) {
+      // A complete record with a bad checksum cannot be a torn append — a
+      // crash only ever leaves a *prefix* of a record. This is corruption
+      // even in the journal.
+      return Status::DataLoss("persist record checksum mismatch");
+    }
+    const size_t record_bytes = kRecordFrameBytes + length;
+    pos += record_bytes;
+    if (is_journal) {
+      ++stats->journal_records;
+    } else {
+      ++stats->snapshot_records;
+    }
+    if (!fingerprint_matches) {
+      ++stats->dropped_records;
+      continue;
+    }
+    switch (static_cast<RecordType>(type)) {
+      case RecordType::kCacheEntry: {
+        CacheEntryRec entry;
+        if (!DecodeCachePayload(payload, &entry)) {
+          return Status::DataLoss("persist cache record payload malformed");
+        }
+        state->cache_entries.push_back(std::move(entry));
+        break;
+      }
+      case RecordType::kCorpusEntry: {
+        CorpusEntryRec entry;
+        if (!DecodeCorpusPayload(payload, &entry)) {
+          return Status::DataLoss("persist corpus record payload malformed");
+        }
+        state->corpus_entries.push_back(std::move(entry));
+        break;
+      }
+      default:
+        // Valid CRC, unknown type: a future format extension. Skipped and
+        // counted, never trusted, never fatal.
+        ++stats->dropped_records;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const StoreState& state,
+                           uint64_t config_fingerprint) {
+  std::string out = EncodeHeader(kSnapshotMagic, config_fingerprint);
+  for (const CacheEntryRec& entry : state.cache_entries) {
+    out += EncodeCacheRecord(entry);
+  }
+  for (const CorpusEntryRec& entry : state.corpus_entries) {
+    out += EncodeCorpusRecord(entry);
+  }
+  return out;
+}
+
+std::string EncodeJournalHeader(uint64_t config_fingerprint) {
+  return EncodeHeader(kJournalMagic, config_fingerprint);
+}
+
+std::string EncodeCacheRecord(const CacheEntryRec& entry) {
+  return FrameRecord(RecordType::kCacheEntry, EncodeCachePayload(entry));
+}
+
+std::string EncodeCorpusRecord(const CorpusEntryRec& entry) {
+  return FrameRecord(RecordType::kCorpusEntry, EncodeCorpusPayload(entry));
+}
+
+Status DecodeSnapshot(std::string_view bytes, uint64_t config_fingerprint,
+                      StoreState* state, LoadStats* stats) {
+  bool fingerprint_matches = false;
+  QMATCH_RETURN_IF_ERROR(DecodeHeader(bytes, kSnapshotMagic,
+                                      config_fingerprint,
+                                      &fingerprint_matches));
+  stats->snapshot_config_mismatch = !fingerprint_matches;
+  return DecodeRecords(bytes.substr(kHeaderBytes), fingerprint_matches,
+                       /*tolerate_torn_tail=*/false, /*is_journal=*/false,
+                       state, stats);
+}
+
+Status DecodeJournal(std::string_view bytes, uint64_t config_fingerprint,
+                     StoreState* state, LoadStats* stats) {
+  bool fingerprint_matches = false;
+  QMATCH_RETURN_IF_ERROR(DecodeHeader(bytes, kJournalMagic, config_fingerprint,
+                                      &fingerprint_matches));
+  stats->journal_config_mismatch = !fingerprint_matches;
+  return DecodeRecords(bytes.substr(kHeaderBytes), fingerprint_matches,
+                       /*tolerate_torn_tail=*/true, /*is_journal=*/true, state,
+                       stats);
+}
+
+}  // namespace qmatch::persist

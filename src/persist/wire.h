@@ -1,0 +1,58 @@
+#ifndef QMATCH_PERSIST_WIRE_H_
+#define QMATCH_PERSIST_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qmatch::persist {
+
+/// Little-endian binary encoder for the on-disk snapshot/journal payloads.
+/// Fixed-width integers and length-prefixed strings only — no varints, no
+/// padding — so every field has exactly one byte representation and the
+/// record CRCs are stable across platforms (we target little-endian;
+/// the encoding is explicit-shift so big-endian hosts would still agree).
+class Encoder {
+ public:
+  void PutU32(uint32_t value);
+  void PutU64(uint64_t value);
+  /// Doubles are stored as their IEEE-754 bit pattern, so a recovered QoM
+  /// is bit-identical to the computed one — the warm-start acceptance
+  /// criterion, not an approximation.
+  void PutDouble(double value);
+  /// u32 byte length + raw bytes (no terminator).
+  void PutString(std::string_view value);
+
+  const std::string& bytes() const { return bytes_; }
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked reader over untrusted bytes. Every accessor returns
+/// false instead of reading past the end — the fuzz contract: hostile
+/// lengths and truncations can never over-read. A Decoder never allocates
+/// from a length field without the bytes actually being present.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view bytes) : bytes_(bytes) {}
+
+  bool GetU32(uint32_t* out);
+  bool GetU64(uint64_t* out);
+  bool GetDouble(double* out);
+  bool GetString(std::string* out);
+  /// Reads `size` raw bytes as a view into the underlying buffer.
+  bool GetBytes(size_t size, std::string_view* out);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace qmatch::persist
+
+#endif  // QMATCH_PERSIST_WIRE_H_

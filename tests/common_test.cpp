@@ -5,7 +5,11 @@
 #include <set>
 #include <vector>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include "common/file_util.h"
+#include "fault/failpoint.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -330,6 +334,104 @@ TEST(FileUtilTest, EmptyFile) {
   Result<std::string> read = ReadFile(path);
   ASSERT_TRUE(read.ok());
   EXPECT_TRUE(read->empty());
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, ReadFileErrnoTextNamesPathAndCause) {
+  const std::string path = ::testing::TempDir() + "/qmatch_no_such_file.txt";
+  std::remove(path.c_str());
+  Result<std::string> read = ReadFile(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  EXPECT_NE(read.status().message().find(path), std::string::npos)
+      << read.status();
+  EXPECT_NE(read.status().message().find("No such file"), std::string::npos)
+      << read.status();
+}
+
+TEST(FileUtilTest, ReadFileUnreadableIsIoError) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root bypasses file permission checks";
+  }
+  const std::string path = ::testing::TempDir() + "/qmatch_unreadable.txt";
+  ASSERT_TRUE(WriteFile(path, "secret").ok());
+  ASSERT_EQ(::chmod(path.c_str(), 0), 0);
+  Result<std::string> read = ReadFile(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  EXPECT_NE(read.status().message().find("Permission denied"),
+            std::string::npos)
+      << read.status();
+  (void)::chmod(path.c_str(), 0644);
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, WriteFileMissingDirIsIoError) {
+  Status status = WriteFile("/nonexistent/dir/qmatch_write.txt", "x");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("/nonexistent/dir/qmatch_write.txt"),
+            std::string::npos)
+      << status;
+}
+
+TEST(FileUtilTest, WriteFileAtomicRoundtripLeavesNoTemp) {
+  const std::string path = ::testing::TempDir() + "/qmatch_atomic_test.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "atomic contents").ok());
+  EXPECT_EQ(*ReadFile(path), "atomic contents");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  ASSERT_TRUE(WriteFileAtomic(path, "replaced").ok());
+  EXPECT_EQ(*ReadFile(path), "replaced");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, WriteFileAtomicMissingDirIsIoError) {
+  Status status = WriteFileAtomic("/nonexistent/dir/qmatch_atomic.txt", "x");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+#if QMATCH_FAULT_ENABLED
+// Each graceful (kError) failure along the atomic-write sequence must leave
+// the destination untouched and clean up its temp file: the reader sees
+// old-or-new, never torn.
+TEST(FileUtilTest, WriteFileAtomicPreservesOldContentsOnInjectedFailure) {
+  const std::string path = ::testing::TempDir() + "/qmatch_atomic_fault.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+  for (const char* point : {"persist.write", "persist.fsync",
+                            "persist.rename"}) {
+    fault::FaultSpec spec;
+    spec.action = fault::FaultAction::kError;
+    spec.max_fires = 1;
+    spec.code = StatusCode::kIoError;
+    fault::ScopedFailpoint fp(point, spec);
+    Status status = WriteFileAtomic(path, "new contents that must not land");
+    ASSERT_FALSE(status.ok()) << point;
+    EXPECT_EQ(status.code(), StatusCode::kIoError) << point;
+    EXPECT_EQ(*ReadFile(path), "old contents") << point;
+    EXPECT_FALSE(FileExists(path + ".tmp")) << point;
+  }
+  std::remove(path.c_str());
+}
+#endif  // QMATCH_FAULT_ENABLED
+
+TEST(FileUtilTest, EnsureDirCreatesAndIsIdempotent) {
+  const std::string dir = ::testing::TempDir() + "/qmatch_ensure_dir";
+  ASSERT_TRUE(EnsureDir(dir).ok());
+  ASSERT_TRUE(EnsureDir(dir).ok());
+  const std::string file = dir + "/probe.txt";
+  ASSERT_TRUE(WriteFile(file, "x").ok());
+  std::remove(file.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(FileUtilTest, EnsureDirRejectsRegularFile) {
+  const std::string path = ::testing::TempDir() + "/qmatch_not_a_dir.txt";
+  ASSERT_TRUE(WriteFile(path, "x").ok());
+  Status status = EnsureDir(path);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
   std::remove(path.c_str());
 }
 

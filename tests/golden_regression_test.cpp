@@ -73,7 +73,9 @@ TEST_P(GoldenRegressionTest, MatchesSnapshot) {
   const std::string snapshot = Snapshot(task);
   const std::string path = GoldenPath(task.name);
   if (g_update_golden) {
-    ASSERT_TRUE(WriteFile(path, snapshot).ok()) << path;
+    // Atomic: an interrupted --update-golden run must not leave a torn
+    // golden file that later runs diff against.
+    ASSERT_TRUE(WriteFileAtomic(path, snapshot).ok()) << path;
     std::printf("updated %s\n", path.c_str());
     return;
   }
