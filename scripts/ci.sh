@@ -12,6 +12,7 @@
 #   scripts/ci.sh chaos      # chaos suite under ASan and TSan, fixed seeds
 #   scripts/ci.sh stress     # overload suite under ASan and TSan + load bench
 #   scripts/ci.sh recovery   # crash-point recovery suite under ASan and UBSan
+#   scripts/ci.sh perf       # Fig.4 runtime bench vs bench/baselines.json
 #   scripts/ci.sh coverage   # --coverage build; enforces the line floor
 #   scripts/ci.sh all        # all of the above
 set -euo pipefail
@@ -144,6 +145,20 @@ run_stress() {
   ./build/bench/bench_overload
 }
 
+# Perf regression gate: the Fig. 4 runtime bench (which includes the
+# Protein row the SoA kernel was built for) against the checked-in
+# baselines, failing on >15% regression per row. Runs uninstrumented in
+# Release. After an intentional perf change, regenerate with
+#   ./build/bench/bench_fig4_runtime --benchmark_format=json \
+#       | python3 scripts/check_perf.py --update bench/baselines.json
+# and review the bench/baselines.json diff like any other code change.
+run_perf() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}" --target bench_fig4_runtime
+  ./build/bench/bench_fig4_runtime --benchmark_format=json \
+    | python3 scripts/check_perf.py bench/baselines.json
+}
+
 run_obs_off() {
   # The observability kill switch: everything must still compile, link and
   # pass with every instrumentation hook compiled down to a no-op.
@@ -231,11 +246,12 @@ case "${MODE}" in
   chaos)     run_chaos ;;
   stress)    run_stress ;;
   recovery)  run_recovery ;;
+  perf)      run_perf ;;
   coverage)  run_coverage ;;
   all)       run_default; run_tsan; run_asan; run_ubsan; run_obs_off
              run_fault_off; run_chaos; run_stress; run_recovery
-             run_coverage ;;
+             run_perf; run_coverage ;;
   *) echo "unknown mode '${MODE}'" \
-          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|stress|recovery|coverage|all)" >&2
+          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|stress|recovery|perf|coverage|all)" >&2
      exit 2 ;;
 esac

@@ -1,0 +1,108 @@
+#ifndef QMATCH_COMMON_ARENA_H_
+#define QMATCH_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/memory_budget.h"
+
+namespace qmatch {
+
+/// Thrown when an Arena cannot obtain memory: the backing MemoryBudget
+/// rejected the charge (per-request or process limit) or the `arena.alloc`
+/// failpoint fired. Distinct from std::bad_alloc/std::exception so the
+/// engine can map it to a typed kResourceExhausted status instead of the
+/// kInternal catch-all (see MatchEngine::Match).
+class ArenaExhausted : public std::runtime_error {
+ public:
+  explicit ArenaExhausted(std::string message)
+      : std::runtime_error(std::move(message)) {}
+};
+
+/// Bump-pointer arena for per-request scratch memory.
+///
+/// The SoA match kernel allocates its similarity matrices, SoA score
+/// columns and per-row scratch from one arena per request instead of many
+/// individually tracked heap containers: allocation is a pointer bump,
+/// deallocation is wholesale (destruction or Reset), and the total
+/// footprint is charged against the request's MemoryBudget block-by-block
+/// as it grows — so one oversized match trips kResourceExhausted instead
+/// of OOMing the process.
+///
+/// Lifetime rules (see DESIGN.md §13):
+///  - One arena per request, owned by the frame that owns the request.
+///  - NOT thread-safe. All allocation happens on the coordinating thread
+///    before work fans out to a pool; workers only read/write the handed
+///    out buffers, never allocate.
+///  - Reset() recycles the blocks (and keeps their budget charge) for the
+///    next request on the same thread; destruction releases everything.
+///  - Only trivially destructible payloads: the arena never runs
+///    destructors.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = size_t{1} << 20;  // 1 MiB
+
+  /// `budget` (borrowed, nullable) is charged for every block the arena
+  /// acquires and credited back on destruction. A null budget disables
+  /// accounting, not allocation.
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes,
+                 MemoryBudget* budget = nullptr);
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialised storage aligned to `align` (a power
+  /// of two ≤ alignof(std::max_align_t)). Throws ArenaExhausted when the
+  /// budget rejects the backing block or the `arena.alloc` failpoint
+  /// fires. Zero-byte requests return a stable non-null pointer.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Typed array of `count` value-initialised elements (zeroed for
+  /// arithmetic types).
+  template <typename T>
+  T* MakeArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    T* out = static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+    for (size_t i = 0; i < count; ++i) new (out + i) T();
+    return out;
+  }
+
+  /// Rewinds the bump pointer to the start of the first block. The blocks
+  /// — and their budget charge — are retained for reuse; everything
+  /// previously handed out becomes invalid.
+  void Reset();
+
+  /// Total bytes of backing blocks acquired (== the budget charge).
+  size_t allocated_bytes() const { return allocated_bytes_; }
+  /// Bytes handed out since construction or the last Reset (≤ allocated,
+  /// ignoring alignment padding).
+  size_t used_bytes() const { return used_bytes_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  /// Acquires a block of at least `min_bytes`, charging the budget.
+  void AddBlock(size_t min_bytes);
+
+  size_t block_bytes_;
+  ScopedCharge charge_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;   // block the bump pointer lives in
+  size_t offset_ = 0;    // bump offset within blocks_[current_]
+  size_t allocated_bytes_ = 0;
+  size_t used_bytes_ = 0;
+};
+
+}  // namespace qmatch
+
+#endif  // QMATCH_COMMON_ARENA_H_

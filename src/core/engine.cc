@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/file_util.h"
 #include "common/random.h"
 #include "fault/failpoint.h"
@@ -556,6 +557,9 @@ EngineMatchResult MatchEngine::Match(const xsd::Schema& source,
   TreeMatchOptions tree;
   tree.mode = mode;
   tree.children_depth_cap = overload.children_depth_cap;
+  // The SoA kernel's scratch arena charges the same request budget as the
+  // table, block-by-block; exhaustion surfaces as ArenaExhausted below.
+  tree.arena_budget = &request_budget;
   ThreadPool* pool =
       (threads_ > 1 && pairs >= options_.min_parallel_pairs) ? pool_.get()
                                                              : nullptr;
@@ -579,6 +583,13 @@ EngineMatchResult MatchEngine::Match(const xsd::Schema& source,
                            out.result.correspondences.size());
         break;
     }
+  } catch (const ArenaExhausted& e) {
+    // The kernel's scratch arena hit the request/process memory budget (or
+    // the arena.alloc failpoint): same typed rejection as the table charge.
+    out.status =
+        Status::ResourceExhausted(std::string("match arena: ") + e.what());
+    out.result = MatchResult{};
+    out.completed_rows = 0;
   } catch (const std::exception& e) {
     // A throwing failpoint (or any other internal throw) still produces a
     // typed response — no request escapes the status contract.

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/string_util.h"
 #include "fault/failpoint.h"
 #include "lingua/default_thesaurus.h"
 #include "lingua/name_match.h"
 #include "obs/obs.h"
+#include "xsd/flatten.h"
 
 namespace qmatch::core {
 
@@ -49,17 +51,6 @@ thread_local TreeMatchAccum t_treematch_accum;
 
 }  // namespace
 #endif  // QMATCH_OBS_ENABLED
-
-std::string PairQoM::ToString() const {
-  return StrFormat(
-      "QoM=%.4f [%s] (L=%.3f/%s, P=%.3f/%s, H=%.3f/%s, C=%.3f/%s%s)", qom,
-      std::string(qom::MatchCategoryName(category)).c_str(), label,
-      std::string(qom::AxisMatchName(label_cls)).c_str(), properties,
-      std::string(qom::AxisMatchName(properties_cls)).c_str(), level,
-      std::string(qom::AxisMatchName(level_cls)).c_str(), children,
-      std::string(qom::CoverageName(coverage)).c_str(),
-      children_all_exact ? " all-exact" : "");
-}
 
 QMatch::QMatch() : QMatch(QMatchConfig{}, &lingua::DefaultThesaurus()) {}
 
@@ -218,275 +209,317 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
   auto& table = analysis.table_;
   auto at = [&](size_t i, size_t j) -> PairQoM& { return table[i * m + j]; };
 
+  // Kernel routing (DESIGN.md §13): both implementations fill the same
+  // source-major table bit-identically. The SoA kernel batches the work
+  // over the schemas' flattened projections with arena scratch; the tree
+  // walk below is the node-at-a-time reference it is diffed against.
+  const match::KernelKind kernel =
+      tree.kernel.has_value() ? *tree.kernel : match::DefaultKernel();
   const lingua::NameMatcher name_matcher(thesaurus_, config_.name_options);
-  // Tokenise every label once and memoise token-pair similarities; the
-  // O(n·m) pair loop then does array lookups.
-  std::vector<std::string> source_labels;
-  source_labels.reserve(n);
-  for (const xsd::SchemaNode* s : src) source_labels.push_back(s->label());
-  std::vector<std::string> target_labels;
-  target_labels.reserve(m);
-  for (const xsd::SchemaNode* t : tgt) target_labels.push_back(t->label());
-  lingua::PairwiseLabelScorer label_scorer(name_matcher, source_labels,
-                                           target_labels);
-  auto label_match = [&](size_t i, size_t j) {
-    return label_scorer.Match(i, j);
-  };
+  std::vector<char> row_done(n, 0);
 
-  // One (source, target) pair of the QoM table. Reads only pairs of
-  // strictly deeper source nodes (the children of `src[i]`), so any
-  // schedule that fills deeper source levels first is valid.
-  auto compute_pair = [&](size_t i, size_t j) {
-    {
-      const xsd::SchemaNode* s = src[i];
-      const xsd::SchemaNode* t = tgt[j];
-      PairQoM& pair = at(i, j);
+  if (kernel == match::KernelKind::kSoa) {
+    const xsd::FlatSchema& flat_source = source.Flat();
+    const xsd::FlatSchema& flat_target = target.Flat();
+    // Per-request scratch arena, charged against the request's memory
+    // budget block-by-block; ArenaExhausted propagates to the engine,
+    // which maps it to kResourceExhausted.
+    Arena arena(Arena::kDefaultBlockBytes, tree.arena_budget);
+    match::SoaKernelConfig kernel_config;
+    kernel_config.weights = weights;
+    kernel_config.threshold = config_.threshold;
+    kernel_config.best_match_accumulation =
+        config_.child_accumulation ==
+        QMatchConfig::ChildAccumulation::kBestMatch;
+    kernel_config.level_graded =
+        config_.level_mode == QMatchConfig::LevelMode::kGraded;
+    kernel_config.leaf_to_inner_children_credit =
+        config_.leaf_to_inner_children_credit;
+    kernel_config.label_only = label_only;
+    kernel_config.capped = capped;
+    kernel_config.children_depth_cap = tree.children_depth_cap;
+    kernel_config.name_matcher = &name_matcher;
+    kernel_config.property_options = config_.property_options;
+    const match::SoaKernelResult run =
+        match::SoaFillTable(flat_source, flat_target, kernel_config,
+                            table.data(), row_done, pool, control, &arena);
+    analysis.stop_reason_ = run.stop;
+    analysis.completed_rows_ = run.completed_rows;
+  } else {
+    // Tokenise every label once and memoise token-pair similarities; the
+    // O(n·m) pair loop then does array lookups.
+    std::vector<std::string> source_labels;
+    source_labels.reserve(n);
+    for (const xsd::SchemaNode* s : src) source_labels.push_back(s->label());
+    std::vector<std::string> target_labels;
+    target_labels.reserve(m);
+    for (const xsd::SchemaNode* t : tgt) target_labels.push_back(t->label());
+    lingua::PairwiseLabelScorer label_scorer(name_matcher, source_labels,
+                                             target_labels);
+    auto label_match = [&](size_t i, size_t j) {
+      return label_scorer.Match(i, j);
+    };
+
+    // One (source, target) pair of the QoM table. Reads only pairs of
+    // strictly deeper source nodes (the children of `src[i]`), so any
+    // schedule that fills deeper source levels first is valid.
+    auto compute_pair = [&](size_t i, size_t j) {
+      {
+        const xsd::SchemaNode* s = src[i];
+        const xsd::SchemaNode* t = tgt[j];
+        PairQoM& pair = at(i, j);
 #if QMATCH_OBS_ENABLED
-      // Sampled per-axis timing: clock reads bracket each axis block on
-      // every kTreeMatchSampleEvery-th pair only (deterministic choice, so
-      // parallel runs sample the same pairs).
-      TreeMatchAccum& obs_accum = t_treematch_accum;  // one TLS lookup
-      const bool obs_sampled = ((i * m + j) % kTreeMatchSampleEvery) == 0;
-      uint64_t obs_mark = obs_sampled ? obs::MonotonicNowNs() : 0;
-      auto obs_lap = [&obs_mark, obs_sampled](uint64_t* into) {
-        if (!obs_sampled) return;
-        const uint64_t now = obs::MonotonicNowNs();
-        *into += now - obs_mark;
-        obs_mark = now;
-      };
+        // Sampled per-axis timing: clock reads bracket each axis block on
+        // every kTreeMatchSampleEvery-th pair only (deterministic choice,
+        // so parallel runs sample the same pairs).
+        TreeMatchAccum& obs_accum = t_treematch_accum;  // one TLS lookup
+        const bool obs_sampled = ((i * m + j) % kTreeMatchSampleEvery) == 0;
+        uint64_t obs_mark = obs_sampled ? obs::MonotonicNowNs() : 0;
+        auto obs_lap = [&obs_mark, obs_sampled](uint64_t* into) {
+          if (!obs_sampled) return;
+          const uint64_t now = obs::MonotonicNowNs();
+          *into += now - obs_mark;
+          obs_mark = now;
+        };
 #endif
 
-      // --- Children axis (Eq. 3-5) ---------------------------------
-      if (label_only) {
-        // Degraded mode: the axis is not evaluated at all — its weight
-        // mass was renormalized away above.
-        pair.children = 0.0;
-        pair.coverage = qom::Coverage::kNone;
-        pair.children_all_exact = false;
-      } else if (effective_leaf(s) && effective_leaf(t)) {
-        // Leaves match exactly by default along the children axis (the
-        // constant C of Eq. 2).
-        pair.children = 1.0;
-        pair.coverage = qom::Coverage::kTotal;
-        pair.children_all_exact = true;
-      } else if (effective_leaf(s)) {
-        // No source children to cover: vacuously total, never exact, and
-        // only partial credit (see QMatchConfig).
-        pair.children = config_.leaf_to_inner_children_credit;
-        pair.coverage = qom::Coverage::kTotal;
-        pair.children_all_exact = false;
-      } else if (effective_leaf(t)) {
-        pair.children = 0.0;
-        pair.coverage = qom::Coverage::kNone;
-        pair.children_all_exact = false;
-      } else {
-        const double child_total = static_cast<double>(s->child_count());
-        double qom_sum = 0.0;
-        double matched = 0.0;
-        bool all_exact = true;
-        // Both accumulation modes read every (source child, target child)
-        // table cell, and `matched` counts exactly the children that
-        // contribute — so the memoisation/contribution counters fall out
-        // arithmetically, once per pair, off the inner loops.
-        QMATCH_OBS_ONLY(obs_accum.memo_lookups +=
-                        uint64_t{s->child_count()} * t->child_count();)
-        if (config_.child_accumulation ==
-            QMatchConfig::ChildAccumulation::kBestMatch) {
-          for (const auto& sc : s->children()) {
-            size_t ci = analysis.source_index_.at(sc.get());
-            double best = 0.0;
-            const PairQoM* best_pair = nullptr;
-            for (const auto& tc : t->children()) {
-              size_t cj = analysis.target_index_.at(tc.get());
-              const PairQoM& child_pair = at(ci, cj);
-              if (child_pair.qom > best) {
-                best = child_pair.qom;
-                best_pair = &child_pair;
-              }
-            }
-            if (best_pair != nullptr && best >= config_.threshold) {
-              qom_sum += best;
-              matched += 1.0;
-              if (best_pair->category != qom::MatchCategory::kTotalExact) {
-                all_exact = false;
-              }
-            }
-          }
+        // --- Children axis (Eq. 3-5) ---------------------------------
+        if (label_only) {
+          // Degraded mode: the axis is not evaluated at all — its weight
+          // mass was renormalized away above.
+          pair.children = 0.0;
+          pair.coverage = qom::Coverage::kNone;
+          pair.children_all_exact = false;
+        } else if (effective_leaf(s) && effective_leaf(t)) {
+          // Leaves match exactly by default along the children axis (the
+          // constant C of Eq. 2).
+          pair.children = 1.0;
+          pair.coverage = qom::Coverage::kTotal;
+          pair.children_all_exact = true;
+        } else if (effective_leaf(s)) {
+          // No source children to cover: vacuously total, never exact, and
+          // only partial credit (see QMatchConfig).
+          pair.children = config_.leaf_to_inner_children_credit;
+          pair.coverage = qom::Coverage::kTotal;
+          pair.children_all_exact = false;
+        } else if (effective_leaf(t)) {
+          pair.children = 0.0;
+          pair.coverage = qom::Coverage::kNone;
+          pair.children_all_exact = false;
         } else {
-          // Paper-literal accumulation: every child pair above threshold
-          // contributes (Fig. 3 pseudo-code).
-          for (const auto& sc : s->children()) {
-            size_t ci = analysis.source_index_.at(sc.get());
-            for (const auto& tc : t->children()) {
-              size_t cj = analysis.target_index_.at(tc.get());
-              const PairQoM& child_pair = at(ci, cj);
-              if (child_pair.qom >= config_.threshold) {
-                qom_sum += child_pair.qom;
+          const double child_total = static_cast<double>(s->child_count());
+          double qom_sum = 0.0;
+          double matched = 0.0;
+          bool all_exact = true;
+          // Both accumulation modes read every (source child, target child)
+          // table cell, and `matched` counts exactly the children that
+          // contribute — so the memoisation/contribution counters fall out
+          // arithmetically, once per pair, off the inner loops.
+          QMATCH_OBS_ONLY(obs_accum.memo_lookups +=
+                          uint64_t{s->child_count()} * t->child_count();)
+          if (config_.child_accumulation ==
+              QMatchConfig::ChildAccumulation::kBestMatch) {
+            for (const auto& sc : s->children()) {
+              size_t ci = analysis.source_index_.at(sc.get());
+              double best = 0.0;
+              const PairQoM* best_pair = nullptr;
+              for (const auto& tc : t->children()) {
+                size_t cj = analysis.target_index_.at(tc.get());
+                const PairQoM& child_pair = at(ci, cj);
+                if (child_pair.qom > best) {
+                  best = child_pair.qom;
+                  best_pair = &child_pair;
+                }
+              }
+              if (best_pair != nullptr && best >= config_.threshold) {
+                qom_sum += best;
                 matched += 1.0;
-                if (child_pair.category != qom::MatchCategory::kTotalExact) {
+                if (best_pair->category != qom::MatchCategory::kTotalExact) {
                   all_exact = false;
                 }
               }
             }
+          } else {
+            // Paper-literal accumulation: every child pair above threshold
+            // contributes (Fig. 3 pseudo-code).
+            for (const auto& sc : s->children()) {
+              size_t ci = analysis.source_index_.at(sc.get());
+              for (const auto& tc : t->children()) {
+                size_t cj = analysis.target_index_.at(tc.get());
+                const PairQoM& child_pair = at(ci, cj);
+                if (child_pair.qom >= config_.threshold) {
+                  qom_sum += child_pair.qom;
+                  matched += 1.0;
+                  if (child_pair.category !=
+                      qom::MatchCategory::kTotalExact) {
+                    all_exact = false;
+                  }
+                }
+              }
+            }
           }
+          QMATCH_OBS_ONLY(obs_accum.contributing_children +=
+                          static_cast<uint64_t>(matched);)
+          double rw = qom_sum / child_total;   // Eq. 3
+          double rs = matched / child_total;   // Eq. 4
+          pair.children = std::min(1.0, (rw + rs) / 2.0);  // Eq. 5
+          if (matched <= 0.0) {
+            pair.coverage = qom::Coverage::kNone;
+            all_exact = false;
+          } else if (matched >= child_total) {
+            pair.coverage = qom::Coverage::kTotal;
+          } else {
+            pair.coverage = qom::Coverage::kPartial;
+            all_exact = false;
+          }
+          pair.children_all_exact = all_exact;
         }
-        QMATCH_OBS_ONLY(obs_accum.contributing_children +=
-                        static_cast<uint64_t>(matched);)
-        double rw = qom_sum / child_total;   // Eq. 3
-        double rs = matched / child_total;   // Eq. 4
-        pair.children = std::min(1.0, (rw + rs) / 2.0);  // Eq. 5
-        if (matched <= 0.0) {
-          pair.coverage = qom::Coverage::kNone;
-          all_exact = false;
-        } else if (matched >= child_total) {
-          pair.coverage = qom::Coverage::kTotal;
+#if QMATCH_OBS_ENABLED
+        obs_lap(&obs_accum.children_ns);
+#endif
+
+        // --- Label axis -----------------------------------------------
+        lingua::LabelMatch lm = label_match(i, j);
+        pair.label = lm.cls == lingua::LabelMatchClass::kNone ? 0.0 : lm.score;
+        pair.label_cls = ToAxisMatch(lm.cls);
+#if QMATCH_OBS_ENABLED
+        obs_lap(&obs_accum.label_ns);
+#endif
+
+        // --- Properties axis ------------------------------------------
+        match::PropertyMatch pm =
+            match::MatchProperties(*s, *t, config_.property_options);
+        pair.properties = pm.score;
+        pair.properties_cls = ToAxisMatch(pm.cls);
+#if QMATCH_OBS_ENABLED
+        obs_lap(&obs_accum.properties_ns);
+#endif
+
+        // --- Level axis -------------------------------------------------
+        if (s->level() == t->level()) {
+          pair.level = 1.0;
+          pair.level_cls = qom::AxisMatch::kExact;
         } else {
-          pair.coverage = qom::Coverage::kPartial;
-          all_exact = false;
-        }
-        pair.children_all_exact = all_exact;
-      }
-#if QMATCH_OBS_ENABLED
-      obs_lap(&obs_accum.children_ns);
-#endif
-
-      // --- Label axis -----------------------------------------------
-      lingua::LabelMatch lm = label_match(i, j);
-      pair.label = lm.cls == lingua::LabelMatchClass::kNone ? 0.0 : lm.score;
-      pair.label_cls = ToAxisMatch(lm.cls);
-#if QMATCH_OBS_ENABLED
-      obs_lap(&obs_accum.label_ns);
-#endif
-
-      // --- Properties axis ------------------------------------------
-      match::PropertyMatch pm =
-          match::MatchProperties(*s, *t, config_.property_options);
-      pair.properties = pm.score;
-      pair.properties_cls = ToAxisMatch(pm.cls);
-#if QMATCH_OBS_ENABLED
-      obs_lap(&obs_accum.properties_ns);
-#endif
-
-      // --- Level axis -------------------------------------------------
-      if (s->level() == t->level()) {
-        pair.level = 1.0;
-        pair.level_cls = qom::AxisMatch::kExact;
-      } else {
-        pair.level_cls = qom::AxisMatch::kNone;
-        switch (config_.level_mode) {
-          case QMatchConfig::LevelMode::kBinary:
-            pair.level = 0.0;
-            break;
-          case QMatchConfig::LevelMode::kGraded: {
-            double gap = static_cast<double>(
-                s->level() > t->level() ? s->level() - t->level()
-                                        : t->level() - s->level());
-            pair.level = 1.0 / (1.0 + gap);
-            break;
+          pair.level_cls = qom::AxisMatch::kNone;
+          switch (config_.level_mode) {
+            case QMatchConfig::LevelMode::kBinary:
+              pair.level = 0.0;
+              break;
+            case QMatchConfig::LevelMode::kGraded: {
+              double gap = static_cast<double>(
+                  s->level() > t->level() ? s->level() - t->level()
+                                          : t->level() - s->level());
+              pair.level = 1.0 / (1.0 + gap);
+              break;
+            }
           }
         }
+
+#if QMATCH_OBS_ENABLED
+        obs_lap(&obs_accum.level_ns);
+        if (obs_sampled) ++obs_accum.sampled_pairs;
+#endif
+
+        // --- Weighted total (Eq. 1/6) and taxonomy category -------------
+        const qom::Weights& w = weights;
+        pair.qom = w.label * pair.label + w.properties * pair.properties +
+                   w.level * pair.level + w.children * pair.children;
+        pair.category =
+            qom::Categorize(pair.label_cls, pair.properties_cls,
+                            pair.level_cls, pair.coverage,
+                            pair.children_all_exact);
       }
+    };
 
 #if QMATCH_OBS_ENABLED
-      obs_lap(&obs_accum.level_ns);
-      if (obs_sampled) ++obs_accum.sampled_pairs;
+    // Once per completed source row: record the row's recursion depth (the
+    // source node's level — the memo table stands in for the paper's
+    // recursive TreeMatch, so level = recursion depth) and flush the
+    // thread-local axis accumulator to the process registry.
+    auto obs_row_done = [&src](size_t i) {
+      static obs::Histogram& depth_hist = obs::Registry::Global().GetHistogram(
+          "qmatch.treematch.recursion_depth",
+          obs::Histogram::ExponentialBounds(1.0, 2.0, 8),
+          "TreeMatch recursion depth (source node level) per table row");
+      depth_hist.Observe(static_cast<double>(src[i]->level()));
+      t_treematch_accum.Flush();
+    };
 #endif
 
-      // --- Weighted total (Eq. 1/6) and taxonomy category -------------
-      const qom::Weights& w = weights;
-      pair.qom = w.label * pair.label + w.properties * pair.properties +
-                 w.level * pair.level + w.children * pair.children;
-      pair.category =
-          qom::Categorize(pair.label_cls, pair.properties_cls, pair.level_cls,
-                          pair.coverage, pair.children_all_exact);
-    }
-  };
-
+    // Cooperative stop machinery. `stop` latches the first StopReason any
+    // worker observes; every worker polls it (one relaxed load) per pair,
+    // so a tripped deadline/cancellation drains the fill within one pair
+    // per worker. With no active control the whole block is one branch per
+    // pair and the fill is byte-for-byte the uncontrolled path.
+    const bool controlled = control != nullptr && control->active();
+    std::atomic<int> stop{0};  // 0 = running, else static_cast<int>(StopReason)
+    auto should_stop = [&]() -> bool {
+      if (!controlled) return false;
+      if (stop.load(std::memory_order_relaxed) != 0) return true;
+      const StopReason reason = control->Check();
+      if (reason == StopReason::kNone) return false;
+      int expected = 0;
+      stop.compare_exchange_strong(expected, static_cast<int>(reason),
+                                   std::memory_order_relaxed);
+      return true;
+    };
+    // One full table row; marks the row complete only after every cell is
+    // computed, so partial-result extraction below can trust row_done[i].
+    // The `treematch.pair` failpoint is the chaos suite's hook for making a
+    // single pair slow (kDelay) — which is exactly what the deadline check
+    // must bound.
+    auto fill_row = [&](size_t i) {
+      for (size_t j = m; j-- > 0;) {
+        if (should_stop()) return;
+        compute_pair(i, j);
+        QMATCH_FAILPOINT("treematch.pair");
+      }
+      row_done[i] = 1;
 #if QMATCH_OBS_ENABLED
-  // Once per completed source row: record the row's recursion depth (the
-  // source node's level — the memo table stands in for the paper's
-  // recursive TreeMatch, so level = recursion depth) and flush the
-  // thread-local axis accumulator to the process registry.
-  auto obs_row_done = [&src](size_t i) {
-    static obs::Histogram& depth_hist = obs::Registry::Global().GetHistogram(
-        "qmatch.treematch.recursion_depth",
-        obs::Histogram::ExponentialBounds(1.0, 2.0, 8),
-        "TreeMatch recursion depth (source node level) per table row");
-    depth_hist.Observe(static_cast<double>(src[i]->level()));
-    t_treematch_accum.Flush();
-  };
+      obs_row_done(i);
 #endif
+    };
 
-  // Cooperative stop machinery. `stop` latches the first StopReason any
-  // worker observes; every worker polls it (one relaxed load) per pair, so
-  // a tripped deadline/cancellation drains the fill within one pair per
-  // worker. With no active control the whole block is one branch per pair
-  // and the fill is byte-for-byte the uncontrolled path.
-  const bool controlled = control != nullptr && control->active();
-  std::atomic<int> stop{0};  // 0 = running, else static_cast<int>(StopReason)
-  std::vector<char> row_done(n, 0);
-  auto should_stop = [&]() -> bool {
-    if (!controlled) return false;
-    if (stop.load(std::memory_order_relaxed) != 0) return true;
-    const StopReason reason = control->Check();
-    if (reason == StopReason::kNone) return false;
-    int expected = 0;
-    stop.compare_exchange_strong(expected, static_cast<int>(reason),
-                                 std::memory_order_relaxed);
-    return true;
-  };
-  // One full table row; marks the row complete only after every cell is
-  // computed, so partial-result extraction below can trust row_done[i].
-  // The `treematch.pair` failpoint is the chaos suite's hook for making a
-  // single pair slow (kDelay) — which is exactly what the deadline check
-  // must bound.
-  auto fill_row = [&](size_t i) {
-    for (size_t j = m; j-- > 0;) {
-      if (should_stop()) return;
-      compute_pair(i, j);
-      QMATCH_FAILPOINT("treematch.pair");
+    if (pool == nullptr || pool->worker_count() == 0) {
+      // Bottom-up over both trees: reverse preorder guarantees all child
+      // pairs are evaluated before their parents (the recursive TreeMatch
+      // of Fig. 3, memoised into an O(n·m) table).
+      for (size_t i = n; i-- > 0;) {
+        if (stop.load(std::memory_order_relaxed) != 0) break;
+        fill_row(i);
+      }
+    } else {
+      // Row-parallel fill, sharded by source *level*: rows within one level
+      // never read each other (a pair depends only on child pairs, and
+      // children live on strictly deeper levels), so levels run deepest
+      // first with a barrier between them and rows fan out inside a level.
+      // Each pair runs the identical arithmetic as the sequential branch,
+      // so the table is bit-identical for any worker count.
+      label_scorer.Precompute();  // freeze the shared token cache (see lingua)
+      size_t max_level = 0;
+      for (const xsd::SchemaNode* s : src) {
+        max_level = std::max(max_level, s->level());
+      }
+      std::vector<std::vector<size_t>> rows_by_level(max_level + 1);
+      for (size_t i = 0; i < n; ++i) {
+        rows_by_level[src[i]->level()].push_back(i);
+      }
+      for (size_t level = max_level + 1; level-- > 0;) {
+        if (stop.load(std::memory_order_relaxed) != 0) break;
+        const std::vector<size_t>& rows = rows_by_level[level];
+        pool->ParallelFor(rows.size(), [&](size_t r) {
+          if (stop.load(std::memory_order_relaxed) != 0) return;
+          fill_row(rows[r]);
+        });
+      }
     }
-    row_done[i] = 1;
-#if QMATCH_OBS_ENABLED
-    obs_row_done(i);
-#endif
-  };
 
-  if (pool == nullptr || pool->worker_count() == 0) {
-    // Bottom-up over both trees: reverse preorder guarantees all child
-    // pairs are evaluated before their parents (the recursive TreeMatch of
-    // Fig. 3, memoised into an O(n·m) table).
-    for (size_t i = n; i-- > 0;) {
-      if (stop.load(std::memory_order_relaxed) != 0) break;
-      fill_row(i);
-    }
-  } else {
-    // Row-parallel fill, sharded by source *level*: rows within one level
-    // never read each other (a pair depends only on child pairs, and
-    // children live on strictly deeper levels), so levels run deepest
-    // first with a barrier between them and rows fan out inside a level.
-    // Each pair runs the identical arithmetic as the sequential branch,
-    // so the table is bit-identical for any worker count.
-    label_scorer.Precompute();  // freeze the shared token cache (see lingua)
-    size_t max_level = 0;
-    for (const xsd::SchemaNode* s : src) max_level = std::max(max_level, s->level());
-    std::vector<std::vector<size_t>> rows_by_level(max_level + 1);
-    for (size_t i = 0; i < n; ++i) rows_by_level[src[i]->level()].push_back(i);
-    for (size_t level = max_level + 1; level-- > 0;) {
-      if (stop.load(std::memory_order_relaxed) != 0) break;
-      const std::vector<size_t>& rows = rows_by_level[level];
-      pool->ParallelFor(rows.size(), [&](size_t r) {
-        if (stop.load(std::memory_order_relaxed) != 0) return;
-        fill_row(rows[r]);
-      });
-    }
+    analysis.stop_reason_ =
+        static_cast<StopReason>(stop.load(std::memory_order_relaxed));
+    size_t completed = 0;
+    for (size_t i = 0; i < n; ++i) completed += row_done[i] != 0 ? 1u : 0u;
+    analysis.completed_rows_ = completed;
   }
-
-  analysis.stop_reason_ =
-      static_cast<StopReason>(stop.load(std::memory_order_relaxed));
-  size_t completed = 0;
-  for (size_t i = 0; i < n; ++i) completed += row_done[i] != 0 ? 1u : 0u;
-  analysis.completed_rows_ = completed;
 
   if (analysis.stop_reason_ == StopReason::kNone) {
     // Correspondences: extracted from the QoM table per the configured
@@ -518,6 +551,7 @@ QMatch::Analysis QMatch::Analyze(const xsd::Schema& source,
   // full run reports for those sources. The injective strategies compete
   // across rows and cannot be restricted soundly; they report nothing.
   QMATCH_COUNTER_ADD("qmatch.treematch.stopped_tables", 1);
+  const size_t completed = analysis.completed_rows_;
   if (config_.assignment == match::AssignmentStrategy::kBestPerSource &&
       completed > 0) {
     std::vector<const xsd::SchemaNode*> done_sources;

@@ -2,38 +2,27 @@
 #define QMATCH_CORE_QMATCH_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/memory_budget.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
 #include "lingua/thesaurus.h"
 #include "match/matcher.h"
+#include "match/soa_kernel.h"
+#include "qom/pair_qom.h"
 #include "qom/taxonomy.h"
 #include "xsd/schema.h"
 
 namespace qmatch::core {
 
-/// Per-node-pair QoM decomposition: the quantitative score along each axis,
-/// the qualitative classification of each axis, and the resulting taxonomy
-/// category and weighted total (paper Sections 2-3).
-struct PairQoM {
-  double label = 0.0;
-  double properties = 0.0;
-  double level = 0.0;
-  double children = 0.0;
-  qom::AxisMatch label_cls = qom::AxisMatch::kNone;
-  qom::AxisMatch properties_cls = qom::AxisMatch::kNone;
-  qom::AxisMatch level_cls = qom::AxisMatch::kNone;
-  qom::Coverage coverage = qom::Coverage::kNone;
-  bool children_all_exact = false;
-  qom::MatchCategory category = qom::MatchCategory::kNoMatch;
-  /// Weighted total QoM (Eq. 1 / Eq. 6).
-  double qom = 0.0;
-
-  std::string ToString() const;
-};
+/// The per-node-pair QoM decomposition now lives in the qom layer (both
+/// table-fill kernels produce it); the alias keeps every existing
+/// `core::PairQoM` reference working.
+using PairQoM = qom::PairQoM;
 
 /// Degradation controls for one TreeMatch evaluation (see MatchMode). The
 /// default (kFull) is byte-for-byte the undegraded algorithm.
@@ -42,6 +31,16 @@ struct TreeMatchOptions {
   /// kCappedDepth only: nodes at this level or deeper are treated as
   /// leaves on the children axis (their subtrees are not recursed into).
   size_t children_depth_cap = 3;
+  /// Which table-fill implementation runs (DESIGN.md §13). Both produce
+  /// bit-identical tables; unset defers to the QMATCH_KERNEL environment
+  /// variable (default: the SoA kernel). Tests pin it explicitly to gate
+  /// both implementations against the same goldens.
+  std::optional<match::KernelKind> kernel;
+  /// Budget (borrowed, nullable) the SoA kernel's scratch arena charges
+  /// block-by-block; exhaustion throws ArenaExhausted, which the engine
+  /// maps to kResourceExhausted. The tree kernel allocates no scratch and
+  /// ignores it.
+  MemoryBudget* arena_budget = nullptr;
 };
 
 /// QMatch — the paper's hybrid match algorithm (Section 4, Fig. 3).

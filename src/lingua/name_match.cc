@@ -161,27 +161,33 @@ PairwiseLabelScorer::PairwiseLabelScorer(
     : matcher_(matcher) {
   std::map<std::string, size_t> source_index;
   std::map<std::string, size_t> target_index;
-  source_.reserve(source_labels.size());
-  for (const std::string& label : source_labels) {
+  // Canonical-form pool shared by both sides: two labels are string-equal
+  // iff they intern to the same id, so the hot Match path compares ints.
+  std::map<std::string, size_t> canonical_index;
+  const Thesaurus* thesaurus = matcher.thesaurus();
+  auto intern_label = [&](const std::string& label,
+                          std::vector<std::string>& token_pool,
+                          std::map<std::string, size_t>& token_index) {
     PreparedLabel prepared = NameMatcher::Prepare(label);
     InternedLabel interned;
     interned.canonical = std::move(prepared.canonical);
     for (const std::string& token : prepared.tokens) {
-      interned.token_ids.push_back(
-          InternToken(token, source_tokens_, source_index));
+      interned.token_ids.push_back(InternToken(token, token_pool, token_index));
     }
-    source_.push_back(std::move(interned));
+    interned.canonical_id =
+        canonical_index.try_emplace(interned.canonical, canonical_index.size())
+            .first->second;
+    interned.mentioned =
+        thesaurus != nullptr && thesaurus->MentionedCanonical(interned.canonical);
+    return interned;
+  };
+  source_.reserve(source_labels.size());
+  for (const std::string& label : source_labels) {
+    source_.push_back(intern_label(label, source_tokens_, source_index));
   }
   target_.reserve(target_labels.size());
   for (const std::string& label : target_labels) {
-    PreparedLabel prepared = NameMatcher::Prepare(label);
-    InternedLabel interned;
-    interned.canonical = std::move(prepared.canonical);
-    for (const std::string& token : prepared.tokens) {
-      interned.token_ids.push_back(
-          InternToken(token, target_tokens_, target_index));
-    }
-    target_.push_back(std::move(interned));
+    target_.push_back(intern_label(label, target_tokens_, target_index));
   }
   token_sim_cache_.assign(source_tokens_.size() * target_tokens_.size(), -1.0);
   token_exact_cache_.assign(token_sim_cache_.size(), 0);
@@ -217,9 +223,13 @@ LabelMatch PairwiseLabelScorer::Match(size_t i, size_t j) const {
   if (a.canonical.empty() || b.canonical.empty()) {
     return {LabelMatchClass::kNone, 0.0};
   }
-  if (a.canonical == b.canonical) return {LabelMatchClass::kExact, 1.0};
+  if (a.canonical_id == b.canonical_id) return {LabelMatchClass::kExact, 1.0};
 
-  if (const Thesaurus* thesaurus = matcher_.thesaurus()) {
+  // Whole-label thesaurus relation — skipped when neither canonical is
+  // mentioned in the thesaurus, where RelateCanonical is kNone by
+  // construction (see Thesaurus::MentionedCanonical).
+  if (const Thesaurus* thesaurus =
+          (a.mentioned || b.mentioned) ? matcher_.thesaurus() : nullptr) {
     switch (thesaurus->RelateCanonical(a.canonical, b.canonical)) {
       case TermRelation::kEqual:
       case TermRelation::kSynonym:

@@ -112,6 +112,13 @@ class PairwiseLabelScorer {
   struct InternedLabel {
     std::string canonical;
     std::vector<size_t> token_ids;
+    /// Id of `canonical` in a pool shared by both sides, so label equality
+    /// is one integer compare in the pair loop.
+    size_t canonical_id = 0;
+    /// Pre-resolved Thesaurus::MentionedCanonical(canonical): when neither
+    /// side of a pair is mentioned, the whole-label thesaurus relation is
+    /// provably kNone and Match skips the lookup entirely.
+    bool mentioned = false;
   };
 
   double CachedTokenSimilarity(size_t source_token, size_t target_token,

@@ -37,6 +37,8 @@ void Thesaurus::AddSynonym(std::string_view a, std::string_view b) {
   std::string cb = Canonical(b);
   if (ca.empty() || cb.empty() || ca == cb) return;
   ++relation_count_;
+  key_terms_.insert(ca);
+  key_terms_.insert(cb);
   auto ia = synonym_group_of_.find(ca);
   auto ib = synonym_group_of_.find(cb);
   if (ia == synonym_group_of_.end() && ib == synonym_group_of_.end()) {
@@ -71,6 +73,7 @@ void Thesaurus::AddHypernym(std::string_view general,
   std::string s = Canonical(specific);
   if (g.empty() || s.empty() || g == s) return;
   ++relation_count_;
+  key_terms_.insert(g);
   hyponyms_[g].insert(s);
 }
 
@@ -80,6 +83,7 @@ void Thesaurus::AddAcronym(std::string_view acronym,
   std::string e = Canonical(expansion);
   if (a.empty() || e.empty() || a == e) return;
   ++relation_count_;
+  key_terms_.insert(a);
   acronyms_[a].insert(e);
 }
 
@@ -89,6 +93,7 @@ void Thesaurus::AddAbbreviation(std::string_view abbrev,
   std::string f = Canonical(full);
   if (a.empty() || f.empty() || a == f) return;
   ++relation_count_;
+  key_terms_.insert(a);
   abbreviations_[a].insert(f);
 }
 
@@ -163,6 +168,7 @@ TermRelation Thesaurus::Relate(std::string_view a, std::string_view b) const {
 
 std::optional<std::string> Thesaurus::ExpandCanonical(
     const std::string& term) const {
+  if (!MentionedCanonical(term)) return std::nullopt;
   if (auto it = acronyms_.find(term);
       it != acronyms_.end() && !it->second.empty()) {
     return *it->second.begin();
@@ -178,6 +184,13 @@ TermRelation Thesaurus::RelateCanonical(const std::string& ca,
                                         const std::string& cb) const {
   if (ca.empty() || cb.empty()) return TermRelation::kNone;
   if (ca == cb) return TermRelation::kEqual;
+
+  // Two out-of-vocabulary terms cannot relate (see MentionedCanonical):
+  // skip the table walks and the hypernym BFS entirely. This is the hot
+  // case for domain schemas, whose labels rarely appear in the thesaurus.
+  if (!MentionedCanonical(ca) && !MentionedCanonical(cb)) {
+    return TermRelation::kNone;
+  }
 
   if (AreSynonymsCanonical(ca, cb)) return TermRelation::kSynonym;
 

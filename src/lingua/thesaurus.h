@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 namespace qmatch::lingua {
@@ -79,6 +80,17 @@ class Thesaurus {
   /// Number of stored relations (for tests and diagnostics).
   size_t RelationCount() const { return relation_count_; }
 
+  /// True when `term` (already canonical) appears as a lookup key in any
+  /// relation table. Every non-equal RelateCanonical outcome requires at
+  /// least one side to be such a key (synonymy keys both sides; acronym /
+  /// abbreviation / expansion key the short form; the hypernym BFS starts
+  /// from the general term's key) — so two unmentioned terms relate kNone
+  /// without walking any table. One hash probe; the batch matchers call it
+  /// once per distinct term to pre-resolve out-of-vocabulary pairs.
+  bool MentionedCanonical(const std::string& term) const {
+    return key_terms_.count(term) > 0;
+  }
+
  private:
   std::string Canonical(std::string_view term) const;
   const std::set<std::string>* SynonymSet(const std::string& term) const;
@@ -91,6 +103,9 @@ class Thesaurus {
   // short form -> expansions.
   std::map<std::string, std::set<std::string>> acronyms_;
   std::map<std::string, std::set<std::string>> abbreviations_;
+  // Union of all table keys, maintained by the Add* methods (synonym-group
+  // merges only ever add keys, so no removal is needed).
+  std::unordered_set<std::string> key_terms_;
   size_t relation_count_ = 0;
 };
 

@@ -1,0 +1,88 @@
+#ifndef QMATCH_MATCH_SOA_KERNEL_H_
+#define QMATCH_MATCH_SOA_KERNEL_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/cancel.h"
+#include "common/thread_pool.h"
+#include "lingua/name_match.h"
+#include "match/property_matcher.h"
+#include "qom/pair_qom.h"
+#include "qom/weights.h"
+#include "xsd/flatten.h"
+
+namespace qmatch::match {
+
+/// Which pairwise table-fill implementation TreeMatch runs (DESIGN.md §13).
+/// Both produce bit-identical tables — the equivalence the kernel diff
+/// suite and the (kernel-parameterized) golden suite enforce.
+enum class KernelKind {
+  /// The node-at-a-time tree walk in core/qmatch.cc (the reference).
+  kTree,
+  /// The structure-of-arrays batch kernel in this header (the default).
+  kSoa,
+};
+
+std::string_view KernelKindName(KernelKind kind);
+
+/// Kernel selected by the QMATCH_KERNEL environment variable ("tree" or
+/// "soa"); unset or unrecognised values select kSoa. Read per call so
+/// tests can flip it between matches.
+KernelKind DefaultKernel();
+
+/// Everything the SoA fill needs from QMatchConfig, flattened so the match
+/// layer does not depend on core. `weights` must already carry any
+/// label-only renormalisation (Eq. 6/7); `label_only`/`capped` mirror the
+/// MatchMode rungs.
+struct SoaKernelConfig {
+  qom::Weights weights;
+  double threshold = 0.5;
+  /// True = best-target-per-child accumulation; false = paper-literal
+  /// (every child pair above threshold contributes).
+  bool best_match_accumulation = true;
+  /// True = graded level axis (1/(1+gap)); false = binary.
+  bool level_graded = false;
+  double leaf_to_inner_children_credit = 0.5;
+  bool label_only = false;
+  bool capped = false;
+  size_t children_depth_cap = 0;
+  /// Borrowed; must outlive the call.
+  const lingua::NameMatcher* name_matcher = nullptr;
+  PropertyMatchOptions property_options;
+};
+
+struct SoaKernelResult {
+  StopReason stop = StopReason::kNone;
+  size_t completed_rows = 0;
+};
+
+/// Fills `table` (source-major, size source.size()*target.size()) with the
+/// per-pair QoM decomposition — bit-identical to the tree walk, cell for
+/// cell, because every axis value is the same pure function evaluated on
+/// the same inputs in the same order; the kernel only *deduplicates*:
+/// label matches are computed once per distinct (source label, target
+/// label), property matches once per distinct packed-descriptor pair, and
+/// level matches once per distinct (source level, target level), then
+/// broadcast through the interned id columns.
+///
+/// All scratch (similarity matrices, SoA score columns) comes from
+/// `arena`, allocated on the calling thread before any fan-out to `pool`.
+/// `control` (nullable) is polled per pair during the final combine pass;
+/// on a trip the fill stops cooperatively and `row_done` marks exactly the
+/// source rows whose every cell is complete (the monotone-partial contract
+/// of DESIGN.md §10). The `treematch.pair` failpoint fires once per
+/// computed pair, as in the tree walk, so the chaos suite's slow-pair and
+/// deadline scenarios exercise both kernels identically.
+SoaKernelResult SoaFillTable(const xsd::FlatSchema& source,
+                             const xsd::FlatSchema& target,
+                             const SoaKernelConfig& config,
+                             qom::PairQoM* table, std::vector<char>& row_done,
+                             ThreadPool* pool, const ExecControl* control,
+                             Arena* arena);
+
+}  // namespace qmatch::match
+
+#endif  // QMATCH_MATCH_SOA_KERNEL_H_

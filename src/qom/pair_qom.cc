@@ -1,0 +1,18 @@
+#include "qom/pair_qom.h"
+
+#include "common/string_util.h"
+
+namespace qmatch::qom {
+
+std::string PairQoM::ToString() const {
+  return StrFormat(
+      "QoM=%.4f [%s] (L=%.3f/%s, P=%.3f/%s, H=%.3f/%s, C=%.3f/%s%s)", qom,
+      std::string(MatchCategoryName(category)).c_str(), label,
+      std::string(AxisMatchName(label_cls)).c_str(), properties,
+      std::string(AxisMatchName(properties_cls)).c_str(), level,
+      std::string(AxisMatchName(level_cls)).c_str(), children,
+      std::string(CoverageName(coverage)).c_str(),
+      children_all_exact ? " all-exact" : "");
+}
+
+}  // namespace qmatch::qom

@@ -90,6 +90,7 @@ std::string SchemaNode::DebugString() const {
 }
 
 void Schema::Finalize() {
+  flat_.reset();  // any tree mutation invalidates the SoA projection
   if (root_ == nullptr) return;
   // Iterative preorder walk assigning levels and sibling order.
   struct Item {

@@ -31,6 +31,8 @@ struct Occurs {
   }
 };
 
+struct FlatSchema;  // xsd/flatten.h — the SoA projection cached by Schema
+
 /// Content-model compositor governing a node's children. `kSequence` makes
 /// the sibling order semantically meaningful (the paper's *order* property);
 /// `kAll`/`kChoice` do not.
@@ -175,7 +177,10 @@ class Schema {
 
   /// Detaches and returns the root (e.g. to graft this tree into a larger
   /// schema). The schema is left empty.
-  std::unique_ptr<SchemaNode> TakeRoot() { return std::move(root_); }
+  std::unique_ptr<SchemaNode> TakeRoot() {
+    flat_.reset();
+    return std::move(root_);
+  }
 
   /// Recomputes levels, sibling order indices and ordered flags across the
   /// whole tree. Called automatically by the constructors/setters; call it
@@ -198,6 +203,15 @@ class Schema {
   /// Looks a node up by its `SchemaNode::Path()`; nullptr when absent.
   const SchemaNode* FindByPath(std::string_view path) const;
 
+  /// The structure-of-arrays projection of this tree (see xsd/flatten.h):
+  /// interned labels with prepared token lists, packed property
+  /// descriptors, level vectors and CSR child ranges — everything the SoA
+  /// match kernel reads, built lazily on first use and cached until the
+  /// tree changes (Finalize/set_root/TakeRoot invalidate it). Thread-safe
+  /// against concurrent Flat() calls; the returned reference lives as long
+  /// as the schema does (or until invalidation).
+  const FlatSchema& Flat() const;
+
   /// Deep copy of this schema.
   Schema Clone() const;
 
@@ -208,6 +222,9 @@ class Schema {
   std::string name_;
   std::string target_namespace_;
   std::unique_ptr<SchemaNode> root_;
+  /// Lazily built SoA projection; shared_ptr (not unique_ptr) so the
+  /// defaulted moves stay noexcept with the incomplete FlatSchema type.
+  mutable std::shared_ptr<const FlatSchema> flat_;
 };
 
 /// Deterministic 64-bit structural fingerprint of a schema tree: an FNV-1a

@@ -3,6 +3,11 @@
 // on the five paper domains are snapshotted under data/expected/*.qom.
 // Any behaviour change — intended or not — shows up as a readable diff.
 //
+// Every snapshot is checked against *both* table-fill kernels (the
+// node-at-a-time tree walk and the SoA batch kernel of DESIGN.md §13),
+// pinned explicitly per test: one golden file gates two implementations,
+// which is the bit-identity contract expressed as a regression suite.
+//
 // To regenerate after an *intentional* scoring change:
 //   ./golden_regression_test --update-golden
 // then review the data/expected diff like any other code change.
@@ -11,12 +16,15 @@
 
 #include <cstdio>
 #include <string>
+#include <tuple>
 
 #include "common/file_util.h"
 #include "common/string_util.h"
 #include "core/qmatch.h"
 #include "datagen/corpus.h"
+#include "datagen/generator.h"
 #include "eval/metrics.h"
+#include "match/soa_kernel.h"
 
 #ifndef QMATCH_SOURCE_DIR
 #error "build must define QMATCH_SOURCE_DIR (see tests/CMakeLists.txt)"
@@ -35,27 +43,36 @@ std::string GoldenPath(const std::string& task_name) {
          ".qom";
 }
 
-/// Renders the full observable outcome of one match task. Scores print
-/// with 12 significant digits — far below the bit-identity the engine
-/// differential tests enforce, but tight enough that any real scoring
-/// change moves the snapshot.
-std::string Snapshot(const datagen::MatchTask& task) {
-  const xsd::Schema source = task.source();
-  const xsd::Schema target = task.target();
+/// One full match run with the table-fill kernel pinned explicitly.
+MatchResult MatchWithKernel(const xsd::Schema& source,
+                            const xsd::Schema& target,
+                            match::KernelKind kernel) {
   const core::QMatch matcher;
-  const MatchResult result = matcher.Match(source, target);
-  const eval::QualityMetrics metrics = eval::Evaluate(result, task.gold());
+  core::TreeMatchOptions tree;
+  tree.kernel = kernel;
+  return matcher.Analyze(source, target, nullptr, nullptr, tree).TakeResult();
+}
 
+/// Renders the observable outcome of one match run. Scores print with 12
+/// significant digits — far below the bit-identity the kernel differential
+/// tests enforce, but tight enough that any real scoring change moves the
+/// snapshot.
+std::string Snapshot(const std::string& task_name, const xsd::Schema& source,
+                     const xsd::Schema& target, const MatchResult& result,
+                     const eval::QualityMetrics* metrics) {
   std::string out;
   out += StrFormat("# QMatch golden snapshot — task %s (default config)\n",
-                   task.name.c_str());
+                   task_name.c_str());
   out += StrFormat("schema %s -> %s\n", source.name().c_str(),
                    target.name().c_str());
   out += StrFormat("schema_qom %.12g\n", result.schema_qom);
-  out += StrFormat(
-      "quality precision=%.6f recall=%.6f overall=%.6f f1=%.6f (%zu/%zu/%zu)\n",
-      metrics.precision, metrics.recall, metrics.overall, metrics.f1,
-      metrics.true_positives, metrics.returned, metrics.real);
+  if (metrics != nullptr) {
+    out += StrFormat(
+        "quality precision=%.6f recall=%.6f overall=%.6f f1=%.6f "
+        "(%zu/%zu/%zu)\n",
+        metrics->precision, metrics->recall, metrics->overall, metrics->f1,
+        metrics->true_positives, metrics->returned, metrics->real);
+  }
   out += StrFormat("correspondences %zu\n", result.correspondences.size());
   // MatchResult order is deterministic (assignment iterates sources in
   // preorder), so the snapshot needs no extra sorting.
@@ -66,12 +83,11 @@ std::string Snapshot(const datagen::MatchTask& task) {
   return out;
 }
 
-class GoldenRegressionTest : public testing::TestWithParam<size_t> {};
-
-TEST_P(GoldenRegressionTest, MatchesSnapshot) {
-  const datagen::MatchTask& task = datagen::Tasks()[GetParam()];
-  const std::string snapshot = Snapshot(task);
-  const std::string path = GoldenPath(task.name);
+/// Gates `snapshot` against the golden file for `task_name` (or rewrites it
+/// under --update-golden).
+void CheckGolden(const std::string& task_name, const std::string& snapshot,
+                 const std::string& detail) {
+  const std::string path = GoldenPath(task_name);
   if (g_update_golden) {
     // Atomic: an interrupted --update-golden run must not leave a torn
     // golden file that later runs diff against.
@@ -84,23 +100,84 @@ TEST_P(GoldenRegressionTest, MatchesSnapshot) {
       << path << " missing — run golden_regression_test --update-golden "
       << "and commit data/expected/";
   EXPECT_EQ(golden.value(), snapshot)
-      << "snapshot drift for task " << task.name
+      << "snapshot drift for task " << task_name << " (" << detail << ")"
       << "; if intentional, regenerate with --update-golden and review the "
       << "data/expected diff";
 }
 
-std::string TaskName(const testing::TestParamInfo<size_t>& info) {
-  return datagen::Tasks()[info.param].name;
+using GoldenParam = std::tuple<size_t, match::KernelKind>;
+
+class GoldenRegressionTest : public testing::TestWithParam<GoldenParam> {};
+
+TEST_P(GoldenRegressionTest, MatchesSnapshot) {
+  const auto [task_index, kernel] = GetParam();
+  const datagen::MatchTask& task = datagen::Tasks()[task_index];
+  const xsd::Schema source = task.source();
+  const xsd::Schema target = task.target();
+  const MatchResult result = MatchWithKernel(source, target, kernel);
+  const eval::QualityMetrics metrics = eval::Evaluate(result, task.gold());
+  // Only one kernel writes under --update-golden; the other still *checks*,
+  // so a golden a kernel cannot reproduce fails the update run itself.
+  const bool writer = kernel == match::KernelKind::kTree;
+  const bool saved = g_update_golden;
+  if (!writer) g_update_golden = false;
+  CheckGolden(task.name,
+              Snapshot(task.name, source, target, result, &metrics),
+              std::string("kernel=") + std::string(KernelKindName(kernel)));
+  g_update_golden = saved;
 }
 
-INSTANTIATE_TEST_SUITE_P(PaperDomains, GoldenRegressionTest,
-                         testing::Range<size_t>(0, 5), TaskName);
+std::string GoldenName(const testing::TestParamInfo<GoldenParam>& info) {
+  return datagen::Tasks()[std::get<0>(info.param)].name + "_" +
+         std::string(match::KernelKindName(std::get<1>(info.param)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDomains, GoldenRegressionTest,
+    testing::Combine(testing::Range<size_t>(0, 5),
+                     testing::Values(match::KernelKind::kTree,
+                                     match::KernelKind::kSoa)),
+    GoldenName);
 
 TEST(GoldenRegressionSetupTest, CoversTheFivePaperDomains) {
   ASSERT_EQ(datagen::Tasks().size(), 5u);
   for (const datagen::MatchTask& task : datagen::Tasks()) {
     EXPECT_FALSE(task.gold().empty()) << task.name;
   }
+}
+
+TEST(GoldenRegressionTest, GeneratedProteinScalePair) {
+  // Seed-pinned synthetic pair at the paper's Protein shape (231-element
+  // source vs 3753-element target, protein vocabulary) — the SoA kernel's
+  // headline workload, snapshotted so scoring regressions at scale are
+  // caught even where no hand-made gold standard exists. Both kernels gate
+  // against the same file.
+  datagen::GeneratorOptions small;
+  small.seed = 20260808;
+  small.element_count = 231;
+  small.max_depth = 6;
+  small.domain = datagen::Domain::kProtein;
+  small.name = "GenPirScale";
+  datagen::GeneratorOptions big;
+  big.seed = 20260809;
+  big.element_count = 3753;
+  big.max_depth = 7;
+  big.domain = datagen::Domain::kProtein;
+  big.name = "GenPdbScale";
+  const xsd::Schema source = datagen::GenerateSchema(small);
+  const xsd::Schema target = datagen::GenerateSchema(big);
+
+  const MatchResult tree =
+      MatchWithKernel(source, target, match::KernelKind::kTree);
+  const std::string snapshot =
+      Snapshot("GeneratedProteinScale", source, target, tree, nullptr);
+  CheckGolden("GeneratedProteinScale", snapshot, "kernel=tree");
+
+  const MatchResult soa =
+      MatchWithKernel(source, target, match::KernelKind::kSoa);
+  EXPECT_EQ(Snapshot("GeneratedProteinScale", source, target, soa, nullptr),
+            snapshot)
+      << "SoA kernel diverged from the tree walk at Protein scale";
 }
 
 }  // namespace

@@ -1,0 +1,399 @@
+// Kernel-equivalence layer (DESIGN.md §13): the structure-of-arrays batch
+// kernel and the node-at-a-time tree walk must fill *bit-identical*
+// pairwise QoM tables — every per-axis score, classification, coverage,
+// category and weighted total, for every pair, on every input, in every
+// MatchMode, sequential and pool-parallel, and (under fault injection) for
+// the completed rows of a cancelled or deadline-stopped fill.
+//
+// Coverage: all ordered pairs of the shipped small paper schemas, the full
+// Protein task (PIR 231 x PDB 3753 — the paper's largest), and a seeded
+// generated population spanning 10..4000 nodes with perturbed partners.
+// The sanitizer configurations (scripts/ci.sh asan/ubsan/tsan) run this
+// same binary.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/file_util.h"
+#include "common/thread_pool.h"
+#include "core/qmatch.h"
+#include "datagen/corpus.h"
+#include "datagen/generator.h"
+#include "datagen/perturb.h"
+#include "fault/failpoint.h"
+#include "xsd/parser.h"
+#include "xsd/schema.h"
+
+#ifndef QMATCH_SOURCE_DIR
+#error "build must define QMATCH_SOURCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace qmatch::core {
+namespace {
+
+bool BitEqual(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+/// Field-for-field bit equality of one table cell.
+void ExpectPairIdentical(const PairQoM& soa, const PairQoM& tree,
+                         const std::string& context) {
+  EXPECT_TRUE(BitEqual(soa.label, tree.label)) << context << " label";
+  EXPECT_TRUE(BitEqual(soa.properties, tree.properties))
+      << context << " properties";
+  EXPECT_TRUE(BitEqual(soa.level, tree.level)) << context << " level";
+  EXPECT_TRUE(BitEqual(soa.children, tree.children)) << context << " children";
+  EXPECT_TRUE(BitEqual(soa.qom, tree.qom)) << context << " qom";
+  EXPECT_EQ(soa.label_cls, tree.label_cls) << context << " label_cls";
+  EXPECT_EQ(soa.properties_cls, tree.properties_cls)
+      << context << " properties_cls";
+  EXPECT_EQ(soa.level_cls, tree.level_cls) << context << " level_cls";
+  EXPECT_EQ(soa.coverage, tree.coverage) << context << " coverage";
+  EXPECT_EQ(soa.children_all_exact, tree.children_all_exact)
+      << context << " children_all_exact";
+  EXPECT_EQ(soa.category, tree.category) << context << " category";
+}
+
+/// Extracted-output equivalence: the mapping set (source, target, score in
+/// order), the schema QoM, and the recorded mode.
+void ExpectResultsIdentical(const QMatch::Analysis& soa,
+                            const QMatch::Analysis& tree,
+                            const std::string& context) {
+  const MatchResult& sr = soa.result();
+  const MatchResult& tr = tree.result();
+  EXPECT_TRUE(BitEqual(sr.schema_qom, tr.schema_qom)) << context;
+  EXPECT_EQ(sr.mode, tr.mode) << context;
+  ASSERT_EQ(sr.correspondences.size(), tr.correspondences.size()) << context;
+  for (size_t k = 0; k < sr.correspondences.size(); ++k) {
+    EXPECT_EQ(sr.correspondences[k].source, tr.correspondences[k].source)
+        << context << " corr #" << k;
+    EXPECT_EQ(sr.correspondences[k].target, tr.correspondences[k].target)
+        << context << " corr #" << k;
+    EXPECT_TRUE(
+        BitEqual(sr.correspondences[k].score, tr.correspondences[k].score))
+        << context << " corr #" << k;
+  }
+}
+
+/// Full-table equivalence, cell by cell via Analysis::Pair.
+void ExpectTablesIdentical(const QMatch::Analysis& soa,
+                           const QMatch::Analysis& tree,
+                           const xsd::Schema& source, const xsd::Schema& target,
+                           const std::string& context) {
+  const std::vector<const xsd::SchemaNode*> src = source.AllNodes();
+  const std::vector<const xsd::SchemaNode*> tgt = target.AllNodes();
+  for (size_t i = 0; i < src.size(); ++i) {
+    for (size_t j = 0; j < tgt.size(); ++j) {
+      const PairQoM* sp = soa.Pair(src[i], tgt[j]);
+      const PairQoM* tp = tree.Pair(src[i], tgt[j]);
+      ASSERT_NE(sp, nullptr) << context;
+      ASSERT_NE(tp, nullptr) << context;
+      ExpectPairIdentical(*sp, *tp, context + " pair (" + std::to_string(i) +
+                                        "," + std::to_string(j) + ")");
+      if (::testing::Test::HasFailure()) return;  // one bad cell is enough
+    }
+  }
+}
+
+TreeMatchOptions KernelOptions(match::KernelKind kernel,
+                               MatchMode mode = MatchMode::kFull) {
+  TreeMatchOptions options;
+  options.kernel = kernel;
+  options.mode = mode;
+  return options;
+}
+
+/// Runs both kernels over one pair under one mode/pool and checks full
+/// equivalence (tables + extracted mappings + schema QoM).
+void DiffOnePair(const QMatch& matcher, const xsd::Schema& source,
+                 const xsd::Schema& target, MatchMode mode, ThreadPool* pool,
+                 const std::string& context) {
+  const QMatch::Analysis tree =
+      matcher.Analyze(source, target, pool, nullptr,
+                      KernelOptions(match::KernelKind::kTree, mode));
+  const QMatch::Analysis soa =
+      matcher.Analyze(source, target, pool, nullptr,
+                      KernelOptions(match::KernelKind::kSoa, mode));
+  ASSERT_EQ(tree.stop_reason(), StopReason::kNone) << context;
+  ASSERT_EQ(soa.stop_reason(), StopReason::kNone) << context;
+  ExpectResultsIdentical(soa, tree, context);
+  ExpectTablesIdentical(soa, tree, source, target, context);
+}
+
+const std::vector<std::string>& SmallCorpusFiles() {
+  // Every shipped schema except the two Protein giants (they get their own
+  // dedicated full-scale test below; all-pairs over them would dominate
+  // the suite's runtime for no added kernel coverage).
+  static const std::vector<std::string> kFiles = {
+      "Article.xsd",       "Book.xsd",    "DCMDItem.xsd", "DCMDOrder.xsd",
+      "Human.xsd",         "Library.xsd", "PO1.xsd",      "PO2.xsd",
+      "XBenchCatalog.xsd", "XBenchOrder.xsd"};
+  return kFiles;
+}
+
+std::vector<xsd::Schema> LoadSmallCorpus() {
+  std::vector<xsd::Schema> schemas;
+  for (const std::string& file : SmallCorpusFiles()) {
+    Result<std::string> text =
+        ReadFile(std::string(QMATCH_SOURCE_DIR) + "/data/schemas/" + file);
+    EXPECT_TRUE(text.ok()) << file;
+    Result<xsd::Schema> schema = xsd::ParseSchema(text.value());
+    EXPECT_TRUE(schema.ok()) << file << ": " << schema.status().ToString();
+    schemas.push_back(std::move(schema).value());
+  }
+  return schemas;
+}
+
+TEST(KernelDiffTest, AllPairsOfShippedSchemasAllModes) {
+  const QMatch matcher;
+  const std::vector<xsd::Schema> schemas = LoadSmallCorpus();
+  for (size_t a = 0; a < schemas.size(); ++a) {
+    for (size_t b = 0; b < schemas.size(); ++b) {
+      for (MatchMode mode :
+           {MatchMode::kFull, MatchMode::kCappedDepth, MatchMode::kLabelOnly}) {
+        DiffOnePair(matcher, schemas[a], schemas[b], mode, nullptr,
+                    SmallCorpusFiles()[a] + " x " + SmallCorpusFiles()[b] +
+                        " mode=" + std::string(MatchModeName(mode)));
+        if (HasFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(KernelDiffTest, ProteinTaskFullScale) {
+  // The paper's largest pair (PIR 231 x PDB 3753 = ~867k cells) — the
+  // workload the SoA kernel exists for — must stay bit-identical at full
+  // scale, sequentially and across a pool.
+  const QMatch matcher;
+  const datagen::MatchTask* protein = nullptr;
+  for (const datagen::MatchTask& task : datagen::Tasks()) {
+    if (task.name == "Protein") protein = &task;
+  }
+  ASSERT_NE(protein, nullptr);
+  const xsd::Schema source = protein->source();
+  const xsd::Schema target = protein->target();
+  DiffOnePair(matcher, source, target, MatchMode::kFull, nullptr,
+              "Protein sequential");
+  ThreadPool pool(4);
+  DiffOnePair(matcher, source, target, MatchMode::kFull, &pool,
+              "Protein pool=4");
+}
+
+struct GeneratedCase {
+  std::string name;
+  xsd::Schema source;
+  xsd::Schema target;
+};
+
+std::vector<GeneratedCase> GeneratedCases() {
+  // Seeded sizes spanning the issue's 10..4000-node range; each source is
+  // matched against a perturbed copy of itself (renames, moves, drops —
+  // the realistic mapping workload) rather than an unrelated tree, plus
+  // one deliberately asymmetric 4000x40 case.
+  std::vector<GeneratedCase> cases;
+  const datagen::Domain domains[] = {
+      datagen::Domain::kGeneric, datagen::Domain::kCommerce,
+      datagen::Domain::kBibliographic, datagen::Domain::kProtein};
+  const size_t sizes[] = {10, 60, 250, 700};
+  for (size_t k = 0; k < 4; ++k) {
+    datagen::GeneratorOptions options;
+    options.seed = 31000 + k;
+    options.element_count = sizes[k];
+    options.max_depth = 3 + k;
+    options.attribute_probability = 0.2;
+    options.domain = domains[k];
+    options.name = "KDiff" + std::to_string(sizes[k]);
+    GeneratedCase c;
+    c.name = options.name;
+    c.source = datagen::GenerateSchema(options);
+    datagen::PerturbOptions perturb;
+    perturb.seed = 8800 + k;
+    c.target = datagen::Perturb(c.source, perturb, nullptr);
+    cases.push_back(std::move(c));
+  }
+  {
+    // Asymmetric: a 4000-node haystack vs a 40-node needle (the corpus
+    // retrieval shape), exercising wide CSR rows against narrow ones.
+    datagen::GeneratorOptions big;
+    big.seed = 32001;
+    big.element_count = 4000;
+    big.max_depth = 7;
+    big.domain = datagen::Domain::kProtein;
+    big.name = "KDiffBig4000";
+    datagen::GeneratorOptions needle;
+    needle.seed = 32002;
+    needle.element_count = 40;
+    needle.max_depth = 4;
+    needle.domain = datagen::Domain::kProtein;
+    needle.name = "KDiffSmall40";
+    GeneratedCase c;
+    c.name = "KDiff4000x40";
+    c.source = datagen::GenerateSchema(big);
+    c.target = datagen::GenerateSchema(needle);
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+TEST(KernelDiffTest, GeneratedCorporaAllModes) {
+  const QMatch matcher;
+  for (const GeneratedCase& c : GeneratedCases()) {
+    for (MatchMode mode :
+         {MatchMode::kFull, MatchMode::kCappedDepth, MatchMode::kLabelOnly}) {
+      DiffOnePair(matcher, c.source, c.target, mode, nullptr,
+                  c.name + " mode=" + std::string(MatchModeName(mode)));
+      if (HasFailure()) return;
+    }
+  }
+}
+
+TEST(KernelDiffTest, PoolParallelMatchesSequential) {
+  // Within one kernel and across kernels: the pool-parallel SoA fill must
+  // equal both the sequential SoA fill and the tree reference.
+  const QMatch matcher;
+  ThreadPool pool(4);
+  for (const GeneratedCase& c : GeneratedCases()) {
+    const QMatch::Analysis seq =
+        matcher.Analyze(c.source, c.target, nullptr, nullptr,
+                        KernelOptions(match::KernelKind::kSoa));
+    const QMatch::Analysis par =
+        matcher.Analyze(c.source, c.target, &pool, nullptr,
+                        KernelOptions(match::KernelKind::kSoa));
+    ExpectResultsIdentical(par, seq, c.name + " soa pool-vs-seq");
+    ExpectTablesIdentical(par, seq, c.source, c.target,
+                          c.name + " soa pool-vs-seq");
+    DiffOnePair(matcher, c.source, c.target, MatchMode::kFull, &pool,
+                c.name + " pool cross-kernel");
+    if (HasFailure()) return;
+  }
+}
+
+TEST(KernelDiffTest, NonDefaultConfigKnobs) {
+  // The kernel mirrors every QMatchConfig knob the fill reads: the paper-
+  // literal child accumulation, graded levels, custom weights/threshold.
+  QMatchConfig config;
+  config.child_accumulation = QMatchConfig::ChildAccumulation::kPaperLiteral;
+  config.level_mode = QMatchConfig::LevelMode::kGraded;
+  config.threshold = 0.35;
+  config.weights.label = 0.5;
+  config.weights.properties = 0.1;
+  config.weights.level = 0.1;
+  config.weights.children = 0.3;
+  ASSERT_TRUE(config.Validate().ok());
+  const QMatch matcher(config);
+  for (const GeneratedCase& c : GeneratedCases()) {
+    DiffOnePair(matcher, c.source, c.target, MatchMode::kFull, nullptr,
+                c.name + " non-default config");
+    if (HasFailure()) return;
+  }
+}
+
+#if QMATCH_FAULT_ENABLED
+TEST(KernelDiffTest, CancelledPartialsAreBitIdenticalSubsets) {
+  // Mid-flight cancellation: slow every pair down via the shared
+  // treematch.pair failpoint, cancel after a few row-times, and require
+  // that (a) both kernels stop with kCancelled and a non-trivial partial,
+  // and (b) every completed-row cell and reported correspondence is
+  // bit-identical to the uninterrupted tree reference — the monotone-
+  // partial contract of DESIGN.md §10, now cross-kernel.
+  const QMatch matcher;
+  std::vector<GeneratedCase> cases = GeneratedCases();
+  const GeneratedCase& c = cases[1];  // 60 nodes x perturbed partner
+  const QMatch::Analysis full = matcher.Analyze(
+      c.source, c.target, nullptr, nullptr,
+      KernelOptions(match::KernelKind::kTree));
+  const std::vector<const xsd::SchemaNode*> tgt = c.target.AllNodes();
+  // ~1ms per pair => one table row takes ~|target| ms; cancel after about
+  // four row-times so some rows complete and many do not.
+  const auto cancel_after =
+      std::chrono::milliseconds(4 * static_cast<int64_t>(tgt.size()));
+
+  for (match::KernelKind kernel :
+       {match::KernelKind::kTree, match::KernelKind::kSoa}) {
+    fault::FaultSpec slow;
+    slow.action = fault::FaultAction::kDelay;
+    slow.delay = std::chrono::milliseconds(1);
+    fault::ScopedFailpoint fp("treematch.pair", slow);
+
+    CancellationToken token;
+    ExecControl control;
+    control.cancel = &token;
+    std::thread canceller([&token, cancel_after] {
+      std::this_thread::sleep_for(cancel_after);
+      token.Cancel();
+    });
+    const QMatch::Analysis partial = matcher.Analyze(
+        c.source, c.target, nullptr, &control, KernelOptions(kernel));
+    canceller.join();
+    const std::string context =
+        c.name + " cancelled kernel=" + std::string(KernelKindName(kernel));
+    ASSERT_EQ(partial.stop_reason(), StopReason::kCancelled) << context;
+    EXPECT_GT(partial.completed_rows(), 0u)
+        << context << ": cancellation landed before any row completed";
+    EXPECT_LT(partial.completed_rows(), partial.total_rows()) << context;
+
+    // Every reported correspondence must appear in the full run with the
+    // same target and a bit-identical score (kBestPerSource is the default
+    // strategy, so completed rows report exactly what the full run would).
+    for (const Correspondence& pc : partial.result().correspondences) {
+      bool found = false;
+      for (const Correspondence& fc : full.result().correspondences) {
+        if (fc.source == pc.source) {
+          EXPECT_EQ(fc.target, pc.target) << context;
+          EXPECT_TRUE(BitEqual(fc.score, pc.score)) << context;
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << context
+                         << " reported a pair the full run never reports: "
+                         << pc.source->Path();
+    }
+    // Cell-level: a source node with a reported correspondence has a
+    // completed row, and every cell of that row must be bit-identical to
+    // the full table's.
+    for (const Correspondence& pc : partial.result().correspondences) {
+      for (const xsd::SchemaNode* t : tgt) {
+        const PairQoM* pp = partial.Pair(pc.source, t);
+        const PairQoM* fpair = full.Pair(pc.source, t);
+        ASSERT_NE(pp, nullptr) << context;
+        ASSERT_NE(fpair, nullptr) << context;
+        ExpectPairIdentical(*pp, *fpair, context + " completed-row cell");
+        if (HasFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(KernelDiffTest, DeadlineStopsBothKernelsWithPartials) {
+  const QMatch matcher;
+  std::vector<GeneratedCase> cases = GeneratedCases();
+  const GeneratedCase& c = cases[2];  // 250 nodes x perturbed partner
+  for (match::KernelKind kernel :
+       {match::KernelKind::kTree, match::KernelKind::kSoa}) {
+    fault::FaultSpec slow;
+    slow.action = fault::FaultAction::kDelay;
+    slow.delay = std::chrono::milliseconds(1);
+    fault::ScopedFailpoint fp("treematch.pair", slow);
+    ExecControl control;
+    control.deadline = Deadline::After(std::chrono::milliseconds(30));
+    const QMatch::Analysis stopped = matcher.Analyze(
+        c.source, c.target, nullptr, &control, KernelOptions(kernel));
+    const std::string context =
+        "deadline kernel=" + std::string(KernelKindName(kernel));
+    EXPECT_EQ(stopped.stop_reason(), StopReason::kDeadlineExceeded) << context;
+    EXPECT_LT(stopped.completed_rows(), stopped.total_rows()) << context;
+  }
+}
+#endif  // QMATCH_FAULT_ENABLED
+
+}  // namespace
+}  // namespace qmatch::core
