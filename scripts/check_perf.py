@@ -11,6 +11,10 @@ than the relative threshold (default 15%) plus a small absolute slack that
 keeps sub-millisecond rows from tripping on scheduler noise. Benchmarks
 missing a baseline fail too — a new row must be recorded, not silently
 ungated. Speedups never fail; rerun with --update to ratchet them in.
+
+--update merges the measured rows into the existing baseline file (it
+never drops rows it did not measure), so several bench binaries can share
+one baselines.json: each bench's run updates only its own rows.
 """
 
 import argparse
@@ -54,12 +58,14 @@ def main():
                 doc = json.load(fh)
         except FileNotFoundError:
             doc = {"time_unit": "ms"}
-        doc["baselines"] = {name: round(ms, 4 if ms < 1 else 2)
-                            for name, ms in measured.items()}
+        doc.setdefault("baselines", {}).update(
+            {name: round(ms, 4 if ms < 1 else 2)
+             for name, ms in measured.items()})
         with open(args.baselines, "w") as fh:
             json.dump(doc, fh, indent=2)
             fh.write("\n")
-        print(f"updated {args.baselines} with {len(measured)} rows")
+        print(f"updated {args.baselines} with {len(measured)} rows "
+              f"({len(doc['baselines'])} total)")
         return 0
 
     with open(args.baselines) as fh:

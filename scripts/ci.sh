@@ -12,6 +12,7 @@
 #   scripts/ci.sh chaos      # chaos suite under ASan and TSan, fixed seeds
 #   scripts/ci.sh stress     # overload suite under ASan and TSan + load bench
 #   scripts/ci.sh recovery   # crash-point recovery suite under ASan and UBSan
+#   scripts/ci.sh serve      # net protocol+fuzz+chaos under ASan, serving bench
 #   scripts/ci.sh perf       # Fig.4 runtime bench vs bench/baselines.json
 #   scripts/ci.sh coverage   # --coverage build; enforces the line floor
 #   scripts/ci.sh all        # all of the above
@@ -145,6 +146,37 @@ run_stress() {
   ./build/bench/bench_overload
 }
 
+# Serving suite: the socket face end to end. Wire-format conformance and
+# the seeded frame fuzzer under ASan (where codec memory bugs surface),
+# the socket-path chaos schedules under ASan and TSan (the loop thread,
+# the workers and the failpoint registry race here if anywhere), then
+# uninstrumented: the serving latency rows against bench/baselines.json
+# and the offered-load table (flat goodput + typed overload verdicts).
+run_serve() {
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" \
+        --target net_protocol_test net_fuzz_test net_chaos_test
+  local san_opts="halt_on_error=1:abort_on_error=1:detect_leaks=1"
+  ASAN_OPTIONS="${san_opts}" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-asan --output-on-failure \
+        -R 'net_protocol_test|net_fuzz_test'
+  ASAN_OPTIONS="${san_opts}" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-asan --output-on-failure -C chaos -R net_chaos_test
+
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" --target net_chaos_test
+  TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -C chaos -R net_chaos_test
+
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}" --target bench_serving
+  ./build/bench/bench_serving --benchmark_format=json \
+    | python3 scripts/check_perf.py bench/baselines.json
+  ./build/bench/bench_serving --load-table
+}
+
 # Perf regression gate: the Fig. 4 runtime bench (which includes the
 # Protein row the SoA kernel was built for) against the checked-in
 # baselines, failing on >15% regression per row. Runs uninstrumented in
@@ -246,12 +278,13 @@ case "${MODE}" in
   chaos)     run_chaos ;;
   stress)    run_stress ;;
   recovery)  run_recovery ;;
+  serve)     run_serve ;;
   perf)      run_perf ;;
   coverage)  run_coverage ;;
   all)       run_default; run_tsan; run_asan; run_ubsan; run_obs_off
              run_fault_off; run_chaos; run_stress; run_recovery
-             run_perf; run_coverage ;;
+             run_serve; run_perf; run_coverage ;;
   *) echo "unknown mode '${MODE}'" \
-          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|stress|recovery|perf|coverage|all)" >&2
+          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|stress|recovery|serve|perf|coverage|all)" >&2
      exit 2 ;;
 esac

@@ -1,0 +1,142 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace qmatch::net {
+
+namespace {
+Status ErrnoStatus(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (!ok()) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    close(wake_fd_);
+    wake_fd_ = -1;
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, FdHandler handler) {
+  if (!ok()) return Status::Internal("event loop failed to initialise");
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return ErrnoStatus("epoll_ctl(ADD)");
+  }
+  handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return ErrnoStatus("epoll_ctl(MOD)");
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  handlers_.erase(fd);
+  // The fd may already be closed (EPOLL_CTL_DEL then fails with EBADF);
+  // either way it no longer dispatches.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; a failed write is only a
+  // lost nudge, which the pre-wait drain covers.
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (std::function<void()>& task : tasks) task();
+}
+
+int EventLoop::PollTimeoutMs() const {
+  const std::optional<TimerWheel::Clock::duration> next =
+      timers_.UntilNext(TimerWheel::Clock::now());
+  if (!next.has_value()) return -1;  // no timers: sleep until an fd or Post
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(*next).count();
+  if (ms <= 0) return 0;
+  return ms > 60000 ? 60000 : static_cast<int>(ms);
+}
+
+int EventLoop::RunOnce(int timeout_ms) {
+  epoll_event events[64];
+  const int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      uint64_t drained = 0;
+      [[maybe_unused]] ssize_t r = read(wake_fd_, &drained, sizeof(drained));
+      continue;
+    }
+    // Look up per event, not per batch: an earlier handler this round may
+    // have Removed this fd (e.g. the peer connection it was proxying for).
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    const std::shared_ptr<FdHandler> handler = it->second;  // pin across self-Remove
+    (*handler)(events[i].events);
+    ++dispatched;
+  }
+  DrainPosted();
+  timers_.Advance(TimerWheel::Clock::now());
+  return dispatched;
+}
+
+void EventLoop::Run() {
+  if (!ok()) return;
+  loop_thread_.store(std::this_thread::get_id());
+  while (!stop_.load(std::memory_order_acquire)) {
+    RunOnce(PollTimeoutMs());
+  }
+  // Final drain so a Stop posted together with cleanup tasks runs them.
+  DrainPosted();
+  loop_thread_.store(std::thread::id());
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  Wake();
+}
+
+}  // namespace qmatch::net

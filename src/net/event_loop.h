@@ -1,0 +1,96 @@
+#ifndef QMATCH_NET_EVENT_LOOP_H_
+#define QMATCH_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/timer_wheel.h"
+
+namespace qmatch::net {
+
+/// Single-threaded non-blocking reactor: one epoll instance, one hashed
+/// timer wheel, and a thread-safe Post() mailbox (eventfd-woken) that is
+/// the only cross-thread entry point. All fd handlers and timer callbacks
+/// run on the loop thread, so per-connection state needs no locking — the
+/// worker pool finishes a match and Posts the completion back instead of
+/// touching the connection.
+class EventLoop {
+ public:
+  /// Readiness callback of one registered fd; `events` is the epoll event
+  /// mask of this wakeup (EPOLLIN | EPOLLOUT | EPOLLHUP | ...).
+  using FdHandler = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when epoll/eventfd creation failed at construction (the loop is
+  /// unusable; Run returns immediately).
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  /// Registers `fd` for `events` (EPOLLIN etc.). The handler stays
+  /// registered until Remove; it is invoked on the loop thread.
+  Status Add(int fd, uint32_t events, FdHandler handler);
+
+  /// Changes the event mask of a registered fd.
+  Status Modify(int fd, uint32_t events);
+
+  /// Unregisters `fd`. Safe to call from inside any handler, including the
+  /// fd's own (dispatch re-checks registration per event). Does not close
+  /// the fd.
+  void Remove(int fd);
+
+  /// The loop's timer wheel. Loop thread only — arm cross-thread timers by
+  /// Posting a task that schedules them.
+  TimerWheel& timers() { return timers_; }
+
+  /// Enqueues `task` to run on the loop thread and wakes it. Thread-safe;
+  /// callable before Run and after Stop (tasks queued after the final
+  /// drain are discarded at destruction).
+  void Post(std::function<void()> task);
+
+  /// Runs the reactor on the calling thread until Stop().
+  void Run();
+
+  /// One reactor iteration with at most `timeout_ms` of blocking — the
+  /// test harness's single-step mode. Returns the number of fd events
+  /// dispatched.
+  int RunOnce(int timeout_ms);
+
+  /// Requests Run to return. Thread-safe, idempotent.
+  void Stop();
+
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_.load();
+  }
+
+ private:
+  void Wake();
+  void DrainPosted();
+  int PollTimeoutMs() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+  TimerWheel timers_;
+
+  /// shared_ptr so dispatch can pin a handler across its own Remove.
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;  // guarded by posted_mutex_
+};
+
+}  // namespace qmatch::net
+
+#endif  // QMATCH_NET_EVENT_LOOP_H_

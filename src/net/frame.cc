@@ -1,0 +1,265 @@
+#include "net/frame.h"
+
+#include "persist/crc32.h"
+#include "persist/wire.h"
+
+namespace qmatch::net {
+
+using persist::Crc32;
+using persist::Decoder;
+using persist::Encoder;
+
+std::string_view FrameDecodeResultName(FrameDecodeResult result) {
+  switch (result) {
+    case FrameDecodeResult::kNeedMore:
+      return "need-more";
+    case FrameDecodeResult::kFrame:
+      return "frame";
+    case FrameDecodeResult::kBadLength:
+      return "bad-length";
+    case FrameDecodeResult::kBadCrc:
+      return "bad-crc";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(uint32_t type, std::string_view payload) {
+  Encoder enc;
+  enc.PutU32(type);
+  enc.PutU32(static_cast<uint32_t>(payload.size()));
+  std::string bytes = enc.Take();
+  bytes.append(payload);
+  const uint32_t crc = Crc32(bytes);
+  Encoder trailer;
+  trailer.PutU32(crc);
+  bytes.append(trailer.bytes());
+  return bytes;
+}
+
+FrameDecodeResult DecodeFrame(std::string_view buffer, Frame* out,
+                              size_t* consumed) {
+  *consumed = 0;
+  if (buffer.size() < 8) return FrameDecodeResult::kNeedMore;
+  Decoder header(buffer);
+  uint32_t type = 0;
+  uint32_t length = 0;
+  header.GetU32(&type);
+  header.GetU32(&length);
+  // The hostile-length pre-check: reject before the connection buffer is
+  // ever asked to hold `length` bytes.
+  if (length > kMaxFramePayload) return FrameDecodeResult::kBadLength;
+  const size_t total = kFrameOverhead + static_cast<size_t>(length);
+  if (buffer.size() < total) return FrameDecodeResult::kNeedMore;
+  const std::string_view covered = buffer.substr(0, 8 + length);
+  Decoder trailer(buffer.substr(8 + length, 4));
+  uint32_t crc = 0;
+  trailer.GetU32(&crc);
+  if (crc != Crc32(covered)) return FrameDecodeResult::kBadCrc;
+  out->type = type;
+  out->payload.assign(buffer.substr(8, length));
+  *consumed = total;
+  return FrameDecodeResult::kFrame;
+}
+
+// --- requests --------------------------------------------------------------
+
+std::string EncodeSubmitSchemaReq(const SubmitSchemaReq& req) {
+  Encoder enc;
+  enc.PutString(req.name);
+  enc.PutString(req.xsd_text);
+  return enc.Take();
+}
+
+std::string EncodeMatchPairReq(const MatchPairReq& req) {
+  Encoder enc;
+  enc.PutString(req.source);
+  enc.PutString(req.target);
+  enc.PutU64(req.deadline_ms);
+  return enc.Take();
+}
+
+std::string EncodeMatchCorpusReq(const MatchCorpusReq& req) {
+  Encoder enc;
+  enc.PutString(req.query);
+  enc.PutU64(req.deadline_ms);
+  return enc.Take();
+}
+
+bool DecodeSubmitSchemaReq(std::string_view payload, SubmitSchemaReq* out) {
+  Decoder dec(payload);
+  return dec.GetString(&out->name) && dec.GetString(&out->xsd_text) &&
+         dec.remaining() == 0;
+}
+
+bool DecodeMatchPairReq(std::string_view payload, MatchPairReq* out) {
+  Decoder dec(payload);
+  return dec.GetString(&out->source) && dec.GetString(&out->target) &&
+         dec.GetU64(&out->deadline_ms) && dec.remaining() == 0;
+}
+
+bool DecodeMatchCorpusReq(std::string_view payload, MatchCorpusReq* out) {
+  Decoder dec(payload);
+  return dec.GetString(&out->query) && dec.GetU64(&out->deadline_ms) &&
+         dec.remaining() == 0;
+}
+
+// --- responses -------------------------------------------------------------
+
+namespace {
+
+void PutHead(Encoder* enc, const ResponseHead& head) {
+  enc->PutU32(head.code);
+  enc->PutString(head.message);
+}
+
+bool GetHead(Decoder* dec, ResponseHead* head) {
+  return dec->GetU32(&head->code) && dec->GetString(&head->message);
+}
+
+}  // namespace
+
+std::string EncodeErrorResp(const ResponseHead& head) {
+  Encoder enc;
+  PutHead(&enc, head);
+  return enc.Take();
+}
+
+std::string EncodeSubmitSchemaResp(const SubmitSchemaResp& resp) {
+  Encoder enc;
+  PutHead(&enc, resp.head);
+  if (resp.head.ok()) {
+    enc.PutU64(resp.fingerprint);
+    enc.PutU64(resp.node_count);
+  }
+  return enc.Take();
+}
+
+std::string EncodeMatchPairResp(const MatchPairResp& resp) {
+  Encoder enc;
+  PutHead(&enc, resp.head);
+  enc.PutString(resp.algorithm);
+  enc.PutU32(resp.mode);
+  enc.PutDouble(resp.schema_qom);
+  enc.PutU64(resp.completed_rows);
+  enc.PutU64(resp.total_rows);
+  enc.PutU32(static_cast<uint32_t>(resp.correspondences.size()));
+  for (const WireCorrespondence& c : resp.correspondences) {
+    enc.PutString(c.source_path);
+    enc.PutString(c.target_path);
+    enc.PutDouble(c.score);
+  }
+  return enc.Take();
+}
+
+std::string EncodeMatchCorpusResp(const MatchCorpusResp& resp) {
+  Encoder enc;
+  PutHead(&enc, resp.head);
+  enc.PutU32(static_cast<uint32_t>(resp.entries.size()));
+  for (const WireCorpusEntry& e : resp.entries) {
+    enc.PutString(e.name);
+    enc.PutU32(e.code);
+    enc.PutDouble(e.schema_qom);
+    enc.PutU64(e.correspondences);
+  }
+  return enc.Take();
+}
+
+std::string EncodeStatsResp(const StatsResp& resp) {
+  Encoder enc;
+  PutHead(&enc, resp.head);
+  enc.PutU64(resp.schemas);
+  enc.PutU64(resp.cache_hits);
+  enc.PutU64(resp.cache_misses);
+  enc.PutU64(resp.cache_entries);
+  enc.PutU64(resp.admission_shed);
+  enc.PutU64(resp.requests_total);
+  enc.PutU64(resp.connections_active);
+  enc.PutDouble(resp.pressure);
+  return enc.Take();
+}
+
+std::string EncodeMetricsResp(const MetricsResp& resp) {
+  Encoder enc;
+  PutHead(&enc, resp.head);
+  enc.PutString(resp.prometheus_text);
+  return enc.Take();
+}
+
+bool DecodeResponseHead(std::string_view payload, ResponseHead* out) {
+  Decoder dec(payload);
+  return GetHead(&dec, out);
+}
+
+bool DecodeSubmitSchemaResp(std::string_view payload, SubmitSchemaResp* out) {
+  Decoder dec(payload);
+  if (!GetHead(&dec, &out->head)) return false;
+  if (!out->head.ok()) return dec.remaining() == 0;
+  return dec.GetU64(&out->fingerprint) && dec.GetU64(&out->node_count) &&
+         dec.remaining() == 0;
+}
+
+bool DecodeMatchPairResp(std::string_view payload, MatchPairResp* out) {
+  Decoder dec(payload);
+  if (!GetHead(&dec, &out->head)) return false;
+  if (!dec.GetString(&out->algorithm) || !dec.GetU32(&out->mode) ||
+      !dec.GetDouble(&out->schema_qom) || !dec.GetU64(&out->completed_rows) ||
+      !dec.GetU64(&out->total_rows)) {
+    return false;
+  }
+  uint32_t count = 0;
+  if (!dec.GetU32(&count)) return false;
+  // A correspondence is at least 20 bytes (two length prefixes + a
+  // double), so a count the remaining bytes cannot possibly hold is
+  // rejected before the vector reserves anything — the same
+  // no-allocation-from-hostile-lengths rule as the frame pre-check.
+  if (static_cast<uint64_t>(count) * 20 > dec.remaining()) return false;
+  out->correspondences.clear();
+  out->correspondences.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireCorrespondence c;
+    if (!dec.GetString(&c.source_path) || !dec.GetString(&c.target_path) ||
+        !dec.GetDouble(&c.score)) {
+      return false;
+    }
+    out->correspondences.push_back(std::move(c));
+  }
+  return dec.remaining() == 0;
+}
+
+bool DecodeMatchCorpusResp(std::string_view payload, MatchCorpusResp* out) {
+  Decoder dec(payload);
+  if (!GetHead(&dec, &out->head)) return false;
+  uint32_t count = 0;
+  if (!dec.GetU32(&count)) return false;
+  // Minimum 24 bytes per entry (name prefix + code + double + u64).
+  if (static_cast<uint64_t>(count) * 24 > dec.remaining()) return false;
+  out->entries.clear();
+  out->entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireCorpusEntry e;
+    if (!dec.GetString(&e.name) || !dec.GetU32(&e.code) ||
+        !dec.GetDouble(&e.schema_qom) || !dec.GetU64(&e.correspondences)) {
+      return false;
+    }
+    out->entries.push_back(std::move(e));
+  }
+  return dec.remaining() == 0;
+}
+
+bool DecodeStatsResp(std::string_view payload, StatsResp* out) {
+  Decoder dec(payload);
+  return GetHead(&dec, &out->head) && dec.GetU64(&out->schemas) &&
+         dec.GetU64(&out->cache_hits) && dec.GetU64(&out->cache_misses) &&
+         dec.GetU64(&out->cache_entries) && dec.GetU64(&out->admission_shed) &&
+         dec.GetU64(&out->requests_total) &&
+         dec.GetU64(&out->connections_active) &&
+         dec.GetDouble(&out->pressure) && dec.remaining() == 0;
+}
+
+bool DecodeMetricsResp(std::string_view payload, MetricsResp* out) {
+  Decoder dec(payload);
+  return GetHead(&dec, &out->head) && dec.GetString(&out->prometheus_text) &&
+         dec.remaining() == 0;
+}
+
+}  // namespace qmatch::net

@@ -1,0 +1,229 @@
+#ifndef QMATCH_NET_FRAME_H_
+#define QMATCH_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qmatch::net {
+
+/// The qmatchd wire protocol (DESIGN.md §14): a stream of self-delimiting
+/// frames sharing the persist layer's record discipline — little-endian
+/// fixed-width framing, a CRC32 trailer over everything the length field
+/// governs, and a hostile-length pre-check so a lying peer can never make
+/// the server allocate from an unvalidated length.
+///
+///   frame:
+///     [4]  u32 message type  (MsgType)
+///     [4]  u32 payload length (<= kMaxFramePayload, checked BEFORE any
+///          allocation — the fuzz contract inherited from persist)
+///     [n]  payload            (persist::Encoder wire format)
+///     [4]  CRC32 of type + length + payload
+///
+/// Requests occupy the low type space; a response carries its request's
+/// type with kResponseBit set, so a pipelined client can pair them without
+/// sequence numbers (responses are written in request order per
+/// connection). kErrorResp answers bytes that never became a decodable
+/// request (bad CRC, bogus length, unknown type, undecodable payload) —
+/// always a typed frame, never a silently dropped connection.
+///
+/// Every response payload begins with a ResponseHead (u32 StatusCode +
+/// message); request-specific fields follow only when the head is OK.
+/// Doubles travel as IEEE-754 bit patterns via Encoder::PutDouble, so a
+/// QoM read over the wire is bit-identical to the in-process value — the
+/// serving acceptance criterion, same as warm start's.
+
+enum class MsgType : uint32_t {
+  kSubmitSchema = 1,
+  kMatchPair = 2,
+  kMatchCorpus = 3,
+  kGetStats = 4,
+  kGetMetrics = 5,
+
+  kSubmitSchemaResp = 0x101,
+  kMatchPairResp = 0x102,
+  kMatchCorpusResp = 0x103,
+  kGetStatsResp = 0x104,
+  kGetMetricsResp = 0x105,
+  /// Typed answer to a frame that never became a decodable request.
+  kErrorResp = 0x1FF,
+};
+
+/// OR-ed into a request type to form its response type.
+inline constexpr uint32_t kResponseBit = 0x100;
+
+/// Framing sanity cap, mirroring persist::kMaxPayloadBytes: the server
+/// never writes a larger payload, so a bigger length field is hostile by
+/// definition and is rejected before any buffer grows to hold it.
+inline constexpr uint32_t kMaxFramePayload = 1u << 24;  // 16 MiB
+
+/// Fixed bytes of framing around a payload (type + length + CRC).
+inline constexpr size_t kFrameOverhead = 12;
+
+struct Frame {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+/// Encodes one frame ready for the socket.
+std::string EncodeFrame(uint32_t type, std::string_view payload);
+inline std::string EncodeFrame(MsgType type, std::string_view payload) {
+  return EncodeFrame(static_cast<uint32_t>(type), payload);
+}
+
+/// Outcome of one incremental decode step over a connection's input buffer.
+enum class FrameDecodeResult {
+  /// The buffer holds a prefix of a valid frame; read more bytes.
+  kNeedMore,
+  /// One whole frame was decoded into *out; *consumed bytes are done.
+  kFrame,
+  /// The length field exceeds kMaxFramePayload — hostile framing, detected
+  /// before any allocation. The stream cannot be resynchronised.
+  kBadLength,
+  /// The frame was complete but its CRC32 did not match — corruption or a
+  /// non-protocol peer. The stream cannot be trusted past this point.
+  kBadCrc,
+};
+
+std::string_view FrameDecodeResultName(FrameDecodeResult result);
+
+/// Attempts to decode the first frame of `buffer`. On kFrame, `*out` holds
+/// the type + payload and `*consumed` the bytes to drop from the buffer;
+/// on kNeedMore nothing is consumed; on kBadLength/kBadCrc the connection
+/// should answer a typed error frame and close (the stream is desynced).
+FrameDecodeResult DecodeFrame(std::string_view buffer, Frame* out,
+                              size_t* consumed);
+
+// ---------------------------------------------------------------------------
+// Request payloads
+// ---------------------------------------------------------------------------
+
+/// Registers (or replaces) a named schema parsed from XSD text.
+struct SubmitSchemaReq {
+  std::string name;
+  std::string xsd_text;
+};
+
+/// Matches two previously submitted schemas. `deadline_ms` = 0 leaves the
+/// server's default in force; otherwise it is clamped to the server's
+/// configured maximum and wired into the request's ExecControl.
+struct MatchPairReq {
+  std::string source;
+  std::string target;
+  uint64_t deadline_ms = 0;
+};
+
+/// Matches `query` against every other submitted schema.
+struct MatchCorpusReq {
+  std::string query;
+  uint64_t deadline_ms = 0;
+};
+
+std::string EncodeSubmitSchemaReq(const SubmitSchemaReq& req);
+std::string EncodeMatchPairReq(const MatchPairReq& req);
+std::string EncodeMatchCorpusReq(const MatchCorpusReq& req);
+bool DecodeSubmitSchemaReq(std::string_view payload, SubmitSchemaReq* out);
+bool DecodeMatchPairReq(std::string_view payload, MatchPairReq* out);
+bool DecodeMatchCorpusReq(std::string_view payload, MatchCorpusReq* out);
+
+// ---------------------------------------------------------------------------
+// Response payloads
+// ---------------------------------------------------------------------------
+
+/// First fields of every response payload: the request's typed outcome.
+/// `code` is a StatusCode; anything but kOk means the body is absent.
+struct ResponseHead {
+  uint32_t code = 0;
+  std::string message;
+
+  bool ok() const { return code == 0; }
+  StatusCode status_code() const { return static_cast<StatusCode>(code); }
+  Status ToStatus() const {
+    return ok() ? Status::OK() : Status(status_code(), message);
+  }
+  static ResponseHead FromStatus(const Status& status) {
+    return ResponseHead{static_cast<uint32_t>(status.code()),
+                        status.message()};
+  }
+};
+
+struct SubmitSchemaResp {
+  ResponseHead head;
+  uint64_t fingerprint = 0;
+  uint64_t node_count = 0;
+};
+
+/// One correspondence by endpoint path; `score` crosses the wire as its
+/// exact bit pattern.
+struct WireCorrespondence {
+  std::string source_path;
+  std::string target_path;
+  double score = 0.0;
+
+  friend bool operator==(const WireCorrespondence&,
+                         const WireCorrespondence&) = default;
+};
+
+struct MatchPairResp {
+  ResponseHead head;
+  std::string algorithm;
+  uint32_t mode = 0;  ///< MatchMode the result was computed at
+  double schema_qom = 0.0;
+  uint64_t completed_rows = 0;
+  uint64_t total_rows = 0;
+  std::vector<WireCorrespondence> correspondences;
+};
+
+/// Per-candidate summary row of a corpus match.
+struct WireCorpusEntry {
+  std::string name;
+  uint32_t code = 0;  ///< StatusCode of this candidate's match
+  double schema_qom = 0.0;
+  uint64_t correspondences = 0;
+
+  friend bool operator==(const WireCorpusEntry&,
+                         const WireCorpusEntry&) = default;
+};
+
+struct MatchCorpusResp {
+  ResponseHead head;
+  std::vector<WireCorpusEntry> entries;
+};
+
+struct StatsResp {
+  ResponseHead head;
+  uint64_t schemas = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_entries = 0;
+  uint64_t admission_shed = 0;
+  uint64_t requests_total = 0;
+  uint64_t connections_active = 0;
+  double pressure = 0.0;
+};
+
+struct MetricsResp {
+  ResponseHead head;
+  std::string prometheus_text;
+};
+
+std::string EncodeErrorResp(const ResponseHead& head);
+std::string EncodeSubmitSchemaResp(const SubmitSchemaResp& resp);
+std::string EncodeMatchPairResp(const MatchPairResp& resp);
+std::string EncodeMatchCorpusResp(const MatchCorpusResp& resp);
+std::string EncodeStatsResp(const StatsResp& resp);
+std::string EncodeMetricsResp(const MetricsResp& resp);
+
+bool DecodeResponseHead(std::string_view payload, ResponseHead* out);
+bool DecodeSubmitSchemaResp(std::string_view payload, SubmitSchemaResp* out);
+bool DecodeMatchPairResp(std::string_view payload, MatchPairResp* out);
+bool DecodeMatchCorpusResp(std::string_view payload, MatchCorpusResp* out);
+bool DecodeStatsResp(std::string_view payload, StatsResp* out);
+bool DecodeMetricsResp(std::string_view payload, MetricsResp* out);
+
+}  // namespace qmatch::net
+
+#endif  // QMATCH_NET_FRAME_H_

@@ -1,0 +1,677 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "fault/failpoint.h"
+#include "obs/obs.h"
+#include "xsd/schema.h"
+
+namespace qmatch::net {
+
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// Decoded-but-unstarted frames a single connection may queue while one of
+/// its requests executes (responses are written in request order, so
+/// pipelined frames wait their turn). Past the cap each extra frame is
+/// answered with a typed kResourceExhausted — never a dropped connection.
+constexpr size_t kMaxPipelineDepth = 256;
+
+Status ErrnoStatus(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+/// Per-connection state machine, owned by the loop thread. Lifecycle:
+/// reading frames -> (pipeline queue) -> executing on a worker ->
+/// response flushed -> reading again; `closing` drains the output buffer
+/// and then closes (set after a framing violation or an HTTP scrape).
+struct Server::Connection {
+  uint64_t id = 0;
+  int fd = -1;
+  std::string in;
+  std::string out;
+  /// First bytes were "GET ": this is a one-shot HTTP Prometheus scrape.
+  bool http = false;
+  /// Stop reading; close as soon as `out` drains.
+  bool closing = false;
+  /// A request of this connection is executing on the worker pool.
+  bool busy = false;
+  std::deque<Frame> pending;
+  TimerWheel::TimerId idle_timer = 0;
+};
+
+Server::Server(core::MatchEngine* engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (!loop_.ok()) return Status::Internal("event loop failed to initialise");
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return ErrnoStatus("socket");
+  const int enable = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparseable bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = ErrnoStatus("bind");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    const Status status = ErrnoStatus("listen");
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  workers_ = std::make_unique<ThreadPool>(
+      options_.request_threads > 0 ? options_.request_threads : 1);
+  QMATCH_RETURN_IF_ERROR(
+      loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { OnAccept(); }));
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { loop_.Run(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopped_.exchange(true)) return;
+  running_.store(false, std::memory_order_release);
+  loop_.Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop thread is gone: its state is safe to finalise from here.
+  for (auto& [id, conn] : connections_) {
+    if (conn->fd >= 0) close(conn->fd);
+    closed_.fetch_add(1, std::memory_order_relaxed);
+    QMATCH_GAUGE_ADD("net.connections", -1);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Joins in-flight request executions; their completions land in the
+  // stopped loop's mailbox and are discarded with it.
+  workers_.reset();
+}
+
+Status Server::RegisterSchema(const std::string& name,
+                              std::string_view xsd_text) {
+  xsd::ParseOptions parse = options_.parse;
+  parse.schema_name = name;
+  Result<xsd::Schema> schema = xsd::ParseSchema(xsd_text, parse);
+  if (!schema.ok()) return schema.status();
+  auto shared = std::make_shared<const xsd::Schema>(std::move(*schema));
+  std::lock_guard<std::mutex> lock(schemas_mutex_);
+  schemas_[name] = std::move(shared);
+  return Status::OK();
+}
+
+size_t Server::schema_count() const {
+  std::lock_guard<std::mutex> lock(schemas_mutex_);
+  return schemas_.size();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.closed = closed_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  s.http_metrics = http_metrics_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- loop thread -----------------------------------------------------------
+
+void Server::OnAccept() {
+  while (true) {
+    const int fd =
+        accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or a transient accept error: wait for the next wakeup
+    }
+    // Chaos handle: a fired net.accept drops this connection at the
+    // threshold — the daemon itself must shrug it off.
+    if (QMATCH_FAILPOINT_FIRED("net.accept")) {
+      QMATCH_COUNTER_ADD("net.accept_faults", 1);
+      close(fd);
+      continue;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      QMATCH_COUNTER_ADD("net.accept_rejected", 1);
+      close(fd);
+      continue;
+    }
+    const int enable = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    const uint64_t conn_id = conn->id;
+    Connection* raw = conn.get();
+    connections_.emplace(conn_id, std::move(conn));
+    const Status added = loop_.Add(
+        fd, EPOLLIN, [this, conn_id](uint32_t ev) {
+          OnConnectionEvent(conn_id, ev);
+        });
+    if (!added.ok()) {
+      close(fd);
+      connections_.erase(conn_id);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    QMATCH_COUNTER_ADD("net.accepted", 1);
+    QMATCH_GAUGE_ADD("net.connections", 1);
+    ArmIdleTimer(raw);
+  }
+}
+
+Server::Connection* Server::FindConnection(uint64_t conn_id) {
+  const auto it = connections_.find(conn_id);
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+void Server::OnConnectionEvent(uint64_t conn_id, uint32_t events) {
+  Connection* conn = FindConnection(conn_id);
+  if (conn == nullptr) return;
+  if ((events & EPOLLOUT) != 0) {
+    FlushConnection(conn);
+    conn = FindConnection(conn_id);
+    if (conn == nullptr) return;
+  }
+  // Readable data is drained before a HUP is honoured: a peer that wrote a
+  // request and disconnected immediately still gets its frame dispatched
+  // (read() returns the bytes first, then 0).
+  if ((events & EPOLLIN) != 0) {
+    ReadConnection(conn);
+    return;
+  }
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) CloseConnection(conn_id);
+}
+
+void Server::ReadConnection(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  // Chaos handle: a fired net.read is a fatal socket error on this
+  // connection (the peer sees a close; in-flight requests still count
+  // their outcomes when they complete).
+  if (QMATCH_FAILPOINT_FIRED("net.read")) {
+    QMATCH_COUNTER_ADD("net.read_faults", 1);
+    CloseConnection(conn_id);
+    return;
+  }
+  bool peer_closed = false;
+  while (true) {
+    char buf[65536];
+    const ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn_id);
+    return;
+  }
+  ArmIdleTimer(conn);
+  ProcessInput(conn);
+  conn = FindConnection(conn_id);
+  if (conn == nullptr) return;
+  if (peer_closed) {
+    // Mid-request disconnect: drop the connection now; any executing
+    // request completes on the workers, counts its outcome, and its
+    // response is discarded when the completion finds no connection.
+    CloseConnection(conn_id);
+  }
+}
+
+void Server::ProcessInput(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  while (!conn->closing) {
+    if (conn->http) {
+      ServeHttpMetrics(conn);
+      return;
+    }
+    if (conn->in.size() >= 4 && conn->in.compare(0, 4, "GET ") == 0) {
+      conn->http = true;
+      continue;
+    }
+    if (conn->in.size() < 8) break;  // fall through to dispatch+flush
+    // Chaos handle: a fired net.frame corrupts this decode — the peer gets
+    // the same typed error frame real corruption would produce.
+    if (QMATCH_FAILPOINT_FIRED("net.frame")) {
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      QMATCH_COUNTER_ADD("net.bad_frames", 1);
+      SendFrame(conn, EncodeFrame(MsgType::kErrorResp,
+                                  EncodeErrorResp(ResponseHead::FromStatus(
+                                      Status::DataLoss("frame fault injected")))));
+      conn->closing = true;
+      break;
+    }
+    Frame frame;
+    size_t consumed = 0;
+    const FrameDecodeResult decoded = DecodeFrame(conn->in, &frame, &consumed);
+    if (decoded == FrameDecodeResult::kNeedMore) break;
+    if (decoded == FrameDecodeResult::kBadLength ||
+        decoded == FrameDecodeResult::kBadCrc) {
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      QMATCH_COUNTER_ADD("net.bad_frames", 1);
+      const Status status =
+          decoded == FrameDecodeResult::kBadLength
+              ? Status::InvalidArgument("frame length exceeds protocol cap")
+              : Status::DataLoss("frame crc mismatch");
+      SendFrame(conn, EncodeFrame(MsgType::kErrorResp, EncodeErrorResp(
+                                      ResponseHead::FromStatus(status))));
+      // The byte stream cannot be resynchronised past a framing violation:
+      // answer typed, then close after the flush.
+      conn->closing = true;
+      break;
+    }
+    conn->in.erase(0, consumed);
+    if (conn->pending.size() >= kMaxPipelineDepth) {
+      const Status status =
+          Status::ResourceExhausted("pipeline depth exceeded");
+      CountOutcome(status);
+      SendFrame(conn, EncodeFrame(MsgType::kErrorResp, EncodeErrorResp(
+                                      ResponseHead::FromStatus(status))));
+      continue;
+    }
+    conn->pending.push_back(std::move(frame));
+  }
+  conn = FindConnection(conn_id);
+  if (conn == nullptr) return;
+  MaybeDispatchNext(conn);
+  FlushConnection(conn);
+}
+
+void Server::ServeHttpMetrics(Connection* conn) {
+  const size_t end = conn->in.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    if (conn->in.size() > 8192) CloseConnection(conn->id);
+    return;  // headers still arriving
+  }
+  http_metrics_.fetch_add(1, std::memory_order_relaxed);
+  QMATCH_COUNTER_ADD("net.http_metrics", 1);
+  const std::string body = obs::Registry::Global().PrometheusText();
+  std::string response =
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) +
+      "\r\n"
+      "Connection: close\r\n\r\n" +
+      body;
+  conn->out.append(response);
+  conn->closing = true;
+  FlushConnection(conn);
+}
+
+void Server::MaybeDispatchNext(Connection* conn) {
+  // Responses go out in request order: one executing request per
+  // connection; cheap requests answer inline and the loop continues.
+  while (!conn->busy && !conn->pending.empty() && !conn->closing) {
+    Frame frame = std::move(conn->pending.front());
+    conn->pending.pop_front();
+    DispatchFrame(conn, std::move(frame));
+  }
+}
+
+void Server::DispatchFrame(Connection* conn, Frame frame) {
+  const uint64_t conn_id = conn->id;
+  // A decodable-but-rejectable request still answers a typed frame;
+  // kErrorResp carries a bare ResponseHead so the client needs no
+  // per-request body to learn the status.
+  const auto reject = [&](const Status& status) {
+    CountOutcome(status);
+    SendFrame(conn, EncodeFrame(MsgType::kErrorResp, EncodeErrorResp(
+                                    ResponseHead::FromStatus(status))));
+  };
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::kSubmitSchema: {
+      SubmitSchemaReq req;
+      if (!DecodeSubmitSchemaReq(frame.payload, &req)) {
+        reject(Status::InvalidArgument("undecodable SubmitSchema payload"));
+        return;
+      }
+      conn->busy = true;
+      workers_->Submit([this, conn_id, req = std::move(req)]() mutable {
+        ExecuteSubmitSchema(conn_id, std::move(req));
+      });
+      return;
+    }
+    case MsgType::kMatchPair: {
+      MatchPairReq req;
+      if (!DecodeMatchPairReq(frame.payload, &req)) {
+        reject(Status::InvalidArgument("undecodable MatchPair payload"));
+        return;
+      }
+      conn->busy = true;
+      workers_->Submit([this, conn_id, req = std::move(req)]() mutable {
+        ExecuteMatchPair(conn_id, std::move(req));
+      });
+      return;
+    }
+    case MsgType::kMatchCorpus: {
+      MatchCorpusReq req;
+      if (!DecodeMatchCorpusReq(frame.payload, &req)) {
+        reject(Status::InvalidArgument("undecodable MatchCorpus payload"));
+        return;
+      }
+      conn->busy = true;
+      workers_->Submit([this, conn_id, req = std::move(req)]() mutable {
+        ExecuteMatchCorpus(conn_id, std::move(req));
+      });
+      return;
+    }
+    case MsgType::kGetStats: {
+      CountOutcome(Status::OK());
+      SendFrame(conn, EncodeFrame(MsgType::kGetStatsResp,
+                                  EncodeStatsResp(BuildStats())));
+      return;
+    }
+    case MsgType::kGetMetrics: {
+      MetricsResp resp;
+      resp.prometheus_text = obs::Registry::Global().PrometheusText();
+      CountOutcome(Status::OK());
+      SendFrame(conn, EncodeFrame(MsgType::kGetMetricsResp,
+                                  EncodeMetricsResp(resp)));
+      return;
+    }
+    default:
+      reject(Status::InvalidArgument("unknown request type " +
+                                     std::to_string(frame.type)));
+      return;
+  }
+}
+
+void Server::SendFrame(Connection* conn, std::string frame_bytes) {
+  conn->out.append(frame_bytes);
+}
+
+void Server::FlushConnection(Connection* conn) {
+  const uint64_t conn_id = conn->id;
+  // Chaos handle: a fired net.write is a fatal socket error mid-flush.
+  if (!conn->out.empty() && QMATCH_FAILPOINT_FIRED("net.write")) {
+    QMATCH_COUNTER_ADD("net.write_faults", 1);
+    CloseConnection(conn_id);
+    return;
+  }
+  while (!conn->out.empty()) {
+    // MSG_NOSIGNAL: flushing to a just-disconnected peer must surface as
+    // EPIPE (close the connection), never as a process-killing SIGPIPE.
+    const ssize_t n =
+        send(conn->fd, conn->out.data(), conn->out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn_id);
+    return;
+  }
+  if (conn->out.empty() && conn->closing && !conn->busy) {
+    CloseConnection(conn_id);
+    return;
+  }
+  UpdateEpollMask(conn);
+}
+
+void Server::UpdateEpollMask(Connection* conn) {
+  const uint32_t mask =
+      EPOLLIN | (conn->out.empty() ? 0u : static_cast<uint32_t>(EPOLLOUT));
+  loop_.Modify(conn->fd, mask);
+}
+
+void Server::CloseConnection(uint64_t conn_id) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->idle_timer != 0) loop_.timers().Cancel(conn->idle_timer);
+  loop_.Remove(conn->fd);
+  close(conn->fd);
+  conn->fd = -1;
+  connections_.erase(it);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  QMATCH_COUNTER_ADD("net.closed", 1);
+  QMATCH_GAUGE_ADD("net.connections", -1);
+}
+
+void Server::ArmIdleTimer(Connection* conn) {
+  if (options_.idle_timeout.count() <= 0) return;
+  if (conn->idle_timer != 0) loop_.timers().Cancel(conn->idle_timer);
+  const uint64_t conn_id = conn->id;
+  conn->idle_timer = loop_.timers().ScheduleAfter(
+      options_.idle_timeout, [this, conn_id] {
+        QMATCH_COUNTER_ADD("net.idle_timeouts", 1);
+        CloseConnection(conn_id);
+      });
+}
+
+// --- worker pool -----------------------------------------------------------
+
+void Server::CountOutcome(const Status& status) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  QMATCH_COUNTER_ADD("net.requests", 1);
+  switch (status.code()) {
+    case StatusCode::kOk:
+      QMATCH_COUNTER_ADD("net.requests_ok", 1);
+      break;
+    case StatusCode::kOverloaded:
+      QMATCH_COUNTER_ADD("net.requests_overloaded", 1);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      QMATCH_COUNTER_ADD("net.requests_deadline_exceeded", 1);
+      break;
+    case StatusCode::kResourceExhausted:
+      QMATCH_COUNTER_ADD("net.requests_resource_exhausted", 1);
+      break;
+    case StatusCode::kCancelled:
+      QMATCH_COUNTER_ADD("net.requests_cancelled", 1);
+      break;
+    default:
+      QMATCH_COUNTER_ADD("net.requests_error", 1);
+      break;
+  }
+}
+
+Deadline Server::RequestDeadline(uint64_t deadline_ms) const {
+  milliseconds budget = deadline_ms > 0
+                            ? milliseconds(static_cast<int64_t>(deadline_ms))
+                            : options_.default_deadline;
+  // The ceiling also binds "unbounded" asks: with a max configured, no
+  // request parks on the engine forever.
+  if (options_.max_deadline.count() > 0 &&
+      (budget.count() <= 0 || budget > options_.max_deadline)) {
+    budget = options_.max_deadline;
+  }
+  if (budget.count() <= 0) return Deadline::Infinite();
+  return Deadline::After(budget);
+}
+
+StatsResp Server::BuildStats() const {
+  StatsResp s;
+  s.schemas = schema_count();
+  const core::MatchEngineCacheStats cache = engine_->cache_stats();
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.cache_entries = cache.entries;
+  s.admission_shed = engine_->admission().shed_total();
+  s.requests_total = requests_.load(std::memory_order_relaxed);
+  s.connections_active = connections_.size();
+  s.pressure = engine_->Pressure();
+  return s;
+}
+
+std::shared_ptr<const xsd::Schema> Server::LookupSchema(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(schemas_mutex_);
+  const auto it = schemas_.find(name);
+  return it == schemas_.end() ? nullptr : it->second;
+}
+
+void Server::ExecuteSubmitSchema(uint64_t conn_id, SubmitSchemaReq req) {
+  QMATCH_SPAN(span, "net.submit_schema");
+  const steady_clock::time_point start = steady_clock::now();
+  SubmitSchemaResp resp;
+  xsd::ParseOptions parse = options_.parse;
+  parse.schema_name = req.name;
+  if (req.name.empty()) {
+    resp.head = ResponseHead::FromStatus(
+        Status::InvalidArgument("schema name must be non-empty"));
+  } else {
+    Result<xsd::Schema> schema = xsd::ParseSchema(req.xsd_text, parse);
+    if (!schema.ok()) {
+      resp.head = ResponseHead::FromStatus(schema.status());
+    } else {
+      resp.fingerprint = xsd::SchemaFingerprint(*schema);
+      resp.node_count = schema->NodeCount();
+      auto shared = std::make_shared<const xsd::Schema>(std::move(*schema));
+      std::lock_guard<std::mutex> lock(schemas_mutex_);
+      schemas_[req.name] = std::move(shared);
+    }
+  }
+  QMATCH_HISTOGRAM_OBSERVE(
+      "net.request_ns",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          steady_clock::now() - start)
+          .count());
+  CompleteRequest(conn_id, resp.head.ToStatus(),
+                  EncodeFrame(MsgType::kSubmitSchemaResp,
+                              EncodeSubmitSchemaResp(resp)));
+}
+
+void Server::ExecuteMatchPair(uint64_t conn_id, MatchPairReq req) {
+  QMATCH_SPAN(span, "net.match_pair");
+  const steady_clock::time_point start = steady_clock::now();
+  MatchPairResp resp;
+  const std::shared_ptr<const xsd::Schema> source = LookupSchema(req.source);
+  const std::shared_ptr<const xsd::Schema> target = LookupSchema(req.target);
+  if (source == nullptr || target == nullptr) {
+    resp.head = ResponseHead::FromStatus(Status::NotFound(
+        "unknown schema: " + (source == nullptr ? req.source : req.target)));
+  } else {
+    core::EngineRequestOptions opts;
+    opts.deadline = RequestDeadline(req.deadline_ms);
+    const core::EngineMatchResult result =
+        engine_->Match(*source, *target, opts);
+    resp.head = ResponseHead::FromStatus(result.status);
+    resp.algorithm = result.result.algorithm;
+    resp.mode = static_cast<uint32_t>(result.result.mode);
+    resp.schema_qom = result.result.schema_qom;
+    resp.completed_rows = result.completed_rows;
+    resp.total_rows = result.total_rows;
+    resp.correspondences.reserve(result.result.correspondences.size());
+    for (const Correspondence& c : result.result.correspondences) {
+      resp.correspondences.push_back(
+          WireCorrespondence{c.source->Path(), c.target->Path(), c.score});
+    }
+  }
+  QMATCH_HISTOGRAM_OBSERVE(
+      "net.request_ns",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          steady_clock::now() - start)
+          .count());
+  CompleteRequest(
+      conn_id, resp.head.ToStatus(),
+      EncodeFrame(MsgType::kMatchPairResp, EncodeMatchPairResp(resp)));
+}
+
+void Server::ExecuteMatchCorpus(uint64_t conn_id, MatchCorpusReq req) {
+  QMATCH_SPAN(span, "net.match_corpus");
+  const steady_clock::time_point start = steady_clock::now();
+  MatchCorpusResp resp;
+  const std::shared_ptr<const xsd::Schema> query = LookupSchema(req.query);
+  if (query == nullptr) {
+    resp.head = ResponseHead::FromStatus(
+        Status::NotFound("unknown schema: " + req.query));
+  } else {
+    // One shared deadline across every candidate, same as MatchCorpus's
+    // request envelope: candidates matched after expiry degrade typed.
+    core::EngineRequestOptions opts;
+    opts.deadline = RequestDeadline(req.deadline_ms);
+    std::vector<std::pair<std::string, std::shared_ptr<const xsd::Schema>>>
+        candidates;
+    {
+      std::lock_guard<std::mutex> lock(schemas_mutex_);
+      candidates.reserve(schemas_.size());
+      for (const auto& [name, schema] : schemas_) {
+        if (name != req.query) candidates.emplace_back(name, schema);
+      }
+    }
+    resp.entries.reserve(candidates.size());
+    for (const auto& [name, schema] : candidates) {
+      const core::EngineMatchResult result =
+          engine_->Match(*query, *schema, opts);
+      WireCorpusEntry entry;
+      entry.name = name;
+      entry.code = static_cast<uint32_t>(result.status.code());
+      entry.schema_qom = result.result.schema_qom;
+      entry.correspondences = result.result.correspondences.size();
+      resp.entries.push_back(std::move(entry));
+    }
+  }
+  QMATCH_HISTOGRAM_OBSERVE(
+      "net.request_ns",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          steady_clock::now() - start)
+          .count());
+  CompleteRequest(
+      conn_id, resp.head.ToStatus(),
+      EncodeFrame(MsgType::kMatchCorpusResp, EncodeMatchCorpusResp(resp)));
+}
+
+void Server::CompleteRequest(uint64_t conn_id, const Status& status,
+                             std::string frame_bytes) {
+  // The outcome is counted HERE, on the worker, before the connection is
+  // consulted: a client that disconnected mid-request still accounts for
+  // exactly one outcome (the chaos suite's exactly-once contract).
+  CountOutcome(status);
+  loop_.Post([this, conn_id, frame_bytes = std::move(frame_bytes)]() mutable {
+    Connection* conn = FindConnection(conn_id);
+    if (conn == nullptr) return;  // disconnected mid-request: response dropped
+    conn->busy = false;
+    SendFrame(conn, std::move(frame_bytes));
+    MaybeDispatchNext(conn);
+    FlushConnection(conn);
+  });
+}
+
+}  // namespace qmatch::net

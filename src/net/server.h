@@ -1,0 +1,182 @@
+#ifndef QMATCH_NET_SERVER_H_
+#define QMATCH_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "xsd/parser.h"
+
+namespace qmatch::net {
+
+/// Tuning knobs of the qmatchd server.
+struct ServerOptions {
+  /// Listen address; port 0 binds an ephemeral port (tests) — read the
+  /// resolved one back via port().
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Worker threads executing parse/match requests off the event loop
+  /// (the loop itself never blocks on a match). Minimum 1.
+  size_t request_threads = 2;
+
+  /// Connections idle longer than this are closed by the timer wheel.
+  /// Zero disables the idle timeout.
+  std::chrono::milliseconds idle_timeout{60000};
+
+  /// Deadline applied to requests that carry deadline_ms = 0. Zero =
+  /// unbounded (the classic run-to-completion default).
+  std::chrono::milliseconds default_deadline{0};
+
+  /// Hard ceiling on any client-requested deadline; larger asks are
+  /// clamped, so one client cannot park work on the engine forever.
+  /// Zero = no ceiling.
+  std::chrono::milliseconds max_deadline{30000};
+
+  /// Accepted connections beyond this are closed immediately at accept.
+  size_t max_connections = 256;
+
+  /// Bounds applied to SubmitSchema XSD parses (input size, node count) —
+  /// the same typed kResourceExhausted discipline as everywhere else.
+  xsd::ParseOptions parse;
+};
+
+/// Monotonic counters of one server's lifetime (also exported through the
+/// obs registry as net.* metrics; these are the test-friendly exact reads).
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t closed = 0;
+  uint64_t requests = 0;       ///< decodable requests dispatched
+  uint64_t bad_frames = 0;     ///< CRC/length/decode failures answered typed
+  uint64_t http_metrics = 0;   ///< GET /metrics scrapes served
+};
+
+/// qmatchd — the network front door to one MatchEngine (DESIGN.md §14).
+///
+/// One epoll event loop (own thread) accepts connections and speaks the
+/// frame protocol; decoded requests execute on a small worker pool with
+/// the request deadline wired into ExecControl, so the engine's admission
+/// control, memory budgets and degradation ladder protect the daemon
+/// exactly as they protect in-process callers: an overloaded engine sheds
+/// with a typed kOverloaded *response frame* — the connection stays open.
+///
+/// A connection whose first bytes are "GET " is served as a one-shot HTTP
+/// Prometheus scrape of the obs registry over the same loop, then closed.
+///
+/// Failpoints on every socket path: net.accept, net.read, net.write,
+/// net.frame — the chaos suite's handles.
+class Server {
+ public:
+  /// `engine` is borrowed and must outlive the server.
+  Server(core::MatchEngine* engine, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the loop thread. Non-OK on bind failure.
+  Status Start();
+
+  /// Closes the listener and every connection, stops the loop and joins
+  /// all threads. Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Resolved listen port (after Start with port 0).
+  uint16_t port() const { return port_; }
+
+  /// Registers a schema under `name` outside the protocol — qmatchd's
+  /// --preload path and test fixtures. Thread-safe; same code path as a
+  /// SubmitSchema request.
+  Status RegisterSchema(const std::string& name, std::string_view xsd_text);
+
+  size_t schema_count() const;
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+
+  // --- loop-thread only ----------------------------------------------------
+  void OnAccept();
+  void OnConnectionEvent(uint64_t conn_id, uint32_t events);
+  void ReadConnection(Connection* conn);
+  void ProcessInput(Connection* conn);
+  void ServeHttpMetrics(Connection* conn);
+  void SendFrame(Connection* conn, std::string frame_bytes);
+  void FlushConnection(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+  void ArmIdleTimer(Connection* conn);
+  void UpdateEpollMask(Connection* conn);
+  Connection* FindConnection(uint64_t conn_id);
+
+  /// Starts queued frames in arrival order, one engine request in flight
+  /// per connection (responses are written in request order).
+  void MaybeDispatchNext(Connection* conn);
+
+  /// Dispatches one decoded frame. Requests needing engine work hop to the
+  /// worker pool; stats/metrics answer inline.
+  void DispatchFrame(Connection* conn, Frame frame);
+
+  // --- worker-pool side ----------------------------------------------------
+  void ExecuteSubmitSchema(uint64_t conn_id, SubmitSchemaReq req);
+  void ExecuteMatchPair(uint64_t conn_id, MatchPairReq req);
+  void ExecuteMatchCorpus(uint64_t conn_id, MatchCorpusReq req);
+  /// Counts the request outcome (exactly once per dispatched request, even
+  /// when the connection died before the response could be written) and
+  /// posts the encoded response back to the loop.
+  void CompleteRequest(uint64_t conn_id, const Status& status,
+                       std::string frame_bytes);
+
+  /// Bumps net.requests plus exactly one per-outcome counter. Called once
+  /// per request, on whichever thread decides the outcome.
+  void CountOutcome(const Status& status);
+
+  Deadline RequestDeadline(uint64_t deadline_ms) const;
+  StatsResp BuildStats() const;
+  std::shared_ptr<const xsd::Schema> LookupSchema(
+      const std::string& name) const;
+
+  core::MatchEngine* const engine_;
+  const ServerOptions options_;
+
+  EventLoop loop_;
+  std::thread loop_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  /// Loop-thread only: live connections by id (ids, not fds, key the map
+  /// so a stale completion can never hit a recycled fd).
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  mutable std::mutex schemas_mutex_;
+  /// Submitted schemas by name. shared_ptr: a replace while a match is in
+  /// flight keeps the old tree alive until the last request drops it.
+  std::map<std::string, std::shared_ptr<const xsd::Schema>> schemas_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> closed_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+  std::atomic<uint64_t> http_metrics_{0};
+};
+
+}  // namespace qmatch::net
+
+#endif  // QMATCH_NET_SERVER_H_

@@ -1,0 +1,88 @@
+#include "net/timer_wheel.h"
+
+#include <utility>
+
+namespace qmatch::net {
+
+TimerWheel::TimerWheel(Clock::duration tick, size_t slots)
+    : tick_(tick.count() > 0 ? tick : Clock::duration(1)),
+      slots_(slots > 0 ? slots : 1),
+      cursor_tick_(TickOf(Clock::now())) {}
+
+TimerWheel::TimerId TimerWheel::Schedule(Clock::time_point when,
+                                         std::function<void()> callback) {
+  // A timer already due still waits for the next Advance — never fired
+  // inline, so Schedule can be called from inside a firing callback
+  // without reentrancy surprises.
+  uint64_t tick = TickOf(when);
+  if (tick <= cursor_tick_) tick = cursor_tick_ + 1;
+  const size_t slot = static_cast<size_t>(tick % slots_.size());
+  const TimerId id = next_id_++;
+  slots_[slot].push_back(Entry{id, when, std::move(callback)});
+  slot_of_.emplace(id, slot);
+  ++pending_;
+  return id;
+}
+
+bool TimerWheel::Cancel(TimerId id) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return false;
+  std::list<Entry>& slot = slots_[it->second];
+  for (auto entry = slot.begin(); entry != slot.end(); ++entry) {
+    if (entry->id == id) {
+      slot.erase(entry);
+      break;
+    }
+  }
+  slot_of_.erase(it);
+  --pending_;
+  return true;
+}
+
+size_t TimerWheel::Advance(Clock::time_point now) {
+  const uint64_t now_tick = TickOf(now);
+  if (now_tick <= cursor_tick_ || pending_ == 0) {
+    cursor_tick_ = std::max(cursor_tick_, now_tick);
+    return 0;
+  }
+  // Unlink everything due first, then fire: a callback that schedules or
+  // cancels timers can never invalidate this sweep's iterators.
+  std::vector<Entry> due;
+  // Sweep at most one full revolution — beyond that every slot has been
+  // visited once and entries left behind are genuinely future laps.
+  const uint64_t sweep_end =
+      std::min(now_tick, cursor_tick_ + static_cast<uint64_t>(slots_.size()));
+  for (uint64_t tick = cursor_tick_ + 1; tick <= sweep_end; ++tick) {
+    std::list<Entry>& slot = slots_[static_cast<size_t>(tick % slots_.size())];
+    for (auto entry = slot.begin(); entry != slot.end();) {
+      if (entry->when <= now) {
+        slot_of_.erase(entry->id);
+        --pending_;
+        due.push_back(std::move(*entry));
+        entry = slot.erase(entry);
+      } else {
+        ++entry;
+      }
+    }
+  }
+  cursor_tick_ = now_tick;
+  for (Entry& entry : due) entry.callback();
+  return due.size();
+}
+
+std::optional<TimerWheel::Clock::duration> TimerWheel::UntilNext(
+    Clock::time_point now) const {
+  if (pending_ == 0) return std::nullopt;
+  Clock::time_point earliest = Clock::time_point::max();
+  for (const std::list<Entry>& slot : slots_) {
+    for (const Entry& entry : slot) {
+      earliest = std::min(earliest, entry.when);
+    }
+  }
+  if (earliest <= now) return Clock::duration::zero();
+  // Round up to the next tick boundary so the loop never wakes just short
+  // of the slot sweep that would fire the timer.
+  return (earliest - now) + tick_;
+}
+
+}  // namespace qmatch::net

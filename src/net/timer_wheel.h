@@ -1,0 +1,83 @@
+#ifndef QMATCH_NET_TIMER_WHEEL_H_
+#define QMATCH_NET_TIMER_WHEEL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace qmatch::net {
+
+/// Hashed timer wheel: O(1) schedule/cancel, amortised O(1) expiry. Time is
+/// bucketed into fixed `tick` slots; a timer lands in slot
+/// (expiry / tick) % slots and fires when the wheel's cursor sweeps past
+/// its slot with the expiry actually due (an entry a full lap away simply
+/// stays in the slot for the next revolution — the classic hashed-wheel
+/// trade of memory for sorting).
+///
+/// Drives every per-connection deadline in the event loop: idle timeouts
+/// and request-deadline watchdogs. NOT thread-safe — owned and advanced by
+/// the loop thread only; cross-thread arming goes through EventLoop::Post.
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimerId = uint64_t;
+
+  explicit TimerWheel(Clock::duration tick = std::chrono::milliseconds(10),
+                      size_t slots = 256);
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Arms `callback` to fire at `when` (immediately on the next Advance if
+  /// `when` is already past). Returns an id for Cancel; ids are never
+  /// reused within one wheel's lifetime.
+  TimerId Schedule(Clock::time_point when, std::function<void()> callback);
+
+  /// Convenience: fire `delay` from now.
+  TimerId ScheduleAfter(Clock::duration delay, std::function<void()> callback) {
+    return Schedule(Clock::now() + delay, std::move(callback));
+  }
+
+  /// Disarms a pending timer. False when the id already fired or was
+  /// cancelled (both are benign — cancellation races are expected).
+  bool Cancel(TimerId id);
+
+  /// Fires every timer due at `now`, in slot order. Callbacks may schedule
+  /// or cancel other timers freely (due entries are unlinked before any
+  /// callback runs). Returns the number fired.
+  size_t Advance(Clock::time_point now);
+
+  /// Delay until the earliest pending timer (zero if already due), or
+  /// nullopt when the wheel is empty — the event loop's epoll timeout.
+  std::optional<Clock::duration> UntilNext(Clock::time_point now) const;
+
+  size_t pending() const { return pending_; }
+  Clock::duration tick() const { return tick_; }
+
+ private:
+  struct Entry {
+    TimerId id = 0;
+    Clock::time_point when;
+    std::function<void()> callback;
+  };
+
+  uint64_t TickOf(Clock::time_point when) const {
+    return static_cast<uint64_t>(when.time_since_epoch() / tick_);
+  }
+
+  const Clock::duration tick_;
+  std::vector<std::list<Entry>> slots_;
+  /// id -> slot index, so Cancel only scans one short slot list.
+  std::unordered_map<TimerId, size_t> slot_of_;
+  uint64_t cursor_tick_;  ///< last tick fully swept by Advance
+  TimerId next_id_ = 1;
+  size_t pending_ = 0;
+};
+
+}  // namespace qmatch::net
+
+#endif  // QMATCH_NET_TIMER_WHEEL_H_

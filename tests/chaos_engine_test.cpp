@@ -37,6 +37,7 @@
 #include "datagen/generator.h"
 #include "fault/failpoint.h"
 #include "obs/obs.h"
+#include "test_util.h"
 
 #ifndef QMATCH_SOURCE_DIR
 #error "build must define QMATCH_SOURCE_DIR (see tests/CMakeLists.txt)"
@@ -52,23 +53,9 @@ namespace {
 using std::chrono::milliseconds;
 using std::chrono::steady_clock;
 
-/// True when this binary is ASan- or TSan-instrumented (scripts/ci.sh
-/// chaos builds both flavours).
-constexpr bool kSanitized =
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-    true;
-#elif defined(__has_feature)
-    __has_feature(address_sanitizer) || __has_feature(thread_sanitizer);
-#else
-    false;
-#endif
-
-/// The in-test ceiling on how far past its deadline a request may return
-/// (the acceptance bound of the robustness contract): 100ms on a plain
-/// build. Sanitizers multiply the cost of the non-interruptible segments
-/// (parsing, drain-after-throw) by a constant factor, so the slack scales
-/// with them — the bound stays "proportional overshoot, never a hang".
-constexpr milliseconds kDeadlineSlack{kSanitized ? 400 : 100};
+// Sanitizer-scaled timing discipline shared across the labelled suites.
+using qmatch::test::kDeadlineSlack;
+using qmatch::test::kSanitized;
 
 std::vector<std::string> CorpusPaths() {
   static const char* kFiles[] = {

@@ -13,9 +13,14 @@
 #include "common/cancel.h"
 #include "fault/failpoint.h"
 #include "gtest/gtest.h"
+#include "test_util.h"
 
 namespace qmatch {
 namespace {
+
+// Sanitizer-scaled sleeps/deadlines: these tests race timed waiters
+// against short sleeps, and instrumented builds stretch both sides.
+using test::Scaled;
 
 AdmissionOptions Options(uint64_t capacity, size_t queue_depth) {
   AdmissionOptions options;
@@ -70,7 +75,7 @@ TEST(AdmissionControllerTest, DeadlineExpiresWhileQueued) {
   AdmissionPermit held;
   ASSERT_TRUE(admission.Admit(10, ExecControl{}, &held).ok());
   ExecControl control;
-  control.deadline = Deadline::After(std::chrono::milliseconds(30));
+  control.deadline = Deadline::After(Scaled(std::chrono::milliseconds(30)));
   AdmissionPermit queued;
   Status status = admission.Admit(5, control, &queued);
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
@@ -85,7 +90,7 @@ TEST(AdmissionControllerTest, CancellationInterruptsTheQueueWait) {
   ExecControl control;
   control.cancel = &token;
   std::thread canceller([&token]() {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(Scaled(std::chrono::milliseconds(20)));
     token.Cancel();
   });
   AdmissionPermit queued;
@@ -107,7 +112,7 @@ TEST(AdmissionControllerTest, QueuedRequestAdmitsWhenCapacityFrees) {
     ASSERT_TRUE(admission.Admit(5, control, &permit).ok());
     admitted.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::this_thread::sleep_for(Scaled(std::chrono::milliseconds(20)));
   EXPECT_FALSE(admitted.load());
   held.reset();  // release capacity → the waiter admits
   waiter.join();
@@ -124,7 +129,7 @@ TEST(AdmissionControllerTest, FifoOrderIsPreservedAcrossWaiters) {
   for (int id = 0; id < 3; ++id) {
     waiters.emplace_back([&, id]() {
       // Stagger arrivals so queue positions are deterministic.
-      std::this_thread::sleep_for(std::chrono::milliseconds(10 * (id + 1)));
+      std::this_thread::sleep_for(Scaled(std::chrono::milliseconds(10)) * (id + 1));
       AdmissionPermit permit;
       ExecControl control;
       control.deadline = Deadline::After(std::chrono::seconds(10));
@@ -133,7 +138,7 @@ TEST(AdmissionControllerTest, FifoOrderIsPreservedAcrossWaiters) {
       admit_order.push_back(id);
     });
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  std::this_thread::sleep_for(Scaled(std::chrono::milliseconds(60)));
   held.reset();
   for (std::thread& t : waiters) t.join();
   ASSERT_EQ(admit_order.size(), 3u);
@@ -150,7 +155,7 @@ TEST(AdmissionControllerTest, AdmitBlockingAppliesBackpressureNotShedding) {
     admission.AdmitBlocking(5, &permit);  // enqueues past the cap, waits
     admitted.store(true);
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::this_thread::sleep_for(Scaled(std::chrono::milliseconds(20)));
   EXPECT_FALSE(admitted.load());
   held.reset();
   waiter.join();
@@ -207,12 +212,12 @@ TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
 TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccess) {
   CircuitBreakerOptions options;
   options.failure_threshold = 1;
-  options.cooldown = std::chrono::milliseconds(10);
+  options.cooldown = Scaled(std::chrono::milliseconds(10));
   CircuitBreaker breaker(options);
   ASSERT_TRUE(breaker.Allow());
   breaker.RecordFailure();
   ASSERT_FALSE(breaker.Allow());  // open, cooling down
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::this_thread::sleep_for(Scaled(std::chrono::milliseconds(20)));
   EXPECT_TRUE(breaker.Allow());  // the half-open probe
   EXPECT_FALSE(breaker.Allow());  // exactly one probe at a time
   breaker.RecordSuccess();
@@ -223,11 +228,11 @@ TEST(CircuitBreakerTest, HalfOpenProbeClosesOnSuccess) {
 TEST(CircuitBreakerTest, HalfOpenProbeReopensOnFailure) {
   CircuitBreakerOptions options;
   options.failure_threshold = 1;
-  options.cooldown = std::chrono::milliseconds(10);
+  options.cooldown = Scaled(std::chrono::milliseconds(10));
   CircuitBreaker breaker(options);
   ASSERT_TRUE(breaker.Allow());
   breaker.RecordFailure();
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::this_thread::sleep_for(Scaled(std::chrono::milliseconds(20)));
   ASSERT_TRUE(breaker.Allow());
   breaker.RecordFailure();
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
@@ -237,11 +242,11 @@ TEST(CircuitBreakerTest, HalfOpenProbeReopensOnFailure) {
 TEST(CircuitBreakerTest, NeutralOutcomeFreesTheProbeSlot) {
   CircuitBreakerOptions options;
   options.failure_threshold = 1;
-  options.cooldown = std::chrono::milliseconds(10);
+  options.cooldown = Scaled(std::chrono::milliseconds(10));
   CircuitBreaker breaker(options);
   ASSERT_TRUE(breaker.Allow());
   breaker.RecordFailure();
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::this_thread::sleep_for(Scaled(std::chrono::milliseconds(20)));
   ASSERT_TRUE(breaker.Allow());  // probe in flight...
   breaker.RecordNeutral();       // ...ends without a verdict (deadline)
   EXPECT_TRUE(breaker.Allow());  // the slot is free for the next probe

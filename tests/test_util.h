@@ -1,0 +1,44 @@
+#ifndef QMATCH_TESTS_TEST_UTIL_H_
+#define QMATCH_TESTS_TEST_UTIL_H_
+
+#include <chrono>
+
+/// Shared timing discipline for every suite that asserts wall-clock
+/// bounds (chaos, overload, net). Include this instead of redeclaring a
+/// per-file sanitizer factor — the slack policy is one decision, not one
+/// per test file.
+
+namespace qmatch::test {
+
+/// True when this binary is ASan- or TSan-instrumented (scripts/ci.sh
+/// builds both flavours of the labelled suites).
+constexpr bool kSanitized =
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+    true;
+#else
+    false;
+#endif
+#else
+    false;
+#endif
+
+/// The ceiling on how far past its deadline a request may return (the
+/// acceptance bound of the robustness contract): 100ms on a plain build.
+/// Sanitizers multiply the cost of the non-interruptible segments
+/// (parsing, drain-after-throw) by a constant factor, so the slack scales
+/// with them — the bound stays "proportional overshoot, never a hang".
+constexpr std::chrono::milliseconds kDeadlineSlack{kSanitized ? 400 : 100};
+
+/// Scales a nominal duration for instrumented builds: sleeps, deadlines
+/// and timeouts that must stay *proportionate* (not asserted-tight) under
+/// a sanitizer's 2-20x slowdown.
+constexpr std::chrono::milliseconds Scaled(std::chrono::milliseconds nominal) {
+  return kSanitized ? nominal * 4 : nominal;
+}
+
+}  // namespace qmatch::test
+
+#endif  // QMATCH_TESTS_TEST_UTIL_H_
