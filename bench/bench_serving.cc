@@ -35,7 +35,11 @@
 #include "core/engine.h"
 #include "datagen/corpus.h"
 #include "net/client.h"
+#include "net/resilient_client.h"
 #include "net/server.h"
+#include "replica/log.h"
+#include "replica/primary.h"
+#include "replica/standby.h"
 #include "xsd/writer.h"
 
 namespace {
@@ -141,6 +145,84 @@ void BM_Serve_SubmitSchema_PO1(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Serve_SubmitSchema_PO1)->Unit(benchmark::kMicrosecond);
+
+/// Client-observed failover gap: a replicated primary/standby pair and a
+/// resilient client sticky on the primary. Each iteration builds the pair
+/// and waits for replication catch-up OUTSIDE the measured window, then
+/// times kill -> promote -> first acknowledged response from the promoted
+/// standby — the outage an acknowledged-results client actually sees. The
+/// response must be warm (the replicated result cache answers it), so the
+/// row also gates warm promotion staying warm.
+void BM_Serve_FailoverGap(benchmark::State& state) {
+  const auto& corpus = datagen::Corpus();
+  const std::string a = corpus[0].name;
+  const std::string b = corpus[1].name;
+  const std::string xsd_a = xsd::ToXsd(corpus[0].make());
+  const std::string xsd_b = xsd::ToXsd(corpus[1].make());
+  for (auto _ : state) {
+    // Pair setup + catch-up: unmeasured.
+    replica::ReplicationLog log(256);
+    core::MatchEngine primary_engine{core::MatchEngineOptions{}};
+    net::ServerOptions primary_options;
+    primary_options.replica_heartbeat = std::chrono::milliseconds(20);
+    replica::AttachPrimary(&primary_engine, &primary_options, &log);
+    net::Server primary(&primary_engine, primary_options);
+    if (!primary.Start().ok()) std::abort();
+    if (!primary.RegisterSchema(a, xsd_a).ok()) std::abort();
+    if (!primary.RegisterSchema(b, xsd_b).ok()) std::abort();
+
+    core::MatchEngine standby_engine{core::MatchEngineOptions{}};
+    net::ServerOptions standby_options;
+    standby_options.role = net::Role::kStandby;
+    net::Server standby(&standby_engine, standby_options);
+    if (!standby.Start().ok()) std::abort();
+    replica::StandbyOptions stream_options;
+    stream_options.primary_port = primary.port();
+    stream_options.backoff_base = std::chrono::milliseconds(10);
+    stream_options.backoff_cap = std::chrono::milliseconds(50);
+    replica::Standby stream(&standby_engine, &standby, stream_options);
+    if (!stream.Start().ok()) std::abort();
+
+    net::ResilientClientOptions copts;
+    copts.endpoints = {{"127.0.0.1", primary.port()},
+                       {"127.0.0.1", standby.port()}};
+    copts.retry_budget = 16;
+    copts.backoff_base = std::chrono::milliseconds(1);
+    copts.backoff_cap = std::chrono::milliseconds(8);
+    copts.call_deadline = std::chrono::milliseconds(10000);
+    net::ResilientClient client(copts);
+    // Seed the primary's result cache; replication carries the entry over.
+    {
+      Result<net::MatchPairResp> warm = client.MatchPair(a, b, 0);
+      if (!warm.ok() || !warm->head.ok()) std::abort();
+    }
+    while (true) {
+      const replica::StandbyStats s = stream.stats();
+      if (s.connected && s.applied_seq >= log.head_seq()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    // Measured: the outage window, from the kill to the first answer.
+    const steady_clock::time_point t0 = steady_clock::now();
+    primary.Stop();
+    stream.Promote();
+    Result<net::MatchPairResp> resp = client.MatchPair(a, b, 0);
+    const steady_clock::time_point t1 = steady_clock::now();
+    if (!resp.ok() || !resp->head.ok()) {
+      state.SkipWithError("failover did not recover");
+    } else if (standby_engine.cache_stats().hits == 0) {
+      state.SkipWithError("promoted standby answered cold");
+    }
+    state.SetIterationTime(
+        std::chrono::duration<double>(t1 - t0).count());
+    stream.Stop();
+    standby.Stop();
+  }
+}
+BENCHMARK(BM_Serve_FailoverGap)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(5);
 
 // ---------------------------------------------------------------------------
 // --load-table: goodput and typed outcomes vs offered load.

@@ -1,5 +1,6 @@
 // qmatchd: the QMatch network daemon — one MatchEngine behind an epoll
-// event loop speaking the frame protocol of DESIGN.md §14.
+// event loop speaking the frame protocol of DESIGN.md §14, with the
+// high-availability roles of §15.
 //
 // Usage:
 //   qmatchd [options]
@@ -16,25 +17,35 @@
 //     --max-connections <n>    accept cap (default 256)
 //     --preload <dir>          register every .xsd file in <dir> at boot
 //     --persist <dir>          engine warm-start/persistence directory
+//     --role <primary|standby> serving role (default primary)
+//     --replicate-from <host:port>  primary to stream from (standby only)
+//     --drain-deadline-ms <ms> SIGTERM graceful-drain bound (default 5000)
+//     --ready-lag <n>          standby /readyz lag bound in records
+//     --replica-log <n>        primary replication log capacity
 //
-// Scrape http://<bind>:<port>/metrics with any Prometheus client: the
-// daemon sniffs "GET " on a fresh connection and answers one scrape over
-// the same loop.
+// HTTP on the same port: GET /metrics (Prometheus), /healthz (alive),
+// /readyz (200 only when this node should take traffic).
 //
-// SIGINT/SIGTERM stop the server cleanly (listener closed, connections
-// drained, engine persisted). Exit code: 0 on clean stop, 1 on bad input,
-// 2 on usage error.
+// SIGTERM drains gracefully: stop accepting, finish in-flight requests
+// within --drain-deadline-ms, flush/compact the persist journal, exit.
+// SIGINT stops immediately (journal still flushed). SIGUSR1 promotes a
+// standby to primary in place. Exit code: 0 on clean stop, 1 on bad
+// input, 2 on usage error.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "common/file_util.h"
 #include "core/engine.h"
 #include "net/server.h"
+#include "replica/log.h"
+#include "replica/primary.h"
+#include "replica/standby.h"
 
 namespace {
 
@@ -47,13 +58,19 @@ int Usage() {
       "  [--threads <n>] [--cache <n>] [--admission-cost <c>]\n"
       "  [--queue-depth <n>] [--max-deadline-ms <ms>]\n"
       "  [--default-deadline-ms <ms>] [--idle-timeout-ms <ms>]\n"
-      "  [--max-connections <n>] [--preload <dir>] [--persist <dir>]\n");
+      "  [--max-connections <n>] [--preload <dir>] [--persist <dir>]\n"
+      "  [--role primary|standby] [--replicate-from <host:port>]\n"
+      "  [--drain-deadline-ms <ms>] [--ready-lag <n>] [--replica-log <n>]\n");
   return 2;
 }
 
-volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_stop = 0;   // SIGINT: stop now
+volatile std::sig_atomic_t g_drain = 0;  // SIGTERM: drain, then stop
+volatile std::sig_atomic_t g_promote = 0;  // SIGUSR1: standby -> primary
 
-void HandleStop(int) { g_stop = 1; }
+void HandleInt(int) { g_stop = 1; }
+void HandleTerm(int) { g_drain = 1; }
+void HandlePromote(int) { g_promote = 1; }
 
 int PreloadSchemas(net::Server& server, const std::string& dir) {
   int loaded = 0;
@@ -85,6 +102,19 @@ int PreloadSchemas(net::Server& server, const std::string& dir) {
   return loaded;
 }
 
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  const long parsed = std::atol(spec.c_str() + colon + 1);
+  if (parsed <= 0 || parsed > 65535) return false;
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,6 +122,9 @@ int main(int argc, char** argv) {
   net::ServerOptions server_options;
   server_options.port = 7433;
   std::string preload_dir;
+  std::string replicate_from;
+  std::chrono::milliseconds drain_deadline(5000);
+  size_t replica_log_capacity = 8192;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -128,12 +161,39 @@ int main(int argc, char** argv) {
       preload_dir = v;
     } else if (arg == "--persist" && (v = next()) != nullptr) {
       engine_options.persist_dir = v;
+    } else if (arg == "--role" && (v = next()) != nullptr) {
+      if (std::strcmp(v, "primary") == 0) {
+        server_options.role = net::Role::kPrimary;
+      } else if (std::strcmp(v, "standby") == 0) {
+        server_options.role = net::Role::kStandby;
+      } else {
+        return Usage();
+      }
+    } else if (arg == "--replicate-from" && (v = next()) != nullptr) {
+      replicate_from = v;
+    } else if (arg == "--drain-deadline-ms" && (v = next()) != nullptr) {
+      drain_deadline = std::chrono::milliseconds(std::atoll(v));
+    } else if (arg == "--ready-lag" && (v = next()) != nullptr) {
+      server_options.ready_lag_records = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--replica-log" && (v = next()) != nullptr) {
+      replica_log_capacity = static_cast<size_t>(std::atol(v));
     } else {
       return Usage();
     }
   }
+  const bool standby = server_options.role == net::Role::kStandby;
+  if (standby && replicate_from.empty()) {
+    std::fprintf(stderr, "qmatchd: --role standby needs --replicate-from\n");
+    return Usage();
+  }
 
   core::MatchEngine engine(engine_options);
+  // A primary ships every durable mutation into the replication log so
+  // standbys can subscribe; wiring happens before the server exists.
+  replica::ReplicationLog replication_log(replica_log_capacity);
+  if (!standby) {
+    replica::AttachPrimary(&engine, &server_options, &replication_log);
+  }
   net::Server server(&engine, server_options);
 
   if (!preload_dir.empty()) {
@@ -148,20 +208,71 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "qmatchd: %s\n", started.ToString().c_str());
     return 1;
   }
-  std::printf("qmatchd: listening on %s:%u (%zu workers)\n",
+
+  std::unique_ptr<replica::Standby> standby_stream;
+  if (standby) {
+    replica::StandbyOptions standby_options;
+    if (!ParseHostPort(replicate_from, &standby_options.primary_host,
+                       &standby_options.primary_port)) {
+      std::fprintf(stderr, "qmatchd: unparseable --replicate-from %s\n",
+                   replicate_from.c_str());
+      return 1;
+    }
+    standby_stream =
+        std::make_unique<replica::Standby>(&engine, &server, standby_options);
+    const Status streaming = standby_stream->Start();
+    if (!streaming.ok()) {
+      std::fprintf(stderr, "qmatchd: %s\n", streaming.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("qmatchd: %s listening on %s:%u (%zu workers)%s%s\n",
+              std::string(net::RoleName(server.role())).c_str(),
               server_options.bind_address.c_str(), server.port(),
-              server_options.request_threads);
+              server_options.request_threads,
+              standby ? ", replicating from " : "",
+              standby ? replicate_from.c_str() : "");
   std::fflush(stdout);
 
-  std::signal(SIGINT, HandleStop);
-  std::signal(SIGTERM, HandleStop);
-  while (g_stop == 0) {
+  std::signal(SIGINT, HandleInt);
+  std::signal(SIGTERM, HandleTerm);
+  std::signal(SIGUSR1, HandlePromote);
+  while (g_stop == 0 && g_drain == 0) {
+    if (g_promote != 0) {
+      g_promote = 0;
+      if (standby_stream != nullptr) {
+        standby_stream->Promote();
+        std::printf("qmatchd: promoted to primary\n");
+        std::fflush(stdout);
+      }
+    }
     timespec ts{0, 100000000};  // 100ms
     nanosleep(&ts, nullptr);
   }
 
+  if (standby_stream != nullptr) standby_stream->Stop();
+  if (g_drain != 0) {
+    // Graceful drain: refuse new work typed, finish what is in flight,
+    // then make everything the engine learned durable BEFORE exiting —
+    // the restart (or the standby taking over) must not replay a torn
+    // journal tail.
+    std::printf("qmatchd: draining (deadline %lld ms)\n",
+                static_cast<long long>(drain_deadline.count()));
+    std::fflush(stdout);
+    const Status drained = server.Drain(drain_deadline);
+    if (!drained.ok()) {
+      std::fprintf(stderr, "qmatchd: drain: %s\n",
+                   drained.ToString().c_str());
+    }
+  }
   std::printf("qmatchd: stopping\n");
   server.Stop();
+  const Status compacted = engine.CompactPersist();
+  if (!compacted.ok()) {
+    std::fprintf(stderr, "qmatchd: compact: %s\n",
+                 compacted.ToString().c_str());
+  }
   const net::ServerStats stats = server.stats();
   std::printf("qmatchd: served %llu request(s) on %llu connection(s)\n",
               static_cast<unsigned long long>(stats.requests),

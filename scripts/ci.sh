@@ -13,6 +13,9 @@
 #   scripts/ci.sh stress     # overload suite under ASan and TSan + load bench
 #   scripts/ci.sh recovery   # crash-point recovery suite under ASan and UBSan
 #   scripts/ci.sh serve      # net protocol+fuzz+chaos under ASan, serving bench
+#   scripts/ci.sh ha         # HA suite: replication, resilient client and the
+#                            # failover chaos harness under ASan and TSan, plus
+#                            # the gated failover-gap bench row
 #   scripts/ci.sh perf       # Fig.4 runtime bench vs bench/baselines.json
 #   scripts/ci.sh coverage   # --coverage build; enforces the line floor
 #   scripts/ci.sh all        # all of the above
@@ -80,9 +83,13 @@ run_ubsan() {
 CHAOS_SEEDS="${QMATCH_CHAOS_SEEDS:-1,2,3,4,5}"
 
 run_chaos() {
+  # `-L chaos` runs EVERY chaos-labelled binary (engine, socket and
+  # failover schedules), so all of them must be built here.
+  local chaos_targets=(chaos_engine_test net_chaos_test net_failover_test)
+
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DQMATCH_SANITIZE=address
-  cmake --build build-asan -j "${JOBS}" --target chaos_engine_test
+  cmake --build build-asan -j "${JOBS}" --target "${chaos_targets[@]}"
   QMATCH_CHAOS_SEEDS="${CHAOS_SEEDS}" \
   ASAN_OPTIONS="halt_on_error=1:abort_on_error=1:detect_leaks=1" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
@@ -90,7 +97,7 @@ run_chaos() {
 
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DQMATCH_SANITIZE=thread
-  cmake --build build-tsan -j "${JOBS}" --target chaos_engine_test
+  cmake --build build-tsan -j "${JOBS}" --target "${chaos_targets[@]}"
   QMATCH_CHAOS_SEEDS="${CHAOS_SEEDS}" \
   TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure -C chaos -L chaos
@@ -175,6 +182,48 @@ run_serve() {
   ./build/bench/bench_serving --benchmark_format=json \
     | python3 scripts/check_perf.py bench/baselines.json
   ./build/bench/bench_serving --load-table
+}
+
+# HA suite: the replication log/wire layer, the resilient client's
+# retry/failover rules and the role/readiness surface as plain tests, then
+# the seeded failover chaos harness (kill the primary, promote the
+# standby, require bit-identical acknowledged results) — all under both
+# ASan (leaks on the teardown/reconnect paths) and TSan (the replication
+# thread, the heartbeat timer and the promote flip race here if
+# anywhere). Uninstrumented afterwards: the client-observed failover-gap
+# bench row, gated against bench/baselines.json.
+run_ha() {
+  local ha_targets=(replica_log_test net_resilient_client_test net_ha_test
+                    net_failover_test)
+
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" --target "${ha_targets[@]}"
+  local san_opts="halt_on_error=1:abort_on_error=1:detect_leaks=1"
+  ASAN_OPTIONS="${san_opts}" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-asan --output-on-failure \
+        -R 'replica_log_test|net_resilient_client_test|net_ha_test'
+  QMATCH_CHAOS_SEEDS="${CHAOS_SEEDS}" \
+  ASAN_OPTIONS="${san_opts}" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --test-dir build-asan --output-on-failure -C chaos -R net_failover_test
+
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DQMATCH_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" --target "${ha_targets[@]}"
+  TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure \
+        -R 'replica_log_test|net_resilient_client_test|net_ha_test'
+  QMATCH_CHAOS_SEEDS="${CHAOS_SEEDS}" \
+  TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -C chaos -R net_failover_test
+
+  # The failover-gap row runs uninstrumented: it is a wall-clock outage
+  # measurement, and sanitizer slowdowns would distort it.
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}" --target bench_serving
+  ./build/bench/bench_serving --benchmark_filter=FailoverGap \
+      --benchmark_format=json \
+    | python3 scripts/check_perf.py bench/baselines.json
 }
 
 # Perf regression gate: the Fig. 4 runtime bench (which includes the
@@ -279,12 +328,13 @@ case "${MODE}" in
   stress)    run_stress ;;
   recovery)  run_recovery ;;
   serve)     run_serve ;;
+  ha)        run_ha ;;
   perf)      run_perf ;;
   coverage)  run_coverage ;;
   all)       run_default; run_tsan; run_asan; run_ubsan; run_obs_off
              run_fault_off; run_chaos; run_stress; run_recovery
-             run_serve; run_perf; run_coverage ;;
+             run_serve; run_ha; run_perf; run_coverage ;;
   *) echo "unknown mode '${MODE}'" \
-          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|stress|recovery|serve|perf|coverage|all)" >&2
+          "(default|tsan|asan|ubsan|obs-off|fault-off|chaos|stress|recovery|serve|ha|perf|coverage|all)" >&2
      exit 2 ;;
 esac

@@ -32,6 +32,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "overloaded";
     case StatusCode::kDataLoss:
       return "data loss";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

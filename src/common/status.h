@@ -39,6 +39,13 @@ enum class StatusCode {
   /// and never produced by a clean crash — a torn journal tail is
   /// truncated silently, not reported as loss.
   kDataLoss = 13,
+  /// The service cannot take this request *here and now*: a standby or
+  /// draining server rejecting mutating work, or a client that exhausted
+  /// its endpoints. Unlike kOverloaded (a capacity verdict) this is a
+  /// routing verdict — the same request sent to the current primary would
+  /// be admitted. Always returned before any work ran, so retrying against
+  /// another endpoint is safe for every request type.
+  kUnavailable = 14,
 };
 
 /// Returns the canonical lower-case name of a status code ("parse error").
@@ -102,6 +109,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

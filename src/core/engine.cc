@@ -185,29 +185,8 @@ void MatchEngine::InitPersist() {
         ++dropped;
         continue;
       }
-      CacheEntry entry;
-      entry.key = CacheKey{rec.source_fp, rec.target_fp, rec.config_hash};
-      entry.algorithm = rec.algorithm;
-      entry.schema_qom = rec.schema_qom;
-      entry.correspondences.reserve(rec.correspondences.size());
-      for (const persist::CorrespondenceRec& c : rec.correspondences) {
-        entry.correspondences.push_back(
-            CachedCorrespondence{c.source_path, c.target_path, c.score});
-      }
-      const CacheKey key = entry.key;
-      auto it = cache_index_.find(key);
-      if (it != cache_index_.end()) {
-        *it->second = std::move(entry);
-        cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-      } else {
-        cache_lru_.push_front(std::move(entry));
-        cache_index_[key] = cache_lru_.begin();
-      }
+      UpsertCacheRecLocked(rec);
       ++recovered;
-      while (cache_lru_.size() > options_.cache_capacity) {
-        cache_index_.erase(cache_lru_.back().key);
-        cache_lru_.pop_back();
-      }
     }
     cache_stats_.entries = cache_lru_.size();
     QMATCH_GAUGE_SET("engine.cache.entries", cache_lru_.size());
@@ -215,15 +194,7 @@ void MatchEngine::InitPersist() {
   {
     std::lock_guard<std::mutex> lock(breaker_mutex_);
     for (const persist::CorpusEntryRec& rec : state.corpus_entries) {
-      corpus_index_[rec.path] = rec;
-      CircuitBreaker& breaker =
-          breakers_
-              .try_emplace(rec.path,
-                           CircuitBreakerOptions{
-                               options_.overload.breaker_failure_threshold,
-                               options_.overload.breaker_cooldown})
-              .first->second;
-      breaker.Restore(static_cast<int>(rec.breaker_failures));
+      UpsertCorpusRecLocked(rec);
     }
   }
   QMATCH_COUNTER_ADD("persist.recovered_entries", recovered);
@@ -233,6 +204,107 @@ void MatchEngine::InitPersist() {
   (void)recovered;
   (void)dropped;
 }
+
+void MatchEngine::UpsertCacheRecLocked(const persist::CacheEntryRec& rec) const {
+  CacheEntry entry;
+  entry.key = CacheKey{rec.source_fp, rec.target_fp, rec.config_hash};
+  entry.algorithm = rec.algorithm;
+  entry.schema_qom = rec.schema_qom;
+  entry.correspondences.reserve(rec.correspondences.size());
+  for (const persist::CorrespondenceRec& c : rec.correspondences) {
+    entry.correspondences.push_back(
+        CachedCorrespondence{c.source_path, c.target_path, c.score});
+  }
+  const CacheKey key = entry.key;
+  auto it = cache_index_.find(key);
+  if (it != cache_index_.end()) {
+    *it->second = std::move(entry);
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  } else {
+    cache_lru_.push_front(std::move(entry));
+    cache_index_[key] = cache_lru_.begin();
+  }
+  while (cache_lru_.size() > options_.cache_capacity) {
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+  }
+}
+
+void MatchEngine::UpsertCorpusRecLocked(
+    const persist::CorpusEntryRec& rec) const {
+  corpus_index_[rec.path] = rec;
+  CircuitBreaker& breaker =
+      breakers_
+          .try_emplace(rec.path,
+                       CircuitBreakerOptions{
+                           options_.overload.breaker_failure_threshold,
+                           options_.overload.breaker_cooldown})
+          .first->second;
+  breaker.Restore(static_cast<int>(rec.breaker_failures));
+}
+
+void MatchEngine::SetReplicationObserver(ReplicationObserver observer) {
+  std::lock_guard<std::mutex> lock(observer_mutex_);
+  observer_ = std::move(observer);
+}
+
+bool MatchEngine::HasReplicationObserver() const {
+  std::lock_guard<std::mutex> lock(observer_mutex_);
+  return observer_.cache != nullptr || observer_.corpus != nullptr;
+}
+
+void MatchEngine::NotifyReplicated(const persist::CacheEntryRec& rec) const {
+  std::function<void(const persist::CacheEntryRec&)> cb;
+  {
+    std::lock_guard<std::mutex> lock(observer_mutex_);
+    cb = observer_.cache;
+  }
+  if (cb) cb(rec);
+}
+
+void MatchEngine::NotifyReplicated(const persist::CorpusEntryRec& rec) const {
+  std::function<void(const persist::CorpusEntryRec&)> cb;
+  {
+    std::lock_guard<std::mutex> lock(observer_mutex_);
+    cb = observer_.corpus;
+  }
+  if (cb) cb(rec);
+}
+
+void MatchEngine::ApplyReplicatedCacheEntry(const persist::CacheEntryRec& rec) {
+  if (rec.config_hash != config_hash_) {
+    // A primary running a different match config cannot feed this engine:
+    // the same trust boundary warm-start replay enforces.
+    QMATCH_COUNTER_ADD("replica.dropped_records", 1);
+    return;
+  }
+  if (options_.cache_capacity > 0) {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    UpsertCacheRecLocked(rec);
+    cache_stats_.entries = cache_lru_.size();
+    QMATCH_GAUGE_SET("engine.cache.entries", cache_lru_.size());
+  }
+  if (persist_ != nullptr) {
+    const Status appended = persist_->AppendCache(rec);
+    if (!appended.ok()) QMATCH_COUNTER_ADD("persist.append_dropped", 1);
+    MaybeCompactPersist();
+  }
+}
+
+void MatchEngine::ApplyReplicatedCorpusEntry(
+    const persist::CorpusEntryRec& rec) {
+  {
+    std::lock_guard<std::mutex> lock(breaker_mutex_);
+    UpsertCorpusRecLocked(rec);
+  }
+  if (persist_ != nullptr) {
+    const Status appended = persist_->AppendCorpus(rec);
+    if (!appended.ok()) QMATCH_COUNTER_ADD("persist.append_dropped", 1);
+    MaybeCompactPersist();
+  }
+}
+
+persist::StoreState MatchEngine::ExportState() const { return SnapshotState(); }
 
 persist::StoreState MatchEngine::SnapshotState() const {
   persist::StoreState state;
@@ -356,7 +428,10 @@ void MatchEngine::CacheStore(const CacheKey& key,
         CachedCorrespondence{c.source->Path(), c.target->Path(), c.score});
   }
   persist::CacheEntryRec rec;
-  if (persist_ != nullptr) {
+  // The record feeds both the local journal and the replication stream —
+  // built whenever either consumer is attached.
+  const bool record_needed = persist_ != nullptr || HasReplicationObserver();
+  if (record_needed) {
     rec.source_fp = key.source_fp;
     rec.target_fp = key.target_fp;
     rec.config_hash = key.config_hash;
@@ -398,6 +473,7 @@ void MatchEngine::CacheStore(const CacheKey& key,
     }
     MaybeCompactPersist();
   }
+  if (record_needed) NotifyReplicated(rec);
 }
 
 MatchResult MatchEngine::MatchUncached(const xsd::Schema& source,
@@ -775,7 +851,7 @@ CorpusMatchResult MatchEngine::MatchCorpus(
     }
   }
   QMATCH_COUNTER_ADD("engine.corpus.entries", out.entries.size());
-  if (persist_ != nullptr) {
+  if (persist_ != nullptr || HasReplicationObserver()) {
     // Journal the corpus index: last-seen schema fingerprint and breaker
     // failure count per path, appended only when something changed so a
     // steady-state corpus query costs zero journal growth.
@@ -804,14 +880,19 @@ CorpusMatchResult MatchEngine::MatchCorpus(
         }
       }
     }
-    for (const persist::CorpusEntryRec& rec : changed) {
-      Status appended = persist_->AppendCorpus(rec);
-      if (!appended.ok()) {
-        QMATCH_COUNTER_ADD("persist.append_dropped", 1);
-        break;
+    if (persist_ != nullptr) {
+      for (const persist::CorpusEntryRec& rec : changed) {
+        Status appended = persist_->AppendCorpus(rec);
+        if (!appended.ok()) {
+          QMATCH_COUNTER_ADD("persist.append_dropped", 1);
+          break;
+        }
       }
+      MaybeCompactPersist();
     }
-    MaybeCompactPersist();
+    // Replicate every changed record even when a local append failed — the
+    // in-memory state moved, and the stream mirrors state, not the disk.
+    for (const persist::CorpusEntryRec& rec : changed) NotifyReplicated(rec);
   }
   return out;
 }

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -293,6 +294,32 @@ class MatchEngine : public Matcher {
   /// appends and once more at destruction.
   Status CompactPersist() const;
 
+  /// Replication hooks (DESIGN.md §15). The observer is invoked after each
+  /// durable state mutation — a cache store or a corpus-index update — with
+  /// the *same record* the local journal receives, so a primary can ship
+  /// its journal stream to a warm standby byte-for-byte. Callbacks run on
+  /// whatever thread performed the mutation, outside the engine's cache/
+  /// breaker locks; they must not call back into the engine.
+  struct ReplicationObserver {
+    std::function<void(const persist::CacheEntryRec&)> cache;
+    std::function<void(const persist::CorpusEntryRec&)> corpus;
+  };
+  void SetReplicationObserver(ReplicationObserver observer);
+
+  /// Applies one record received from a primary's replication stream: the
+  /// same config-fingerprint trust boundary and idempotent last-wins upsert
+  /// as warm-start replay, journaled into the local persist store (so a
+  /// promoted standby is immediately durable) but NEVER echoed to the
+  /// replication observer — a standby cannot loop records back. Safe to
+  /// call concurrently with serving reads.
+  void ApplyReplicatedCacheEntry(const persist::CacheEntryRec& rec);
+  void ApplyReplicatedCorpusEntry(const persist::CorpusEntryRec& rec);
+
+  /// Full durable state (cache entries oldest-first + corpus index) as
+  /// persistable records — the replication snapshot anchor a primary sends
+  /// to a standby that is too far behind to catch up from the log.
+  persist::StoreState ExportState() const;
+
   /// Live load signal in [0, 1]: max of admission pressure (cost/queue
   /// fill) and the process-budget watermark. Drives the degradation
   /// ladder; also exported as the `engine.pressure_permille` gauge.
@@ -335,6 +362,16 @@ class MatchEngine : public Matcher {
   /// corpus index from it. A store that cannot open leaves the engine fully
   /// functional, just cold.
   void InitPersist();
+  /// Idempotent last-wins LRU upsert of one persisted cache record; caller
+  /// holds cache_mutex_ and has already verified the config hash.
+  void UpsertCacheRecLocked(const persist::CacheEntryRec& rec) const;
+  /// Corpus-index + breaker upsert of one persisted record; caller holds
+  /// breaker_mutex_.
+  void UpsertCorpusRecLocked(const persist::CorpusEntryRec& rec) const;
+  /// Invoke the replication observer (if set) outside every engine lock.
+  void NotifyReplicated(const persist::CacheEntryRec& rec) const;
+  void NotifyReplicated(const persist::CorpusEntryRec& rec) const;
+  bool HasReplicationObserver() const;
   /// Full in-memory state as persistable records, cache in oldest-first
   /// order so warm-start replay reproduces today's LRU recency.
   persist::StoreState SnapshotState() const;
@@ -367,6 +404,12 @@ class MatchEngine : public Matcher {
   /// only when the fingerprint or breaker count actually changed. Guarded
   /// by breaker_mutex_ (it shadows the breakers).
   mutable std::map<std::string, persist::CorpusEntryRec> corpus_index_;
+
+  /// Replication observer (DESIGN.md §15); guarded by its own mutex so a
+  /// primary can attach/detach while requests are in flight. Lock order:
+  /// never held while any other engine lock is taken.
+  mutable std::mutex observer_mutex_;
+  ReplicationObserver observer_;
 };
 
 }  // namespace qmatch::core

@@ -195,4 +195,14 @@ Result<MetricsResp> Client::GetMetrics() {
                            MsgType::kGetMetricsResp, &DecodeMetricsResp);
 }
 
+Result<HealthResp> Client::Health() {
+  return Call<HealthResp>(MsgType::kHealth, std::string(),
+                          MsgType::kHealthResp, &DecodeHealthResp);
+}
+
+Result<RoleResp> Client::GetRole() {
+  return Call<RoleResp>(MsgType::kRole, std::string(), MsgType::kRoleResp,
+                        &DecodeRoleResp);
+}
+
 }  // namespace qmatch::net

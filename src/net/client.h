@@ -49,6 +49,8 @@ class Client {
                                       uint64_t deadline_ms = 0);
   Result<StatsResp> GetStats();
   Result<MetricsResp> GetMetrics();
+  Result<HealthResp> Health();
+  Result<RoleResp> GetRole();
 
   // --- escape hatches for the fuzz and conformance suites ------------------
 

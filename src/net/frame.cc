@@ -185,6 +185,24 @@ std::string EncodeMetricsResp(const MetricsResp& resp) {
   return enc.Take();
 }
 
+std::string EncodeHealthResp(const HealthResp& resp) {
+  Encoder enc;
+  PutHead(&enc, resp.head);
+  enc.PutU32(resp.role);
+  return enc.Take();
+}
+
+std::string EncodeRoleResp(const RoleResp& resp) {
+  Encoder enc;
+  PutHead(&enc, resp.head);
+  enc.PutU32(resp.role);
+  enc.PutU32(resp.ready);
+  enc.PutU64(resp.applied_seq);
+  enc.PutU64(resp.head_seq);
+  enc.PutU64(resp.lag_records);
+  return enc.Take();
+}
+
 bool DecodeResponseHead(std::string_view payload, ResponseHead* out) {
   Decoder dec(payload);
   return GetHead(&dec, out);
@@ -260,6 +278,25 @@ bool DecodeMetricsResp(std::string_view payload, MetricsResp* out) {
   Decoder dec(payload);
   return GetHead(&dec, &out->head) && dec.GetString(&out->prometheus_text) &&
          dec.remaining() == 0;
+}
+
+bool DecodeHealthResp(std::string_view payload, HealthResp* out) {
+  Decoder dec(payload);
+  return GetHead(&dec, &out->head) && dec.GetU32(&out->role) &&
+         dec.remaining() == 0;
+}
+
+bool DecodeRoleResp(std::string_view payload, RoleResp* out) {
+  Decoder dec(payload);
+  uint32_t ready = 0;
+  if (!GetHead(&dec, &out->head) || !dec.GetU32(&out->role) ||
+      !dec.GetU32(&ready) || !dec.GetU64(&out->applied_seq) ||
+      !dec.GetU64(&out->head_seq) || !dec.GetU64(&out->lag_records) ||
+      dec.remaining() != 0) {
+    return false;
+  }
+  out->ready = ready != 0 ? 1 : 0;
+  return true;
 }
 
 }  // namespace qmatch::net

@@ -42,12 +42,31 @@ enum class MsgType : uint32_t {
   kMatchCorpus = 3,
   kGetStats = 4,
   kGetMetrics = 5,
+  /// Liveness probe: answered inline on the loop by every role, even while
+  /// draining — if the process can speak the protocol, it answers.
+  kHealth = 6,
+  /// Role + readiness probe: current role, replication positions and the
+  /// readiness verdict /readyz would give (DESIGN.md §15).
+  kRole = 7,
+  /// Standby -> primary: subscribe to the replication stream
+  /// (replica::SubscribeReq payload). The connection becomes push-mode:
+  /// the primary answers with kReplicaSnapshot and/or kReplicaRecords
+  /// frames for its remaining lifetime — no further requests are paired.
+  kReplicaSubscribe = 8,
 
   kSubmitSchemaResp = 0x101,
   kMatchPairResp = 0x102,
   kMatchCorpusResp = 0x103,
   kGetStatsResp = 0x104,
   kGetMetricsResp = 0x105,
+  kHealthResp = 0x106,
+  kRoleResp = 0x107,
+  /// Pushed batch of replication log records (replica::RecordsMsg); an
+  /// empty batch is a heartbeat carrying the primary's head sequence.
+  kReplicaRecords = 0x108,
+  /// Full-state anchor for a subscriber too far behind the log
+  /// (replica::SnapshotMsg).
+  kReplicaSnapshot = 0x109,
   /// Typed answer to a frame that never became a decodable request.
   kErrorResp = 0x1FF,
 };
@@ -210,12 +229,31 @@ struct MetricsResp {
   std::string prometheus_text;
 };
 
+/// Liveness: the serving role is informational here — a draining server
+/// still answers Health OK (it is alive) while Role says not-ready.
+struct HealthResp {
+  ResponseHead head;
+  uint32_t role = 0;  ///< net::Server Role enum value
+};
+
+/// Role + replication positions — the typed twin of HTTP /readyz.
+struct RoleResp {
+  ResponseHead head;
+  uint32_t role = 0;      ///< net::Server Role enum value
+  uint8_t ready = 0;      ///< the /readyz verdict: 1 = serving traffic is safe
+  uint64_t applied_seq = 0;  ///< standby: last replication record applied
+  uint64_t head_seq = 0;     ///< standby: primary head as last heard
+  uint64_t lag_records = 0;  ///< head_seq - applied_seq (0 on a primary)
+};
+
 std::string EncodeErrorResp(const ResponseHead& head);
 std::string EncodeSubmitSchemaResp(const SubmitSchemaResp& resp);
 std::string EncodeMatchPairResp(const MatchPairResp& resp);
 std::string EncodeMatchCorpusResp(const MatchCorpusResp& resp);
 std::string EncodeStatsResp(const StatsResp& resp);
 std::string EncodeMetricsResp(const MetricsResp& resp);
+std::string EncodeHealthResp(const HealthResp& resp);
+std::string EncodeRoleResp(const RoleResp& resp);
 
 bool DecodeResponseHead(std::string_view payload, ResponseHead* out);
 bool DecodeSubmitSchemaResp(std::string_view payload, SubmitSchemaResp* out);
@@ -223,6 +261,8 @@ bool DecodeMatchPairResp(std::string_view payload, MatchPairResp* out);
 bool DecodeMatchCorpusResp(std::string_view payload, MatchCorpusResp* out);
 bool DecodeStatsResp(std::string_view payload, StatsResp* out);
 bool DecodeMetricsResp(std::string_view payload, MetricsResp* out);
+bool DecodeHealthResp(std::string_view payload, HealthResp* out);
+bool DecodeRoleResp(std::string_view payload, RoleResp* out);
 
 }  // namespace qmatch::net
 

@@ -10,11 +10,15 @@
 #include <cerrno>
 #include <cstring>
 #include <deque>
+#include <future>
 #include <utility>
 #include <vector>
 
 #include "fault/failpoint.h"
 #include "obs/obs.h"
+#include "persist/snapshot.h"
+#include "replica/log.h"
+#include "replica/wire.h"
 #include "xsd/schema.h"
 
 namespace qmatch::net {
@@ -36,6 +40,18 @@ Status ErrnoStatus(const char* what) {
 
 }  // namespace
 
+std::string_view RoleName(Role role) {
+  switch (role) {
+    case Role::kPrimary:
+      return "primary";
+    case Role::kStandby:
+      return "standby";
+    case Role::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
 /// Per-connection state machine, owned by the loop thread. Lifecycle:
 /// reading frames -> (pipeline queue) -> executing on a worker ->
 /// response flushed -> reading again; `closing` drains the output buffer
@@ -45,18 +61,25 @@ struct Server::Connection {
   int fd = -1;
   std::string in;
   std::string out;
-  /// First bytes were "GET ": this is a one-shot HTTP Prometheus scrape.
+  /// First bytes were "GET ": this is a one-shot HTTP request.
   bool http = false;
   /// Stop reading; close as soon as `out` drains.
   bool closing = false;
   /// A request of this connection is executing on the worker pool.
   bool busy = false;
+  /// Subscribed to the replication stream: push-mode for the rest of its
+  /// life, exempt from the idle timeout.
+  bool replica = false;
+  /// Next log sequence this subscriber is owed.
+  uint64_t replica_next_seq = 0;
   std::deque<Frame> pending;
   TimerWheel::TimerId idle_timer = 0;
 };
 
 Server::Server(core::MatchEngine* engine, ServerOptions options)
-    : engine_(engine), options_(std::move(options)) {}
+    : engine_(engine),
+      options_(std::move(options)),
+      role_(static_cast<uint32_t>(options_.role)) {}
 
 Server::~Server() { Stop(); }
 
@@ -76,7 +99,20 @@ Status Server::Start() {
     return Status::InvalidArgument("unparseable bind address: " +
                                    options_.bind_address);
   }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // EADDRINUSE is retried with a short backoff: a restart racing its
+  // predecessor's lingering socket (or a failover pair swapping a port)
+  // waits the old owner out instead of dying. SO_REUSEADDR above already
+  // forgives TIME_WAIT; the retry loop forgives a still-open listener.
+  int rc = -1;
+  for (size_t attempt = 0;; ++attempt) {
+    rc = bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0 || errno != EADDRINUSE || attempt >= options_.bind_retries) {
+      break;
+    }
+    QMATCH_COUNTER_ADD("net.bind_retries", 1);
+    std::this_thread::sleep_for(options_.bind_retry_backoff);
+  }
+  if (rc != 0) {
     const Status status = ErrnoStatus("bind");
     close(listen_fd_);
     listen_fd_ = -1;
@@ -100,12 +136,27 @@ Status Server::Start() {
   QMATCH_RETURN_IF_ERROR(
       loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { OnAccept(); }));
   running_.store(true, std::memory_order_release);
+  QMATCH_GAUGE_SET("net.role", static_cast<int64_t>(role_.load()));
   loop_thread_ = std::thread([this] { loop_.Run(); });
+  if (options_.replication_log != nullptr) {
+    // New appends wake every subscriber via the loop mailbox; the listener
+    // runs under the log's mutex, so it must only Post (Post is
+    // thread-safe and discards after Stop).
+    options_.replication_log->SetListener(
+        [this](uint64_t) { loop_.Post([this] { PumpAllReplicas(); }); });
+    loop_.Post([this] { ArmReplicaHeartbeat(); });
+  }
   return Status::OK();
 }
 
 void Server::Stop() {
   if (stopped_.exchange(true)) return;
+  // Detach the replication listener first: SetListener(nullptr) blocks on
+  // the log mutex until any in-flight notification returns, so no Post
+  // races the shutdown below.
+  if (options_.replication_log != nullptr) {
+    options_.replication_log->SetListener(nullptr);
+  }
   running_.store(false, std::memory_order_release);
   loop_.Stop();
   if (loop_thread_.joinable()) loop_thread_.join();
@@ -125,21 +176,121 @@ void Server::Stop() {
   workers_.reset();
 }
 
+Status Server::Drain(std::chrono::milliseconds deadline) {
+  const steady_clock::time_point until = steady_clock::now() + deadline;
+  QMATCH_COUNTER_ADD("net.drains", 1);
+  // Stop accepting and demote: queued-but-unstarted engine work answers
+  // typed kUnavailable from here on, /readyz flips to 503, and in-flight
+  // requests run to completion.
+  loop_.Post([this] {
+    if (listen_fd_ >= 0) {
+      loop_.Remove(listen_fd_);
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    SetRole(Role::kDraining);
+  });
+  // Quiescence is loop-owned state, so each probe is a Posted read. A
+  // broken promise (loop stopped underneath us) ends the wait.
+  while (true) {
+    auto probe = std::make_shared<std::promise<bool>>();
+    std::future<bool> verdict = probe->get_future();
+    loop_.Post([this, probe] {
+      bool idle = true;
+      for (const auto& [id, conn] : connections_) {
+        if (conn->busy || !conn->pending.empty() || !conn->out.empty()) {
+          idle = false;
+          break;
+        }
+      }
+      probe->set_value(idle);
+    });
+    bool idle = false;
+    if (verdict.wait_until(until) != std::future_status::ready) break;
+    try {
+      idle = verdict.get();
+    } catch (const std::future_error&) {
+      break;  // loop stopped: the Post was discarded unrun
+    }
+    if (idle) return Status::OK();
+    if (steady_clock::now() >= until) break;
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  QMATCH_COUNTER_ADD("net.drain_deadline_exceeded", 1);
+  return Status::DeadlineExceeded("drain deadline expired with work in flight");
+}
+
+void Server::SetRole(Role role) {
+  role_.store(static_cast<uint32_t>(role), std::memory_order_release);
+  QMATCH_COUNTER_ADD("net.role_changes", 1);
+  QMATCH_GAUGE_SET("net.role", static_cast<int64_t>(role));
+}
+
+bool Server::Ready() const {
+  switch (role()) {
+    case Role::kPrimary:
+      return running();
+    case Role::kStandby: {
+      // Ready only while the stream is live and the standby is caught up
+      // within the configured record bound — a stale standby answering
+      // reads would violate the bit-identical failover contract.
+      if (!replica_connected_.load(std::memory_order_acquire)) return false;
+      const uint64_t head = replica_head_.load(std::memory_order_relaxed);
+      const uint64_t applied = replica_applied_.load(std::memory_order_relaxed);
+      const uint64_t lag = head > applied ? head - applied : 0;
+      return lag <= options_.ready_lag_records;
+    }
+    case Role::kDraining:
+      return false;
+  }
+  return false;
+}
+
+void Server::SetReplicaStatus(uint64_t applied_seq, uint64_t head_seq,
+                              bool connected) {
+  replica_applied_.store(applied_seq, std::memory_order_relaxed);
+  replica_head_.store(head_seq, std::memory_order_relaxed);
+  replica_connected_.store(connected, std::memory_order_release);
+  const uint64_t lag = head_seq > applied_seq ? head_seq - applied_seq : 0;
+  QMATCH_GAUGE_SET("replica.lag_records", static_cast<int64_t>(lag));
+}
+
 Status Server::RegisterSchema(const std::string& name,
-                              std::string_view xsd_text) {
+                              std::string_view xsd_text, bool replicated) {
+  if (name.empty()) {
+    return Status::InvalidArgument("schema name must be non-empty");
+  }
   xsd::ParseOptions parse = options_.parse;
   parse.schema_name = name;
   Result<xsd::Schema> schema = xsd::ParseSchema(xsd_text, parse);
   if (!schema.ok()) return schema.status();
   auto shared = std::make_shared<const xsd::Schema>(std::move(*schema));
-  std::lock_guard<std::mutex> lock(schemas_mutex_);
-  schemas_[name] = std::move(shared);
+  {
+    std::lock_guard<std::mutex> lock(schemas_mutex_);
+    schemas_[name] = SchemaEntry{std::move(shared), std::string(xsd_text)};
+  }
+  // A replicated registration must not echo back into the stream — the
+  // standby applies records, it does not originate them.
+  if (!replicated && options_.schema_observer) {
+    options_.schema_observer(name, std::string(xsd_text));
+  }
   return Status::OK();
 }
 
 size_t Server::schema_count() const {
   std::lock_guard<std::mutex> lock(schemas_mutex_);
   return schemas_.size();
+}
+
+std::vector<std::pair<std::string, std::string>> Server::ExportSchemas()
+    const {
+  std::lock_guard<std::mutex> lock(schemas_mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(schemas_.size());
+  for (const auto& [name, entry] : schemas_) {
+    out.emplace_back(name, entry.xsd_text);
+  }
+  return out;
 }
 
 ServerStats Server::stats() const {
@@ -149,6 +300,7 @@ ServerStats Server::stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
   s.http_metrics = http_metrics_.load(std::memory_order_relaxed);
+  s.replica_subscribers = replica_subscribers_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -266,7 +418,7 @@ void Server::ProcessInput(Connection* conn) {
   const uint64_t conn_id = conn->id;
   while (!conn->closing) {
     if (conn->http) {
-      ServeHttpMetrics(conn);
+      ServeHttp(conn);
       return;
     }
     if (conn->in.size() >= 4 && conn->in.compare(0, 4, "GET ") == 0) {
@@ -321,23 +473,63 @@ void Server::ProcessInput(Connection* conn) {
   FlushConnection(conn);
 }
 
-void Server::ServeHttpMetrics(Connection* conn) {
+void Server::ServeHttp(Connection* conn) {
   const size_t end = conn->in.find("\r\n\r\n");
   if (end == std::string::npos) {
     if (conn->in.size() > 8192) CloseConnection(conn->id);
     return;  // headers still arriving
   }
-  http_metrics_.fetch_add(1, std::memory_order_relaxed);
-  QMATCH_COUNTER_ADD("net.http_metrics", 1);
-  const std::string body = obs::Registry::Global().PrometheusText();
-  std::string response =
-      "HTTP/1.0 200 OK\r\n"
-      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-      "Content-Length: " +
-      std::to_string(body.size()) +
-      "\r\n"
-      "Connection: close\r\n\r\n" +
-      body;
+  // Request line: "GET <path> HTTP/1.x". Anything unparseable keeps the
+  // historical any-GET-serves-metrics behaviour.
+  std::string path = "/metrics";
+  const std::string_view line(conn->in.data(), conn->in.find("\r\n"));
+  const size_t sp1 = line.find(' ');
+  if (sp1 != std::string_view::npos) {
+    const size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 != std::string_view::npos) {
+      path.assign(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    }
+  }
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  int status = 200;
+  std::string reason = "OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (path == "/metrics" || path == "/") {
+    http_metrics_.fetch_add(1, std::memory_order_relaxed);
+    QMATCH_COUNTER_ADD("net.http_metrics", 1);
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = obs::Registry::Global().PrometheusText();
+  } else if (path == "/healthz") {
+    // Liveness: the process answered, so it is alive — role is
+    // informational. A draining server is alive and not ready.
+    QMATCH_COUNTER_ADD("net.http_healthz", 1);
+    body = "ok role=" + std::string(RoleName(role())) + "\n";
+  } else if (path == "/readyz") {
+    // Readiness: should a load balancer route traffic here right now?
+    QMATCH_COUNTER_ADD("net.http_readyz", 1);
+    const RoleResp state = BuildRole();
+    const bool ready = state.ready != 0;
+    if (!ready) {
+      status = 503;
+      reason = "Service Unavailable";
+    }
+    body = std::string(ready ? "ready" : "unready") + " role=" +
+           std::string(RoleName(static_cast<Role>(state.role))) +
+           " lag_records=" + std::to_string(state.lag_records) +
+           " applied_seq=" + std::to_string(state.applied_seq) +
+           " head_seq=" + std::to_string(state.head_seq) + "\n";
+  } else {
+    status = 404;
+    reason = "Not Found";
+    body = "not found\n";
+  }
+  std::string response = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
   conn->out.append(response);
   conn->closing = true;
   FlushConnection(conn);
@@ -363,8 +555,20 @@ void Server::DispatchFrame(Connection* conn, Frame frame) {
     SendFrame(conn, EncodeFrame(MsgType::kErrorResp, EncodeErrorResp(
                                     ResponseHead::FromStatus(status))));
   };
+  // Engine work runs only on a primary: a standby's state is replicated,
+  // not owned, and a draining server is shedding. The rejection is typed
+  // kUnavailable BEFORE any work runs, so a client may safely retry it
+  // against another endpoint whatever the request type.
+  const auto require_primary = [&]() {
+    const Role r = role();
+    if (r == Role::kPrimary) return true;
+    reject(Status::Unavailable("not primary: role=" +
+                               std::string(RoleName(r))));
+    return false;
+  };
   switch (static_cast<MsgType>(frame.type)) {
     case MsgType::kSubmitSchema: {
+      if (!require_primary()) return;
       SubmitSchemaReq req;
       if (!DecodeSubmitSchemaReq(frame.payload, &req)) {
         reject(Status::InvalidArgument("undecodable SubmitSchema payload"));
@@ -377,6 +581,7 @@ void Server::DispatchFrame(Connection* conn, Frame frame) {
       return;
     }
     case MsgType::kMatchPair: {
+      if (!require_primary()) return;
       MatchPairReq req;
       if (!DecodeMatchPairReq(frame.payload, &req)) {
         reject(Status::InvalidArgument("undecodable MatchPair payload"));
@@ -389,6 +594,7 @@ void Server::DispatchFrame(Connection* conn, Frame frame) {
       return;
     }
     case MsgType::kMatchCorpus: {
+      if (!require_primary()) return;
       MatchCorpusReq req;
       if (!DecodeMatchCorpusReq(frame.payload, &req)) {
         reject(Status::InvalidArgument("undecodable MatchCorpus payload"));
@@ -414,11 +620,156 @@ void Server::DispatchFrame(Connection* conn, Frame frame) {
                                   EncodeMetricsResp(resp)));
       return;
     }
+    case MsgType::kHealth: {
+      // Answered inline by every role, draining included: if the process
+      // can speak the protocol, it is alive.
+      HealthResp resp;
+      resp.role = static_cast<uint32_t>(role());
+      CountOutcome(Status::OK());
+      SendFrame(conn, EncodeFrame(MsgType::kHealthResp,
+                                  EncodeHealthResp(resp)));
+      return;
+    }
+    case MsgType::kRole: {
+      CountOutcome(Status::OK());
+      SendFrame(conn,
+                EncodeFrame(MsgType::kRoleResp, EncodeRoleResp(BuildRole())));
+      return;
+    }
+    case MsgType::kReplicaSubscribe: {
+      if (options_.replication_log == nullptr) {
+        reject(Status::Unavailable("replication not enabled on this server"));
+        return;
+      }
+      replica::SubscribeReq req;
+      if (!replica::DecodeSubscribeReq(frame.payload, &req)) {
+        reject(Status::InvalidArgument("undecodable Subscribe payload"));
+        return;
+      }
+      CountOutcome(Status::OK());
+      conn->replica = true;
+      conn->replica_next_seq = req.from_seq == 0 ? 1 : req.from_seq;
+      // Push-mode from here on: the subscriber never writes again, so the
+      // idle timeout no longer applies.
+      if (conn->idle_timer != 0) {
+        loop_.timers().Cancel(conn->idle_timer);
+        conn->idle_timer = 0;
+      }
+      replica_subscribers_.fetch_add(1, std::memory_order_relaxed);
+      QMATCH_COUNTER_ADD("net.replica_subscribers", 1);
+      PumpReplica(conn);
+      return;
+    }
     default:
       reject(Status::InvalidArgument("unknown request type " +
                                      std::to_string(frame.type)));
       return;
   }
+}
+
+void Server::PumpReplica(Connection* conn) {
+  replica::ReplicationLog* log = options_.replication_log;
+  if (log == nullptr || !conn->replica || conn->closing) return;
+  while (true) {
+    std::vector<replica::LogRecord> batch;
+    if (!log->Fetch(conn->replica_next_seq, options_.replica_batch_records,
+                    &batch)) {
+      // The subscriber predates the log's retained window: anchor it with
+      // a full snapshot. The sequence is captured BEFORE the state export,
+      // so records racing the export overlap the snapshot and replay
+      // idempotently (last-wins, same as journal-over-snapshot recovery).
+      replica::SnapshotMsg snap;
+      snap.next_seq = log->head_seq() + 1;
+      std::vector<std::pair<std::string, std::string>> schemas =
+          ExportSchemas();
+      snap.schemas.reserve(schemas.size());
+      for (auto& [name, xsd_text] : schemas) {
+        snap.schemas.push_back(
+            replica::SchemaRec{std::move(name), std::move(xsd_text)});
+      }
+      const persist::StoreState state = engine_->ExportState();
+      snap.cache_payloads.reserve(state.cache_entries.size());
+      for (const persist::CacheEntryRec& rec : state.cache_entries) {
+        snap.cache_payloads.push_back(persist::EncodeCacheRecordPayload(rec));
+      }
+      snap.corpus_payloads.reserve(state.corpus_entries.size());
+      for (const persist::CorpusEntryRec& rec : state.corpus_entries) {
+        snap.corpus_payloads.push_back(persist::EncodeCorpusRecordPayload(rec));
+      }
+      std::string payload = replica::EncodeSnapshotMsg(snap);
+      if (payload.size() > kMaxFramePayload) {
+        // Unshippable state: close rather than send a frame the peer is
+        // obliged to reject.
+        QMATCH_COUNTER_ADD("replica.snapshot_oversize", 1);
+        conn->closing = true;
+        return;
+      }
+      conn->replica_next_seq = snap.next_seq;
+      QMATCH_COUNTER_ADD("replica.snapshots_sent", 1);
+      SendFrame(conn, EncodeFrame(MsgType::kReplicaSnapshot, payload));
+      continue;  // records from next_seq may already be waiting
+    }
+    if (batch.empty()) return;  // caught up
+    replica::RecordsMsg msg;
+    msg.head_seq = log->head_seq();
+    conn->replica_next_seq = batch.back().seq + 1;
+    msg.records = std::move(batch);
+    std::string payload = replica::EncodeRecordsMsg(msg);
+    if (payload.size() > kMaxFramePayload) {
+      QMATCH_COUNTER_ADD("replica.batch_oversize", 1);
+      conn->closing = true;
+      return;
+    }
+    QMATCH_COUNTER_ADD("replica.records_sent", msg.records.size());
+    SendFrame(conn, EncodeFrame(MsgType::kReplicaRecords, payload));
+  }
+}
+
+void Server::PumpAllReplicas() {
+  // Ids first: PumpReplica appends output and FlushConnection may close
+  // (erasing from connections_), so the map is never iterated live.
+  std::vector<uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) {
+    if (conn->replica) ids.push_back(id);
+  }
+  for (const uint64_t id : ids) {
+    Connection* conn = FindConnection(id);
+    if (conn == nullptr) continue;
+    PumpReplica(conn);
+    conn = FindConnection(id);
+    if (conn != nullptr) FlushConnection(conn);
+  }
+}
+
+void Server::ArmReplicaHeartbeat() {
+  if (options_.replica_heartbeat.count() <= 0) return;
+  heartbeat_timer_ =
+      loop_.timers().ScheduleAfter(options_.replica_heartbeat, [this] {
+        replica::ReplicationLog* log = options_.replication_log;
+        if (log != nullptr) {
+          // Ship anything owed first, then an empty batch carrying the
+          // head: an idle standby's lag reading stays truthful and a dead
+          // link surfaces as a send failure here instead of never.
+          PumpAllReplicas();
+          replica::RecordsMsg heartbeat;
+          heartbeat.head_seq = log->head_seq();
+          const std::string frame = EncodeFrame(
+              MsgType::kReplicaRecords, replica::EncodeRecordsMsg(heartbeat));
+          std::vector<uint64_t> ids;
+          ids.reserve(connections_.size());
+          for (const auto& [id, conn] : connections_) {
+            if (conn->replica && !conn->closing) ids.push_back(id);
+          }
+          for (const uint64_t id : ids) {
+            Connection* conn = FindConnection(id);
+            if (conn == nullptr) continue;
+            SendFrame(conn, frame);
+            FlushConnection(conn);
+          }
+        }
+        ArmReplicaHeartbeat();
+      });
 }
 
 void Server::SendFrame(Connection* conn, std::string frame_bytes) {
@@ -475,6 +826,7 @@ void Server::CloseConnection(uint64_t conn_id) {
 }
 
 void Server::ArmIdleTimer(Connection* conn) {
+  if (conn->replica) return;  // push-mode: never idle-closed
   if (options_.idle_timeout.count() <= 0) return;
   if (conn->idle_timer != 0) loop_.timers().Cancel(conn->idle_timer);
   const uint64_t conn_id = conn->id;
@@ -505,6 +857,9 @@ void Server::CountOutcome(const Status& status) {
       break;
     case StatusCode::kCancelled:
       QMATCH_COUNTER_ADD("net.requests_cancelled", 1);
+      break;
+    case StatusCode::kUnavailable:
+      QMATCH_COUNTER_ADD("net.requests_unavailable", 1);
       break;
     default:
       QMATCH_COUNTER_ADD("net.requests_error", 1);
@@ -540,11 +895,31 @@ StatsResp Server::BuildStats() const {
   return s;
 }
 
+RoleResp Server::BuildRole() const {
+  RoleResp resp;
+  const Role r = role();
+  resp.role = static_cast<uint32_t>(r);
+  resp.ready = Ready() ? 1 : 0;
+  if (r == Role::kPrimary && options_.replication_log != nullptr) {
+    // A primary is its own source of truth: applied == head by definition.
+    const uint64_t head = options_.replication_log->head_seq();
+    resp.applied_seq = head;
+    resp.head_seq = head;
+  } else {
+    resp.applied_seq = replica_applied_.load(std::memory_order_relaxed);
+    resp.head_seq = replica_head_.load(std::memory_order_relaxed);
+  }
+  resp.lag_records = resp.head_seq > resp.applied_seq
+                         ? resp.head_seq - resp.applied_seq
+                         : 0;
+  return resp;
+}
+
 std::shared_ptr<const xsd::Schema> Server::LookupSchema(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(schemas_mutex_);
   const auto it = schemas_.find(name);
-  return it == schemas_.end() ? nullptr : it->second;
+  return it == schemas_.end() ? nullptr : it->second.schema;
 }
 
 void Server::ExecuteSubmitSchema(uint64_t conn_id, SubmitSchemaReq req) {
@@ -564,8 +939,13 @@ void Server::ExecuteSubmitSchema(uint64_t conn_id, SubmitSchemaReq req) {
       resp.fingerprint = xsd::SchemaFingerprint(*schema);
       resp.node_count = schema->NodeCount();
       auto shared = std::make_shared<const xsd::Schema>(std::move(*schema));
-      std::lock_guard<std::mutex> lock(schemas_mutex_);
-      schemas_[req.name] = std::move(shared);
+      {
+        std::lock_guard<std::mutex> lock(schemas_mutex_);
+        schemas_[req.name] = SchemaEntry{std::move(shared), req.xsd_text};
+      }
+      if (options_.schema_observer) {
+        options_.schema_observer(req.name, req.xsd_text);
+      }
     }
   }
   QMATCH_HISTOGRAM_OBSERVE(
@@ -632,8 +1012,8 @@ void Server::ExecuteMatchCorpus(uint64_t conn_id, MatchCorpusReq req) {
     {
       std::lock_guard<std::mutex> lock(schemas_mutex_);
       candidates.reserve(schemas_.size());
-      for (const auto& [name, schema] : schemas_) {
-        if (name != req.query) candidates.emplace_back(name, schema);
+      for (const auto& [name, entry] : schemas_) {
+        if (name != req.query) candidates.emplace_back(name, entry.schema);
       }
     }
     resp.entries.reserve(candidates.size());

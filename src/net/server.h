@@ -4,11 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -17,7 +20,30 @@
 #include "net/frame.h"
 #include "xsd/parser.h"
 
+namespace qmatch::replica {
+class ReplicationLog;
+}  // namespace qmatch::replica
+
 namespace qmatch::net {
+
+/// Serving role of one qmatchd process (DESIGN.md §15).
+///
+///   kPrimary:  accepts all requests; mutations feed the replication log.
+///   kStandby:  serves health/role/stats/metrics but answers engine work
+///              with typed kUnavailable; state arrives via replication.
+///   kDraining: SIGTERM received — no new connections, queued engine work
+///              rejected typed, in-flight work finishing. Terminal.
+///
+/// Transitions: kStandby -> kPrimary (promote), kPrimary|kStandby ->
+/// kDraining (drain). There is no demotion back to standby — a drained
+/// process exits and restarts into whichever role it is told.
+enum class Role : uint32_t {
+  kPrimary = 1,
+  kStandby = 2,
+  kDraining = 3,
+};
+
+std::string_view RoleName(Role role);
 
 /// Tuning knobs of the qmatchd server.
 struct ServerOptions {
@@ -31,7 +57,8 @@ struct ServerOptions {
   size_t request_threads = 2;
 
   /// Connections idle longer than this are closed by the timer wheel.
-  /// Zero disables the idle timeout.
+  /// Zero disables the idle timeout. Replication subscribers are exempt —
+  /// they are push-mode and never write again after subscribing.
   std::chrono::milliseconds idle_timeout{60000};
 
   /// Deadline applied to requests that carry deadline_ms = 0. Zero =
@@ -49,6 +76,39 @@ struct ServerOptions {
   /// Bounds applied to SubmitSchema XSD parses (input size, node count) —
   /// the same typed kResourceExhausted discipline as everywhere else.
   xsd::ParseOptions parse;
+
+  /// Serving role at Start (promote later via SetRole).
+  Role role = Role::kPrimary;
+
+  /// Primary-side replication source (borrowed, must outlive the server;
+  /// null = replication off). kReplicaSubscribe connections stream this
+  /// log; a subscriber behind the log's base is anchored with a full
+  /// engine-state + schema snapshot first.
+  replica::ReplicationLog* replication_log = nullptr;
+
+  /// Heartbeat cadence of the replication stream: an empty records frame
+  /// carrying the head sequence, so an idle standby's lag reading stays
+  /// truthful and dead links are noticed. Zero disables heartbeats.
+  std::chrono::milliseconds replica_heartbeat{200};
+
+  /// Max records per pushed kReplicaRecords frame.
+  size_t replica_batch_records = 512;
+
+  /// Standby readiness bound: /readyz (and kRole.ready) report ready while
+  /// the replication link is up and head - applied <= this many records.
+  uint64_t ready_lag_records = 64;
+
+  /// EADDRINUSE bind retries with a short backoff — a drained-and-
+  /// restarted daemon (or a failover pair racing a port) never dies on the
+  /// previous owner's lingering socket.
+  size_t bind_retries = 20;
+  std::chrono::milliseconds bind_retry_backoff{50};
+
+  /// Invoked after every successful schema registration with (name, xsd
+  /// text) — the server-side replication hook mirroring the engine's
+  /// ReplicationObserver. Runs on whatever thread registered the schema;
+  /// must be thread-safe and must not call back into the server.
+  std::function<void(const std::string&, const std::string&)> schema_observer;
 };
 
 /// Monotonic counters of one server's lifetime (also exported through the
@@ -59,9 +119,10 @@ struct ServerStats {
   uint64_t requests = 0;       ///< decodable requests dispatched
   uint64_t bad_frames = 0;     ///< CRC/length/decode failures answered typed
   uint64_t http_metrics = 0;   ///< GET /metrics scrapes served
+  uint64_t replica_subscribers = 0;  ///< kReplicaSubscribe accepted
 };
 
-/// qmatchd — the network front door to one MatchEngine (DESIGN.md §14).
+/// qmatchd — the network front door to one MatchEngine (DESIGN.md §14/§15).
 ///
 /// One epoll event loop (own thread) accepts connections and speaks the
 /// frame protocol; decoded requests execute on a small worker pool with
@@ -70,8 +131,11 @@ struct ServerStats {
 /// exactly as they protect in-process callers: an overloaded engine sheds
 /// with a typed kOverloaded *response frame* — the connection stays open.
 ///
-/// A connection whose first bytes are "GET " is served as a one-shot HTTP
-/// Prometheus scrape of the obs registry over the same loop, then closed.
+/// A connection whose first bytes are "GET " is served as one-shot HTTP
+/// over the same loop, then closed: /metrics (Prometheus scrape),
+/// /healthz (alive — 200 whenever the process answers) and /readyz
+/// (200 only when this node should receive traffic: a running primary, or
+/// a standby caught up within ready_lag_records).
 ///
 /// Failpoints on every socket path: net.accept, net.read, net.write,
 /// net.frame — the chaos suite's handles.
@@ -84,24 +148,53 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and starts the loop thread. Non-OK on bind failure.
+  /// Binds (retrying EADDRINUSE per bind_retries), listens and starts the
+  /// loop thread. Non-OK on bind failure.
   Status Start();
 
   /// Closes the listener and every connection, stops the loop and joins
   /// all threads. Idempotent; also run by the destructor.
   void Stop();
 
+  /// Graceful drain (the SIGTERM path): closes the listener, demotes to
+  /// kDraining (queued engine work answers typed kUnavailable, /readyz
+  /// goes 503) and waits until every connection is idle — no executing
+  /// request, no queued frame, no unflushed bytes — or the deadline
+  /// expires. Returns OK when quiesced, kDeadlineExceeded otherwise.
+  /// Either way the caller then flushes the persist journal and Stop()s.
+  Status Drain(std::chrono::milliseconds deadline);
+
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  Role role() const {
+    return static_cast<Role>(role_.load(std::memory_order_acquire));
+  }
+  /// Thread-safe role flip — Promote() on a standby, demote on drain.
+  void SetRole(Role role);
+
+  /// The /readyz verdict: should a load balancer send traffic here?
+  bool Ready() const;
+
+  /// Standby-side feed: the replication applier reports its position after
+  /// every message so /readyz and kRole answer truthfully.
+  void SetReplicaStatus(uint64_t applied_seq, uint64_t head_seq,
+                        bool connected);
 
   /// Resolved listen port (after Start with port 0).
   uint16_t port() const { return port_; }
 
   /// Registers a schema under `name` outside the protocol — qmatchd's
-  /// --preload path and test fixtures. Thread-safe; same code path as a
-  /// SubmitSchema request.
-  Status RegisterSchema(const std::string& name, std::string_view xsd_text);
+  /// --preload path, the replication applier and test fixtures.
+  /// Thread-safe; same code path as a SubmitSchema request. `replicated`
+  /// suppresses the schema_observer (a standby must not echo the stream).
+  Status RegisterSchema(const std::string& name, std::string_view xsd_text,
+                        bool replicated = false);
 
   size_t schema_count() const;
+
+  /// (name, xsd text) of every registered schema — the replication
+  /// snapshot anchor's schema half.
+  std::vector<std::pair<std::string, std::string>> ExportSchemas() const;
 
   ServerStats stats() const;
 
@@ -113,7 +206,7 @@ class Server {
   void OnConnectionEvent(uint64_t conn_id, uint32_t events);
   void ReadConnection(Connection* conn);
   void ProcessInput(Connection* conn);
-  void ServeHttpMetrics(Connection* conn);
+  void ServeHttp(Connection* conn);
   void SendFrame(Connection* conn, std::string frame_bytes);
   void FlushConnection(Connection* conn);
   void CloseConnection(uint64_t conn_id);
@@ -126,8 +219,17 @@ class Server {
   void MaybeDispatchNext(Connection* conn);
 
   /// Dispatches one decoded frame. Requests needing engine work hop to the
-  /// worker pool; stats/metrics answer inline.
+  /// worker pool; stats/metrics/health/role answer inline.
   void DispatchFrame(Connection* conn, Frame frame);
+
+  /// Replication push path: ships the subscriber everything it is owed —
+  /// a snapshot anchor when it is behind the log's base, then record
+  /// batches up to the head.
+  void PumpReplica(Connection* conn);
+  void PumpAllReplicas();
+  /// Recurring heartbeat: an empty records frame with the current head to
+  /// every subscriber.
+  void ArmReplicaHeartbeat();
 
   // --- worker-pool side ----------------------------------------------------
   void ExecuteSubmitSchema(uint64_t conn_id, SubmitSchemaReq req);
@@ -145,6 +247,7 @@ class Server {
 
   Deadline RequestDeadline(uint64_t deadline_ms) const;
   StatsResp BuildStats() const;
+  RoleResp BuildRole() const;
   std::shared_ptr<const xsd::Schema> LookupSchema(
       const std::string& name) const;
 
@@ -160,21 +263,37 @@ class Server {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
 
+  std::atomic<uint32_t> role_;
+
+  /// Standby-side replication position, fed by SetReplicaStatus; read by
+  /// Ready()/BuildRole() on any thread.
+  std::atomic<uint64_t> replica_applied_{0};
+  std::atomic<uint64_t> replica_head_{0};
+  std::atomic<bool> replica_connected_{false};
+
   /// Loop-thread only: live connections by id (ids, not fds, key the map
   /// so a stale completion can never hit a recycled fd).
   std::map<uint64_t, std::unique_ptr<Connection>> connections_;
   uint64_t next_conn_id_ = 1;
+  TimerWheel::TimerId heartbeat_timer_ = 0;  // loop-thread only
 
   mutable std::mutex schemas_mutex_;
-  /// Submitted schemas by name. shared_ptr: a replace while a match is in
-  /// flight keeps the old tree alive until the last request drops it.
-  std::map<std::string, std::shared_ptr<const xsd::Schema>> schemas_;
+  /// Submitted schemas by name, with the XSD text they were parsed from
+  /// (the replication snapshot needs the exact bytes so the standby's
+  /// re-parse fingerprints agree). shared_ptr: a replace while a match is
+  /// in flight keeps the old tree alive until the last request drops it.
+  struct SchemaEntry {
+    std::shared_ptr<const xsd::Schema> schema;
+    std::string xsd_text;
+  };
+  std::map<std::string, SchemaEntry> schemas_;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> closed_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> bad_frames_{0};
   std::atomic<uint64_t> http_metrics_{0};
+  std::atomic<uint64_t> replica_subscribers_{0};
 };
 
 }  // namespace qmatch::net

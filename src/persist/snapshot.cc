@@ -36,7 +36,9 @@ std::string FrameRecord(RecordType type, std::string payload) {
   return out;
 }
 
-std::string EncodeCachePayload(const CacheEntryRec& entry) {
+}  // namespace
+
+std::string EncodeCacheRecordPayload(const CacheEntryRec& entry) {
   Encoder enc;
   enc.PutU64(entry.source_fp);
   enc.PutU64(entry.target_fp);
@@ -52,7 +54,7 @@ std::string EncodeCachePayload(const CacheEntryRec& entry) {
   return enc.Take();
 }
 
-std::string EncodeCorpusPayload(const CorpusEntryRec& entry) {
+std::string EncodeCorpusRecordPayload(const CorpusEntryRec& entry) {
   Encoder enc;
   enc.PutString(entry.path);
   enc.PutU64(entry.schema_fp);
@@ -60,7 +62,7 @@ std::string EncodeCorpusPayload(const CorpusEntryRec& entry) {
   return enc.Take();
 }
 
-bool DecodeCachePayload(std::string_view payload, CacheEntryRec* out) {
+bool DecodeCacheRecordPayload(std::string_view payload, CacheEntryRec* out) {
   Decoder dec(payload);
   uint32_t count = 0;
   if (!dec.GetU64(&out->source_fp) || !dec.GetU64(&out->target_fp) ||
@@ -84,11 +86,13 @@ bool DecodeCachePayload(std::string_view payload, CacheEntryRec* out) {
   return dec.remaining() == 0;
 }
 
-bool DecodeCorpusPayload(std::string_view payload, CorpusEntryRec* out) {
+bool DecodeCorpusRecordPayload(std::string_view payload, CorpusEntryRec* out) {
   Decoder dec(payload);
   return dec.GetString(&out->path) && dec.GetU64(&out->schema_fp) &&
          dec.GetU32(&out->breaker_failures) && dec.remaining() == 0;
 }
+
+namespace {
 
 /// Validates the 24-byte header. On success sets *fingerprint_matches and
 /// advances nothing (caller slices past kHeaderBytes).
@@ -168,7 +172,7 @@ Status DecodeRecords(std::string_view bytes, bool fingerprint_matches,
     switch (static_cast<RecordType>(type)) {
       case RecordType::kCacheEntry: {
         CacheEntryRec entry;
-        if (!DecodeCachePayload(payload, &entry)) {
+        if (!DecodeCacheRecordPayload(payload, &entry)) {
           return Status::DataLoss("persist cache record payload malformed");
         }
         state->cache_entries.push_back(std::move(entry));
@@ -176,7 +180,7 @@ Status DecodeRecords(std::string_view bytes, bool fingerprint_matches,
       }
       case RecordType::kCorpusEntry: {
         CorpusEntryRec entry;
-        if (!DecodeCorpusPayload(payload, &entry)) {
+        if (!DecodeCorpusRecordPayload(payload, &entry)) {
           return Status::DataLoss("persist corpus record payload malformed");
         }
         state->corpus_entries.push_back(std::move(entry));
@@ -211,11 +215,11 @@ std::string EncodeJournalHeader(uint64_t config_fingerprint) {
 }
 
 std::string EncodeCacheRecord(const CacheEntryRec& entry) {
-  return FrameRecord(RecordType::kCacheEntry, EncodeCachePayload(entry));
+  return FrameRecord(RecordType::kCacheEntry, EncodeCacheRecordPayload(entry));
 }
 
 std::string EncodeCorpusRecord(const CorpusEntryRec& entry) {
-  return FrameRecord(RecordType::kCorpusEntry, EncodeCorpusPayload(entry));
+  return FrameRecord(RecordType::kCorpusEntry, EncodeCorpusRecordPayload(entry));
 }
 
 Status DecodeSnapshot(std::string_view bytes, uint64_t config_fingerprint,

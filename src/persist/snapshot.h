@@ -137,6 +137,15 @@ std::string EncodeJournalHeader(uint64_t config_fingerprint);
 std::string EncodeCacheRecord(const CacheEntryRec& entry);
 std::string EncodeCorpusRecord(const CorpusEntryRec& entry);
 
+/// Record *payloads* without the [type][len][crc] frame — the unit the
+/// replication stream ships (src/replica/): the primary encodes exactly
+/// what its journal holds, the standby decodes with the same hostile-input
+/// discipline, and a replicated entry is bit-identical to a journaled one.
+std::string EncodeCacheRecordPayload(const CacheEntryRec& entry);
+std::string EncodeCorpusRecordPayload(const CorpusEntryRec& entry);
+bool DecodeCacheRecordPayload(std::string_view payload, CacheEntryRec* out);
+bool DecodeCorpusRecordPayload(std::string_view payload, CorpusEntryRec* out);
+
 /// Decodes snapshot bytes. Appends decoded entries to `state` and tallies
 /// into `stats` (both must be non-null). Any framing/CRC violation →
 /// kDataLoss with `state` holding only fully-validated records.

@@ -1,0 +1,68 @@
+#include "replica/log.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace qmatch::replica {
+
+ReplicationLog::ReplicationLog(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+uint64_t ReplicationLog::Append(uint32_t type, std::string payload) {
+  std::function<void(uint64_t)> listener;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = next_seq_++;
+    records_.push_back(LogRecord{seq, type, std::move(payload)});
+    while (records_.size() > capacity_) {
+      records_.pop_front();
+      QMATCH_COUNTER_ADD("replica.log_evicted", 1);
+    }
+    listener = listener_;
+    // Invoked under the mutex by design (see header): SetListener(nullptr)
+    // is then a barrier against in-flight notifications.
+    if (listener) listener(seq);
+  }
+  QMATCH_COUNTER_ADD("replica.log_appends", 1);
+  return seq;
+}
+
+uint64_t ReplicationLog::head_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ - 1;
+}
+
+uint64_t ReplicationLog::base_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.empty() ? 0 : records_.front().seq;
+}
+
+bool ReplicationLog::Fetch(uint64_t from_seq, size_t max_records,
+                           std::vector<LogRecord>* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // An empty log can serve any subscriber at or past the next sequence;
+  // an earlier ask hits evicted (or never-written) territory only when
+  // records have actually been dropped.
+  const uint64_t base = records_.empty() ? next_seq_ : records_.front().seq;
+  if (from_seq < base && from_seq < next_seq_) return false;
+  for (const LogRecord& rec : records_) {
+    if (rec.seq < from_seq) continue;
+    if (out->size() >= max_records) break;
+    out->push_back(rec);
+  }
+  return true;
+}
+
+void ReplicationLog::SetListener(std::function<void(uint64_t)> listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  listener_ = std::move(listener);
+}
+
+size_t ReplicationLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace qmatch::replica

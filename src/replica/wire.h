@@ -1,0 +1,84 @@
+#ifndef QMATCH_REPLICA_WIRE_H_
+#define QMATCH_REPLICA_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "replica/log.h"
+
+namespace qmatch::replica {
+
+/// Replicated record types. Values 1 and 2 are persist::RecordType's
+/// kCacheEntry/kCorpusEntry on purpose: their payloads ARE the journal
+/// record payloads (persist::Encode*RecordPayload), shipped unmodified.
+/// kSchema is replication-only — schemas live in the server's in-memory
+/// registry, not the persist store, but a warm standby needs them to
+/// answer its first request without re-submission.
+enum class RecordType : uint32_t {
+  kCacheEntry = 1,
+  kCorpusEntry = 2,
+  kSchema = 3,
+};
+
+/// One replicated schema registration: the name plus the exact XSD text it
+/// was parsed from (the standby re-parses, so fingerprints agree).
+struct SchemaRec {
+  std::string name;
+  std::string xsd_text;
+
+  friend bool operator==(const SchemaRec&, const SchemaRec&) = default;
+};
+
+std::string EncodeSchemaRecPayload(const SchemaRec& rec);
+bool DecodeSchemaRecPayload(std::string_view payload, SchemaRec* out);
+
+// ---------------------------------------------------------------------------
+// Frame payloads of the replication stream (net::MsgType kReplicaSubscribe /
+// kReplicaRecords / kReplicaSnapshot). Same codec discipline as the rest of
+// the protocol: persist::Encoder wire format, hostile counts rejected
+// before any reserve.
+// ---------------------------------------------------------------------------
+
+/// Standby -> primary: stream me everything from `from_seq` on. Sent once
+/// per connection; the primary answers with either a kReplicaSnapshot
+/// anchor (from_seq predates its log) or directly with kReplicaRecords
+/// batches, then keeps pushing as new records land.
+struct SubscribeReq {
+  uint64_t from_seq = 1;
+};
+
+/// Primary -> standby: a batch of consecutive log records plus the
+/// primary's current head (the standby's lag gauge = head_seq - applied).
+/// An empty batch is a heartbeat — it carries the head so lag stays
+/// truthful while the stream idles, and it proves liveness.
+struct RecordsMsg {
+  uint64_t head_seq = 0;
+  std::vector<LogRecord> records;
+};
+
+/// Primary -> standby: a full-state anchor. Everything the primary knows,
+/// captured at `next_seq` (records with seq >= next_seq may overlap the
+/// state — replay is idempotent last-wins, same as journal-over-snapshot).
+/// The standby applies it wholesale, sets applied = next_seq - 1 and keeps
+/// reading records.
+struct SnapshotMsg {
+  uint64_t next_seq = 1;
+  std::vector<SchemaRec> schemas;
+  /// Encoded persist record payloads (cache then corpus), exactly what the
+  /// primary's snapshot file would hold.
+  std::vector<std::string> cache_payloads;
+  std::vector<std::string> corpus_payloads;
+};
+
+std::string EncodeSubscribeReq(const SubscribeReq& req);
+std::string EncodeRecordsMsg(const RecordsMsg& msg);
+std::string EncodeSnapshotMsg(const SnapshotMsg& msg);
+bool DecodeSubscribeReq(std::string_view payload, SubscribeReq* out);
+bool DecodeRecordsMsg(std::string_view payload, RecordsMsg* out);
+bool DecodeSnapshotMsg(std::string_view payload, SnapshotMsg* out);
+
+}  // namespace qmatch::replica
+
+#endif  // QMATCH_REPLICA_WIRE_H_

@@ -59,7 +59,8 @@ void ExpectOutcomeLedgerBalances(const Server& server) {
                          CounterValue("net.requests_overloaded") +
                          CounterValue("net.requests_deadline_exceeded") +
                          CounterValue("net.requests_resource_exhausted") +
-                         CounterValue("net.requests_cancelled");
+                         CounterValue("net.requests_cancelled") +
+                         CounterValue("net.requests_unavailable");
   EXPECT_EQ(total, split);
 #if QMATCH_OBS_ENABLED
   // The obs mirror and the server's own atomic must agree exactly (in an

@@ -1,0 +1,464 @@
+// Failover chaos for the HA pair (DESIGN.md §15): a real primary and a
+// real warm standby wired exactly like two qmatchd processes, a resilient
+// client driving requests through seeded kill-the-primary schedules, and
+// fault injection on the replication stream and the socket paths. The
+// failover contract:
+//
+//  * every response the client acknowledges as a success is bit-identical
+//    to the same match on a fresh, fault-free reference engine — a
+//    failover can delay an answer, never change one;
+//  * the promoted standby answers its first request WARM (the replicated
+//    cache hits; no recomputation);
+//  * request-outcome accounting stays exactly-once across both processes,
+//    including the typed kUnavailable refusals;
+//  * /readyz never lies: 503 while the standby cannot vouch for its lag,
+//    200 once caught up or promoted.
+//
+// Excluded from the default ctest run via CONFIGURATIONS chaos; run with
+// `ctest -C chaos -L chaos` (scripts/ci.sh chaos|ha) under ASan/TSan.
+// Seeds come from QMATCH_CHAOS_SEEDS (comma-separated, default "1,2,3").
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "datagen/corpus.h"
+#include "fault/failpoint.h"
+#include "net/client.h"
+#include "net/resilient_client.h"
+#include "net/server.h"
+#include "obs/obs.h"
+#include "replica/log.h"
+#include "replica/primary.h"
+#include "replica/standby.h"
+#include "test_util.h"
+#include "xsd/parser.h"
+#include "xsd/writer.h"
+
+#if !QMATCH_FAULT_ENABLED
+#error "the failover chaos suite requires a -DQMATCH_FAULT=ON build"
+#endif
+
+namespace qmatch::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+uint64_t CounterValue(const char* name) {
+  return obs::Registry::Global().GetCounter(name).Value();
+}
+
+std::vector<uint64_t> ChaosSeeds() {
+  std::vector<uint64_t> seeds;
+  const char* env = std::getenv("QMATCH_CHAOS_SEEDS");
+  std::string spec = env != nullptr ? env : "1,2,3";
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!token.empty()) {
+      seeds.push_back(std::strtoull(token.c_str(), nullptr, 10));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (seeds.empty()) seeds = {1, 2, 3};
+  return seeds;
+}
+
+template <typename Pred>
+bool WaitFor(Pred pred, milliseconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + test::Scaled(deadline);
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  return pred();
+}
+
+/// The exactly-once ledger across BOTH processes (the obs registry is
+/// process-global, so the counters aggregate primary + standby): total
+/// equals the sum of every per-outcome split, kUnavailable included.
+void ExpectGlobalLedgerBalances(const Server& primary, const Server& standby) {
+  const uint64_t total = CounterValue("net.requests");
+  const uint64_t split = CounterValue("net.requests_ok") +
+                         CounterValue("net.requests_error") +
+                         CounterValue("net.requests_overloaded") +
+                         CounterValue("net.requests_deadline_exceeded") +
+                         CounterValue("net.requests_resource_exhausted") +
+                         CounterValue("net.requests_cancelled") +
+                         CounterValue("net.requests_unavailable");
+  EXPECT_EQ(total, split);
+#if QMATCH_OBS_ENABLED
+  EXPECT_EQ(total, primary.stats().requests + standby.stats().requests);
+#else
+  (void)primary;
+  (void)standby;
+#endif
+}
+
+/// One HA pair wired the way two qmatchd processes are: the primary's
+/// engine and schema registry feed a replication log; the standby streams
+/// it into its own engine and server.
+class HaPair {
+ public:
+  explicit HaPair(const std::vector<std::string>& names,
+                  const std::vector<std::string>& xsds) {
+    log = std::make_unique<replica::ReplicationLog>(512);
+    primary_engine =
+        std::make_unique<core::MatchEngine>(core::MatchEngineOptions{});
+    ServerOptions primary_options;
+    primary_options.replica_heartbeat = milliseconds(50);
+    replica::AttachPrimary(primary_engine.get(), &primary_options, log.get());
+    primary = std::make_unique<Server>(primary_engine.get(), primary_options);
+    EXPECT_TRUE(primary->Start().ok());
+    for (size_t i = 0; i < names.size(); ++i) {
+      EXPECT_TRUE(primary->RegisterSchema(names[i], xsds[i]).ok());
+    }
+
+    standby_engine =
+        std::make_unique<core::MatchEngine>(core::MatchEngineOptions{});
+    ServerOptions standby_options;
+    standby_options.role = Role::kStandby;
+    standby_options.ready_lag_records = 8;
+    standby = std::make_unique<Server>(standby_engine.get(), standby_options);
+    EXPECT_TRUE(standby->Start().ok());
+    replica::StandbyOptions stream_options;
+    stream_options.primary_port = primary->port();
+    stream_options.read_timeout = test::Scaled(milliseconds(1000));
+    stream_options.backoff_base = milliseconds(10);
+    stream_options.backoff_cap = milliseconds(100);
+    stream = std::make_unique<replica::Standby>(
+        standby_engine.get(), standby.get(), stream_options);
+    EXPECT_TRUE(stream->Start().ok());
+  }
+
+  ~HaPair() {
+    stream->Stop();
+    standby->Stop();
+    primary->Stop();
+  }
+
+  bool AwaitCaughtUp() {
+    return WaitFor(
+        [this] {
+          const replica::StandbyStats s = stream->stats();
+          return s.connected && s.applied_seq >= log->head_seq();
+        },
+        milliseconds(10000));
+  }
+
+  /// The seeded kill: the primary dies, the standby is promoted. Returns
+  /// false if the standby had not caught up in time (a test failure).
+  bool KillPrimaryAndPromote() {
+    if (!AwaitCaughtUp()) return false;
+    primary->Stop();
+    stream->Promote();
+    return true;
+  }
+
+  std::unique_ptr<replica::ReplicationLog> log;
+  std::unique_ptr<core::MatchEngine> primary_engine;
+  std::unique_ptr<Server> primary;
+  std::unique_ptr<core::MatchEngine> standby_engine;
+  std::unique_ptr<Server> standby;
+  std::unique_ptr<replica::Standby> stream;
+};
+
+class NetFailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto& corpus = datagen::Corpus();
+    for (size_t i = 0; i < 4; ++i) {
+      names_.push_back(corpus[i].name);
+      xsds_.push_back(xsd::ToXsd(corpus[i].make()));
+    }
+    // The fault-free reference: every acknowledged success must be
+    // bit-identical to this engine's result for the same pair.
+    reference_ = std::make_unique<core::MatchEngine>(core::MatchEngineOptions{});
+    for (size_t i = 0; i < 4; ++i) {
+      xsd::ParseOptions parse;
+      parse.schema_name = names_[i];
+      Result<xsd::Schema> schema = xsd::ParseSchema(xsds_[i], parse);
+      ASSERT_TRUE(schema.ok());
+      ref_schemas_.push_back(std::make_unique<xsd::Schema>(std::move(*schema)));
+    }
+  }
+
+  void ExpectBitIdentical(const MatchPairResp& resp, size_t src, size_t tgt) {
+    const core::EngineMatchResult want = reference_->Match(
+        *ref_schemas_[src], *ref_schemas_[tgt], core::EngineRequestOptions{});
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(std::bit_cast<uint64_t>(resp.schema_qom),
+              std::bit_cast<uint64_t>(want.result.schema_qom));
+    ASSERT_EQ(resp.correspondences.size(),
+              want.result.correspondences.size());
+    for (size_t i = 0; i < resp.correspondences.size(); ++i) {
+      EXPECT_EQ(resp.correspondences[i].source_path,
+                want.result.correspondences[i].source->Path());
+      EXPECT_EQ(resp.correspondences[i].target_path,
+                want.result.correspondences[i].target->Path());
+      EXPECT_EQ(std::bit_cast<uint64_t>(resp.correspondences[i].score),
+                std::bit_cast<uint64_t>(want.result.correspondences[i].score));
+    }
+  }
+
+  ResilientClientOptions ClientOptions(const HaPair& pair, uint64_t seed) {
+    ResilientClientOptions options;
+    options.endpoints = {Endpoint{"127.0.0.1", pair.primary->port()},
+                         Endpoint{"127.0.0.1", pair.standby->port()}};
+    options.connect_timeout = test::Scaled(milliseconds(1000));
+    options.io_timeout = test::Scaled(milliseconds(5000));
+    options.call_deadline = test::Scaled(milliseconds(20000));
+    options.retry_budget = 8;
+    options.backoff_base = milliseconds(5);
+    options.backoff_cap = milliseconds(50);
+    options.backoff_seed = seed;
+    return options;
+  }
+
+  std::vector<std::string> names_;
+  std::vector<std::string> xsds_;
+  std::unique_ptr<core::MatchEngine> reference_;
+  std::vector<std::unique_ptr<xsd::Schema>> ref_schemas_;
+};
+
+TEST_F(NetFailoverTest, SeededKillAndPromoteIsInvisibleToAcknowledgedResults) {
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("QMATCH_CHAOS_SEEDS=" + std::to_string(seed));
+    obs::Registry::Global().ResetAll();
+    HaPair pair(names_, xsds_);
+    ResilientClient client(ClientOptions(pair, seed));
+    Random rng(seed);
+    const int rounds = 12;
+    const int kill_at = 3 + static_cast<int>(rng.Uniform(6));
+    size_t warm_hits_before = 0;
+    for (int round = 0; round < rounds; ++round) {
+      size_t src, tgt;
+      if (round == 0 || round == kill_at) {
+        // The warm-promotion probe pair: matched before the kill, asked
+        // again as the promoted standby's first request.
+        src = 0;
+        tgt = 1;
+      } else {
+        src = static_cast<size_t>(rng.Uniform(names_.size()));
+        tgt = static_cast<size_t>(rng.Uniform(names_.size()));
+        if (tgt == src) tgt = (tgt + 1) % names_.size();
+      }
+      if (round == kill_at) {
+        ASSERT_TRUE(pair.KillPrimaryAndPromote())
+            << "standby never caught up before the seeded kill";
+        warm_hits_before = pair.standby_engine->cache_stats().hits;
+      }
+      Result<MatchPairResp> resp =
+          client.MatchPair(names_[src], names_[tgt], 5000);
+      ASSERT_TRUE(resp.ok())
+          << "round " << round << ": " << resp.status().ToString();
+      ASSERT_TRUE(resp->head.ok())
+          << "round " << round << ": " << resp->head.message;
+      ExpectBitIdentical(*resp, src, tgt);
+      if (round == kill_at) {
+        // First request after promotion: WARM. The pair was matched on the
+        // old primary and replicated — the standby must hit its cache, not
+        // recompute.
+        EXPECT_GT(pair.standby_engine->cache_stats().hits, warm_hits_before)
+            << "promoted standby answered its first request cold";
+      }
+    }
+    EXPECT_GE(client.stats().failovers, 1u)
+        << "the kill schedule never forced a failover";
+    ExpectGlobalLedgerBalances(*pair.primary, *pair.standby);
+  }
+}
+
+TEST_F(NetFailoverTest, DeadPairSurfacesTypedUnavailableThenRecovers) {
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("QMATCH_CHAOS_SEEDS=" + std::to_string(seed));
+    obs::Registry::Global().ResetAll();
+    HaPair pair(names_, xsds_);
+    ResilientClientOptions options = ClientOptions(pair, seed);
+    options.retry_budget = 3;
+    options.call_deadline = test::Scaled(milliseconds(3000));
+    ResilientClient client(options);
+    ASSERT_TRUE(client.MatchPair(names_[0], names_[1], 5000).ok());
+    ASSERT_TRUE(pair.AwaitCaughtUp());
+
+    // Kill the primary WITHOUT promoting: the pair is headless. The client
+    // must exhaust its budget walking primary (refused connect) and
+    // standby (typed refusal) and surface the LAST typed error — the
+    // standby's kUnavailable, not a generic failure.
+    pair.primary->Stop();
+    Result<MatchPairResp> headless =
+        client.MatchPair(names_[0], names_[1], 5000);
+    ASSERT_FALSE(headless.ok());
+    EXPECT_EQ(headless.status().code(), StatusCode::kUnavailable)
+        << headless.status().ToString();
+
+    // Promotion ends the outage; the same client object recovers.
+    pair.stream->Promote();
+    Result<MatchPairResp> recovered =
+        client.MatchPair(names_[0], names_[1], 5000);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ASSERT_TRUE(recovered->head.ok()) << recovered->head.message;
+    ExpectBitIdentical(*recovered, 0, 1);
+    ExpectGlobalLedgerBalances(*pair.primary, *pair.standby);
+  }
+}
+
+TEST_F(NetFailoverTest, ReplicationStreamFaultsAreInvisibleToConvergence) {
+  uint64_t total_faults = 0;
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("QMATCH_CHAOS_SEEDS=" + std::to_string(seed));
+    obs::Registry::Global().ResetAll();
+    {
+      HaPair pair(names_, xsds_);
+      // A seeded probabilistic fault on the standby's read loop: dead
+      // links at arbitrary stream positions. Resume-from-applied must make
+      // them invisible.
+      fault::FaultSpec spec;
+      spec.action = fault::FaultAction::kError;
+      spec.probability = 0.3;
+      spec.seed = seed * 2654435761u + 1;
+      fault::ScopedFailpoint fp("replica.stream", spec);
+
+      Result<Client> driver = Client::Connect(
+          "127.0.0.1", pair.primary->port(), test::Scaled(milliseconds(5000)));
+      ASSERT_TRUE(driver.ok());
+      Random rng(seed);
+      for (int i = 0; i < 6; ++i) {
+        const size_t src = static_cast<size_t>(rng.Uniform(names_.size()));
+        size_t tgt = static_cast<size_t>(rng.Uniform(names_.size()));
+        if (tgt == src) tgt = (tgt + 1) % names_.size();
+        Result<MatchPairResp> resp =
+            driver->MatchPair(names_[src], names_[tgt], 5000);
+        ASSERT_TRUE(resp.ok());
+        ASSERT_TRUE(resp->head.ok());
+      }
+      // Despite the faults, the standby converges on the primary's head.
+      ASSERT_TRUE(pair.AwaitCaughtUp())
+          << "stream faults prevented convergence: applied="
+          << pair.stream->stats().applied_seq
+          << " head=" << pair.log->head_seq() << " faults="
+          << CounterValue("replica.stream_faults");
+      EXPECT_EQ(pair.standby->schema_count(), names_.size());
+      total_faults += CounterValue("replica.stream_faults");
+
+      // And the survivor is promotable and correct.
+      ASSERT_TRUE(pair.KillPrimaryAndPromote());
+      Result<Client> sclient =
+          Client::Connect("127.0.0.1", pair.standby->port(),
+                          test::Scaled(milliseconds(5000)));
+      ASSERT_TRUE(sclient.ok());
+      Result<MatchPairResp> resp = sclient->MatchPair(names_[0], names_[1], 5000);
+      ASSERT_TRUE(resp.ok());
+      ASSERT_TRUE(resp->head.ok()) << resp->head.message;
+      ExpectBitIdentical(*resp, 0, 1);
+    }
+  }
+  // Individual seeds may legitimately draw no fault, but probability 0.3
+  // across every seed's read loop going all-zero means the failpoint is
+  // dead.
+  EXPECT_GT(total_faults, 0u)
+      << "replica.stream never fired across the whole seed set";
+}
+
+TEST_F(NetFailoverTest, SocketFaultsDuringFailoverAreMaskedOrTyped) {
+  for (const uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("QMATCH_CHAOS_SEEDS=" + std::to_string(seed));
+    obs::Registry::Global().ResetAll();
+    HaPair pair(names_, xsds_);
+    // Socket-path faults on BOTH servers (the registry is global): reads
+    // and writes die probabilistically under the client and under the
+    // replication stream, while the primary is killed mid-schedule.
+    fault::FaultSpec read_spec;
+    read_spec.action = fault::FaultAction::kError;
+    read_spec.probability = 0.08;
+    read_spec.seed = seed * 31 + 7;
+    fault::ScopedFailpoint read_fp("net.read", read_spec);
+    fault::FaultSpec write_spec;
+    write_spec.action = fault::FaultAction::kError;
+    write_spec.probability = 0.08;
+    write_spec.seed = seed * 37 + 11;
+    fault::ScopedFailpoint write_fp("net.write", write_spec);
+
+    ResilientClient client(ClientOptions(pair, seed));
+    Random rng(seed ^ 0xFA170Full);
+    const int rounds = 14;
+    const int kill_at = 4 + static_cast<int>(rng.Uniform(5));
+    int successes = 0;
+    int post_promote_successes = 0;
+    bool promoted = false;
+    for (int round = 0; round < rounds; ++round) {
+      if (round == kill_at) {
+        ASSERT_TRUE(pair.KillPrimaryAndPromote())
+            << "standby never caught up under socket faults";
+        promoted = true;
+      }
+      const size_t src = static_cast<size_t>(rng.Uniform(names_.size()));
+      size_t tgt = static_cast<size_t>(rng.Uniform(names_.size()));
+      if (tgt == src) tgt = (tgt + 1) % names_.size();
+      Result<MatchPairResp> resp =
+          client.MatchPair(names_[src], names_[tgt], 5000);
+      if (!resp.ok()) continue;  // budget exhausted under faults: typed, ok
+      if (!resp->head.ok()) {
+        // Degraded outcomes must still come from the typed contract.
+        const StatusCode code = resp->head.status_code();
+        EXPECT_TRUE(code == StatusCode::kOverloaded ||
+                    code == StatusCode::kDeadlineExceeded ||
+                    code == StatusCode::kResourceExhausted ||
+                    code == StatusCode::kDataLoss ||
+                    code == StatusCode::kInvalidArgument ||
+                    code == StatusCode::kUnavailable)
+            << "unexpected typed outcome: " << resp->head.message;
+        continue;
+      }
+      ++successes;
+      if (promoted) ++post_promote_successes;
+      ExpectBitIdentical(*resp, src, tgt);
+    }
+    // The retry budget should push nearly everything through; what matters
+    // hard is that the promoted standby answers and nothing acknowledged
+    // was wrong.
+    EXPECT_GE(successes, rounds / 2);
+    EXPECT_GE(post_promote_successes, 1);
+    // Abandoned requests (a write fault killed the connection after the
+    // outcome was decided) finish on the workers asynchronously: let them
+    // settle before demanding exactness.
+    std::this_thread::sleep_for(test::Scaled(milliseconds(300)));
+    ExpectGlobalLedgerBalances(*pair.primary, *pair.standby);
+  }
+}
+
+TEST_F(NetFailoverTest, ReadyzNeverLiesThroughKillAndPromote) {
+  obs::Registry::Global().ResetAll();
+  HaPair pair(names_, xsds_);
+  // Caught up: the standby may take traffic soon — readyz goes 200.
+  ASSERT_TRUE(pair.AwaitCaughtUp());
+  ASSERT_TRUE(WaitFor([&] { return pair.standby->Ready(); },
+                      milliseconds(5000)));
+
+  // Primary dies, nobody promotes: within a read-timeout the standby
+  // notices the dead link and must stop vouching for its lag.
+  pair.primary->Stop();
+  ASSERT_TRUE(WaitFor([&] { return !pair.standby->Ready(); },
+                      milliseconds(10000)))
+      << "/readyz kept saying ready with a dead replication link";
+
+  // Promotion makes it a primary: ready again, truthfully.
+  pair.stream->Promote();
+  EXPECT_EQ(pair.standby->role(), Role::kPrimary);
+  EXPECT_TRUE(pair.standby->Ready());
+}
+
+}  // namespace
+}  // namespace qmatch::net
