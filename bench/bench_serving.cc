@@ -34,6 +34,7 @@
 
 #include "core/engine.h"
 #include "datagen/corpus.h"
+#include "fault/failpoint.h"
 #include "net/client.h"
 #include "net/resilient_client.h"
 #include "net/server.h"
@@ -220,6 +221,103 @@ void BM_Serve_FailoverGap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Serve_FailoverGap)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Iterations(5);
+
+/// Partition-heal convergence: a replicated pair split by the partition
+/// failpoints, the standby promoted to a new fencing epoch on the far
+/// side. Unmeasured: pair setup, catch-up, the partition itself and the
+/// promotion. Measured: from the heal to a fully converged cluster — the
+/// stale primary has heard the new epoch over its peer probe, fenced and
+/// demoted itself, and re-joined as a caught-up standby of the winner.
+/// This is the operator-facing recovery window after a network split.
+void BM_Serve_PartitionHeal(benchmark::State& state) {
+  const auto& corpus = datagen::Corpus();
+  const std::string a = corpus[0].name;
+  const std::string b = corpus[1].name;
+  const std::string xsd_a = xsd::ToXsd(corpus[0].make());
+  const std::string xsd_b = xsd::ToXsd(corpus[1].make());
+  for (auto _ : state) {
+    // Pair setup + catch-up: unmeasured. The standby carries its own
+    // replication log (AttachPrimary, then the role flipped back) so it
+    // can anchor the healed old primary after its promotion.
+    replica::ReplicationLog log_a(256);
+    core::MatchEngine engine_a{core::MatchEngineOptions{}};
+    net::ServerOptions options_a;
+    options_a.replica_heartbeat = std::chrono::milliseconds(20);
+    options_a.peer_probe_timeout = std::chrono::milliseconds(200);
+    replica::AttachPrimary(&engine_a, &options_a, &log_a);
+    net::Server server_a(&engine_a, options_a);
+    if (!server_a.Start().ok()) std::abort();
+    if (!server_a.RegisterSchema(a, xsd_a).ok()) std::abort();
+    if (!server_a.RegisterSchema(b, xsd_b).ok()) std::abort();
+
+    replica::ReplicationLog log_b(256);
+    core::MatchEngine engine_b{core::MatchEngineOptions{}};
+    net::ServerOptions options_b;
+    options_b.replica_heartbeat = std::chrono::milliseconds(20);
+    options_b.peer_probe_timeout = std::chrono::milliseconds(200);
+    replica::AttachPrimary(&engine_b, &options_b, &log_b);
+    options_b.role = net::Role::kStandby;
+    net::Server server_b(&engine_b, options_b);
+    if (!server_b.Start().ok()) std::abort();
+    server_a.SetPeer("127.0.0.1", server_b.port());
+    server_b.SetPeer("127.0.0.1", server_a.port());
+
+    replica::StandbyOptions stream_options;
+    stream_options.primary_port = server_a.port();
+    stream_options.backoff_base = std::chrono::milliseconds(10);
+    stream_options.backoff_cap = std::chrono::milliseconds(50);
+    replica::Standby stream_b(&engine_b, &server_b, stream_options);
+    if (!stream_b.Start().ok()) std::abort();
+    while (true) {
+      const replica::StandbyStats s = stream_b.stats();
+      if (s.connected && s.applied_seq >= log_a.head_seq()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    // Split the pair and promote the standby on the far side: epoch 2
+    // now owns the cluster, the old primary just cannot hear it yet.
+    {
+      fault::ScopedFailpoint sever_replica("net.partition.replica",
+                                           fault::FaultSpec{});
+      fault::ScopedFailpoint sever_peer("net.partition.peer",
+                                        fault::FaultSpec{});
+      stream_b.Promote();
+      if (server_b.role() != net::Role::kPrimary) std::abort();
+    }  // heal: the failpoints disarm here.
+
+    // Measured: heal -> the stale primary fenced, demoted, re-joined and
+    // caught up on the winner's log.
+    const steady_clock::time_point t0 = steady_clock::now();
+    while (server_a.role() != net::Role::kStandby) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    replica::StandbyOptions rejoin_options;
+    rejoin_options.primary_port = server_b.port();
+    rejoin_options.backoff_base = std::chrono::milliseconds(10);
+    rejoin_options.backoff_cap = std::chrono::milliseconds(50);
+    replica::Standby stream_a(&engine_a, &server_a, rejoin_options);
+    if (!stream_a.Start().ok()) std::abort();
+    while (true) {
+      const replica::StandbyStats s = stream_a.stats();
+      if (s.connected && s.applied_seq >= log_b.head_seq() &&
+          server_a.epoch() == 2 && !server_a.fenced()) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const steady_clock::time_point t1 = steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+
+    stream_a.Stop();
+    stream_b.Stop();
+    server_a.Stop();
+    server_b.Stop();
+  }
+}
+BENCHMARK(BM_Serve_PartitionHeal)
     ->Unit(benchmark::kMillisecond)
     ->UseManualTime()
     ->Iterations(5);

@@ -19,6 +19,9 @@
 //     --persist <dir>          engine warm-start/persistence directory
 //     --role <primary|standby> serving role (default primary)
 //     --replicate-from <host:port>  primary to stream from (standby only)
+//     --peer <host:port>       HA peer probed for a higher fencing epoch
+//                              (default: --replicate-from; the probe is
+//                              what self-demotes a partitioned primary)
 //     --drain-deadline-ms <ms> SIGTERM graceful-drain bound (default 5000)
 //     --ready-lag <n>          standby /readyz lag bound in records
 //     --replica-log <n>        primary replication log capacity
@@ -26,11 +29,16 @@
 // HTTP on the same port: GET /metrics (Prometheus), /healthz (alive),
 // /readyz (200 only when this node should take traffic).
 //
+// The fencing epoch (DESIGN.md §16) is persisted in the --persist
+// directory (epoch.qme): a promotion bumps it on disk before the role
+// flips, so a restarted daemon can never serve at an epoch it ceded.
+//
 // SIGTERM drains gracefully: stop accepting, finish in-flight requests
 // within --drain-deadline-ms, flush/compact the persist journal, exit.
 // SIGINT stops immediately (journal still flushed). SIGUSR1 promotes a
-// standby to primary in place. Exit code: 0 on clean stop, 1 on bad
-// input, 2 on usage error.
+// standby to primary in place — unless a drain/stop is already pending:
+// drain wins, a draining daemon is never resurrected as primary. Exit
+// code: 0 on clean stop, 1 on bad input, 2 on usage error.
 
 #include <csignal>
 #include <cstdio>
@@ -60,7 +68,8 @@ int Usage() {
       "  [--default-deadline-ms <ms>] [--idle-timeout-ms <ms>]\n"
       "  [--max-connections <n>] [--preload <dir>] [--persist <dir>]\n"
       "  [--role primary|standby] [--replicate-from <host:port>]\n"
-      "  [--drain-deadline-ms <ms>] [--ready-lag <n>] [--replica-log <n>]\n");
+      "  [--peer <host:port>] [--drain-deadline-ms <ms>] [--ready-lag <n>]\n"
+      "  [--replica-log <n>]\n");
   return 2;
 }
 
@@ -123,6 +132,7 @@ int main(int argc, char** argv) {
   server_options.port = 7433;
   std::string preload_dir;
   std::string replicate_from;
+  std::string peer_spec;
   std::chrono::milliseconds drain_deadline(5000);
   size_t replica_log_capacity = 8192;
 
@@ -171,6 +181,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--replicate-from" && (v = next()) != nullptr) {
       replicate_from = v;
+    } else if (arg == "--peer" && (v = next()) != nullptr) {
+      peer_spec = v;
     } else if (arg == "--drain-deadline-ms" && (v = next()) != nullptr) {
       drain_deadline = std::chrono::milliseconds(std::atoll(v));
     } else if (arg == "--ready-lag" && (v = next()) != nullptr) {
@@ -186,14 +198,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "qmatchd: --role standby needs --replicate-from\n");
     return Usage();
   }
+  // The fencing epoch lives next to the engine's persist state; a standby's
+  // primary doubles as its probe peer unless --peer overrides.
+  server_options.epoch_dir = engine_options.persist_dir;
+  if (peer_spec.empty()) peer_spec = replicate_from;
+  if (!peer_spec.empty() &&
+      !ParseHostPort(peer_spec, &server_options.peer_host,
+                     &server_options.peer_port)) {
+    std::fprintf(stderr, "qmatchd: unparseable --peer %s\n",
+                 peer_spec.c_str());
+    return Usage();
+  }
 
   core::MatchEngine engine(engine_options);
-  // A primary ships every durable mutation into the replication log so
-  // standbys can subscribe; wiring happens before the server exists.
+  // Every daemon owns a replication log, whatever role it starts in: a
+  // primary ships every durable mutation into it, and a standby needs it
+  // the moment a promotion makes it the anchor for the healed old
+  // primary. Applied replicated records never echo back into the log, so
+  // a standby's log stays quiet until it is promoted. AttachPrimary sets
+  // the role to primary; flip it back for a --role standby start.
   replica::ReplicationLog replication_log(replica_log_capacity);
-  if (!standby) {
-    replica::AttachPrimary(&engine, &server_options, &replication_log);
-  }
+  replica::AttachPrimary(&engine, &server_options, &replication_log);
+  if (standby) server_options.role = net::Role::kStandby;
   net::Server server(&engine, server_options);
 
   if (!preload_dir.empty()) {
@@ -238,14 +264,44 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleInt);
   std::signal(SIGTERM, HandleTerm);
   std::signal(SIGUSR1, HandlePromote);
-  while (g_stop == 0 && g_drain == 0) {
+  while (true) {
+    // Order matters: a pending drain/stop is honoured BEFORE a pending
+    // promote, so a SIGUSR1 racing a SIGTERM can never resurrect a
+    // draining daemon as primary. (Server::SetRole additionally refuses to
+    // leave kDraining — this check just makes the common race quiet.)
+    if (g_stop != 0 || g_drain != 0) break;
     if (g_promote != 0) {
       g_promote = 0;
       if (standby_stream != nullptr) {
         standby_stream->Promote();
-        std::printf("qmatchd: promoted to primary\n");
+        std::printf("qmatchd: promoted to primary (epoch %llu)\n",
+                    static_cast<unsigned long long>(server.epoch()));
         std::fflush(stdout);
       }
+    }
+    // A primary that fenced and self-demoted (a peer probe or subscriber
+    // showed it a higher epoch) re-joins as a standby of the winner: the
+    // stream's first subscribe carries the stale epoch, the winner's typed
+    // rejection names the new one, and the stream adopts it and re-anchors.
+    if (!standby && standby_stream == nullptr &&
+        server.role() == net::Role::kStandby &&
+        server_options.peer_port != 0) {
+      replica::StandbyOptions rejoin_options;
+      rejoin_options.primary_host = server_options.peer_host;
+      rejoin_options.primary_port = server_options.peer_port;
+      standby_stream = std::make_unique<replica::Standby>(&engine, &server,
+                                                          rejoin_options);
+      const Status rejoining = standby_stream->Start();
+      if (rejoining.ok()) {
+        std::printf("qmatchd: demoted; re-joining as standby of %s:%u\n",
+                    rejoin_options.primary_host.c_str(),
+                    rejoin_options.primary_port);
+      } else {
+        std::fprintf(stderr, "qmatchd: re-join: %s\n",
+                     rejoining.ToString().c_str());
+        standby_stream.reset();
+      }
+      std::fflush(stdout);
     }
     timespec ts{0, 100000000};  // 100ms
     nanosleep(&ts, nullptr);

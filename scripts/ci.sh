@@ -13,9 +13,10 @@
 #   scripts/ci.sh stress     # overload suite under ASan and TSan + load bench
 #   scripts/ci.sh recovery   # crash-point recovery suite under ASan and UBSan
 #   scripts/ci.sh serve      # net protocol+fuzz+chaos under ASan, serving bench
-#   scripts/ci.sh ha         # HA suite: replication, resilient client and the
-#                            # failover chaos harness under ASan and TSan, plus
-#                            # the gated failover-gap bench row
+#   scripts/ci.sh ha         # HA suite: replication (incl. wire fuzz),
+#                            # resilient client, and the failover + split-brain
+#                            # chaos harnesses under ASan and TSan, plus the
+#                            # gated failover-gap and partition-heal bench rows
 #   scripts/ci.sh perf       # Fig.4 runtime bench vs bench/baselines.json
 #   scripts/ci.sh coverage   # --coverage build; enforces the line floor
 #   scripts/ci.sh all        # all of the above
@@ -83,9 +84,10 @@ run_ubsan() {
 CHAOS_SEEDS="${QMATCH_CHAOS_SEEDS:-1,2,3,4,5}"
 
 run_chaos() {
-  # `-L chaos` runs EVERY chaos-labelled binary (engine, socket and
-  # failover schedules), so all of them must be built here.
-  local chaos_targets=(chaos_engine_test net_chaos_test net_failover_test)
+  # `-L chaos` runs EVERY chaos-labelled binary (engine, socket, failover
+  # and split-brain schedules), so all of them must be built here.
+  local chaos_targets=(chaos_engine_test net_chaos_test net_failover_test
+                       net_splitbrain_test)
 
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DQMATCH_SANITIZE=address
@@ -184,17 +186,22 @@ run_serve() {
   ./build/bench/bench_serving --load-table
 }
 
-# HA suite: the replication log/wire layer, the resilient client's
-# retry/failover rules and the role/readiness surface as plain tests, then
-# the seeded failover chaos harness (kill the primary, promote the
-# standby, require bit-identical acknowledged results) — all under both
-# ASan (leaks on the teardown/reconnect paths) and TSan (the replication
-# thread, the heartbeat timer and the promote flip race here if
-# anywhere). Uninstrumented afterwards: the client-observed failover-gap
-# bench row, gated against bench/baselines.json.
+# HA suite: the replication log/wire layer (incl. the seeded wire fuzzer),
+# the resilient client's retry/failover rules and the role/readiness
+# surface as plain tests, then the seeded failover chaos harness (kill the
+# primary, promote the standby, require bit-identical acknowledged
+# results) and the split-brain harness (partition, promote on the far
+# side, drive both sides, heal; require at most one epoch's acks per
+# request and the fenced primary re-joining as a standby of the winner) —
+# all under both ASan (leaks on the teardown/reconnect paths) and TSan
+# (the replication thread, the heartbeat/probe timers and the promote flip
+# race here if anywhere). Uninstrumented afterwards: the client-observed
+# failover-gap and partition-heal bench rows, gated against
+# bench/baselines.json.
 run_ha() {
-  local ha_targets=(replica_log_test net_resilient_client_test net_ha_test
-                    net_failover_test)
+  local ha_targets=(replica_log_test replica_wire_fuzz_test
+                    net_resilient_client_test net_ha_test
+                    net_failover_test net_splitbrain_test)
 
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DQMATCH_SANITIZE=address
@@ -202,26 +209,30 @@ run_ha() {
   local san_opts="halt_on_error=1:abort_on_error=1:detect_leaks=1"
   ASAN_OPTIONS="${san_opts}" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --test-dir build-asan --output-on-failure \
-        -R 'replica_log_test|net_resilient_client_test|net_ha_test'
+        -R 'replica_log_test|replica_wire_fuzz_test|net_resilient_client_test|net_ha_test'
   QMATCH_CHAOS_SEEDS="${CHAOS_SEEDS}" \
   ASAN_OPTIONS="${san_opts}" UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-  ctest --test-dir build-asan --output-on-failure -C chaos -R net_failover_test
+  ctest --test-dir build-asan --output-on-failure -C chaos \
+        -R 'net_failover_test|net_splitbrain_test'
 
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DQMATCH_SANITIZE=thread
   cmake --build build-tsan -j "${JOBS}" --target "${ha_targets[@]}"
   TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir build-tsan --output-on-failure \
-        -R 'replica_log_test|net_resilient_client_test|net_ha_test'
+        -R 'replica_log_test|replica_wire_fuzz_test|net_resilient_client_test|net_ha_test'
   QMATCH_CHAOS_SEEDS="${CHAOS_SEEDS}" \
   TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir build-tsan --output-on-failure -C chaos -R net_failover_test
+  ctest --test-dir build-tsan --output-on-failure -C chaos \
+        -R 'net_failover_test|net_splitbrain_test'
 
-  # The failover-gap row runs uninstrumented: it is a wall-clock outage
-  # measurement, and sanitizer slowdowns would distort it.
+  # The failover-gap and partition-heal rows run uninstrumented: they are
+  # wall-clock outage/recovery measurements, and sanitizer slowdowns would
+  # distort them.
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build -j "${JOBS}" --target bench_serving
-  ./build/bench/bench_serving --benchmark_filter=FailoverGap \
+  ./build/bench/bench_serving \
+      --benchmark_filter='FailoverGap|PartitionHeal' \
       --benchmark_format=json \
     | python3 scripts/check_perf.py bench/baselines.json
 }

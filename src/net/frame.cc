@@ -110,10 +110,12 @@ namespace {
 void PutHead(Encoder* enc, const ResponseHead& head) {
   enc->PutU32(head.code);
   enc->PutString(head.message);
+  enc->PutU64(head.epoch);
 }
 
 bool GetHead(Decoder* dec, ResponseHead* head) {
-  return dec->GetU32(&head->code) && dec->GetString(&head->message);
+  return dec->GetU32(&head->code) && dec->GetString(&head->message) &&
+         dec->GetU64(&head->epoch);
 }
 
 }  // namespace

@@ -157,6 +157,11 @@ bool DecodeMatchCorpusReq(std::string_view payload, MatchCorpusReq* out);
 struct ResponseHead {
   uint32_t code = 0;
   std::string message;
+  /// The answering server's fencing epoch (DESIGN.md §16). Every response
+  /// — success, typed error, kRole, kHealth — carries the responder's OWN
+  /// epoch, so clients and peers learn about promotions from any frame.
+  /// 0 means "epoch-unaware" (a pre-epoch peer or an unset head).
+  uint64_t epoch = 0;
 
   bool ok() const { return code == 0; }
   StatusCode status_code() const { return static_cast<StatusCode>(code); }

@@ -39,11 +39,62 @@ nanoseconds RetryBackoff(milliseconds base, milliseconds cap, uint64_t attempt,
 }
 
 ResilientClient::ResilientClient(ResilientClientOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      endpoint_epochs_(options_.endpoints.size(), 0) {}
+
+void ResilientClient::NoteEpoch(size_t endpoint, const ResponseHead& head) {
+  if (head.epoch != 0 && endpoint < endpoint_epochs_.size()) {
+    endpoint_epochs_[endpoint] = head.epoch;
+    max_epoch_ = std::max(max_epoch_, head.epoch);
+  }
+  // A fenced server's refusal names the epoch that beat it — higher than
+  // anything in its own head. "winner_epoch=<N>" is part of the
+  // stale_epoch message contract (net::Server::DispatchFrame).
+  static constexpr std::string_view kWinnerKey = "winner_epoch=";
+  const size_t at = head.message.find(kWinnerKey);
+  if (at != std::string::npos) {
+    uint64_t winner = 0;
+    for (size_t i = at + kWinnerKey.size(); i < head.message.size(); ++i) {
+      const char c = head.message[i];
+      if (c < '0' || c > '9') break;
+      winner = winner * 10 + static_cast<uint64_t>(c - '0');
+    }
+    max_epoch_ = std::max(max_epoch_, winner);
+  }
+}
 
 void ResilientClient::Failover() {
   if (options_.endpoints.empty()) return;
-  endpoint_index_ = (endpoint_index_ + 1) % options_.endpoints.size();
+  const size_t n = options_.endpoints.size();
+  size_t next = (endpoint_index_ + 1) % n;  // plain rotation fallback
+  // First choice: an endpoint KNOWN to hold the highest epoch seen (the
+  // new primary, once it has answered anything). Second choice: the next
+  // endpoint not known to be stale — an unanswered endpoint (epoch 0) may
+  // BE the new primary. Known-stale endpoints are never failed back to
+  // while a fresher one exists; if every endpoint is stale (heal in
+  // progress) plain rotation wins — availability over precision.
+  bool chosen = false;
+  if (max_epoch_ > 0) {
+    for (size_t step = 0; step < n && !chosen; ++step) {
+      const size_t cand = (endpoint_index_ + 1 + step) % n;
+      if (cand != endpoint_index_ && endpoint_epochs_[cand] == max_epoch_) {
+        next = cand;
+        chosen = true;
+      }
+    }
+  }
+  for (size_t step = 0; step < n && !chosen; ++step) {
+    const size_t cand = (endpoint_index_ + 1 + step) % n;
+    const uint64_t known = endpoint_epochs_[cand];
+    if (known == 0 || known >= max_epoch_) {
+      next = cand;
+      chosen = true;
+    } else {
+      ++stats_.stale_endpoint_skips;
+      QMATCH_COUNTER_ADD("client.stale_endpoint_skips", 1);
+    }
+  }
+  endpoint_index_ = next;
   ++stats_.failovers;
   QMATCH_COUNTER_ADD("client.failovers", 1);
 }
@@ -129,6 +180,7 @@ Result<Resp> ResilientClient::CallRetry(MsgType req_type, std::string payload,
         if (!idempotent) return last_error;
         continue;
       }
+      NoteEpoch(endpoint_index_, resp.head);
       if (resp.head.status_code() == StatusCode::kUnavailable) {
         // The server refused BEFORE any work ran (standby or draining):
         // retrying against the next endpoint is safe for every request
@@ -155,6 +207,7 @@ Result<Resp> ResilientClient::CallRetry(MsgType req_type, std::string payload,
       if (!idempotent) return last_error;
       continue;
     }
+    NoteEpoch(endpoint_index_, resp.head);
     return resp;
   }
   return last_error;

@@ -59,6 +59,9 @@ struct ResilientClientStats {
   uint64_t retries = 0;     ///< attempts after the first, across all calls
   uint64_t reconnects = 0;  ///< sockets (re)established
   uint64_t failovers = 0;   ///< endpoint advances after a failure
+  /// Endpoints passed over during failover because their last answer
+  /// carried an epoch below the highest seen (split-brain fencing).
+  uint64_t stale_endpoint_skips = 0;
 };
 
 /// A qmatchd client that survives its server (DESIGN.md §15): automatic
@@ -78,6 +81,13 @@ struct ResilientClientStats {
 ///     the caller, which owns the resubmit decision.
 ///   - Budget exhaustion returns the LAST error observed (the typed
 ///     kUnavailable, the connect errno, ...), never a generic failure.
+///
+/// Epoch awareness (DESIGN.md §16): every response head carries the
+/// answering server's fencing epoch, and a fenced server's
+/// kUnavailable{stale_epoch} refusal names the winning epoch. The client
+/// tracks both, prefers the endpoint known to hold the highest epoch on
+/// failover, and never fails BACK to an endpoint whose last answer was
+/// stale — the split-brain half of the failover contract.
 ///
 /// Not thread-safe: one instance per calling thread, like net::Client.
 class ResilientClient {
@@ -103,6 +113,14 @@ class ResilientClient {
 
   /// Index into options().endpoints the client is currently sticky on.
   size_t current_endpoint() const { return endpoint_index_; }
+
+  /// Highest fencing epoch seen across every response head and every
+  /// winner_epoch named by a stale_epoch refusal. 0 until a server answers.
+  uint64_t highest_epoch() const { return max_epoch_; }
+  /// Last epoch the given endpoint answered with (0 = never answered).
+  uint64_t endpoint_epoch(size_t index) const {
+    return index < endpoint_epochs_.size() ? endpoint_epochs_[index] : 0;
+  }
   bool connected() const { return client_.connected(); }
   const ResilientClientOptions& options() const { return options_; }
   ResilientClientStats stats() const { return stats_; }
@@ -116,14 +134,22 @@ class ResilientClient {
                          bool (*decode)(std::string_view, Resp*),
                          bool idempotent);
 
-  /// Advances the sticky endpoint after a failure.
+  /// Advances the sticky endpoint after a failure, skipping endpoints
+  /// known to be at a stale epoch and preferring the highest-epoch one.
   void Failover();
+
+  /// Records the epoch an endpoint answered with (head.epoch) and raises
+  /// the high-water mark; also mines a stale_epoch refusal's message for
+  /// the winning epoch it names.
+  void NoteEpoch(size_t endpoint, const ResponseHead& head);
 
   ResilientClientOptions options_;
   Client client_;
   size_t endpoint_index_ = 0;
   uint64_t attempt_counter_ = 0;  ///< global: diversifies backoff jitter
   ResilientClientStats stats_;
+  std::vector<uint64_t> endpoint_epochs_;
+  uint64_t max_epoch_ = 0;
 };
 
 }  // namespace qmatch::net

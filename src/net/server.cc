@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "fault/failpoint.h"
+#include "net/client.h"
 #include "obs/obs.h"
+#include "persist/epoch.h"
 #include "persist/snapshot.h"
 #include "replica/log.h"
 #include "replica/wire.h"
@@ -79,7 +81,15 @@ struct Server::Connection {
 Server::Server(core::MatchEngine* engine, ServerOptions options)
     : engine_(engine),
       options_(std::move(options)),
-      role_(static_cast<uint32_t>(options_.role)) {}
+      role_(static_cast<uint32_t>(options_.role)) {
+  // Epoch 0 never exists on the wire from this server: 0 is the "epoch
+  // unaware" sentinel in heads and subscribe requests.
+  const uint64_t floor = options_.epoch > 0 ? options_.epoch : 1;
+  epoch_.store(floor, std::memory_order_release);
+  epoch_seen_.store(floor, std::memory_order_release);
+  peer_host_ = options_.peer_host;
+  peer_port_ = options_.peer_port;
+}
 
 Server::~Server() { Stop(); }
 
@@ -130,6 +140,25 @@ Status Server::Start() {
                   &bound_len) == 0) {
     port_ = ntohs(bound.sin_port);
   }
+
+  // The persisted epoch floors the configured one: a restarted process
+  // resumes at least at the epoch it last promoted to, so a crash between
+  // promotion and the first request cannot resurrect a stale epoch. A
+  // corrupt file is counted and the configured floor kept — "unknown"
+  // must never read as 0.
+  if (!options_.epoch_dir.empty()) {
+    Result<uint64_t> persisted = persist::LoadEpoch(options_.epoch_dir);
+    if (persisted.ok()) {
+      if (persisted.value() > epoch_.load(std::memory_order_acquire)) {
+        epoch_.store(persisted.value(), std::memory_order_release);
+        epoch_seen_.store(persisted.value(), std::memory_order_release);
+      }
+    } else {
+      QMATCH_COUNTER_ADD("net.epoch_load_failures", 1);
+    }
+  }
+  QMATCH_GAUGE_SET("net.epoch", static_cast<int64_t>(
+                                    epoch_.load(std::memory_order_acquire)));
 
   workers_ = std::make_unique<ThreadPool>(
       options_.request_threads > 0 ? options_.request_threads : 1);
@@ -221,9 +250,85 @@ Status Server::Drain(std::chrono::milliseconds deadline) {
 }
 
 void Server::SetRole(Role role) {
-  role_.store(static_cast<uint32_t>(role), std::memory_order_release);
+  // kDraining is terminal: a SIGUSR1 promote that loses the race against a
+  // SIGTERM drain must not resurrect the server as primary. The CAS loop
+  // re-checks on contention so Drain always wins.
+  uint32_t current = role_.load(std::memory_order_acquire);
+  do {
+    if (static_cast<Role>(current) == Role::kDraining &&
+        role != Role::kDraining) {
+      QMATCH_COUNTER_ADD("net.role_changes_refused", 1);
+      return;
+    }
+  } while (!role_.compare_exchange_weak(current, static_cast<uint32_t>(role),
+                                        std::memory_order_acq_rel));
   QMATCH_COUNTER_ADD("net.role_changes", 1);
   QMATCH_GAUGE_SET("net.role", static_cast<int64_t>(role));
+}
+
+Status Server::AdoptEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  if (epoch <= epoch_.load(std::memory_order_acquire)) return Status::OK();
+  // Persist BEFORE the in-memory epoch moves: a crash after the write but
+  // before the store restarts at the new epoch (safe — an epoch may be
+  // skipped, never reused), a crash before the write restarts at the old
+  // one having claimed nothing. A failed write is counted but does not
+  // veto adoption: refusing to fence on a full disk would trade split-brain
+  // safety for nothing (the winner's epoch is already on the wire).
+  Status persisted = Status::OK();
+  if (!options_.epoch_dir.empty()) {
+    persisted = persist::SaveEpoch(options_.epoch_dir, epoch);
+    if (!persisted.ok()) QMATCH_COUNTER_ADD("net.epoch_persist_failures", 1);
+  }
+  epoch_.store(epoch, std::memory_order_release);
+  uint64_t seen = epoch_seen_.load(std::memory_order_acquire);
+  while (seen < epoch && !epoch_seen_.compare_exchange_weak(
+                             seen, epoch, std::memory_order_acq_rel)) {
+  }
+  // Catching up to (or past) the winning epoch lifts the fence.
+  const uint64_t winner = fenced_by_.load(std::memory_order_acquire);
+  if (winner != 0 && epoch >= winner) {
+    fenced_by_.store(0, std::memory_order_release);
+  }
+  QMATCH_GAUGE_SET("net.epoch", static_cast<int64_t>(epoch));
+  return persisted;
+}
+
+void Server::ObserveEpoch(uint64_t epoch) {
+  if (epoch == 0) return;  // epoch-unaware peer: nothing learned
+  uint64_t seen = epoch_seen_.load(std::memory_order_acquire);
+  while (epoch > seen && !epoch_seen_.compare_exchange_weak(
+                             seen, epoch, std::memory_order_acq_rel)) {
+  }
+  if (epoch <= epoch_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  if (epoch <= epoch_.load(std::memory_order_acquire)) return;
+  // A higher epoch exists: this server is fenced until AdoptEpoch catches
+  // up. A fenced primary self-demotes immediately — it refuses mutable
+  // work typed and severs its subscribers (it must not re-anchor a standby
+  // at the stale epoch).
+  uint64_t winner = fenced_by_.load(std::memory_order_acquire);
+  while (epoch > winner && !fenced_by_.compare_exchange_weak(
+                               winner, epoch, std::memory_order_acq_rel)) {
+  }
+  if (role() == Role::kPrimary) {
+    self_demotions_.fetch_add(1, std::memory_order_relaxed);
+    QMATCH_COUNTER_ADD("net.self_demotions", 1);
+    SetRole(Role::kStandby);
+    loop_.Post([this] { CloseAllReplicas(); });
+  }
+}
+
+void Server::SetPeer(const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(peer_mutex_);
+  peer_host_ = host;
+  peer_port_ = port;
+}
+
+ResponseHead Server::MakeHead(const Status& status) const {
+  ResponseHead head = ResponseHead::FromStatus(status);
+  head.epoch = epoch();
+  return head;
 }
 
 bool Server::Ready() const {
@@ -301,6 +406,8 @@ ServerStats Server::stats() const {
   s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
   s.http_metrics = http_metrics_.load(std::memory_order_relaxed);
   s.replica_subscribers = replica_subscribers_.load(std::memory_order_relaxed);
+  s.self_demotions = self_demotions_.load(std::memory_order_relaxed);
+  s.stale_refusals = stale_refusals_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -384,6 +491,14 @@ void Server::ReadConnection(Connection* conn) {
     CloseConnection(conn_id);
     return;
   }
+  // Partition injection, client class: ordinary request connections are
+  // severed while the replica stream (push-mode, never read again) lives
+  // on — the inverse of net.partition.replica.
+  if (!conn->replica && QMATCH_FAILPOINT_FIRED("net.partition.client")) {
+    QMATCH_COUNTER_ADD("net.partition_drops", 1);
+    CloseConnection(conn_id);
+    return;
+  }
   bool peer_closed = false;
   while (true) {
     char buf[65536];
@@ -432,8 +547,8 @@ void Server::ProcessInput(Connection* conn) {
       bad_frames_.fetch_add(1, std::memory_order_relaxed);
       QMATCH_COUNTER_ADD("net.bad_frames", 1);
       SendFrame(conn, EncodeFrame(MsgType::kErrorResp,
-                                  EncodeErrorResp(ResponseHead::FromStatus(
-                                      Status::DataLoss("frame fault injected")))));
+                                  EncodeErrorResp(MakeHead(Status::DataLoss(
+                                      "frame fault injected")))));
       conn->closing = true;
       break;
     }
@@ -449,8 +564,8 @@ void Server::ProcessInput(Connection* conn) {
           decoded == FrameDecodeResult::kBadLength
               ? Status::InvalidArgument("frame length exceeds protocol cap")
               : Status::DataLoss("frame crc mismatch");
-      SendFrame(conn, EncodeFrame(MsgType::kErrorResp, EncodeErrorResp(
-                                      ResponseHead::FromStatus(status))));
+      SendFrame(conn, EncodeFrame(MsgType::kErrorResp,
+                                  EncodeErrorResp(MakeHead(status))));
       // The byte stream cannot be resynchronised past a framing violation:
       // answer typed, then close after the flush.
       conn->closing = true;
@@ -461,8 +576,8 @@ void Server::ProcessInput(Connection* conn) {
       const Status status =
           Status::ResourceExhausted("pipeline depth exceeded");
       CountOutcome(status);
-      SendFrame(conn, EncodeFrame(MsgType::kErrorResp, EncodeErrorResp(
-                                      ResponseHead::FromStatus(status))));
+      SendFrame(conn, EncodeFrame(MsgType::kErrorResp,
+                                  EncodeErrorResp(MakeHead(status))));
       continue;
     }
     conn->pending.push_back(std::move(frame));
@@ -506,7 +621,8 @@ void Server::ServeHttp(Connection* conn) {
     // Liveness: the process answered, so it is alive — role is
     // informational. A draining server is alive and not ready.
     QMATCH_COUNTER_ADD("net.http_healthz", 1);
-    body = "ok role=" + std::string(RoleName(role())) + "\n";
+    body = "ok role=" + std::string(RoleName(role())) +
+           " epoch=" + std::to_string(epoch()) + "\n";
   } else if (path == "/readyz") {
     // Readiness: should a load balancer route traffic here right now?
     QMATCH_COUNTER_ADD("net.http_readyz", 1);
@@ -518,6 +634,7 @@ void Server::ServeHttp(Connection* conn) {
     }
     body = std::string(ready ? "ready" : "unready") + " role=" +
            std::string(RoleName(static_cast<Role>(state.role))) +
+           " epoch=" + std::to_string(state.head.epoch) +
            " lag_records=" + std::to_string(state.lag_records) +
            " applied_seq=" + std::to_string(state.applied_seq) +
            " head_seq=" + std::to_string(state.head_seq) + "\n";
@@ -552,14 +669,29 @@ void Server::DispatchFrame(Connection* conn, Frame frame) {
   // per-request body to learn the status.
   const auto reject = [&](const Status& status) {
     CountOutcome(status);
-    SendFrame(conn, EncodeFrame(MsgType::kErrorResp, EncodeErrorResp(
-                                    ResponseHead::FromStatus(status))));
+    SendFrame(conn, EncodeFrame(MsgType::kErrorResp,
+                                EncodeErrorResp(MakeHead(status))));
+  };
+  // A fenced server (it observed a higher epoch) answers with the winning
+  // epoch in the message AND its own epoch in the head — the client learns
+  // where to go, and never mistakes this endpoint for current.
+  const auto reject_stale = [&](uint64_t winner) {
+    stale_refusals_.fetch_add(1, std::memory_order_relaxed);
+    QMATCH_COUNTER_ADD("net.stale_refusals", 1);
+    reject(Status::Unavailable(
+        "stale_epoch: epoch=" + std::to_string(epoch()) +
+        " winner_epoch=" + std::to_string(winner)));
   };
   // Engine work runs only on a primary: a standby's state is replicated,
   // not owned, and a draining server is shedding. The rejection is typed
   // kUnavailable BEFORE any work runs, so a client may safely retry it
   // against another endpoint whatever the request type.
   const auto require_primary = [&]() {
+    const uint64_t winner = fenced_by_.load(std::memory_order_acquire);
+    if (winner != 0) {
+      reject_stale(winner);
+      return false;
+    }
     const Role r = role();
     if (r == Role::kPrimary) return true;
     reject(Status::Unavailable("not primary: role=" +
@@ -614,6 +746,7 @@ void Server::DispatchFrame(Connection* conn, Frame frame) {
     }
     case MsgType::kGetMetrics: {
       MetricsResp resp;
+      resp.head.epoch = epoch();
       resp.prometheus_text = obs::Registry::Global().PrometheusText();
       CountOutcome(Status::OK());
       SendFrame(conn, EncodeFrame(MsgType::kGetMetricsResp,
@@ -624,6 +757,7 @@ void Server::DispatchFrame(Connection* conn, Frame frame) {
       // Answered inline by every role, draining included: if the process
       // can speak the protocol, it is alive.
       HealthResp resp;
+      resp.head.epoch = epoch();
       resp.role = static_cast<uint32_t>(role());
       CountOutcome(Status::OK());
       SendFrame(conn, EncodeFrame(MsgType::kHealthResp,
@@ -637,6 +771,14 @@ void Server::DispatchFrame(Connection* conn, Frame frame) {
       return;
     }
     case MsgType::kReplicaSubscribe: {
+      // Partition injection: the replica-class link is severed — the
+      // subscription dies like a cut cable (no response), while client
+      // connections on the same server keep working.
+      if (QMATCH_FAILPOINT_FIRED("net.partition.replica")) {
+        QMATCH_COUNTER_ADD("net.partition_drops", 1);
+        conn->closing = true;
+        return;
+      }
       if (options_.replication_log == nullptr) {
         reject(Status::Unavailable("replication not enabled on this server"));
         return;
@@ -644,6 +786,20 @@ void Server::DispatchFrame(Connection* conn, Frame frame) {
       replica::SubscribeReq req;
       if (!replica::DecodeSubscribeReq(frame.payload, &req)) {
         reject(Status::InvalidArgument("undecodable Subscribe payload"));
+        return;
+      }
+      // The handshake is one of the three demotion triggers: a subscriber
+      // arriving from a higher epoch fences this server before any reply.
+      ObserveEpoch(req.epoch);
+      const uint64_t winner = fenced_by_.load(std::memory_order_acquire);
+      if (winner != 0) {
+        reject_stale(winner);
+        return;
+      }
+      if (req.epoch != 0 && req.epoch < epoch()) {
+        // A promoted server never anchors a lower epoch: the subscriber
+        // reads the head's (higher) epoch, adopts it and resubscribes.
+        reject_stale(epoch());
         return;
       }
       CountOutcome(Status::OK());
@@ -670,6 +826,12 @@ void Server::DispatchFrame(Connection* conn, Frame frame) {
 void Server::PumpReplica(Connection* conn) {
   replica::ReplicationLog* log = options_.replication_log;
   if (log == nullptr || !conn->replica || conn->closing) return;
+  // A fenced server never re-anchors a standby at its stale epoch: the
+  // link is cut and the subscriber finds the winner through its endpoints.
+  if (fenced()) {
+    conn->closing = true;
+    return;
+  }
   while (true) {
     std::vector<replica::LogRecord> batch;
     if (!log->Fetch(conn->replica_next_seq, options_.replica_batch_records,
@@ -680,6 +842,7 @@ void Server::PumpReplica(Connection* conn) {
       // idempotently (last-wins, same as journal-over-snapshot recovery).
       replica::SnapshotMsg snap;
       snap.next_seq = log->head_seq() + 1;
+      snap.epoch = epoch();
       std::vector<std::pair<std::string, std::string>> schemas =
           ExportSchemas();
       snap.schemas.reserve(schemas.size());
@@ -712,6 +875,7 @@ void Server::PumpReplica(Connection* conn) {
     if (batch.empty()) return;  // caught up
     replica::RecordsMsg msg;
     msg.head_seq = log->head_seq();
+    msg.epoch = epoch();
     conn->replica_next_seq = batch.back().seq + 1;
     msg.records = std::move(batch);
     std::string payload = replica::EncodeRecordsMsg(msg);
@@ -748,28 +912,84 @@ void Server::ArmReplicaHeartbeat() {
       loop_.timers().ScheduleAfter(options_.replica_heartbeat, [this] {
         replica::ReplicationLog* log = options_.replication_log;
         if (log != nullptr) {
-          // Ship anything owed first, then an empty batch carrying the
-          // head: an idle standby's lag reading stays truthful and a dead
-          // link surfaces as a send failure here instead of never.
-          PumpAllReplicas();
-          replica::RecordsMsg heartbeat;
-          heartbeat.head_seq = log->head_seq();
-          const std::string frame = EncodeFrame(
-              MsgType::kReplicaRecords, replica::EncodeRecordsMsg(heartbeat));
-          std::vector<uint64_t> ids;
-          ids.reserve(connections_.size());
-          for (const auto& [id, conn] : connections_) {
-            if (conn->replica && !conn->closing) ids.push_back(id);
-          }
-          for (const uint64_t id : ids) {
-            Connection* conn = FindConnection(id);
-            if (conn == nullptr) continue;
-            SendFrame(conn, frame);
-            FlushConnection(conn);
+          if (QMATCH_FAILPOINT_FIRED("net.partition.replica") || fenced()) {
+            // Partitioned or fenced: sever every subscriber instead of
+            // pumping — a dead link must look dead, and a stale primary
+            // must not keep feeding a standby it no longer owns.
+            CloseAllReplicas();
+          } else {
+            // Ship anything owed first, then an empty batch carrying the
+            // head: an idle standby's lag reading stays truthful and a dead
+            // link surfaces as a send failure here instead of never.
+            PumpAllReplicas();
+            replica::RecordsMsg heartbeat;
+            heartbeat.head_seq = log->head_seq();
+            heartbeat.epoch = epoch();
+            const std::string frame = EncodeFrame(
+                MsgType::kReplicaRecords, replica::EncodeRecordsMsg(heartbeat));
+            std::vector<uint64_t> ids;
+            ids.reserve(connections_.size());
+            for (const auto& [id, conn] : connections_) {
+              if (conn->replica && !conn->closing) ids.push_back(id);
+            }
+            for (const uint64_t id : ids) {
+              Connection* conn = FindConnection(id);
+              if (conn == nullptr) continue;
+              SendFrame(conn, frame);
+              FlushConnection(conn);
+            }
           }
         }
+        ProbePeerEpoch();
         ArmReplicaHeartbeat();
       });
+}
+
+void Server::CloseAllReplicas() {
+  std::vector<uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) {
+    if (conn->replica) ids.push_back(id);
+  }
+  for (const uint64_t id : ids) CloseConnection(id);
+  if (!ids.empty()) {
+    QMATCH_COUNTER_ADD("net.replica_links_severed", ids.size());
+  }
+}
+
+void Server::ProbePeerEpoch() {
+  // The probe is a primary-side defence: only a server that believes it
+  // owns the epoch needs to discover it does not. (Standbys learn from
+  // their stream instead.)
+  if (role() != Role::kPrimary) return;
+  std::string host;
+  uint16_t port = 0;
+  {
+    std::lock_guard<std::mutex> lock(peer_mutex_);
+    host = peer_host_;
+    port = peer_port_;
+  }
+  if (port == 0) return;
+  // Partition injection: the peer link is down — probes vanish.
+  if (QMATCH_FAILPOINT_FIRED("net.partition.peer")) {
+    QMATCH_COUNTER_ADD("net.partition_drops", 1);
+    return;
+  }
+  // One probe in flight at a time: heartbeats must not pile blocked
+  // connects behind a slow peer.
+  if (probe_inflight_.exchange(true, std::memory_order_acq_rel)) return;
+  workers_->Submit([this, host, port] {
+    Result<Client> peer =
+        Client::Connect(host, port, options_.peer_probe_timeout);
+    if (peer.ok()) {
+      Result<RoleResp> role_resp = peer.value().GetRole();
+      if (role_resp.ok()) {
+        QMATCH_COUNTER_ADD("net.peer_probes_ok", 1);
+        ObserveEpoch(role_resp.value().head.epoch);
+      }
+    }
+    probe_inflight_.store(false, std::memory_order_release);
+  });
 }
 
 void Server::SendFrame(Connection* conn, std::string frame_bytes) {
@@ -883,6 +1103,7 @@ Deadline Server::RequestDeadline(uint64_t deadline_ms) const {
 
 StatsResp Server::BuildStats() const {
   StatsResp s;
+  s.head.epoch = epoch();
   s.schemas = schema_count();
   const core::MatchEngineCacheStats cache = engine_->cache_stats();
   s.cache_hits = cache.hits;
@@ -897,6 +1118,7 @@ StatsResp Server::BuildStats() const {
 
 RoleResp Server::BuildRole() const {
   RoleResp resp;
+  resp.head.epoch = epoch();
   const Role r = role();
   resp.role = static_cast<uint32_t>(r);
   resp.ready = Ready() ? 1 : 0;
@@ -953,6 +1175,7 @@ void Server::ExecuteSubmitSchema(uint64_t conn_id, SubmitSchemaReq req) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           steady_clock::now() - start)
           .count());
+  resp.head.epoch = epoch();
   CompleteRequest(conn_id, resp.head.ToStatus(),
                   EncodeFrame(MsgType::kSubmitSchemaResp,
                               EncodeSubmitSchemaResp(resp)));
@@ -989,6 +1212,7 @@ void Server::ExecuteMatchPair(uint64_t conn_id, MatchPairReq req) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           steady_clock::now() - start)
           .count());
+  resp.head.epoch = epoch();
   CompleteRequest(
       conn_id, resp.head.ToStatus(),
       EncodeFrame(MsgType::kMatchPairResp, EncodeMatchPairResp(resp)));
@@ -1033,6 +1257,7 @@ void Server::ExecuteMatchCorpus(uint64_t conn_id, MatchCorpusReq req) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           steady_clock::now() - start)
           .count());
+  resp.head.epoch = epoch();
   CompleteRequest(
       conn_id, resp.head.ToStatus(),
       EncodeFrame(MsgType::kMatchCorpusResp, EncodeMatchCorpusResp(resp)));

@@ -35,8 +35,10 @@ namespace qmatch::net {
 ///              rejected typed, in-flight work finishing. Terminal.
 ///
 /// Transitions: kStandby -> kPrimary (promote), kPrimary|kStandby ->
-/// kDraining (drain). There is no demotion back to standby — a drained
-/// process exits and restarts into whichever role it is told.
+/// kDraining (drain), and kPrimary -> kStandby (self-demotion: a primary
+/// that observes a higher fencing epoch fences itself, DESIGN.md §16).
+/// kDraining is terminal — SetRole refuses to leave it, so a late promote
+/// can never resurrect a draining server.
 enum class Role : uint32_t {
   kPrimary = 1,
   kStandby = 2,
@@ -80,6 +82,28 @@ struct ServerOptions {
   /// Serving role at Start (promote later via SetRole).
   Role role = Role::kPrimary;
 
+  /// Fencing-epoch floor at Start. The effective starting epoch is
+  /// max(epoch, persisted epoch in epoch_dir); a higher epoch observed on
+  /// the wire is adopted (and persisted) at runtime. Epoch 0 never exists
+  /// on the wire from this server — the floor is clamped to 1.
+  uint64_t epoch = 1;
+
+  /// Directory holding the persisted fencing epoch (epoch.qme). Empty =
+  /// epoch not persisted (tests, throwaway daemons) — promotions still
+  /// bump the in-memory epoch but a restart forgets it.
+  std::string epoch_dir;
+
+  /// Peer to probe for a higher epoch on the replica heartbeat timer (a
+  /// primary-side anti-split-brain probe: a kRole request whose response
+  /// head carries the peer's epoch). Port 0 disables probing; also
+  /// settable after Start via SetPeer (test fixtures learn ports late).
+  std::string peer_host = "127.0.0.1";
+  uint16_t peer_port = 0;
+
+  /// Connect/read budget of one peer probe (it runs on a worker thread,
+  /// never the loop).
+  std::chrono::milliseconds peer_probe_timeout{100};
+
   /// Primary-side replication source (borrowed, must outlive the server;
   /// null = replication off). kReplicaSubscribe connections stream this
   /// log; a subscriber behind the log's base is anchored with a full
@@ -120,6 +144,8 @@ struct ServerStats {
   uint64_t bad_frames = 0;     ///< CRC/length/decode failures answered typed
   uint64_t http_metrics = 0;   ///< GET /metrics scrapes served
   uint64_t replica_subscribers = 0;  ///< kReplicaSubscribe accepted
+  uint64_t self_demotions = 0;  ///< primary fenced itself on a higher epoch
+  uint64_t stale_refusals = 0;  ///< typed kUnavailable{stale_epoch} answers
 };
 
 /// qmatchd — the network front door to one MatchEngine (DESIGN.md §14/§15).
@@ -170,7 +196,40 @@ class Server {
     return static_cast<Role>(role_.load(std::memory_order_acquire));
   }
   /// Thread-safe role flip — Promote() on a standby, demote on drain.
+  /// kDraining is terminal: once draining, every further SetRole is
+  /// refused (the qmatchd SIGTERM/SIGUSR1 race ends drained, not primary).
   void SetRole(Role role);
+
+  /// This server's own fencing epoch (stamped into every response head).
+  uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  /// Highest epoch ever observed on the wire (>= epoch()).
+  uint64_t epoch_seen() const {
+    return epoch_seen_.load(std::memory_order_acquire);
+  }
+  /// True once this server fenced itself after observing a higher epoch:
+  /// it refuses mutable work with kUnavailable{stale_epoch} and will not
+  /// re-anchor a standby until it adopts the winning epoch.
+  bool fenced() const {
+    return fenced_by_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Adopts `epoch` as this server's own (no-op when not higher). Persists
+  /// to epoch_dir BEFORE the in-memory epoch moves — the promotion
+  /// ordering that makes fencing crash-safe. Clears a fence once the
+  /// server has caught up to the winning epoch. Thread-safe.
+  Status AdoptEpoch(uint64_t epoch);
+
+  /// Records an epoch seen on the wire. A primary seeing a higher epoch
+  /// fences itself: net.self_demotions ticks, the role flips to kStandby,
+  /// and every subsequent mutable request is refused typed
+  /// kUnavailable{stale_epoch} until AdoptEpoch catches up. Thread-safe.
+  void ObserveEpoch(uint64_t epoch);
+
+  /// (Re)points the heartbeat-timer peer probe — fixtures start both
+  /// servers before either port is known. Thread-safe.
+  void SetPeer(const std::string& host, uint16_t port);
 
   /// The /readyz verdict: should a load balancer send traffic here?
   bool Ready() const;
@@ -228,8 +287,18 @@ class Server {
   void PumpReplica(Connection* conn);
   void PumpAllReplicas();
   /// Recurring heartbeat: an empty records frame with the current head to
-  /// every subscriber.
+  /// every subscriber, plus the peer epoch probe when configured.
   void ArmReplicaHeartbeat();
+  /// Severs every replication subscriber (partition injection, or fencing
+  /// after a demotion — a stale primary must not re-anchor a standby).
+  void CloseAllReplicas();
+  /// Fires one kRole probe at the configured peer on a worker thread and
+  /// feeds the answered epoch into ObserveEpoch.
+  void ProbePeerEpoch();
+
+  /// Builds a response head carrying this server's current epoch — every
+  /// response (success or typed error) goes through here.
+  ResponseHead MakeHead(const Status& status) const;
 
   // --- worker-pool side ----------------------------------------------------
   void ExecuteSubmitSchema(uint64_t conn_id, SubmitSchemaReq req);
@@ -265,6 +334,22 @@ class Server {
 
   std::atomic<uint32_t> role_;
 
+  /// Fencing-epoch state (DESIGN.md §16). epoch_ is this server's own
+  /// epoch (what it stamps into heads); epoch_seen_ the highest ever
+  /// observed; fenced_by_ the winning epoch that demoted us (0 = not
+  /// fenced). epoch_mutex_ serializes adopt/observe so persist-then-store
+  /// stays ordered.
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> epoch_seen_{1};
+  std::atomic<uint64_t> fenced_by_{0};
+  std::mutex epoch_mutex_;
+  /// At most one peer probe in flight (heartbeats must not pile up probes
+  /// behind a slow peer).
+  std::atomic<bool> probe_inflight_{false};
+  mutable std::mutex peer_mutex_;
+  std::string peer_host_;
+  uint16_t peer_port_ = 0;
+
   /// Standby-side replication position, fed by SetReplicaStatus; read by
   /// Ready()/BuildRole() on any thread.
   std::atomic<uint64_t> replica_applied_{0};
@@ -294,6 +379,8 @@ class Server {
   std::atomic<uint64_t> bad_frames_{0};
   std::atomic<uint64_t> http_metrics_{0};
   std::atomic<uint64_t> replica_subscribers_{0};
+  std::atomic<uint64_t> self_demotions_{0};
+  std::atomic<uint64_t> stale_refusals_{0};
 };
 
 }  // namespace qmatch::net

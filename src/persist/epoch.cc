@@ -1,0 +1,60 @@
+#include "persist/epoch.h"
+
+#include "common/file_util.h"
+#include "persist/crc32.h"
+#include "persist/wire.h"
+
+namespace qmatch::persist {
+
+namespace {
+
+// "QMEPOCH1" — distinct from the snapshot/journal magics so a misplaced
+// file is rejected as corrupt rather than half-parsed.
+constexpr std::string_view kEpochMagic = "QMEPOCH1";
+constexpr uint32_t kEpochFormatVersion = 1;
+
+}  // namespace
+
+std::string EpochPath(const std::string& dir) { return dir + "/epoch.qme"; }
+
+Status SaveEpoch(const std::string& dir, uint64_t epoch) {
+  std::string body(kEpochMagic);
+  Encoder enc;
+  enc.PutU32(kEpochFormatVersion);
+  enc.PutU64(epoch);
+  body += enc.bytes();
+  Encoder crc;
+  crc.PutU32(Crc32(body));
+  body += crc.bytes();
+  return WriteFileAtomic(EpochPath(dir), body);
+}
+
+Result<uint64_t> LoadEpoch(const std::string& dir) {
+  const std::string path = EpochPath(dir);
+  if (!FileExists(path)) return uint64_t{0};
+  Result<std::string> bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& raw = bytes.value();
+  if (raw.size() != kEpochMagic.size() + 4 + 8 + 4) {
+    return Status::DataLoss("epoch file truncated: " + path);
+  }
+  if (std::string_view(raw).substr(0, kEpochMagic.size()) != kEpochMagic) {
+    return Status::DataLoss("epoch file bad magic: " + path);
+  }
+  const std::string_view checked(raw.data(), raw.size() - 4);
+  Decoder tail(std::string_view(raw).substr(raw.size() - 4));
+  uint32_t stored_crc = 0;
+  if (!tail.GetU32(&stored_crc) || stored_crc != Crc32(checked)) {
+    return Status::DataLoss("epoch file CRC mismatch: " + path);
+  }
+  Decoder dec(std::string_view(raw).substr(kEpochMagic.size()));
+  uint32_t version = 0;
+  uint64_t epoch = 0;
+  if (!dec.GetU32(&version) || version != kEpochFormatVersion ||
+      !dec.GetU64(&epoch)) {
+    return Status::DataLoss("epoch file bad version: " + path);
+  }
+  return epoch;
+}
+
+}  // namespace qmatch::persist

@@ -1,0 +1,33 @@
+#ifndef QMATCH_PERSIST_EPOCH_H_
+#define QMATCH_PERSIST_EPOCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace qmatch::persist {
+
+/// Fencing-epoch persistence (DESIGN.md §16). The epoch is the HA pair's
+/// split-brain arbiter: a monotone u64 that a standby bumps ON DISK before
+/// it flips to primary, so that even if the promoting process crashes
+/// between the write and the role flip, a restart can never serve at an
+/// epoch it might already have ceded. The file is a single fixed record —
+/// magic, format version, epoch, CRC — written via WriteFileAtomic, so a
+/// reader sees the previous epoch or the new one, never a torn value.
+
+/// Persists `epoch` to `<dir>/epoch.qme` crash-safely. Inherits the
+/// persist.write/persist.fsync/persist.rename failpoints.
+Status SaveEpoch(const std::string& dir, uint64_t epoch);
+
+/// Loads the persisted epoch. A missing file is epoch 0 (a pair that has
+/// never promoted); corrupt or truncated bytes are kDataLoss — callers
+/// must treat that as "unknown, assume the configured floor", never as 0.
+Result<uint64_t> LoadEpoch(const std::string& dir);
+
+/// The on-disk file name, exposed for tests and tooling.
+std::string EpochPath(const std::string& dir);
+
+}  // namespace qmatch::persist
+
+#endif  // QMATCH_PERSIST_EPOCH_H_

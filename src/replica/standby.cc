@@ -51,10 +51,21 @@ void Standby::Stop() {
 
 void Standby::Promote() {
   Stop();
-  if (server_->role() == net::Role::kStandby) {
-    QMATCH_COUNTER_ADD("replica.promotions", 1);
-    server_->SetRole(net::Role::kPrimary);
-  }
+  if (server_->role() != net::Role::kStandby) return;
+  // Claim the next fencing epoch ON DISK before the role flips
+  // (DESIGN.md §16): by the time this server can acknowledge a single
+  // write as primary, a crash-restart of either node must already find
+  // the bumped epoch. epoch_seen covers the case where this standby heard
+  // of a newer epoch than it adopted — the claim is always strictly above
+  // everything it has ever seen. A failed persist is counted inside
+  // AdoptEpoch but does not veto the promotion: refusing to fail over
+  // because the disk is full would trade availability for nothing (the
+  // old primary is fenced by the wire protocol either way).
+  const uint64_t next =
+      std::max(server_->epoch(), server_->epoch_seen()) + 1;
+  server_->AdoptEpoch(next);
+  QMATCH_COUNTER_ADD("replica.promotions", 1);
+  server_->SetRole(net::Role::kPrimary);
 }
 
 StandbyStats Standby::stats() const {
@@ -91,6 +102,7 @@ bool Standby::StreamOnce() {
   if (!client.ok()) return false;
   SubscribeReq req;
   req.from_seq = applied_.load(std::memory_order_relaxed) + 1;
+  req.epoch = server_->epoch();
   if (!client
            ->SendBytes(net::EncodeFrame(net::MsgType::kReplicaSubscribe,
                                         EncodeSubscribeReq(req)))
@@ -98,6 +110,22 @@ bool Standby::StreamOnce() {
     return false;
   }
   bool progressed = false;
+  // Epoch gate on every stream message: a mismatched sender is a dead
+  // link. A HIGHER epoch is adopted first (with positions reset — the new
+  // epoch's sequence space is a different history, so the resubscribe
+  // re-anchors from a snapshot); a LOWER epoch is a stale primary whose
+  // frames must never be applied.
+  const auto epoch_ok = [this](uint64_t msg_epoch) {
+    const uint64_t own = server_->epoch();
+    if (msg_epoch == 0 || msg_epoch == own) return true;
+    QMATCH_COUNTER_ADD("replica.stale_epoch_msgs", 1);
+    if (msg_epoch > own) {
+      applied_.store(0, std::memory_order_relaxed);
+      head_.store(0, std::memory_order_relaxed);
+      server_->AdoptEpoch(msg_epoch);
+    }
+    return false;
+  };
   while (!stop_.load(std::memory_order_acquire)) {
     // Chaos handle: a fired replica.stream is a dead link at a seeded
     // point — the reconnect/resume path must make it invisible.
@@ -113,6 +141,7 @@ bool Standby::StreamOnce() {
         QMATCH_COUNTER_ADD("replica.undecodable_msgs", 1);
         break;
       }
+      if (!epoch_ok(msg.epoch)) break;
       if (!ApplyRecords(msg)) break;
     } else if (frame->type ==
                static_cast<uint32_t>(net::MsgType::kReplicaSnapshot)) {
@@ -121,11 +150,26 @@ bool Standby::StreamOnce() {
         QMATCH_COUNTER_ADD("replica.undecodable_msgs", 1);
         break;
       }
+      if (!epoch_ok(msg.epoch)) break;
       if (!ApplySnapshot(msg)) break;
+    } else if (frame->type ==
+               static_cast<uint32_t>(net::MsgType::kErrorResp)) {
+      // Subscribe rejected. A head carrying a higher epoch is the
+      // rejected-stream demotion trigger: a promoted primary turned us
+      // away — adopt its epoch (lifting any fence on our server) and let
+      // the resubscribe re-anchor in the new epoch's sequence space.
+      net::ResponseHead head;
+      if (net::DecodeResponseHead(frame->payload, &head) &&
+          head.epoch > server_->epoch()) {
+        QMATCH_COUNTER_ADD("replica.stream_epoch_adoptions", 1);
+        applied_.store(0, std::memory_order_relaxed);
+        head_.store(0, std::memory_order_relaxed);
+        server_->AdoptEpoch(head.epoch);
+      }
+      break;
     } else {
-      // kErrorResp (subscribe rejected: replication off, or the peer is
-      // not serving) or an unexpected frame: treat as a dead link and let
-      // the backoff loop decide how soon to try again.
+      // An unexpected frame: treat as a dead link and let the backoff
+      // loop decide how soon to try again.
       break;
     }
     progressed = true;

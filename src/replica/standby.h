@@ -83,9 +83,10 @@ class Standby {
   /// Stops and joins the replication thread. Idempotent.
   void Stop();
 
-  /// Stops replication and promotes the server to primary. Idempotent.
-  /// The caller decides WHEN (health checks, an operator, SIGUSR1); this
-  /// only makes the flip safe and orderly.
+  /// Stops replication, claims the next fencing epoch (persisted to disk
+  /// BEFORE the role flips — DESIGN.md §16) and promotes the server to
+  /// primary. Idempotent. The caller decides WHEN (health checks, an
+  /// operator, SIGUSR1); this only makes the flip safe and orderly.
   void Promote();
 
   StandbyStats stats() const;

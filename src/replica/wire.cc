@@ -25,17 +25,20 @@ bool DecodeSchemaRecPayload(std::string_view payload, SchemaRec* out) {
 std::string EncodeSubscribeReq(const SubscribeReq& req) {
   Encoder enc;
   enc.PutU64(req.from_seq);
+  enc.PutU64(req.epoch);
   return enc.Take();
 }
 
 bool DecodeSubscribeReq(std::string_view payload, SubscribeReq* out) {
   Decoder dec(payload);
-  return dec.GetU64(&out->from_seq) && dec.remaining() == 0;
+  return dec.GetU64(&out->from_seq) && dec.GetU64(&out->epoch) &&
+         dec.remaining() == 0;
 }
 
 std::string EncodeRecordsMsg(const RecordsMsg& msg) {
   Encoder enc;
   enc.PutU64(msg.head_seq);
+  enc.PutU64(msg.epoch);
   enc.PutU32(static_cast<uint32_t>(msg.records.size()));
   for (const LogRecord& rec : msg.records) {
     enc.PutU64(rec.seq);
@@ -48,7 +51,10 @@ std::string EncodeRecordsMsg(const RecordsMsg& msg) {
 bool DecodeRecordsMsg(std::string_view payload, RecordsMsg* out) {
   Decoder dec(payload);
   uint32_t count = 0;
-  if (!dec.GetU64(&out->head_seq) || !dec.GetU32(&count)) return false;
+  if (!dec.GetU64(&out->head_seq) || !dec.GetU64(&out->epoch) ||
+      !dec.GetU32(&count)) {
+    return false;
+  }
   // Each record costs at least seq + type + an empty payload's length
   // field — a hostile count cannot buy a giant reserve.
   if (static_cast<size_t>(count) * (8 + 4 + 4) > dec.remaining()) return false;
@@ -69,6 +75,7 @@ bool DecodeRecordsMsg(std::string_view payload, RecordsMsg* out) {
 std::string EncodeSnapshotMsg(const SnapshotMsg& msg) {
   Encoder enc;
   enc.PutU64(msg.next_seq);
+  enc.PutU64(msg.epoch);
   enc.PutU32(static_cast<uint32_t>(msg.schemas.size()));
   for (const SchemaRec& rec : msg.schemas) {
     enc.PutString(rec.name);
@@ -88,7 +95,10 @@ std::string EncodeSnapshotMsg(const SnapshotMsg& msg) {
 bool DecodeSnapshotMsg(std::string_view payload, SnapshotMsg* out) {
   Decoder dec(payload);
   uint32_t count = 0;
-  if (!dec.GetU64(&out->next_seq) || !dec.GetU32(&count)) return false;
+  if (!dec.GetU64(&out->next_seq) || !dec.GetU64(&out->epoch) ||
+      !dec.GetU32(&count)) {
+    return false;
+  }
   if (static_cast<size_t>(count) * (4 + 4) > dec.remaining()) return false;
   out->schemas.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

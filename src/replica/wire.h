@@ -47,6 +47,11 @@ bool DecodeSchemaRecPayload(std::string_view payload, SchemaRec* out);
 /// batches, then keeps pushing as new records land.
 struct SubscribeReq {
   uint64_t from_seq = 1;
+  /// The subscriber's fencing epoch (DESIGN.md §16). A primary rejects
+  /// subscriptions from a HIGHER epoch (and fences itself — the handshake
+  /// is one of the three demotion triggers) and from a LOWER epoch (the
+  /// subscriber must adopt the new epoch and resubscribe).
+  uint64_t epoch = 0;
 };
 
 /// Primary -> standby: a batch of consecutive log records plus the
@@ -55,6 +60,9 @@ struct SubscribeReq {
 /// truthful while the stream idles, and it proves liveness.
 struct RecordsMsg {
   uint64_t head_seq = 0;
+  /// The sender's fencing epoch; a standby drops batches from a stale
+  /// epoch instead of applying them.
+  uint64_t epoch = 0;
   std::vector<LogRecord> records;
 };
 
@@ -65,6 +73,9 @@ struct RecordsMsg {
 /// reading records.
 struct SnapshotMsg {
   uint64_t next_seq = 1;
+  /// The sender's fencing epoch; a standby refuses to anchor on a stale
+  /// epoch's snapshot.
+  uint64_t epoch = 0;
   std::vector<SchemaRec> schemas;
   /// Encoded persist record payloads (cache then corpus), exactly what the
   /// primary's snapshot file would hold.

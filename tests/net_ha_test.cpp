@@ -411,6 +411,70 @@ TEST_F(HaTest, DrainDemotesRefusesNewWorkAndQuiesces) {
   EXPECT_GE(CounterValue("net.drains"), 1u);
 }
 
+TEST_F(HaTest, LatePromoteCannotResurrectADrainingServer) {
+  // The qmatchd SIGTERM/SIGUSR1 race, regression-tested at the layer that
+  // ultimately decides it: a promote that lands AFTER the drain started
+  // must lose. kDraining is terminal — SetRole refuses to leave it, and
+  // Standby::Promote declines a server that is no longer a standby (no
+  // epoch is claimed for a promotion that cannot happen).
+  StartPrimary();
+  ASSERT_TRUE(primary_->RegisterSchema(names_[0], xsds_[0]).ok());
+  StartStandby();
+  ASSERT_TRUE(AwaitCaughtUp());
+  const uint64_t epoch_before = standby_server_->epoch();
+
+  ASSERT_TRUE(standby_server_->Drain(test::Scaled(milliseconds(5000))).ok());
+  ASSERT_EQ(standby_server_->role(), Role::kDraining);
+
+  // The operator's promote arrives late: a no-op, not a resurrection.
+  stream_->Promote();
+  EXPECT_EQ(standby_server_->role(), Role::kDraining)
+      << "a late promote resurrected a draining server";
+  EXPECT_EQ(standby_server_->epoch(), epoch_before)
+      << "a refused promotion still claimed a fencing epoch";
+  EXPECT_FALSE(standby_server_->Ready());
+
+  // And the raw transition is refused (and counted) at the SetRole layer
+  // too — the guard does not depend on Promote's own role check.
+  standby_server_->SetRole(Role::kPrimary);
+  EXPECT_EQ(standby_server_->role(), Role::kDraining);
+  EXPECT_GE(CounterValue("net.role_changes_refused"), 1u);
+}
+
+// --- fencing epochs (tier-1 half; the partition chaos lives in
+// net_splitbrain_test.cpp) ---------------------------------------------------
+
+TEST_F(HaTest, EpochSurfacesInEveryResponseHeadAndProbe) {
+  StartPrimary();
+  ASSERT_TRUE(primary_->RegisterSchema(names_[0], xsds_[0]).ok());
+  ASSERT_TRUE(primary_->RegisterSchema(names_[1], xsds_[1]).ok());
+  Result<Client> client = ConnectTo(*primary_);
+  ASSERT_TRUE(client.ok());
+
+  // Typed frames: success and introspection heads both carry the epoch.
+  Result<MatchPairResp> pair = client->MatchPair(names_[0], names_[1], 5000);
+  ASSERT_TRUE(pair.ok());
+  ASSERT_TRUE(pair->head.ok());
+  EXPECT_EQ(pair->head.epoch, 1u);
+  Result<RoleResp> role = client->GetRole();
+  ASSERT_TRUE(role.ok());
+  EXPECT_EQ(role->head.epoch, 1u);
+  Result<HealthResp> health = client->Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->head.epoch, 1u);
+
+  // HTTP probes: both bodies name the epoch for operators and LBs.
+  EXPECT_TRUE(Contains(HttpGet(primary_->port(), "/healthz"), "epoch=1"));
+  EXPECT_TRUE(Contains(HttpGet(primary_->port(), "/readyz"), "epoch=1"));
+
+  // Adoption moves what everything reports, atomically.
+  ASSERT_TRUE(primary_->AdoptEpoch(7).ok());
+  Result<RoleResp> after = client->GetRole();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->head.epoch, 7u);
+  EXPECT_TRUE(Contains(HttpGet(primary_->port(), "/readyz"), "epoch=7"));
+}
+
 TEST_F(HaTest, DrainedStateSurvivesARestartWarm) {
   // The SIGTERM contract end to end: serve, drain, compact, die; a process
   // restarted on the same persist directory answers the same request from

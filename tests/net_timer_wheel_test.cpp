@@ -1,0 +1,255 @@
+// Direct unit tests for the event loop's hashed timer wheel and the
+// EventLoop::Post mailbox — the two loop primitives everything in net/
+// leans on but which were previously only exercised through full servers.
+//
+// The wheel's contract under test:
+//  * a due timer fires on Advance, never inline from Schedule (reentrancy
+//    safety: callbacks may schedule/cancel freely);
+//  * Cancel is true exactly once per armed timer — after a fire or a
+//    previous cancel it reports false;
+//  * an entry more than one revolution (> slots ticks) away survives the
+//    cursor sweeping its slot and fires on the correct lap;
+//  * UntilNext rounds up to the next tick so the loop never wakes just
+//    short of the sweep that would fire the timer.
+//
+// The mailbox's contract: Post from foreign threads runs the task on the
+// loop thread, and the eventfd wake gets it there promptly even when the
+// loop is parked in epoll_wait with nothing else to do.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/timer_wheel.h"
+#include "test_util.h"
+
+namespace qmatch::net {
+namespace {
+
+using std::chrono::milliseconds;
+using Clock = TimerWheel::Clock;
+
+template <typename Pred>
+bool WaitFor(Pred pred, milliseconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + test::Scaled(deadline);
+  while (std::chrono::steady_clock::now() < until) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  return pred();
+}
+
+/// A base point safely at-or-after the wheel's construction cursor, with
+/// the cursor normalised onto it so every expectation below is exact.
+Clock::time_point NormalisedBase(TimerWheel* wheel) {
+  const Clock::time_point base = Clock::now() + milliseconds(50);
+  wheel->Advance(base);
+  return base;
+}
+
+TEST(TimerWheelTest, FiresAtDueTimeAndNotBefore) {
+  TimerWheel wheel(milliseconds(10), 256);
+  const Clock::time_point base = NormalisedBase(&wheel);
+  std::vector<int> fired;
+  wheel.Schedule(base + milliseconds(50), [&] { fired.push_back(1); });
+  wheel.Schedule(base + milliseconds(100), [&] { fired.push_back(2); });
+  EXPECT_EQ(wheel.pending(), 2u);
+
+  EXPECT_EQ(wheel.Advance(base + milliseconds(40)), 0u);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_EQ(wheel.pending(), 2u);
+
+  EXPECT_EQ(wheel.Advance(base + milliseconds(60)), 1u);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  EXPECT_EQ(wheel.Advance(base + milliseconds(200)), 1u);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], 2);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, PastDueTimerNeverFiresInline) {
+  TimerWheel wheel(milliseconds(10), 256);
+  const Clock::time_point base = NormalisedBase(&wheel);
+  bool fired = false;
+  // Already past due at Schedule time: the callback must NOT run here.
+  wheel.Schedule(base - milliseconds(500), [&] { fired = true; });
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel.pending(), 1u);
+  // It fires on the next sweep that moves the cursor at all.
+  EXPECT_EQ(wheel.Advance(base + milliseconds(10)), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheelTest, CallbackMayScheduleWithoutInlineFiring) {
+  TimerWheel wheel(milliseconds(10), 256);
+  const Clock::time_point base = NormalisedBase(&wheel);
+  bool inner_fired = false;
+  wheel.Schedule(base + milliseconds(10), [&] {
+    // Rearming from inside a firing callback, already past due: the inner
+    // timer must wait for a LATER Advance, not fire inside this one.
+    wheel.Schedule(base - milliseconds(100), [&] { inner_fired = true; });
+  });
+  EXPECT_EQ(wheel.Advance(base + milliseconds(20)), 1u);
+  EXPECT_FALSE(inner_fired) << "nested schedule fired inside its own sweep";
+  EXPECT_EQ(wheel.Advance(base + milliseconds(40)), 1u);
+  EXPECT_TRUE(inner_fired);
+}
+
+TEST(TimerWheelTest, CancelIsTrueExactlyOncePerArmedTimer) {
+  TimerWheel wheel(milliseconds(10), 256);
+  const Clock::time_point base = NormalisedBase(&wheel);
+  bool fired = false;
+  const TimerWheel::TimerId doomed =
+      wheel.Schedule(base + milliseconds(30), [&] { fired = true; });
+  const TimerWheel::TimerId kept =
+      wheel.Schedule(base + milliseconds(30), [] {});
+  EXPECT_EQ(wheel.pending(), 2u);
+
+  EXPECT_TRUE(wheel.Cancel(doomed));
+  EXPECT_FALSE(wheel.Cancel(doomed)) << "double-cancel reported success";
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  EXPECT_EQ(wheel.Advance(base + milliseconds(50)), 1u);
+  EXPECT_FALSE(fired) << "cancelled timer fired anyway";
+  EXPECT_FALSE(wheel.Cancel(kept)) << "cancel after fire reported success";
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, EntryBeyondOneRevolutionWaitsForItsLap) {
+  // tick 1ms x 256 slots = a 256-tick revolution. near and far share a
+  // slot, one revolution apart: the sweep that fires near must leave far
+  // armed, and far fires only when its own lap comes due.
+  TimerWheel wheel(milliseconds(1), 256);
+  const Clock::time_point base = NormalisedBase(&wheel);
+  bool near_fired = false;
+  bool far_fired = false;
+  wheel.Schedule(base + milliseconds(40), [&] { near_fired = true; });
+  wheel.Schedule(base + milliseconds(40 + 256), [&] { far_fired = true; });
+
+  EXPECT_EQ(wheel.Advance(base + milliseconds(45)), 1u);
+  EXPECT_TRUE(near_fired);
+  EXPECT_FALSE(far_fired) << "next-lap entry fired a revolution early";
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  // Not due yet even after many more sweeps of its slot.
+  EXPECT_EQ(wheel.Advance(base + milliseconds(290)), 0u);
+  EXPECT_FALSE(far_fired);
+
+  EXPECT_EQ(wheel.Advance(base + milliseconds(300)), 1u);
+  EXPECT_TRUE(far_fired);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, OneAdvanceCatchesUpAcrossManyRevolutions) {
+  // A loop that stalls > slots ticks (GC-style hiccup) still fires
+  // everything due in a single Advance: the sweep is clamped to one
+  // revolution, which by then has visited every slot.
+  TimerWheel wheel(milliseconds(1), 256);
+  const Clock::time_point base = NormalisedBase(&wheel);
+  int fired = 0;
+  wheel.Schedule(base + milliseconds(5), [&] { ++fired; });
+  wheel.Schedule(base + milliseconds(500), [&] { ++fired; });
+  wheel.Schedule(base + milliseconds(899), [&] { ++fired; });
+  EXPECT_EQ(wheel.Advance(base + milliseconds(900)), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, UntilNextRoundsUpToTheTickAndClampsDueToZero) {
+  TimerWheel wheel(milliseconds(10), 256);
+  const Clock::time_point base = NormalisedBase(&wheel);
+  EXPECT_FALSE(wheel.UntilNext(base).has_value()) << "empty wheel had a next";
+
+  wheel.Schedule(base + milliseconds(50), [] {});
+  std::optional<Clock::duration> next = wheel.UntilNext(base);
+  ASSERT_TRUE(next.has_value());
+  // Rounded UP by one tick past the exact distance: sleeping exactly 50ms
+  // would wake on the boundary and miss the sweep.
+  EXPECT_EQ(*next, Clock::duration(milliseconds(60)));
+
+  next = wheel.UntilNext(base + milliseconds(50));
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, Clock::duration::zero());
+}
+
+TEST(EventLoopTest, PostFromForeignThreadsRunsEveryTaskOnTheLoopThread) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  std::thread runner([&] { loop.Run(); });
+
+  constexpr int kThreads = 8;
+  constexpr int kTasksPerThread = 16;
+  std::atomic<int> ran{0};
+  std::atomic<int> off_loop{0};
+  std::vector<std::thread> posters;
+  posters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < kTasksPerThread; ++i) {
+        loop.Post([&] {
+          if (!loop.InLoopThread()) off_loop.fetch_add(1);
+          ran.fetch_add(1);
+        });
+      }
+    });
+  }
+  for (std::thread& poster : posters) poster.join();
+
+  EXPECT_TRUE(WaitFor(
+      [&] { return ran.load() == kThreads * kTasksPerThread; },
+      milliseconds(5000)))
+      << "only " << ran.load() << " of " << kThreads * kTasksPerThread
+      << " posted tasks ran";
+  EXPECT_EQ(off_loop.load(), 0) << "a posted task ran off the loop thread";
+  loop.Stop();
+  runner.join();
+}
+
+TEST(EventLoopTest, PostWakesALoopParkedInEpollWithNothingToDo) {
+  // No fds, no timers: the loop is blocked in epoll_wait indefinitely.
+  // Only the eventfd wake can get a posted task through — if the wake is
+  // broken this times out instead of completing.
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  std::thread runner([&] { loop.Run(); });
+  // Let the loop park first so the Post must cross the eventfd, not catch
+  // the pre-Run drain.
+  std::this_thread::sleep_for(test::Scaled(milliseconds(50)));
+
+  std::atomic<bool> poked{false};
+  loop.Post([&] { poked.store(true); });
+  EXPECT_TRUE(WaitFor([&] { return poked.load(); }, milliseconds(5000)))
+      << "eventfd wake never delivered the posted task";
+  loop.Stop();
+  runner.join();
+}
+
+TEST(EventLoopTest, RunOnceDrainsPostedTasksAndDrivesTheWheel) {
+  // Single-step harness mode: the calling thread IS the loop thread.
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  bool posted_ran = false;
+  loop.Post([&] { posted_ran = true; });
+  loop.RunOnce(100);
+  EXPECT_TRUE(posted_ran);
+
+  bool timer_fired = false;
+  loop.timers().ScheduleAfter(milliseconds(30), [&] { timer_fired = true; });
+  const auto deadline =
+      std::chrono::steady_clock::now() + test::Scaled(milliseconds(5000));
+  while (!timer_fired && std::chrono::steady_clock::now() < deadline) {
+    loop.RunOnce(20);
+  }
+  EXPECT_TRUE(timer_fired) << "RunOnce never advanced the wheel to the timer";
+}
+
+}  // namespace
+}  // namespace qmatch::net
